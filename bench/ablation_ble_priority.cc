@@ -1,0 +1,67 @@
+// Ablation — the custom ballot priority field of BLE (§5.2): priorities break
+// ties so a designated server wins elections, without affecting liveness (the
+// elected candidate must still be quorum-connected).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/rsm/experiments.h"
+
+namespace opx {
+namespace {
+
+// Fraction of seeded runs in which the designated server wins the first
+// election, with and without the priority field.
+double DesignatedWinRate(bool use_priority, int runs) {
+  int wins = 0;
+  for (int rep = 0; rep < runs; ++rep) {
+    rsm::ClusterParams params;
+    params.num_servers = 5;
+    params.election_timeout = Millis(50);
+    params.seed = 500 + static_cast<uint64_t>(rep);
+    params.preferred_leader = use_priority ? 2 : kNoNode;
+    rsm::ClusterSim<rsm::OmniNode> sim(params);
+    sim.RunUntil(Seconds(2));
+    if (sim.CurrentLeader() == 2) {
+      ++wins;
+    }
+  }
+  return static_cast<double>(wins) / runs;
+}
+
+// Liveness: even when the prioritized server is NOT quorum-connected, a QC
+// server still gets elected (priority is only a tie-break, §5.2).
+bool LivenessWithIsolatedPriority() {
+  rsm::ClusterParams params;
+  params.num_servers = 5;
+  params.election_timeout = Millis(50);
+  params.seed = 99;
+  params.preferred_leader = 2;
+  rsm::ClusterSim<rsm::OmniNode> sim(params);
+  // Isolate the prioritized server from everyone before any election.
+  for (NodeId other = 1; other <= 5; ++other) {
+    if (other != 2) {
+      sim.network().SetLink(2, other, false);
+    }
+  }
+  sim.RunUntil(Seconds(3));
+  const NodeId leader = sim.CurrentLeader();
+  return leader != kNoNode && leader != 2;
+}
+
+}  // namespace
+}  // namespace opx
+
+int main() {
+  using namespace opx;
+  bench::PrintHeader("Ablation: BLE ballot priority (custom tie-break field)", "§5.2");
+  const int runs = bench::FullMode() ? 20 : 8;
+  std::printf("designated server wins first election: with priority %.0f%%, without %.0f%%\n",
+              100.0 * DesignatedWinRate(true, runs), 100.0 * DesignatedWinRate(false, runs));
+  std::printf("liveness with prioritized-but-isolated server: %s\n",
+              LivenessWithIsolatedPriority() ? "PASS (another QC server elected)"
+                                             : "FAIL");
+  std::printf(
+      "\nExpected: priority deterministically steers elections (100%% vs chance),\n"
+      "and never blocks electing a quorum-connected server.\n");
+  return 0;
+}

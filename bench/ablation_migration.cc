@@ -1,0 +1,59 @@
+// Ablation — parallel (Fig. 6b) vs leader-only (Fig. 6a) log migration in the
+// Omni-Paxos service layer: reconfiguration period and donor I/O distribution.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/rsm/omni_reconfig_sim.h"
+
+namespace opx {
+namespace {
+
+using rsm::ReconfigParams;
+using rsm::ReconfigResult;
+
+ReconfigParams Config(int replace, bool leader_only) {
+  ReconfigParams p;
+  p.replace_count = replace;
+  p.concurrent_proposals = 5'000;
+  p.preload_entries = bench::FullMode() ? 5'000'000 : 1'000'000;
+  p.warmup = bench::FullMode() ? Seconds(30) : Seconds(10);
+  p.run_after = bench::FullMode() ? Seconds(150) : Seconds(60);
+  p.egress_bytes_per_sec = 8e6;
+  p.leader_only_migration = leader_only;
+  return p;
+}
+
+void RunPair(const char* title, int replace) {
+  std::printf("\n--- %s ---\n", title);
+  const ReconfigResult par = rsm::OmniReconfigSim(Config(replace, false)).Run();
+  const ReconfigResult solo = rsm::OmniReconfigSim(Config(replace, true)).Run();
+  std::printf("  %-36s %-14s %-14s\n", "", "parallel", "leader-only");
+  std::printf("  %-36s %-14s %-14s\n", "migration period",
+              bench::HumanTime(par.migration_done_at - par.ss_decided_at).c_str(),
+              bench::HumanTime(solo.migration_done_at - solo.ss_decided_at).c_str());
+  std::printf("  %-36s %-14s %-14s\n", "down-time",
+              bench::HumanTime(par.downtime).c_str(), bench::HumanTime(solo.downtime).c_str());
+  std::printf("  %-36s %-14s %-14s\n", "peak leader egress / 5s window",
+              bench::HumanBytes(static_cast<double>(par.peak_window_egress_old_leader)).c_str(),
+              bench::HumanBytes(static_cast<double>(solo.peak_window_egress_old_leader)).c_str());
+  if (solo.migration_done_at > solo.ss_decided_at &&
+      par.migration_done_at > par.ss_decided_at) {
+    std::printf("  parallel speedup: %.1fx\n",
+                ToSeconds(solo.migration_done_at - solo.ss_decided_at) /
+                    ToSeconds(par.migration_done_at - par.ss_decided_at));
+  }
+}
+
+}  // namespace
+}  // namespace opx
+
+int main() {
+  using namespace opx;
+  bench::PrintHeader("Ablation: parallel vs leader-only log migration", "Fig. 6 / §6.1");
+  RunPair("replace one server", 1);
+  RunPair("replace a majority (3 of 5)", 3);
+  std::printf(
+      "\nExpected: with K donors the migration period shrinks by ~Kx and the old\n"
+      "leader's egress peak drops to ~1/K of the leader-only scheme (§6.1).\n");
+  return 0;
+}

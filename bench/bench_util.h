@@ -1,0 +1,78 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench supports two modes:
+//  * quick (default): shortened warmups/durations/log sizes so the whole
+//    bench suite completes in minutes while preserving every qualitative
+//    result (who recovers, who wins, bottleneck ratios);
+//  * full  (OPX_FULL=1): paper-faithful durations (5-minute runs, 1/2/4-minute
+//    partitions, 10 repetitions).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+#include "src/util/time.h"
+
+namespace opx::bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("OPX_FULL");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+inline int Repetitions() { return FullMode() ? 10 : 3; }
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s   [%s mode]\n", paper_ref.c_str(),
+              FullMode() ? "full" : "quick");
+  std::printf("================================================================\n");
+}
+
+inline std::string HumanBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+inline std::string HumanRate(double per_second) {
+  char buf[32];
+  if (per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM/s", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk/s", per_second / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f/s", per_second);
+  }
+  return buf;
+}
+
+inline std::string HumanTime(Time t) {
+  char buf[32];
+  if (t >= Seconds(10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", ToSeconds(t));
+  } else if (t >= Millis(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ToMillis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", static_cast<double>(t) / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace opx::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

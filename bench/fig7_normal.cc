@@ -1,0 +1,84 @@
+// Figure 7 — regular execution with 3 and 5 servers, LAN and WAN, workload
+// levels CP ∈ {500, 5k, 50k}: throughput of Omni-Paxos vs Raft vs Multi-Paxos
+// (mean ± 95% CI over repeated seeded runs), plus the §7.1 BLE-overhead claim.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/rsm/experiments.h"
+#include "src/util/stats.h"
+
+namespace opx {
+namespace {
+
+using bench::FullMode;
+using rsm::NormalConfig;
+using rsm::NormalResult;
+
+struct Cell {
+  Summary throughput;
+  double election_io_share = 0.0;
+};
+
+template <typename Node>
+Cell RunCell(int servers, bool wan, size_t cp) {
+  std::vector<double> tputs;
+  double io_share = 0.0;
+  for (int rep = 0; rep < bench::Repetitions(); ++rep) {
+    NormalConfig cfg;
+    cfg.num_servers = servers;
+    cfg.concurrent_proposals = cp;
+    cfg.wan = wan;
+    cfg.election_timeout = wan ? Millis(500) : Millis(50);
+    cfg.warmup = FullMode() ? Seconds(60) : Seconds(3);
+    cfg.duration = FullMode() ? Minutes(5) : Seconds(15);
+    cfg.seed = 42 + static_cast<uint64_t>(rep);
+    const NormalResult r = rsm::RunNormal<Node>(cfg);
+    tputs.push_back(r.throughput);
+    io_share = std::max(io_share, r.election_io_share);
+  }
+  return Cell{Summarize(tputs), io_share};
+}
+
+void RunSetting(int servers, bool wan) {
+  std::printf("\n--- %d servers, %s ---\n", servers, wan ? "WAN (RTT 105/145 ms)" : "LAN (RTT 0.2 ms)");
+  std::printf("%-8s  %-22s %-22s %-22s\n", "CP", "Omni-Paxos", "Raft", "Multi-Paxos");
+  for (size_t cp : {size_t{500}, size_t{5'000}, size_t{50'000}}) {
+    const Cell omni = RunCell<rsm::OmniNode>(servers, wan, cp);
+    const Cell raft = RunCell<rsm::RaftNode>(servers, wan, cp);
+    const Cell mpx = RunCell<rsm::MultiPaxosNode>(servers, wan, cp);
+    std::printf("%-8zu  %-22s %-22s %-22s\n", cp,
+                (bench::HumanRate(omni.throughput.mean) + " ±" +
+                 bench::HumanRate(omni.throughput.ci95_half))
+                    .c_str(),
+                (bench::HumanRate(raft.throughput.mean) + " ±" +
+                 bench::HumanRate(raft.throughput.ci95_half))
+                    .c_str(),
+                (bench::HumanRate(mpx.throughput.mean) + " ±" +
+                 bench::HumanRate(mpx.throughput.ci95_half))
+                    .c_str());
+    if (cp == 50'000) {
+      std::printf("          (Omni-Paxos BLE share of total I/O at CP=50k: %.4f%%)\n",
+                  omni.election_io_share * 100.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opx
+
+int main() {
+  using namespace opx;
+  bench::PrintHeader("Figure 7: regular execution throughput",
+                     "Fig. 7 + §7.1 BLE-overhead claim");
+  RunSetting(3, /*wan=*/false);
+  RunSetting(5, /*wan=*/false);
+  RunSetting(3, /*wan=*/true);
+  RunSetting(5, /*wan=*/true);
+  std::printf(
+      "\nExpected (paper): similar throughput for all three protocols in every\n"
+      "setting (overlapping CIs); WAN throughput latency-bound at low CP; BLE\n"
+      "heartbeats contribute at most 0.02%% of total I/O.\n");
+  return 0;
+}

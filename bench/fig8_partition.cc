@@ -1,0 +1,166 @@
+// Figure 8 — resilience to partial connectivity:
+//   8a  quorum-loss down-time per protocol and election timeout,
+//   8b  constrained-election down-time,
+//   8c  decided requests under the chained scenario per partition duration,
+// plus the §7.2 recovery accounting (leader changes, epoch increments).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/rsm/experiments.h"
+#include "src/util/stats.h"
+
+namespace opx {
+namespace {
+
+using bench::FullMode;
+using rsm::PartitionConfig;
+using rsm::PartitionResult;
+using rsm::Scenario;
+
+std::vector<Time> Timeouts() {
+  if (FullMode()) {
+    return {Millis(50), Millis(500), Seconds(50)};
+  }
+  return {Millis(50), Millis(500), Seconds(5)};
+}
+
+std::vector<Time> ChainedDurations() {
+  if (FullMode()) {
+    return {Minutes(1), Minutes(2), Minutes(4)};
+  }
+  return {Seconds(20), Seconds(40)};
+}
+
+struct DowntimeRow {
+  std::string protocol;
+  std::vector<Summary> downtime_s;  // one per timeout
+  double mean_elevations = 0.0;
+  double mean_epoch_increments = 0.0;
+};
+
+template <typename Node>
+DowntimeRow RunDowntime(const std::string& name, Scenario scenario) {
+  DowntimeRow row;
+  row.protocol = name;
+  double elevations = 0.0;
+  double epochs = 0.0;
+  int total_runs = 0;
+  for (Time timeout : Timeouts()) {
+    std::vector<double> samples;
+    for (int rep = 0; rep < bench::Repetitions(); ++rep) {
+      PartitionConfig cfg;
+      cfg.scenario = scenario;
+      cfg.num_servers = 5;
+      cfg.election_timeout = timeout;
+      cfg.partition_duration = FullMode() ? Minutes(1) : Seconds(20);
+      // Keep the partition meaningful relative to huge timeouts.
+      if (cfg.partition_duration < 6 * timeout) {
+        cfg.partition_duration = 6 * timeout;
+      }
+      cfg.post_heal = std::max<Time>(Seconds(10), 4 * timeout);
+      cfg.seed = 7 + static_cast<uint64_t>(rep);
+      const PartitionResult r = rsm::RunPartition<Node>(cfg);
+      samples.push_back(ToSeconds(r.downtime));
+      elevations += static_cast<double>(r.leader_elevations);
+      epochs += static_cast<double>(r.epoch_increments);
+      ++total_runs;
+    }
+    row.downtime_s.push_back(Summarize(samples));
+  }
+  row.mean_elevations = elevations / total_runs;
+  row.mean_epoch_increments = epochs / total_runs;
+  return row;
+}
+
+void PrintDowntimeTable(const std::string& title, const std::vector<DowntimeRow>& rows) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  std::printf("%-12s", "Protocol");
+  for (Time t : Timeouts()) {
+    std::printf(" | downtime @T=%-8s", bench::HumanTime(t).c_str());
+  }
+  std::printf(" | elections | epoch+\n");
+  for (const DowntimeRow& row : rows) {
+    std::printf("%-12s", row.protocol.c_str());
+    for (const Summary& s : row.downtime_s) {
+      char cell[48];
+      std::snprintf(cell, sizeof(cell), "%.2fs ±%.2f", s.mean, s.ci95_half);
+      std::printf(" | %-19s", cell);
+    }
+    std::printf(" | %-9.1f | %.1f\n", row.mean_elevations, row.mean_epoch_increments);
+  }
+}
+
+template <typename Node>
+void RunChained(const std::string& name) {
+  std::printf("%-12s", name.c_str());
+  for (Time duration : ChainedDurations()) {
+    std::vector<double> decided;
+    for (int rep = 0; rep < bench::Repetitions(); ++rep) {
+      PartitionConfig cfg;
+      cfg.scenario = Scenario::kChained;
+      cfg.num_servers = 3;
+      cfg.election_timeout = Millis(50);
+      cfg.partition_duration = duration;
+      cfg.post_heal = Seconds(5);
+      cfg.seed = 13 + static_cast<uint64_t>(rep);
+      const PartitionResult r = rsm::RunPartition<Node>(cfg);
+      decided.push_back(static_cast<double>(r.decided_during));
+    }
+    const Summary s = Summarize(decided);
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "%s ±%s", bench::HumanRate(s.mean / ToSeconds(duration)).c_str(),
+                  bench::HumanRate(s.ci95_half / ToSeconds(duration)).c_str());
+    std::printf(" | %-22s", cell);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace opx
+
+int main() {
+  using namespace opx;
+  bench::PrintHeader("Figure 8: partial-connectivity experiments", "Fig. 8a/8b/8c + §7.2");
+
+  {
+    std::vector<DowntimeRow> rows;
+    rows.push_back(RunDowntime<rsm::OmniNode>("Omni-Paxos", Scenario::kQuorumLoss));
+    rows.push_back(RunDowntime<rsm::RaftNode>("Raft", Scenario::kQuorumLoss));
+    rows.push_back(RunDowntime<rsm::RaftPvCqNode>("Raft PV+CQ", Scenario::kQuorumLoss));
+    rows.push_back(RunDowntime<rsm::VrNode>("VR", Scenario::kQuorumLoss));
+    rows.push_back(RunDowntime<rsm::MultiPaxosNode>("Multi-Paxos", Scenario::kQuorumLoss));
+    PrintDowntimeTable("Fig. 8a: quorum-loss scenario (down-time; deadlock = partition length)",
+                       rows);
+  }
+  {
+    std::vector<DowntimeRow> rows;
+    rows.push_back(RunDowntime<rsm::OmniNode>("Omni-Paxos", Scenario::kConstrained));
+    rows.push_back(RunDowntime<rsm::RaftNode>("Raft", Scenario::kConstrained));
+    rows.push_back(RunDowntime<rsm::RaftPvCqNode>("Raft PV+CQ", Scenario::kConstrained));
+    rows.push_back(RunDowntime<rsm::VrNode>("VR", Scenario::kConstrained));
+    rows.push_back(RunDowntime<rsm::MultiPaxosNode>("Multi-Paxos", Scenario::kConstrained));
+    PrintDowntimeTable("Fig. 8b: constrained-election scenario (down-time)", rows);
+  }
+  {
+    std::printf("\n--- Fig. 8c: chained scenario (decided proposals per second during partition) ---\n");
+    std::printf("%-12s", "Protocol");
+    for (Time d : ChainedDurations()) {
+      std::printf(" | partition=%-11s", bench::HumanTime(d).c_str());
+    }
+    std::printf("\n");
+    RunChained<rsm::OmniNode>("Omni-Paxos");
+    RunChained<rsm::RaftNode>("Raft");
+    RunChained<rsm::RaftPvCqNode>("Raft PV+CQ");
+    RunChained<rsm::VrNode>("VR");
+    RunChained<rsm::MultiPaxosNode>("Multi-Paxos");
+  }
+  std::printf(
+      "\nExpected (paper): 8a) Omni-Paxos recovers in ~4 timeouts, Raft recovers with\n"
+      "high variance, Raft PV+CQ slightly faster than Omni-Paxos, VR and Multi-Paxos\n"
+      "deadlock. 8b) only Omni-Paxos (constant ~3 timeouts) and Multi-Paxos recover.\n"
+      "8c) Multi-Paxos lowest throughput (livelock); Omni-Paxos stable with a single\n"
+      "leader change; Raft PV+CQ no leader changes.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 9 — reconfiguration speed, Omni-Paxos vs Raft:
+//   9a  replace one server, CP = 5k   (throughput over time windows)
+//   9b  replace one server, CP = 50k
+//   9c  replace a majority (3 of 5), CP = 5k
+// plus the peak leader egress I/O over a window (§7.3's 109 MB vs 30 MB).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/rsm/omni_reconfig_sim.h"
+#include "src/rsm/raft_reconfig_sim.h"
+
+namespace opx {
+namespace {
+
+using bench::FullMode;
+using rsm::ReconfigParams;
+using rsm::ReconfigResult;
+
+ReconfigParams Config(int replace, size_t cp) {
+  ReconfigParams p;
+  p.replace_count = replace;
+  p.concurrent_proposals = cp;
+  if (FullMode()) {
+    p.preload_entries = 5'000'000;
+    p.warmup = Seconds(40);
+    p.run_after = Seconds(160);
+  } else {
+    p.preload_entries = 1'000'000;
+    p.warmup = Seconds(15);
+    p.run_after = Seconds(60);
+  }
+  p.metrics_window = Seconds(5);
+  p.egress_bytes_per_sec = 8e6;  // effective app-level egress (DESIGN.md)
+  return p;
+}
+
+void PrintSeries(const std::string& name, const ReconfigResult& r, Time window, Time start) {
+  std::printf("  %-12s tput/window:", name.c_str());
+  const size_t first = static_cast<size_t>(start / window);
+  for (size_t w = first; w < r.window_counts.size(); ++w) {
+    std::printf(" %6.0f", static_cast<double>(r.window_counts[w]) / ToSeconds(window) / 1000.0);
+  }
+  std::printf("  (k ops/s)\n");
+}
+
+void RunExperiment(const std::string& title, int replace, size_t cp) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  const ReconfigParams params = Config(replace, cp);
+
+  rsm::OmniReconfigSim omni_sim(params);
+  const ReconfigResult omni = omni_sim.Run();
+  rsm::RaftReconfigSim raft_sim(params);
+  const ReconfigResult raft = raft_sim.Run();
+
+  PrintSeries("Omni-Paxos", omni, params.metrics_window, 0);
+  PrintSeries("Raft", raft, params.metrics_window, 0);
+
+  const double migrate_bytes = static_cast<double>(params.preload_entries) * 24.0;
+  std::printf("  full-log size to migrate per fresh server: ~%s\n",
+              bench::HumanBytes(migrate_bytes).c_str());
+  std::printf("  %-34s %-14s %-14s\n", "", "Omni-Paxos", "Raft");
+  std::printf("  %-34s %-14s %-14s\n", "down-time (no decided replies)",
+              bench::HumanTime(omni.downtime).c_str(), bench::HumanTime(raft.downtime).c_str());
+  std::printf("  %-34s %-14s %-14s\n", "reconfig committed after",
+              bench::HumanTime(omni.ss_decided_at - omni.reconfig_proposed_at).c_str(),
+              bench::HumanTime(raft.ss_decided_at - raft.reconfig_proposed_at).c_str());
+  std::printf("  %-34s %-14s %-14s\n", "migration completed after",
+              bench::HumanTime(omni.migration_done_at - omni.reconfig_proposed_at).c_str(),
+              bench::HumanTime(raft.migration_done_at - raft.reconfig_proposed_at).c_str());
+  std::printf("  %-34s %-14s %-14s\n", "peak old-leader egress / window",
+              bench::HumanBytes(static_cast<double>(omni.peak_window_egress_old_leader)).c_str(),
+              bench::HumanBytes(static_cast<double>(raft.peak_window_egress_old_leader)).c_str());
+  std::printf("  %-34s %-14s %-14s\n", "peak any-server egress / window",
+              bench::HumanBytes(static_cast<double>(omni.peak_window_egress_any)).c_str(),
+              bench::HumanBytes(static_cast<double>(raft.peak_window_egress_any)).c_str());
+  if (raft.peak_window_egress_old_leader > 0) {
+    std::printf("  leader-I/O reduction (Omni vs Raft): %.0f%%\n",
+                100.0 * (1.0 - static_cast<double>(omni.peak_window_egress_old_leader) /
+                                   static_cast<double>(raft.peak_window_egress_old_leader)));
+  }
+  if (omni.migration_done_at > omni.reconfig_proposed_at &&
+      raft.migration_done_at > raft.reconfig_proposed_at) {
+    std::printf("  reconfiguration-period speedup: %.1fx\n",
+                ToSeconds(raft.migration_done_at - raft.reconfig_proposed_at) /
+                    ToSeconds(omni.migration_done_at - omni.reconfig_proposed_at));
+  }
+}
+
+}  // namespace
+}  // namespace opx
+
+int main() {
+  using namespace opx;
+  bench::PrintHeader("Figure 9: reconfiguration experiments", "Fig. 9a/9b/9c + §7.3");
+  RunExperiment("Fig. 9a: replace one server, CP=5k", 1, 5'000);
+  RunExperiment("Fig. 9b: replace one server, CP=50k", 1, 50'000);
+  RunExperiment("Fig. 9c: replace a majority (3 of 5), CP=5k", 3, 5'000);
+  std::printf(
+      "\nExpected (paper): replace-one — Raft up to 90%% throughput drop for ~55 s vs\n"
+      "20%%/15 s for Omni-Paxos; with CP=50k Omni-Paxos shows no clear drop. Peak\n"
+      "leader I/O 109 MB (Raft) vs 30 MB (Omni-Paxos) per window (46%% less at the\n"
+      "leader, up to 8x shorter reconfiguration). Replace-majority hits both (c1\n"
+      "needs one migrated server), but Raft records tens of seconds of complete\n"
+      "down-time and a larger leader peak.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks of core data structures and protocol hot paths
+// (google-benchmark). Not a paper figure; used to keep the simulator and the
+// protocol inner loops fast enough for the minute-scale experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/omnipaxos/ble.h"
+#include "src/omnipaxos/sequence_paxos.h"
+#include "src/omnipaxos/storage.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace opx {
+namespace {
+
+void BM_BallotCompare(benchmark::State& state) {
+  omni::Ballot a{123, 1, 4};
+  omni::Ballot b{123, 1, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_BallotCompare);
+
+void BM_StorageAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    omni::Storage storage;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      storage.Append(omni::Entry::Command(static_cast<uint64_t>(i), 8));
+    }
+    benchmark::DoNotOptimize(storage.log_len());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StorageAppend)->Arg(1024)->Arg(65536);
+
+void BM_StorageSuffix(benchmark::State& state) {
+  omni::Storage storage;
+  for (int i = 0; i < 100'000; ++i) {
+    storage.Append(omni::Entry::Command(static_cast<uint64_t>(i), 8));
+  }
+  for (auto _ : state) {
+    auto suffix = storage.Suffix(90'000);
+    benchmark::DoNotOptimize(suffix);
+  }
+}
+BENCHMARK(BM_StorageSuffix);
+
+// One full leader-side replication round: append a batch, flush, absorb acks.
+void BM_SequencePaxosPipeline(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  omni::Storage leader_storage;
+  omni::SequencePaxosConfig cfg;
+  cfg.pid = 1;
+  cfg.peers = {2, 3};
+  omni::SequencePaxos leader(cfg, &leader_storage);
+  leader.HandleLeader(omni::Ballot{1, 0, 1});
+  // Promise from one follower completes the prepare phase.
+  omni::Promise promise;
+  promise.n = omni::Ballot{1, 0, 1};
+  leader.Handle(2, promise);
+  (void)leader.TakeOutgoing();
+
+  uint64_t cmd = 1;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      leader.Append(omni::Entry::Command(cmd++, 8));
+    }
+    auto out = leader.TakeOutgoing();
+    benchmark::DoNotOptimize(out);
+    leader.Handle(2, omni::Accepted{omni::Ballot{1, 0, 1}, leader.log_len()});
+    (void)leader.TakeOutgoing();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_SequencePaxosPipeline)->Arg(64)->Arg(1024);
+
+void BM_BleRound(benchmark::State& state) {
+  omni::BleConfig cfg;
+  cfg.pid = 1;
+  cfg.peers = {2, 3, 4, 5};
+  omni::BallotLeaderElection ble(cfg);
+  for (auto _ : state) {
+    ble.Tick();
+    for (NodeId peer = 2; peer <= 5; ++peer) {
+      ble.Handle(peer, omni::HeartbeatReply{ble.round(), omni::Ballot{0, 0, peer}, true});
+    }
+    auto out = ble.TakeOutgoing();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BleRound);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.ScheduleAfter(Micros(i), [&fired]() { ++fired; });
+    }
+    simulator.RunToCompletion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_NetworkSend(benchmark::State& state) {
+  sim::Simulator simulator;
+  sim::NetworkParams params;
+  sim::Network<int> net(&simulator, 2, params);
+  int received = 0;
+  net.SetHandler(2, [&received](NodeId, int) { ++received; });
+  for (auto _ : state) {
+    net.Send(1, 2, 42, 64);
+    simulator.RunToCompletion();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSend);
+
+}  // namespace
+}  // namespace opx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Table 1 — protocol properties and partial-connectivity progress matrix.
+//
+// Runs every protocol through the three §2 scenarios and classifies the
+// measured outcome:
+//   "yes"       stable progress (recovers quickly, then no further elections)
+//   "eventual"  makes progress but with repeated/disruptive elections
+//   "NO"        unavailable until the partition heals
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/rsm/experiments.h"
+
+namespace opx {
+namespace {
+
+using bench::FullMode;
+using rsm::PartitionConfig;
+using rsm::PartitionResult;
+using rsm::Scenario;
+
+struct Row {
+  std::string name;
+  std::string sync_phase;
+  std::string candidate_req;
+  std::string vote_gossip;
+  std::string qc_heartbeats;
+  std::string progress_req;
+  std::vector<std::string> verdicts;
+};
+
+PartitionConfig Config(Scenario s, uint64_t seed) {
+  PartitionConfig cfg;
+  cfg.scenario = s;
+  cfg.num_servers = s == Scenario::kChained ? 3 : 5;
+  cfg.partition_duration = FullMode() ? Minutes(1) : Seconds(20);
+  cfg.post_heal = Seconds(10);
+  cfg.seed = seed;
+  return cfg;
+}
+
+template <typename Node>
+std::string Classify(Scenario s) {
+  // Majority vote over seeds to absorb randomized-timer variance.
+  int stable = 0, eventual = 0, dead = 0;
+  const int reps = bench::Repetitions();
+  for (int rep = 0; rep < reps; ++rep) {
+    const PartitionConfig cfg = Config(s, 1000 + static_cast<uint64_t>(rep));
+    const PartitionResult r = rsm::RunPartition<Node>(cfg);
+    if (!r.recovered) {
+      ++dead;
+    } else if (r.leader_elevations <= 2 &&
+               r.downtime <= 12 * cfg.election_timeout) {
+      ++stable;
+    } else {
+      ++eventual;
+    }
+  }
+  if (dead * 2 > reps) {
+    return "NO";
+  }
+  if (stable >= eventual) {
+    return "yes";
+  }
+  return "eventual";
+}
+
+template <typename Node>
+std::vector<std::string> RunAll() {
+  return {Classify<Node>(Scenario::kQuorumLoss), Classify<Node>(Scenario::kConstrained),
+          Classify<Node>(Scenario::kChained)};
+}
+
+}  // namespace
+}  // namespace opx
+
+int main() {
+  using namespace opx;
+  bench::PrintHeader("Table 1: protocols vs. partial-connectivity scenarios",
+                     "Table 1 (measured verdicts; properties are by design)");
+
+  std::vector<Row> rows;
+  rows.push_back({"Multi-Paxos", "yes", "QC", "yes", "-", ">= N/2", RunAll<rsm::MultiPaxosNode>()});
+  rows.push_back({"Raft", "-", "QC+maxlog", "yes", "-", ">= N/2", RunAll<rsm::RaftNode>()});
+  rows.push_back({"Raft PV+CQ", "-", "QC+maxlog", "yes", "-", ">= N/2", RunAll<rsm::RaftPvCqNode>()});
+  rows.push_back({"VR", "yes", "QC+EQC", "yes", "-", ">= N/2", RunAll<rsm::VrNode>()});
+  rows.push_back({"Omni-Paxos", "yes", "QC", "-", "yes", ">= 1", RunAll<rsm::OmniNode>()});
+
+  std::printf("%-12s %-5s %-10s %-7s %-6s %-8s | %-12s %-12s %-10s\n", "Protocol", "Sync",
+              "Candidate", "Gossip", "QC-HB", "Progress", "Quorum-Loss", "Constrained",
+              "Chained");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  for (const Row& r : rows) {
+    std::printf("%-12s %-5s %-10s %-7s %-6s %-8s | %-12s %-12s %-10s\n", r.name.c_str(),
+                r.sync_phase.c_str(), r.candidate_req.c_str(), r.vote_gossip.c_str(),
+                r.qc_heartbeats.c_str(), r.progress_req.c_str(), r.verdicts[0].c_str(),
+                r.verdicts[1].c_str(), r.verdicts[2].c_str());
+  }
+  std::printf(
+      "\nExpected (paper): Omni-Paxos is the only protocol with stable progress in\n"
+      "all three scenarios; Raft recovers from quorum-loss (with variance), Raft\n"
+      "PV+CQ additionally handles chained; Multi-Paxos recovers only from the\n"
+      "constrained scenario and livelocks in chained; VR recovers only from chained.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// partition_drill — a narrated walk through the paper's three
+// partial-connectivity scenarios (§2, Fig. 1) on a latency-faithful simulated
+// cluster, showing how quorum-connected leader election keeps Omni-Paxos live
+// where classic protocols deadlock or livelock.
+//
+//   $ ./partition_drill
+#include <cstdio>
+
+#include "src/rsm/cluster_sim.h"
+#include "src/rsm/adapters.h"
+#include "src/rsm/scenarios.h"
+
+namespace {
+
+using namespace opx;
+
+void Report(rsm::ClusterSim<rsm::OmniNode>& sim, const char* when) {
+  std::printf("  [t=%6.2fs] %-28s leader=s%d decided=%lu ballots: ",
+              ToSeconds(sim.simulator().Now()), when, sim.CurrentLeader(),
+              sim.client().completed());
+  for (NodeId id = 1; id <= sim.num_servers(); ++id) {
+    std::printf("s%d:n=%lu,qc=%d ", id, sim.node(id).impl().ble().current_ballot().n,
+                sim.node(id).impl().ble().quorum_connected() ? 1 : 0);
+  }
+  std::printf("\n");
+}
+
+void Drill(rsm::Scenario scenario) {
+  std::printf("\n=== %s scenario ===\n", rsm::ScenarioName(scenario).c_str());
+  rsm::ClusterParams params;
+  params.num_servers = scenario == rsm::Scenario::kChained ? 3 : 5;
+  params.election_timeout = Millis(50);
+  params.concurrent_proposals = 100;
+  params.proposal_rate = 10'000;
+  params.preferred_leader = 1;
+  rsm::ClusterSim<rsm::OmniNode> sim(params);
+
+  sim.RunUntil(Seconds(2));
+  Report(sim, "after warmup");
+  const NodeId leader = sim.CurrentLeader();
+  const NodeId hub = leader % params.num_servers + 1;
+
+  rsm::LinkControl lc;
+  lc.num_servers = params.num_servers;
+  lc.set_link = [&sim](NodeId a, NodeId b, bool up) { sim.network().SetLink(a, b, up); };
+
+  switch (scenario) {
+    case rsm::Scenario::kQuorumLoss:
+      std::printf("  cutting all links except those incident to s%d (the hub);\n", hub);
+      std::printf("  leader s%d stays alive but loses quorum-connectivity\n", leader);
+      rsm::ApplyQuorumLoss(lc, hub);
+      break;
+    case rsm::Scenario::kConstrained:
+      std::printf("  early-cut s%d<->s%d so the hub's log falls behind...\n", hub, leader);
+      rsm::ApplyConstrainedEarlyCut(lc, hub, leader);
+      sim.RunUntil(sim.simulator().Now() + Millis(25));
+      std::printf("  now fully isolating leader s%d; only hub s%d remains QC\n", leader, hub);
+      rsm::ApplyConstrainedMainCut(lc, hub, leader);
+      break;
+    case rsm::Scenario::kChained: {
+      NodeId other = kNoNode;
+      for (NodeId id = 1; id <= 3; ++id) {
+        if (id != leader && id != hub) {
+          other = id;
+        }
+      }
+      std::printf("  cutting s%d<->s%d: chain is s%d - s%d - s%d\n", leader, other, leader,
+                  hub, other);
+      rsm::ApplyChained(lc, leader, hub, other);
+      break;
+    }
+  }
+
+  const Time cut = sim.simulator().Now();
+  const uint64_t decided_at_cut = sim.client().completed();
+  for (int step = 1; step <= 5; ++step) {
+    sim.RunUntil(cut + step * Millis(100));
+    Report(sim, step == 1 ? "2 timeouts after cut" : "...");
+  }
+  sim.RunUntil(cut + Seconds(5));
+  Report(sim, "5s into partition");
+  std::printf("  decided during partition so far: %lu\n",
+              sim.client().completed() - decided_at_cut);
+  std::printf("  down-time: %.0f ms (recovery within ~4 election timeouts)\n",
+              ToMillis(sim.client().LongestGap(cut, sim.simulator().Now())));
+
+  rsm::HealAll(lc);
+  sim.RunUntil(sim.simulator().Now() + Seconds(2));
+  Report(sim, "after heal");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Omni-Paxos partial-connectivity drill ==\n");
+  std::printf("(ballots shown as n; qc = quorum-connected flag from BLE heartbeats)\n");
+  Drill(rsm::Scenario::kQuorumLoss);
+  Drill(rsm::Scenario::kConstrained);
+  Drill(rsm::Scenario::kChained);
+  std::printf("\nOmni-Paxos recovered from every scenario with a single leader change.\n");
+  return 0;
+}

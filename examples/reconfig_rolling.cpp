@@ -1,0 +1,55 @@
+// reconfig_rolling — replace a server under load using the service layer's
+// parallel log migration (§6), the way an operator rolls a new machine into a
+// long-running cluster (or deploys a software upgrade, §6.1).
+//
+//   $ ./reconfig_rolling
+#include <cstdio>
+
+#include "src/rsm/omni_reconfig_sim.h"
+
+int main() {
+  using namespace opx;
+
+  std::printf("== rolling reconfiguration with parallel log migration ==\n\n");
+
+  rsm::ReconfigParams params;
+  params.initial_servers = 5;
+  params.replace_count = 1;  // {1..5} -> {1,2,3,4,6}
+  params.preload_entries = 500'000;
+  params.concurrent_proposals = 2'000;
+  params.warmup = Seconds(10);
+  params.run_after = Seconds(40);
+  params.egress_bytes_per_sec = 8e6;
+
+  std::printf("cluster c0 = {s1..s5} with a %lu-entry history (~%.0f MB); replacing s5\n",
+              params.preload_entries,
+              static_cast<double>(params.preload_entries) * 24.0 / 1e6);
+  std::printf("with fresh server s6 while a client keeps %zu proposals in flight...\n\n",
+              params.concurrent_proposals);
+
+  rsm::OmniReconfigSim sim(params);
+  const rsm::ReconfigResult r = sim.Run();
+
+  const Time t0 = r.reconfig_proposed_at;
+  std::printf("timeline (t=0 is the reconfiguration proposal):\n");
+  std::printf("  %8.2fs  stop-sign decided in c0 — configuration sealed\n",
+              ToSeconds(r.ss_decided_at - t0));
+  std::printf("  %8.2fs  s6 finished fetching the c0 segment (parallel, from all\n"
+              "            continuing servers via the service layer)\n",
+              ToSeconds(r.migration_done_at - t0));
+  std::printf("  %8.2fs  first command decided in c1\n",
+              ToSeconds(r.new_config_first_decide - t0));
+  std::printf("\nclient-observed down-time: %.0f ms\n", ToMillis(r.downtime));
+  std::printf("peak old-leader egress per 5s window: %.1f MB (migration load was\n"
+              "shared across all donors, not funneled through the leader)\n",
+              static_cast<double>(r.peak_window_egress_old_leader) / 1e6);
+
+  std::printf("\nthroughput per 5s window (k ops/s):");
+  for (uint64_t count : r.window_counts) {
+    std::printf(" %.1f", static_cast<double>(count) / 5.0 / 1000.0);
+  }
+  std::printf("\n");
+  std::printf("\nthe dip around the reconfiguration is brief: continuing servers form a\n"
+              "quorum in c1 immediately, and s6 catches up in the background.\n");
+  return 0;
+}

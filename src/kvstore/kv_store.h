@@ -1,0 +1,137 @@
+// A small deterministic key-value state machine replicated by the examples
+// and used in tests to demonstrate end-to-end RSM semantics: every server
+// applies the decided log in order and, because of SC1-SC3, all replicas
+// converge to identical state.
+#ifndef SRC_KVSTORE_KV_STORE_H_
+#define SRC_KVSTORE_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace opx::kv {
+
+enum class OpType : uint8_t {
+  kPut = 0,
+  kDelete = 1,
+  kAdd = 2,       // arithmetic add to a numeric value (bank-style transfer leg)
+  kCompareSwap = 3,
+};
+
+struct Command {
+  OpType type = OpType::kPut;
+  std::string key;
+  int64_t value = 0;
+  int64_t expected = 0;  // kCompareSwap only
+
+  // Encodes into/out of the 64-bit command id space used by the replication
+  // layer is not possible in general, so examples keep a side table; see
+  // CommandLog below.
+};
+
+// Applies commands in log order; exposes a digest for replica comparison.
+class KvStore {
+ public:
+  // Returns true if the command mutated state (CAS may fail).
+  bool Apply(const Command& cmd) {
+    switch (cmd.type) {
+      case OpType::kPut:
+        data_[cmd.key] = cmd.value;
+        ++version_;
+        return true;
+      case OpType::kDelete: {
+        const bool erased = data_.erase(cmd.key) > 0;
+        if (erased) {
+          ++version_;
+        }
+        return erased;
+      }
+      case OpType::kAdd:
+        data_[cmd.key] += cmd.value;
+        ++version_;
+        return true;
+      case OpType::kCompareSwap: {
+        auto it = data_.find(cmd.key);
+        const int64_t current = it == data_.end() ? 0 : it->second;
+        if (current != cmd.expected) {
+          return false;
+        }
+        data_[cmd.key] = cmd.value;
+        ++version_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<int64_t> Get(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  size_t size() const { return data_.size(); }
+  uint64_t version() const { return version_; }
+
+  // Order-independent-of-insertion digest (map iterates sorted): replicas
+  // that applied the same decided prefix produce identical digests.
+  uint64_t Digest() const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    for (const auto& [key, value] : data_) {
+      for (char c : key) {
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+      }
+      mix(static_cast<uint64_t>(value));
+    }
+    mix(version_);
+    return h;
+  }
+
+  int64_t SumAll() const {
+    int64_t sum = 0;
+    for (const auto& [key, value] : data_) {
+      sum += value;
+    }
+    return sum;
+  }
+
+ private:
+  std::map<std::string, int64_t> data_;
+  uint64_t version_ = 0;
+};
+
+// Examples replicate 64-bit command ids; CommandLog maps ids to the actual
+// commands (the "client library" side table a real system would serialize
+// into the entry payload).
+class CommandLog {
+ public:
+  uint64_t Register(Command cmd) {
+    commands_.push_back(std::move(cmd));
+    return commands_.size();  // ids start at 1; 0 is reserved for no-ops
+  }
+
+  const Command& Lookup(uint64_t cmd_id) const {
+    OPX_CHECK_GE(cmd_id, 1u);
+    OPX_CHECK_LE(cmd_id, commands_.size());
+    return commands_[cmd_id - 1];
+  }
+
+  size_t size() const { return commands_.size(); }
+
+ private:
+  std::vector<Command> commands_;
+};
+
+}  // namespace opx::kv
+
+#endif  // SRC_KVSTORE_KV_STORE_H_

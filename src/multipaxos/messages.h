@@ -1,0 +1,120 @@
+// Multi-Paxos wire messages ("Paxos made moderately complex" / frankenpaxos
+// style): explicit Phase 1/2, per-slot acceptance, NACKs that gossip the
+// highest promised ballot, and failure-detector pings.
+#ifndef SRC_MULTIPAXOS_MESSAGES_H_
+#define SRC_MULTIPAXOS_MESSAGES_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/omnipaxos/ballot.h"
+#include "src/omnipaxos/entry.h"
+#include "src/util/types.h"
+
+namespace opx::mpx {
+
+using Ballot = omni::Ballot;
+using Entry = omni::Entry;
+
+// Value accepted at one slot, with the ballot it was accepted in.
+struct SlotValue {
+  uint64_t slot = 0;
+  Ballot vballot;
+  Entry value;
+};
+
+// Phase 1a: a proposer with ballot b asks for promises; `decided` is the
+// proposer's chosen watermark so acceptors only ship newer slots back.
+struct P1a {
+  Ballot b;
+  uint64_t decided = 0;
+};
+
+// Phase 1b: promise plus every accepted value at slots >= the requested
+// watermark, so the new leader can adopt the highest-ballot value per slot.
+struct P1b {
+  Ballot b;
+  std::vector<SlotValue> accepted;
+  uint64_t decided = 0;
+};
+
+// Phase 2a: ballot-b accept requests for consecutive slots starting at
+// first_slot, with the leader's chosen watermark piggybacked.
+struct P2a {
+  Ballot b;
+  uint64_t first_slot = 0;
+  std::vector<Entry> values;
+  uint64_t commit = 0;
+};
+
+// Phase 2b: the acceptor has accepted every slot < up_to in ballot b.
+struct P2b {
+  Ballot b;
+  uint64_t up_to = 0;
+};
+
+// Rejection of a lower-ballot P1a/P2a, carrying the higher promised ballot.
+// This is the leader-ballot gossip that Table 1 flags — and the mechanism of
+// the chained-scenario livelock (§2c).
+struct Nack {
+  Ballot promised;
+};
+
+// Leader → replicas: the chosen watermark advanced.
+struct Commit {
+  Ballot b;
+  uint64_t commit = 0;
+};
+
+// Replica → leader: re-send chosen values from `from_slot` (gap repair after
+// a disconnect).
+struct LearnReq {
+  uint64_t from_slot = 0;
+};
+
+struct LearnResp {
+  uint64_t first_slot = 0;
+  std::vector<Entry> values;
+  uint64_t commit = 0;
+};
+
+// Failure-detector probe: follower → believed leader, answered by Pong.
+struct Ping {};
+struct Pong {};
+
+using MpxMessage =
+    std::variant<P1a, P1b, P2a, P2b, Nack, Commit, LearnReq, LearnResp, Ping, Pong>;
+
+struct MpxOut {
+  NodeId to = kNoNode;
+  MpxMessage body;
+};
+
+inline uint64_t WireBytes(const MpxMessage& m) {
+  constexpr uint64_t kHeader = 24;
+  return std::visit(
+      [&](const auto& msg) -> uint64_t {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, P1b>) {
+          uint64_t bytes = kHeader + 8;
+          for (const SlotValue& sv : msg.accepted) {
+            bytes += 24 + omni::EntryWireBytes(sv.value);
+          }
+          return bytes;
+        } else if constexpr (std::is_same_v<T, P2a>) {
+          return kHeader + 16 + omni::EntriesWireBytes(msg.values);
+        } else if constexpr (std::is_same_v<T, LearnResp>) {
+          return kHeader + 16 + omni::EntriesWireBytes(msg.values);
+        } else if constexpr (std::is_same_v<T, Ping> || std::is_same_v<T, Pong>) {
+          return 8;
+        } else {
+          return kHeader;
+        }
+      },
+      m);
+}
+
+}  // namespace opx::mpx
+
+#endif  // SRC_MULTIPAXOS_MESSAGES_H_

@@ -1,0 +1,499 @@
+#include "src/multipaxos/multipaxos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace opx::mpx {
+
+MultiPaxos::MultiPaxos(MpxConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  OPX_CHECK_NE(config_.pid, kNoNode);
+  ballot_ = Ballot{0, 0, config_.pid};
+  suspicion_budget_ =
+      config_.ping_timeout_ticks +
+      static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(config_.ping_timeout_ticks)));
+  if (config_.fast_first_takeover) {
+    suspicion_budget_ = 1;
+  }
+}
+
+NodeId MultiPaxos::leader_hint() const {
+  if (IsLeader()) {
+    return config_.pid;
+  }
+  return active_leader_.pid;  // kNoNode until a leader has actively led
+}
+
+// ---------------------------------------------------------------------------
+// Failure detector (drives takeovers; §2's "equivalent of a failure
+// detector" leader election).
+// ---------------------------------------------------------------------------
+
+void MultiPaxos::Tick() {
+  if (role_ == MpxRole::kLeader) {
+    // Leader heartbeat: the commit watermark doubles as the liveness signal
+    // followers' failure detectors listen for.
+    for (NodeId peer : config_.peers) {
+      Emit(peer, Commit{ballot_, decided_});
+    }
+    return;
+  }
+  if (role_ == MpxRole::kPhase1) {
+    // A stalled Phase 1 (competing candidates or dropped messages) retries
+    // with a higher ballot after a timeout, as frankenpaxos proposers do.
+    ++phase1_elapsed_;
+    if (phase1_elapsed_ >= suspicion_budget_) {
+      SuspectAndTakeOver();
+      return;
+    }
+    for (NodeId peer : config_.peers) {
+      Emit(peer, P1a{ballot_, decided_});
+    }
+    return;
+  }
+  const NodeId target = leader_hint();
+  if (target == config_.pid) {
+    return;
+  }
+  if (pong_seen_) {
+    missed_pings_ = 0;
+  } else {
+    ++missed_pings_;
+  }
+  pong_seen_ = false;
+  if (missed_pings_ >= suspicion_budget_) {
+    // Either the leader went silent, or no leader has emerged for a full
+    // budget (startup / total loss): attempt a takeover.
+    SuspectAndTakeOver();
+    return;
+  }
+  if (target != kNoNode) {
+    Emit(target, Ping{});
+  }
+}
+
+void MultiPaxos::SuspectAndTakeOver() {
+  missed_pings_ = 0;
+  phase1_elapsed_ = 0;
+  suspicion_budget_ =
+      config_.ping_timeout_ticks +
+      static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(config_.ping_timeout_ticks)));
+  const uint64_t base = std::max({max_seen_.n, promised_.n, ballot_.n});
+  ballot_ = Ballot{base + 1, 0, config_.pid};
+  StartPhase1();
+}
+
+void MultiPaxos::StartPhase1() {
+  role_ = MpxRole::kPhase1;
+  p1_promises_.clear();
+  if (ballot_ > promised_) {
+    promised_ = ballot_;
+  }
+  // Self-promise with our own accepted suffix.
+  P1b self;
+  self.b = ballot_;
+  self.decided = decided_;
+  for (uint64_t slot = decided_; slot < log_.size(); ++slot) {
+    self.accepted.push_back(SlotValue{slot, acc_ballots_[slot], log_[slot]});
+  }
+  p1_promises_[config_.pid] = std::move(self);
+  for (NodeId peer : config_.peers) {
+    Emit(peer, P1a{ballot_, decided_});
+  }
+  if (p1_promises_.size() >= Majority()) {
+    CompletePhase1();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1.
+// ---------------------------------------------------------------------------
+
+void MultiPaxos::HandleP1a(NodeId from, const P1a& m) {
+  max_seen_ = std::max(max_seen_, m.b);
+  if (m.b < promised_) {
+    Emit(from, Nack{promised_});
+    return;
+  }
+  promised_ = m.b;
+  if (role_ != MpxRole::kFollower && m.b > ballot_) {
+    role_ = MpxRole::kFollower;  // a higher proposer took over
+    if (m.b > active_leader_) {
+      active_leader_ = m.b;  // provisional: it has not led anything yet
+      leader_confirmed_ = false;
+      missed_pings_ = 0;
+      pong_seen_ = false;
+    }
+  }
+  // A promise alone is NOT leadership evidence for followers; their failure
+  // detector keeps monitoring the last *active* leader.
+  P1b reply;
+  reply.b = m.b;
+  reply.decided = decided_;
+  const uint64_t from_slot = std::min<uint64_t>(m.decided, log_.size());
+  for (uint64_t slot = from_slot; slot < log_.size(); ++slot) {
+    reply.accepted.push_back(SlotValue{slot, acc_ballots_[slot], log_[slot]});
+  }
+  Emit(from, std::move(reply));
+}
+
+void MultiPaxos::HandleP1b(NodeId from, P1b m) {
+  max_seen_ = std::max(max_seen_, m.b);
+  if (role_ != MpxRole::kPhase1 || m.b != ballot_) {
+    return;
+  }
+  p1_promises_[from] = std::move(m);
+  if (p1_promises_.size() >= Majority()) {
+    CompletePhase1();
+  }
+}
+
+void MultiPaxos::CompletePhase1() {
+  // Per-slot adoption: keep the highest-ballot accepted value for every slot
+  // at or above our chosen watermark; fill holes with no-ops.
+  uint64_t max_decided = decided_;
+  uint64_t max_slot_end = decided_;
+  std::map<uint64_t, SlotValue> best;
+  for (const auto& [pid, promise] : p1_promises_) {
+    max_decided = std::max(max_decided, promise.decided);
+    for (const SlotValue& sv : promise.accepted) {
+      if (sv.slot < decided_) {
+        continue;
+      }
+      max_slot_end = std::max(max_slot_end, sv.slot + 1);
+      auto [it, inserted] = best.emplace(sv.slot, sv);
+      if (!inserted && sv.vballot > it->second.vballot) {
+        it->second = sv;
+      }
+    }
+  }
+  log_.resize(decided_);
+  acc_ballots_.resize(decided_);
+  for (uint64_t slot = decided_; slot < max_slot_end; ++slot) {
+    auto it = best.find(slot);
+    log_.push_back(it != best.end() ? it->second.value : Entry::Command(0, 0));
+    acc_ballots_.push_back(ballot_);
+  }
+  decided_ = std::min<uint64_t>(max_decided, log_.size());
+
+  role_ = MpxRole::kLeader;
+  active_leader_ = ballot_;
+  leader_confirmed_ = true;
+  ++leader_changes_;
+  acked_.clear();
+  sent_.clear();
+  for (NodeId peer : config_.peers) {
+    acked_[peer] = 0;
+    sent_[peer] = decided_;
+  }
+  // Re-propose every adopted slot in our ballot, then new proposals.
+  FlushProposals();
+  for (auto& [peer, next] : sent_) {
+    if (next < log_.size()) {
+      P2a p2a;
+      p2a.b = ballot_;
+      p2a.first_slot = next;
+      p2a.values.assign(log_.begin() + static_cast<ptrdiff_t>(next), log_.end());
+      p2a.commit = decided_;
+      next = log_.size();
+      Emit(peer, std::move(p2a));
+    }
+  }
+  AdvanceCommit();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2.
+// ---------------------------------------------------------------------------
+
+uint64_t MultiPaxos::AckWatermark(const Ballot& b) const {
+  uint64_t w = std::min<uint64_t>(decided_, log_.size());
+  while (w < log_.size() && acc_ballots_[w] == b) {
+    ++w;
+  }
+  return w;
+}
+
+void MultiPaxos::HandleP2a(NodeId from, P2a m) {
+  max_seen_ = std::max(max_seen_, m.b);
+  if (m.b < promised_) {
+    Emit(from, Nack{promised_});
+    return;
+  }
+  promised_ = m.b;
+  if (role_ != MpxRole::kFollower && m.b > ballot_) {
+    role_ = MpxRole::kFollower;
+  }
+  if (m.b >= active_leader_) {
+    active_leader_ = m.b;
+    leader_confirmed_ = true;  // live Phase 2 traffic
+  }
+  missed_pings_ = 0;
+  pong_seen_ = true;
+  if (m.first_slot > log_.size()) {
+    // Gap: accepts were lost while a link was down. Re-fetch from the chosen
+    // watermark — everything above it is suspect (it may be an unchosen tail
+    // from a previous ballot that the new leader never re-sent).
+    Emit(from, LearnReq{decided_});
+    return;
+  }
+  for (size_t i = 0; i < m.values.size(); ++i) {
+    const uint64_t slot = m.first_slot + i;
+    if (slot < log_.size()) {
+      if (slot >= decided_) {
+        log_[slot] = m.values[i];
+        acc_ballots_[slot] = m.b;
+      }
+    } else {
+      log_.push_back(m.values[i]);
+      acc_ballots_.push_back(m.b);
+    }
+  }
+  // Advance the chosen watermark only over slots we verifiably hold in the
+  // current ballot (or already chose); ask for a repair if the leader has
+  // chosen beyond what we hold.
+  const uint64_t ack = AckWatermark(m.b);
+  if (m.commit > decided_) {
+    decided_ = std::min<uint64_t>(m.commit, ack);
+  }
+  if (m.commit > ack) {
+    Emit(from, LearnReq{decided_});
+  }
+  Emit(from, P2b{m.b, ack});
+}
+
+void MultiPaxos::HandleP2b(NodeId from, const P2b& m) {
+  if (role_ != MpxRole::kLeader || m.b != ballot_) {
+    return;
+  }
+  uint64_t& acked = acked_[from];
+  acked = std::max(acked, m.up_to);
+  AdvanceCommit();
+}
+
+void MultiPaxos::AdvanceCommit() {
+  if (role_ != MpxRole::kLeader) {
+    return;
+  }
+  std::vector<uint64_t> marks;
+  marks.push_back(log_.size());  // self
+  for (const auto& [pid, acked] : acked_) {
+    marks.push_back(acked);
+  }
+  if (marks.size() < Majority()) {
+    return;
+  }
+  std::sort(marks.begin(), marks.end(), std::greater<uint64_t>());
+  const uint64_t chosen = marks[Majority() - 1];
+  if (chosen > decided_) {
+    decided_ = chosen;
+    commit_dirty_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NACKs, commits, gap repair, liveness probes.
+// ---------------------------------------------------------------------------
+
+void MultiPaxos::HandleNack(NodeId from, const Nack& m) {
+  (void)from;
+  max_seen_ = std::max(max_seen_, m.promised);
+  if (m.promised > promised_) {
+    promised_ = m.promised;
+  }
+  if (role_ == MpxRole::kLeader && m.promised > ballot_) {
+    // An active leader deposed by gossip "observes that the leadership has
+    // changed" (§2c): it follows the gossiped ballot's owner, and the failure
+    // detector re-bumps if that server is unreachable — the chained-scenario
+    // livelock loop.
+    role_ = MpxRole::kFollower;
+    if (m.promised > active_leader_) {
+      active_leader_ = m.promised;  // provisional until it actually leads
+      leader_confirmed_ = false;
+    }
+    missed_pings_ = 0;
+    pong_seen_ = false;
+  }
+  // A Phase-1 candidate just remembers the higher ballot; its stall timeout
+  // re-bumps above max_seen_.
+}
+
+void MultiPaxos::HandleCommit(NodeId from, const Commit& m) {
+  max_seen_ = std::max(max_seen_, m.b);
+  if (m.b < promised_) {
+    // A stale leader heartbeating: gossip the higher ballot back (the §2c
+    // livelock mechanism).
+    Emit(from, Nack{promised_});
+    return;
+  }
+  promised_ = m.b;
+  if (role_ != MpxRole::kFollower && m.b > ballot_) {
+    role_ = MpxRole::kFollower;
+  }
+  if (m.b >= active_leader_) {
+    active_leader_ = m.b;
+    leader_confirmed_ = true;  // live Commit traffic
+  }
+  pong_seen_ = true;
+  const uint64_t commit_ack = AckWatermark(m.b);
+  if (m.commit > decided_) {
+    decided_ = std::min<uint64_t>(m.commit, commit_ack);
+  }
+  if (m.commit > commit_ack) {
+    Emit(from, LearnReq{decided_});
+  }
+}
+
+void MultiPaxos::HandleLearnReq(NodeId from, const LearnReq& m) {
+  if (role_ != MpxRole::kLeader) {
+    return;
+  }
+  // Only the chosen prefix may be shipped: chosen values are immutable, so
+  // this is safe even if we are secretly deposed. Shipping the unchosen tail
+  // would let a stale leader's values masquerade as current-ballot accepts
+  // and poison a later Phase-1 adoption.
+  LearnResp resp;
+  resp.first_slot = std::min<uint64_t>(m.from_slot, decided_);
+  resp.values.assign(log_.begin() + static_cast<ptrdiff_t>(resp.first_slot),
+                     log_.begin() + static_cast<ptrdiff_t>(decided_));
+  resp.commit = decided_;
+  Emit(from, std::move(resp));
+}
+
+void MultiPaxos::HandleLearnResp(NodeId from, LearnResp m) {
+  (void)from;
+  if (role_ == MpxRole::kLeader) {
+    return;
+  }
+  if (m.first_slot > log_.size()) {
+    return;  // still a gap before the learned range; retry via LearnReq later
+  }
+  // The learned range is chosen (≤ the donor's commit watermark); it may
+  // overwrite any unchosen local tail. The recorded accept ballot is
+  // irrelevant for slots below the decided watermark (Phase 1 never reports
+  // them), so the current promise is fine.
+  for (size_t i = 0; i < m.values.size(); ++i) {
+    const uint64_t slot = m.first_slot + i;
+    if (slot < log_.size()) {
+      if (slot >= decided_) {
+        log_[slot] = m.values[i];
+        acc_ballots_[slot] = promised_;
+      }
+    } else {
+      log_.push_back(m.values[i]);
+      acc_ballots_.push_back(promised_);
+    }
+  }
+  const uint64_t learned_end = m.first_slot + m.values.size();
+  const uint64_t new_decided = std::min<uint64_t>(m.commit, learned_end);
+  if (new_decided > decided_) {
+    decided_ = std::min<uint64_t>(new_decided, log_.size());
+  }
+}
+
+void MultiPaxos::Reconnected(NodeId peer) {
+  if (role_ == MpxRole::kLeader) {
+    // Re-send everything the peer may have missed.
+    auto it = sent_.find(peer);
+    if (it != sent_.end() && decided_ < it->second) {
+      it->second = decided_;
+    }
+    return;
+  }
+  if (peer == leader_hint()) {
+    Emit(peer, LearnReq{decided_});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposals and output.
+// ---------------------------------------------------------------------------
+
+bool MultiPaxos::Append(Entry entry) {
+  if (role_ != MpxRole::kLeader) {
+    return false;
+  }
+  proposal_queue_.push_back(std::move(entry));
+  return true;
+}
+
+void MultiPaxos::FlushProposals() {
+  if (role_ != MpxRole::kLeader) {
+    proposal_queue_.clear();
+    return;
+  }
+  size_t budget = config_.batch_limit == 0 ? proposal_queue_.size() : config_.batch_limit;
+  size_t taken = 0;
+  while (taken < proposal_queue_.size() && budget > 0) {
+    log_.push_back(std::move(proposal_queue_[taken]));
+    acc_ballots_.push_back(ballot_);
+    ++taken;
+    --budget;
+  }
+  proposal_queue_.erase(proposal_queue_.begin(),
+                        proposal_queue_.begin() + static_cast<ptrdiff_t>(taken));
+  if (taken > 0 && ClusterSize() == 1) {
+    AdvanceCommit();
+  }
+}
+
+std::vector<MpxOut> MultiPaxos::TakeOutgoing() {
+  FlushProposals();
+  if (role_ == MpxRole::kLeader) {
+    for (auto& [peer, next] : sent_) {
+      if (next < log_.size()) {
+        P2a p2a;
+        p2a.b = ballot_;
+        p2a.first_slot = next;
+        p2a.values.assign(log_.begin() + static_cast<ptrdiff_t>(next), log_.end());
+        p2a.commit = decided_;
+        next = log_.size();
+        Emit(peer, std::move(p2a));
+      } else if (commit_dirty_) {
+        Emit(peer, Commit{ballot_, decided_});
+      }
+    }
+    commit_dirty_ = false;
+  }
+  return std::exchange(pending_out_, {});
+}
+
+void MultiPaxos::Emit(NodeId to, MpxMessage msg) {
+  pending_out_.push_back(MpxOut{to, std::move(msg)});
+}
+
+void MultiPaxos::Handle(NodeId from, MpxMessage msg) {
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, P1a>) {
+          HandleP1a(from, m);
+        } else if constexpr (std::is_same_v<T, P1b>) {
+          HandleP1b(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, P2a>) {
+          HandleP2a(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, P2b>) {
+          HandleP2b(from, m);
+        } else if constexpr (std::is_same_v<T, Nack>) {
+          HandleNack(from, m);
+        } else if constexpr (std::is_same_v<T, Commit>) {
+          HandleCommit(from, m);
+        } else if constexpr (std::is_same_v<T, LearnReq>) {
+          HandleLearnReq(from, m);
+        } else if constexpr (std::is_same_v<T, LearnResp>) {
+          HandleLearnResp(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, Ping>) {
+          Emit(from, Pong{});
+        } else if constexpr (std::is_same_v<T, Pong>) {
+          // Process aliveness satisfies the detector only for a confirmed
+          // leader; a provisional one must show actual leadership traffic.
+          if (from == leader_hint() && leader_confirmed_) {
+            pong_seen_ = true;
+          }
+        }
+      },
+      std::move(msg));
+}
+
+}  // namespace opx::mpx

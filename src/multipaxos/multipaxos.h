@@ -1,0 +1,142 @@
+// Multi-Paxos baseline (Lamport's Paxos generalized to a log; structured after
+// "Paxos made moderately complex" [37] and the frankenpaxos implementation the
+// paper benchmarks).
+//
+// Every server colocates proposer, acceptor, and replica roles. Leadership is
+// driven by a failure detector: a follower pings the server it believes leads
+// (the pid of the highest ballot it promised); when pings go unanswered for
+// the election timeout it increments its ballot and runs Phase 1. Lower-ballot
+// Phase 1a/2a messages are NACKed with the higher promised ballot — the
+// leader-gossip behaviour behind the chained-scenario livelock (§2c) — and in
+// the quorum-loss scenario the only QC server keeps hearing from a live (but
+// useless) leader and never takes over, deadlocking the cluster (§7.2).
+//
+// Within one ballot, accepts are issued in slot order over FIFO links, so an
+// acceptor's accepted range per ballot is contiguous and Phase 2b acks carry a
+// single watermark (see DESIGN.md; §9 of the paper notes parallel-per-slot vs
+// pipelined decisions are performance-equivalent).
+#ifndef SRC_MULTIPAXOS_MULTIPAXOS_H_
+#define SRC_MULTIPAXOS_MULTIPAXOS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/multipaxos/messages.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace opx::mpx {
+
+struct MpxConfig {
+  NodeId pid = kNoNode;
+  std::vector<NodeId> peers;
+  // Missed-ping budget before suspecting the leader: the failure-detector
+  // timeout in ticks. Randomized by up to +ping_timeout_ticks per suspicion.
+  int ping_timeout_ticks = 3;
+  size_t batch_limit = 0;
+  uint64_t seed = 1;
+  // Suspect the (non-existent) initial leader after a single tick — pins the
+  // first leader to this server in benchmarks.
+  bool fast_first_takeover = false;
+};
+
+enum class MpxRole { kFollower, kPhase1, kLeader };
+
+class MultiPaxos {
+ public:
+  explicit MultiPaxos(MpxConfig config);
+
+  MultiPaxos(const MultiPaxos&) = delete;
+  MultiPaxos& operator=(const MultiPaxos&) = delete;
+
+  void Tick();  // one heartbeat/FD interval
+  void Handle(NodeId from, MpxMessage msg);
+  void Reconnected(NodeId peer);
+
+  bool Append(Entry entry);  // accepted only while leader
+  std::vector<MpxOut> TakeOutgoing();
+
+  NodeId pid() const { return config_.pid; }
+  MpxRole role() const { return role_; }
+  bool IsLeader() const { return role_ == MpxRole::kLeader; }
+  const Ballot& ballot() const { return ballot_; }
+  const Ballot& promised() const { return promised_; }
+  NodeId leader_hint() const;
+  uint64_t decided_idx() const { return decided_; }
+  uint64_t log_len() const { return log_.size(); }
+  const std::vector<Entry>& log() const { return log_; }
+  uint64_t leader_changes() const { return leader_changes_; }
+
+ private:
+  size_t ClusterSize() const { return config_.peers.size() + 1; }
+  size_t Majority() const { return ClusterSize() / 2 + 1; }
+
+  // Largest W such that every slot < W is either chosen (below the decided
+  // watermark) or accepted in ballot `b`. This is the only prefix an acceptor
+  // may acknowledge: acknowledging stale-ballot values would let the leader
+  // commit a divergent log.
+  uint64_t AckWatermark(const Ballot& b) const;
+
+  void SuspectAndTakeOver();
+  void StartPhase1();
+  void CompletePhase1();
+  void FlushProposals();
+  void AdvanceCommit();
+  void Emit(NodeId to, MpxMessage msg);
+
+  void HandleP1a(NodeId from, const P1a& m);
+  void HandleP1b(NodeId from, P1b m);
+  void HandleP2a(NodeId from, P2a m);
+  void HandleP2b(NodeId from, const P2b& m);
+  void HandleNack(NodeId from, const Nack& m);
+  void HandleCommit(NodeId from, const Commit& m);
+  void HandleLearnReq(NodeId from, const LearnReq& m);
+  void HandleLearnResp(NodeId from, LearnResp m);
+
+  MpxConfig config_;
+  Rng rng_;
+
+  // Acceptor/replica state. log_ holds accepted values; acc_ballots_[i] is
+  // the ballot slot i was accepted in; decided_ is the chosen watermark.
+  Ballot promised_;
+  std::vector<Entry> log_;
+  std::vector<Ballot> acc_ballots_;
+  uint64_t decided_ = 0;
+
+  // Proposer state.
+  MpxRole role_ = MpxRole::kFollower;
+  Ballot ballot_;            // own ballot (used when leading / taking over)
+  Ballot max_seen_;          // highest ballot observed anywhere
+  // Ballot of the believed leader, with a confidence grade:
+  //  * confirmed (evidence: its Phase 2 / Commit traffic, or we completed
+  //    Phase 1 ourselves) — monitored by process-aliveness pings; a live but
+  //    deposed leader therefore keeps the quorum-loss scenario deadlocked,
+  //    exactly as §7.2 reports;
+  //  * provisional (evidence: only a NACK gossiping its ballot) — must
+  //    demonstrate leadership (Commit/P2a) within the timeout or be
+  //    suspected; this both drives the chained-scenario livelock (the gossiped
+  //    leader's commits never reach us across the cut link) and lets the QC
+  //    server take over in the constrained-election scenario.
+  Ballot active_leader_;
+  bool leader_confirmed_ = false;
+  std::map<NodeId, P1b> p1_promises_;
+  std::map<NodeId, uint64_t> acked_;  // per-acceptor contiguous accept watermark
+  std::map<NodeId, uint64_t> sent_;   // next slot to send per acceptor
+  bool commit_dirty_ = false;
+
+  // Failure detector.
+  int missed_pings_ = 0;
+  int phase1_elapsed_ = 0;  // stall counter while soliciting promises
+  int suspicion_budget_ = 0;
+  bool pong_seen_ = false;
+
+  std::vector<Entry> proposal_queue_;
+  uint64_t leader_changes_ = 0;
+  std::vector<MpxOut> pending_out_;
+};
+
+}  // namespace opx::mpx
+
+#endif  // SRC_MULTIPAXOS_MULTIPAXOS_H_

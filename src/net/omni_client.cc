@@ -1,0 +1,282 @@
+#include "src/net/omni_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace opx::net {
+namespace {
+
+Time MonotonicNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+OmniClient::OmniClient(std::map<NodeId, Endpoint> servers) : servers_(std::move(servers)) {}
+
+OmniClient::~OmniClient() { Disconnect(); }
+
+void OmniClient::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  connected_to_ = kNoNode;
+  read_buf_.clear();
+}
+
+bool OmniClient::ConnectTo(NodeId id) {
+  Disconnect();
+  auto it = servers_.find(id);
+  if (it == servers_.end()) {
+    return false;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second.port);
+  if (inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return false;
+  }
+  fd_ = fd;
+  connected_to_ = id;
+  // Client hello.
+  std::vector<uint8_t> hello{kHelloClient};
+  return SendFrame(hello);
+}
+
+bool OmniClient::Connect(Time deadline) {
+  const Time until = MonotonicNow() + deadline;
+  while (MonotonicNow() < until) {
+    for (const auto& [id, endpoint] : servers_) {
+      if (ConnectTo(id)) {
+        return true;
+      }
+    }
+    usleep(50'000);
+  }
+  return false;
+}
+
+bool OmniClient::SendFrame(const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::vector<uint8_t> wire;
+  PutU32(&wire, static_cast<uint32_t>(payload.size()));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
+    if (n <= 0) {
+      Disconnect();
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool OmniClient::ReadFrame(std::vector<uint8_t>* frame, Time deadline) {
+  const Time until = MonotonicNow() + deadline;
+  for (;;) {
+    // Complete frame buffered?
+    if (read_buf_.size() >= 4) {
+      const uint32_t len = GetU32(read_buf_.data());
+      if (read_buf_.size() >= 4 + len) {
+        frame->assign(read_buf_.begin() + 4, read_buf_.begin() + 4 + len);
+        read_buf_.erase(read_buf_.begin(), read_buf_.begin() + 4 + len);
+        return true;
+      }
+    }
+    const Time remaining = until - MonotonicNow();
+    if (remaining <= 0 || fd_ < 0) {
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = poll(&pfd, 1, static_cast<int>(remaining / 1'000'000) + 1);
+    if (rc <= 0) {
+      continue;
+    }
+    uint8_t chunk[65536];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      Disconnect();
+      return false;
+    }
+    read_buf_.insert(read_buf_.end(), chunk, chunk + n);
+  }
+}
+
+void OmniClient::HandleFrame(const std::vector<uint8_t>& frame, Status* status_out) {
+  if (frame.empty()) {
+    return;
+  }
+  switch (frame[0]) {
+    case 0x02: {  // decided batch
+      if (frame.size() < 5) {
+        return;
+      }
+      const uint32_t count = GetU32(frame.data() + 1);
+      for (uint32_t i = 0; i < count && 5 + 8 * (i + 1) <= frame.size(); ++i) {
+        decided_.insert(GetU64(frame.data() + 5 + 8 * i));
+      }
+      break;
+    }
+    case 0x04: {  // status
+      if (frame.size() >= 1 + 4 + 8 + 8 + 1 && status_out != nullptr) {
+        status_out->leader = static_cast<NodeId>(GetU32(frame.data() + 1));
+        status_out->decided = GetU64(frame.data() + 5);
+        status_out->log_len = GetU64(frame.data() + 13);
+        status_out->is_leader = frame[21] != 0;
+      }
+      break;
+    }
+    case 0x05: {  // redirect
+      if (frame.size() >= 5) {
+        redirect_hint_ = static_cast<NodeId>(GetU32(frame.data() + 1));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool OmniClient::Append(uint64_t cmd_id, uint32_t payload_bytes) {
+  if (fd_ < 0 && !Connect()) {
+    return false;
+  }
+  std::vector<uint8_t> req;
+  req.push_back(0x01);
+  PutU64(&req, cmd_id);
+  PutU32(&req, payload_bytes);
+  return SendFrame(req);
+}
+
+bool OmniClient::WaitDecided(uint64_t cmd_id, Time deadline) {
+  const Time until = MonotonicNow() + deadline;
+  while (decided_.count(cmd_id) == 0) {
+    const Time remaining = until - MonotonicNow();
+    if (remaining <= 0) {
+      return false;
+    }
+    std::vector<uint8_t> frame;
+    if (!ReadFrame(&frame, std::min<Time>(remaining, Millis(200)))) {
+      if (fd_ < 0 && !Connect(remaining)) {
+        return false;
+      }
+      continue;
+    }
+    HandleFrame(frame, nullptr);
+  }
+  return true;
+}
+
+bool OmniClient::AppendAndWait(uint64_t cmd_id, uint32_t payload_bytes, Time deadline) {
+  const Time until = MonotonicNow() + deadline;
+  while (MonotonicNow() < until) {
+    redirect_hint_ = kNoNode;
+    if (!Append(cmd_id, payload_bytes)) {
+      continue;
+    }
+    // Wait a slice for either the decided id or a redirect.
+    const Time slice = std::min<Time>(until - MonotonicNow(), Millis(300));
+    const Time slice_end = MonotonicNow() + slice;
+    while (MonotonicNow() < slice_end && decided_.count(cmd_id) == 0 &&
+           redirect_hint_ == kNoNode) {
+      std::vector<uint8_t> frame;
+      if (ReadFrame(&frame, Millis(50))) {
+        HandleFrame(frame, nullptr);
+      } else if (fd_ < 0) {
+        break;
+      }
+    }
+    if (decided_.count(cmd_id) > 0) {
+      return true;
+    }
+    if (redirect_hint_ != kNoNode && servers_.count(redirect_hint_) > 0) {
+      ConnectTo(redirect_hint_);
+    } else if (fd_ < 0) {
+      Connect(until - MonotonicNow());
+    } else {
+      // Not decided and no redirect: rotate to the next server.
+      auto it = servers_.upper_bound(connected_to_);
+      ConnectTo(it == servers_.end() ? servers_.begin()->first : it->first);
+    }
+  }
+  return decided_.count(cmd_id) > 0;
+}
+
+bool OmniClient::GetStatus(Status* out, Time deadline) {
+  if (fd_ < 0 && !Connect(deadline)) {
+    return false;
+  }
+  std::vector<uint8_t> req{0x03};
+  if (!SendFrame(req)) {
+    return false;
+  }
+  const Time until = MonotonicNow() + deadline;
+  while (MonotonicNow() < until) {
+    std::vector<uint8_t> frame;
+    if (!ReadFrame(&frame, Millis(100))) {
+      if (fd_ < 0) {
+        return false;
+      }
+      continue;
+    }
+    if (!frame.empty() && frame[0] == 0x04) {
+      HandleFrame(frame, out);
+      return true;
+    }
+    HandleFrame(frame, nullptr);
+  }
+  return false;
+}
+
+}  // namespace opx::net

@@ -1,0 +1,188 @@
+#include "src/net/omni_tcp_server.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace opx::net {
+namespace {
+
+Time MonotonicNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+OmniTcpServer::OmniTcpServer(ServerOptions options) : options_(std::move(options)) {
+  OPX_CHECK_NE(options_.id, kNoNode);
+}
+
+OmniTcpServer::~OmniTcpServer() = default;
+
+bool OmniTcpServer::Start() {
+  bool recovered = false;
+  if (options_.wal_path.empty()) {
+    storage_ = std::make_unique<omni::Storage>();
+  } else {
+    auto from_disk = omni::DurableStorage::Recover(options_.wal_path);
+    if (from_disk != nullptr) {
+      recovered = true;
+      storage_ = std::move(from_disk);
+      OPX_ILOG << "server " << options_.id << ": recovered WAL, log_len="
+               << storage_->log_len() << " decided=" << storage_->decided_idx();
+    } else {
+      storage_ = omni::DurableStorage::Create(options_.wal_path);
+    }
+  }
+
+  omni::OmniConfig cfg;
+  cfg.pid = options_.id;
+  for (const auto& [peer, endpoint] : options_.peers) {
+    cfg.peers.push_back(peer);
+  }
+  cfg.ble_priority = options_.ble_priority;
+  node_ = std::make_unique<omni::OmniPaxos>(cfg, storage_.get(), recovered);
+  pushed_ = storage_->decided_idx();
+
+  transport_ = std::make_unique<TcpTransport>(options_.id, options_.listen_port,
+                                              options_.peers);
+  transport_->set_message_handler(
+      [this](NodeId from, omni::OmniMessage msg) { OnPeerMessage(from, std::move(msg)); });
+  transport_->set_reconnect_handler([this](NodeId peer) {
+    node_->Reconnected(peer);
+    Pump();
+  });
+  transport_->set_client_frame_handler(
+      [this](uint64_t client, const uint8_t* data, size_t len) {
+        OnClientFrame(client, data, len);
+      });
+  transport_->set_client_closed_handler([this](uint64_t client) { clients_.erase(client); });
+  if (!transport_->Start()) {
+    return false;
+  }
+  next_tick_ = MonotonicNow() + options_.election_timeout;
+  return true;
+}
+
+void OmniTcpServer::StepOnce(int timeout_ms) {
+  const Time now = MonotonicNow();
+  Time wait_ns = next_tick_ - now;
+  if (wait_ns < 0) {
+    wait_ns = 0;
+  }
+  int wait_ms = static_cast<int>(wait_ns / 1'000'000);
+  if (timeout_ms >= 0 && wait_ms > timeout_ms) {
+    wait_ms = timeout_ms;
+  }
+  transport_->Poll(wait_ms);
+  if (MonotonicNow() >= next_tick_) {
+    node_->TickElection();
+    next_tick_ += options_.election_timeout;
+    if (next_tick_ < MonotonicNow()) {  // fell behind (debugger, load)
+      next_tick_ = MonotonicNow() + options_.election_timeout;
+    }
+  }
+  Pump();
+}
+
+void OmniTcpServer::Run(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    StepOnce(20);
+  }
+}
+
+void OmniTcpServer::OnPeerMessage(NodeId from, omni::OmniMessage msg) {
+  node_->Handle(from, std::move(msg));
+  Pump();
+}
+
+void OmniTcpServer::OnClientFrame(uint64_t client, const uint8_t* data, size_t len) {
+  clients_.insert(client);
+  if (len == 0) {
+    return;
+  }
+  switch (data[0]) {
+    case 0x01: {  // append
+      if (len < 1 + 8 + 4) {
+        return;
+      }
+      uint64_t cmd_id = 0;
+      uint32_t payload = 0;
+      for (int i = 0; i < 8; ++i) {
+        cmd_id |= static_cast<uint64_t>(data[1 + i]) << (8 * i);
+      }
+      for (int i = 0; i < 4; ++i) {
+        payload |= static_cast<uint32_t>(data[9 + i]) << (8 * i);
+      }
+      if (node_->IsLeader()) {
+        node_->Append(omni::Entry::Command(cmd_id, payload));
+      } else {
+        std::vector<uint8_t> redirect;
+        redirect.push_back(0x05);
+        PutU32(&redirect, static_cast<uint32_t>(node_->leader_hint()));
+        transport_->SendToClient(client, redirect.data(), redirect.size());
+      }
+      Pump();
+      break;
+    }
+    case 0x03: {  // status
+      std::vector<uint8_t> status;
+      status.push_back(0x04);
+      PutU32(&status, static_cast<uint32_t>(node_->leader_hint()));
+      PutU64(&status, node_->decided_idx());
+      PutU64(&status, node_->log_len());
+      status.push_back(node_->IsLeader() ? 1 : 0);
+      transport_->SendToClient(client, status.data(), status.size());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void OmniTcpServer::Pump() {
+  for (omni::OmniOut& out : node_->TakeOutgoing()) {
+    transport_->Send(out.to, out.body);
+  }
+  const LogIndex decided = node_->decided_idx();
+  if (pushed_ < storage_->compacted_idx()) {
+    pushed_ = storage_->compacted_idx();
+  }
+  if (pushed_ < decided && !clients_.empty()) {
+    std::vector<uint8_t> batch;
+    batch.push_back(0x02);
+    std::vector<uint64_t> ids;
+    for (LogIndex i = pushed_; i < decided; ++i) {
+      const omni::Entry& e = storage_->At(i);
+      if (!e.IsStopSign() && e.cmd_id != 0) {
+        ids.push_back(e.cmd_id);
+      }
+    }
+    PutU32(&batch, static_cast<uint32_t>(ids.size()));
+    for (uint64_t id : ids) {
+      PutU64(&batch, id);
+    }
+    for (uint64_t client : clients_) {
+      transport_->SendToClient(client, batch.data(), batch.size());
+    }
+  }
+  pushed_ = decided;
+}
+
+}  // namespace opx::net

@@ -1,0 +1,75 @@
+// A complete Omni-Paxos server over real TCP: protocol state machine +
+// durable WAL storage + transport + a small client API, driven by one
+// single-threaded event loop. This is what `tools/omni_node` runs, and what
+// a downstream user embeds to deploy an actual cluster.
+//
+// Client API (frames over the same listen port, after a kHelloClient hello):
+//   -> [0x01][u64 cmd_id][u32 payload_bytes]     append request
+//   <- [0x02][u32 n][u64 cmd_id × n]             decided batch (pushed)
+//   -> [0x03]                                    status request
+//   <- [0x04][u32 leader][u64 decided][u64 len][u8 is_leader]
+//   <- [0x05][u32 leader]                        redirect (not leader)
+#ifndef SRC_NET_OMNI_TCP_SERVER_H_
+#define SRC_NET_OMNI_TCP_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/net/tcp_transport.h"
+#include "src/omnipaxos/durable_storage.h"
+#include "src/omnipaxos/omni_paxos.h"
+
+namespace opx::net {
+
+struct ServerOptions {
+  NodeId id = kNoNode;
+  uint16_t listen_port = 0;  // 0 = ephemeral
+  std::map<NodeId, Endpoint> peers;
+  std::string wal_path;  // empty = volatile in-memory storage
+  Time election_timeout = Millis(100);
+  uint32_t ble_priority = 0;
+};
+
+class OmniTcpServer {
+ public:
+  explicit OmniTcpServer(ServerOptions options);
+  ~OmniTcpServer();
+
+  OmniTcpServer(const OmniTcpServer&) = delete;
+  OmniTcpServer& operator=(const OmniTcpServer&) = delete;
+
+  // Opens (or recovers) storage and starts listening. False on bind failure.
+  bool Start();
+
+  // Runs the event loop until `stop` becomes true.
+  void Run(const std::atomic<bool>& stop);
+
+  // One loop iteration: poll I/O (≤ timeout_ms), fire due election ticks,
+  // pump protocol output, push decided entries to clients.
+  void StepOnce(int timeout_ms);
+
+  uint16_t listen_port() const { return transport_->listen_port(); }
+  bool IsLeader() const { return node_->IsLeader(); }
+  NodeId leader_hint() const { return node_->leader_hint(); }
+  LogIndex decided_idx() const { return node_->decided_idx(); }
+
+ private:
+  void OnPeerMessage(NodeId from, omni::OmniMessage msg);
+  void OnClientFrame(uint64_t client, const uint8_t* data, size_t len);
+  void Pump();
+
+  ServerOptions options_;
+  std::unique_ptr<omni::Storage> storage_;
+  std::unique_ptr<omni::OmniPaxos> node_;
+  std::unique_ptr<TcpTransport> transport_;
+  std::set<uint64_t> clients_;
+  LogIndex pushed_ = 0;  // decided entries already pushed to clients
+  Time next_tick_ = 0;
+};
+
+}  // namespace opx::net
+
+#endif  // SRC_NET_OMNI_TCP_SERVER_H_

@@ -1,0 +1,411 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace opx::net {
+namespace {
+
+Time MonotonicNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+constexpr size_t kMaxFrame = 64u << 20;
+
+}  // namespace
+
+// One TCP connection (inbound or outbound), with framed read/write buffers.
+struct TcpTransport::Connection {
+  int fd = -1;
+  bool outbound = false;
+  bool connecting = false;  // outbound connect() in progress
+  bool hello_sent = false;
+  bool closed = false;
+
+  // Identity learned from the hello frame (inbound) or configuration
+  // (outbound). kNoNode until known; client connections use client_id.
+  NodeId peer = kNoNode;
+  bool is_client = false;
+  uint64_t client_id = 0;
+
+  std::vector<uint8_t> read_buf;
+  std::deque<uint8_t> write_buf;
+
+  NodeId outbound_peer = kNoNode;  // which peer this outbound conn serves
+  Time retry_at = 0;               // for outbound reconnect backoff
+};
+
+TcpTransport::TcpTransport(NodeId self, uint16_t listen_port,
+                           std::map<NodeId, Endpoint> peers)
+    : self_(self), listen_port_(listen_port), peers_(std::move(peers)) {}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+bool TcpTransport::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(listen_port_);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 64) != 0 || !SetNonBlocking(listen_fd_)) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    listen_port_ = ntohs(addr.sin_port);
+  }
+  for (const auto& [peer, endpoint] : peers_) {
+    StartConnect(peer);
+  }
+  return true;
+}
+
+void TcpTransport::Stop() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) {
+      close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+  outbound_.clear();
+}
+
+void TcpTransport::StartConnect(NodeId peer) {
+  const Endpoint& endpoint = peers_.at(peer);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return;
+  }
+  const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->outbound = true;
+  conn->outbound_peer = peer;
+  conn->peer = peer;
+  conn->connecting = rc != 0 && errno == EINPROGRESS;
+  if (rc != 0 && !conn->connecting) {
+    close(fd);
+    conn->fd = -1;
+    conn->closed = true;
+    conn->retry_at = MonotonicNow() + Millis(200);
+  }
+  Connection* raw = conn.get();
+  connections_.push_back(std::move(conn));
+  outbound_[peer] = raw;
+  if (raw->fd >= 0 && !raw->connecting) {
+    // Connected immediately (localhost): send hello.
+    HandleWritable(*raw);
+  }
+}
+
+void TcpTransport::QueueFrame(Connection& conn, const uint8_t* data, size_t len) {
+  uint8_t header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(static_cast<uint32_t>(len) >> (8 * i));
+  }
+  conn.write_buf.insert(conn.write_buf.end(), header, header + 4);
+  conn.write_buf.insert(conn.write_buf.end(), data, data + len);
+}
+
+void TcpTransport::Send(NodeId to, const omni::OmniMessage& msg) {
+  auto it = outbound_.find(to);
+  if (it == outbound_.end() || it->second->closed || it->second->connecting) {
+    return;  // link down; protocols recover via resync
+  }
+  std::vector<uint8_t> payload;
+  omni::EncodeMessage(msg, &payload);
+  QueueFrame(*it->second, payload.data(), payload.size());
+  FlushWrites(*it->second);
+}
+
+void TcpTransport::SendToClient(uint64_t client, const uint8_t* data, size_t len) {
+  for (auto& conn : connections_) {
+    if (conn->is_client && conn->client_id == client && !conn->closed) {
+      QueueFrame(*conn, data, len);
+      FlushWrites(*conn);
+      return;
+    }
+  }
+}
+
+bool TcpTransport::PeerConnected(NodeId peer) const {
+  auto it = outbound_.find(peer);
+  return it != outbound_.end() && !it->second->closed && !it->second->connecting &&
+         it->second->hello_sent;
+}
+
+void TcpTransport::Poll(int timeout_ms) {
+  // Reconnect sweep.
+  const Time now = MonotonicNow();
+  if (now >= next_reconnect_sweep_) {
+    next_reconnect_sweep_ = now + Millis(50);
+    for (const auto& [peer, endpoint] : peers_) {
+      auto it = outbound_.find(peer);
+      if (it == outbound_.end() || (it->second->closed && now >= it->second->retry_at)) {
+        if (it != outbound_.end()) {
+          outbound_.erase(it);
+        }
+        StartConnect(peer);
+      }
+    }
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<Connection*> by_index;
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    by_index.push_back(nullptr);
+  }
+  for (auto& conn : connections_) {
+    if (conn->closed || conn->fd < 0) {
+      continue;
+    }
+    short events = POLLIN;
+    if (conn->connecting || !conn->write_buf.empty()) {
+      events |= POLLOUT;
+    }
+    fds.push_back(pollfd{conn->fd, events, 0});
+    by_index.push_back(conn.get());
+  }
+  const int ready = poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) {
+    return;
+  }
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) {
+      continue;
+    }
+    if (by_index[i] == nullptr) {
+      AcceptNew();
+      continue;
+    }
+    Connection& conn = *by_index[i];
+    if (conn.closed) {
+      continue;
+    }
+    if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 && !conn.connecting) {
+      CloseConnection(conn);
+      continue;
+    }
+    if ((fds[i].revents & POLLOUT) != 0) {
+      HandleWritable(conn);
+    }
+    if (!conn.closed && (fds[i].revents & POLLIN) != 0) {
+      HandleReadable(conn);
+    }
+  }
+  // Garbage-collect closed inbound/client connections (outbound ones are kept
+  // as reconnect placeholders).
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->closed && !(*it)->outbound) {
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TcpTransport::AcceptNew() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::HandleWritable(Connection& conn) {
+  if (conn.connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      CloseConnection(conn);
+      return;
+    }
+    conn.connecting = false;
+  }
+  if (conn.outbound && !conn.hello_sent) {
+    uint8_t hello[5];
+    hello[0] = kHelloPeer;
+    for (int i = 0; i < 4; ++i) {
+      hello[1 + i] = static_cast<uint8_t>(static_cast<uint32_t>(self_) >> (8 * i));
+    }
+    QueueFrame(conn, hello, sizeof(hello));
+    conn.hello_sent = true;
+    // A fresh outbound session to a peer we previously lost (or first
+    // contact): surface the reconnect cue.
+    if (on_reconnect_) {
+      on_reconnect_(conn.outbound_peer);
+    }
+  }
+  FlushWrites(conn);
+}
+
+void TcpTransport::FlushWrites(Connection& conn) {
+  while (!conn.write_buf.empty() && !conn.closed) {
+    // Coalesce up to 64 KiB per write.
+    uint8_t chunk[65536];
+    const size_t n = std::min(conn.write_buf.size(), sizeof(chunk));
+    std::copy(conn.write_buf.begin(),
+              conn.write_buf.begin() + static_cast<ptrdiff_t>(n), chunk);
+    const ssize_t written = ::write(conn.fd, chunk, n);
+    if (written > 0) {
+      conn.write_buf.erase(conn.write_buf.begin(),
+                           conn.write_buf.begin() + written);
+    } else if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // poll for POLLOUT
+    } else {
+      CloseConnection(conn);
+      return;
+    }
+  }
+}
+
+void TcpTransport::HandleReadable(Connection& conn) {
+  uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.read_buf.insert(conn.read_buf.end(), chunk, chunk + n);
+    } else if (n == 0) {
+      CloseConnection(conn);
+      return;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      CloseConnection(conn);
+      return;
+    }
+  }
+  // Extract complete frames.
+  size_t offset = 0;
+  while (conn.read_buf.size() - offset >= 4) {
+    uint32_t frame_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      frame_len |= static_cast<uint32_t>(conn.read_buf[offset + static_cast<size_t>(i)])
+                   << (8 * i);
+    }
+    if (frame_len > kMaxFrame) {
+      CloseConnection(conn);
+      return;
+    }
+    if (conn.read_buf.size() - offset - 4 < frame_len) {
+      break;
+    }
+    OnFrame(conn, conn.read_buf.data() + offset + 4, frame_len);
+    if (conn.closed) {
+      return;
+    }
+    offset += 4 + frame_len;
+  }
+  conn.read_buf.erase(conn.read_buf.begin(),
+                      conn.read_buf.begin() + static_cast<ptrdiff_t>(offset));
+}
+
+void TcpTransport::OnFrame(Connection& conn, const uint8_t* data, size_t len) {
+  if (!conn.outbound && conn.peer == kNoNode && !conn.is_client) {
+    // Expect a hello frame.
+    if (len == 5 && data[0] == kHelloPeer) {
+      uint32_t id = 0;
+      for (int i = 0; i < 4; ++i) {
+        id |= static_cast<uint32_t>(data[1 + i]) << (8 * i);
+      }
+      conn.peer = static_cast<NodeId>(id);
+      return;
+    }
+    if (len >= 1 && data[0] == kHelloClient) {
+      conn.is_client = true;
+      conn.client_id = static_cast<uint64_t>(next_client_id_++);
+      return;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  if (conn.is_client) {
+    if (on_client_frame_) {
+      on_client_frame_(conn.client_id, data, len);
+    }
+    return;
+  }
+  omni::OmniMessage msg;
+  if (!omni::DecodeMessage(data, len, &msg)) {
+    OPX_WLOG << "dropping malformed frame from peer " << conn.peer;
+    return;
+  }
+  if (on_message_) {
+    on_message_(conn.peer, std::move(msg));
+  }
+}
+
+void TcpTransport::CloseConnection(Connection& conn) {
+  if (conn.fd >= 0) {
+    close(conn.fd);
+    conn.fd = -1;
+  }
+  const bool was_client = conn.is_client;
+  const uint64_t client_id = conn.client_id;
+  conn.closed = true;
+  conn.hello_sent = false;
+  conn.connecting = false;
+  conn.write_buf.clear();
+  conn.read_buf.clear();
+  conn.retry_at = MonotonicNow() + Millis(200);
+  if (was_client && on_client_closed_) {
+    on_client_closed_(client_id);
+  }
+}
+
+}  // namespace opx::net

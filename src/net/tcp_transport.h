@@ -1,0 +1,113 @@
+// Real TCP transport for running Omni-Paxos clusters as actual processes.
+//
+// Topology: every server listens on one port. For each peer, a server keeps
+// ONE outbound connection used exclusively for sending protocol messages to
+// that peer; inbound connections are receive-only and identified by a hello
+// frame. Outbound connections reconnect with backoff; a successful
+// (re-)connect after a drop raises the reconnect callback — the same cue the
+// paper derives from TCP session re-establishment (§4.1.3).
+//
+// Framing: [u32 length][payload]. The first frame on any connection is a
+// hello: [u8 kind][u32 id] (kind: peer server or client). Subsequent frames
+// are codec-encoded protocol messages (peers) or client API frames (clients;
+// interpreted by the server layer, not here).
+//
+// Single-threaded: the owner drives everything through Poll(); callbacks run
+// on the polling thread. No locks, no hidden threads.
+#ifndef SRC_NET_TCP_TRANSPORT_H_
+#define SRC_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/omnipaxos/codec.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::net {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Hello kinds (first byte of the first frame).
+constexpr uint8_t kHelloPeer = 0xFE;
+constexpr uint8_t kHelloClient = 0xFD;
+
+class TcpTransport {
+ public:
+  using MessageHandler = std::function<void(NodeId from, omni::OmniMessage msg)>;
+  using ReconnectHandler = std::function<void(NodeId peer)>;
+  // Raw frame from a client connection (id = transport-local client handle).
+  using ClientFrameHandler = std::function<void(uint64_t client, const uint8_t* data, size_t len)>;
+  using ClientClosedHandler = std::function<void(uint64_t client)>;
+
+  TcpTransport(NodeId self, uint16_t listen_port, std::map<NodeId, Endpoint> peers);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
+  void set_reconnect_handler(ReconnectHandler h) { on_reconnect_ = std::move(h); }
+  void set_client_frame_handler(ClientFrameHandler h) { on_client_frame_ = std::move(h); }
+  void set_client_closed_handler(ClientClosedHandler h) { on_client_closed_ = std::move(h); }
+
+  // Binds + listens and initiates the first round of peer connects.
+  // Returns false if the listen socket cannot be created.
+  bool Start();
+
+  // The port actually bound (useful with listen_port = 0).
+  uint16_t listen_port() const { return listen_port_; }
+
+  // Queues a protocol message to a peer. Messages are dropped if the
+  // connection is down (the protocols handle loss via resynchronization).
+  void Send(NodeId to, const omni::OmniMessage& msg);
+
+  // Queues a raw frame to a connected client.
+  void SendToClient(uint64_t client, const uint8_t* data, size_t len);
+
+  // Processes I/O for up to timeout_ms (0 = non-blocking pass). Invokes
+  // handlers inline. Also drives reconnect backoff.
+  void Poll(int timeout_ms);
+
+  void Stop();
+
+  bool PeerConnected(NodeId peer) const;
+
+ private:
+  struct Connection;
+
+  void AcceptNew();
+  void StartConnect(NodeId peer);
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void CloseConnection(Connection& conn);
+  void OnFrame(Connection& conn, const uint8_t* data, size_t len);
+  static void QueueFrame(Connection& conn, const uint8_t* data, size_t len);
+  void FlushWrites(Connection& conn);
+
+  NodeId self_;
+  uint16_t listen_port_;
+  std::map<NodeId, Endpoint> peers_;
+  int listen_fd_ = -1;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<NodeId, Connection*> outbound_;  // per-peer send connection
+  int64_t next_client_id_ = 1;
+  Time next_reconnect_sweep_ = 0;
+
+  MessageHandler on_message_;
+  ReconnectHandler on_reconnect_;
+  ClientFrameHandler on_client_frame_;
+  ClientClosedHandler on_client_closed_;
+};
+
+}  // namespace opx::net
+
+#endif  // SRC_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,45 @@
+// Ballots (round numbers) for Ballot Leader Election and Sequence Paxos.
+//
+// LE3 (§5.1) requires elected ballots to be monotonically increasing and
+// unique. A ballot is (n, priority, pid): `n` is bumped on takeover attempts,
+// `priority` is the optional custom tie-break field described in §5.2 (used
+// by the BLE-priority ablation and to pin initial leaders in experiments),
+// and `pid` makes every ballot globally unique.
+#ifndef SRC_OMNIPAXOS_BALLOT_H_
+#define SRC_OMNIPAXOS_BALLOT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <tuple>
+
+#include "src/util/types.h"
+
+namespace opx::omni {
+
+struct Ballot {
+  uint64_t n = 0;
+  uint32_t priority = 0;
+  NodeId pid = kNoNode;
+
+  friend bool operator==(const Ballot& a, const Ballot& b) {
+    return a.n == b.n && a.priority == b.priority && a.pid == b.pid;
+  }
+  friend bool operator!=(const Ballot& a, const Ballot& b) { return !(a == b); }
+  friend bool operator<(const Ballot& a, const Ballot& b) {
+    return std::tie(a.n, a.priority, a.pid) < std::tie(b.n, b.priority, b.pid);
+  }
+  friend bool operator>(const Ballot& a, const Ballot& b) { return b < a; }
+  friend bool operator<=(const Ballot& a, const Ballot& b) { return !(b < a); }
+  friend bool operator>=(const Ballot& a, const Ballot& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Ballot& b) {
+    return os << "(" << b.n << "," << b.priority << ",s" << b.pid << ")";
+  }
+};
+
+// The "no ballot yet" sentinel; smaller than every real ballot.
+inline constexpr Ballot kNullBallot{};
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_BALLOT_H_

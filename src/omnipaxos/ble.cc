@@ -1,0 +1,79 @@
+#include "src/omnipaxos/ble.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace opx::omni {
+
+BallotLeaderElection::BallotLeaderElection(BleConfig config) : config_(std::move(config)) {
+  OPX_CHECK_NE(config_.pid, kNoNode);
+  ballot_ = Ballot{config_.initial_n, config_.priority, config_.pid};
+  candidacy_ = !config_.recovered;
+}
+
+void BallotLeaderElection::Tick() {
+  if (round_ > 0) {
+    // Round `round_` just ended. Connectivity = did a majority (including
+    // ourselves) answer this round? (Fig. 4 ②)
+    const bool connected = replies_.size() + 1 >= Majority();
+    qc_ = connected;
+    replies_.push_back(Candidate{ballot_, qc_ && candidacy_});  // our own entry
+    if (connected) {
+      CheckLeader();
+    }
+  }
+  replies_.clear();
+  ++round_;
+  for (NodeId peer : config_.peers) {
+    pending_out_.push_back(BleOut{peer, HeartbeatRequest{round_}});
+  }
+}
+
+void BallotLeaderElection::CheckLeader() {
+  // Only quorum-connected servers qualify as candidates (Fig. 4 ①; LE1).
+  const Candidate* top = nullptr;
+  uint64_t max_seen_n = 0;
+  for (const Candidate& c : replies_) {
+    max_seen_n = std::max(max_seen_n, c.ballot.n);
+    if (c.quorum_connected && (top == nullptr || c.ballot > top->ballot)) {
+      top = &c;
+    }
+  }
+  if (top == nullptr || top->ballot < leader_) {
+    // The incumbent (or any candidate at least as high) has disappeared or
+    // lost quorum-connectivity: attempt a takeover by overtaking every ballot
+    // seen so far. We will elect ourselves next round if still QC — and a
+    // higher concurrent bumper simply wins by LE3's total order.
+    ballot_.n = std::max(max_seen_n, leader_.n) + 1;
+    candidacy_ = true;  // a freshly-minted ballot may be elected
+    return;
+  }
+  if (top->ballot > leader_) {
+    leader_ = top->ballot;
+    leader_event_ = leader_;
+  }
+}
+
+void BallotLeaderElection::Handle(NodeId from, const BleMessage& msg) {
+  if (const auto* req = std::get_if<HeartbeatRequest>(&msg)) {
+    pending_out_.push_back(
+        BleOut{from, HeartbeatReply{req->round, ballot_, qc_ && candidacy_}});
+  } else if (const auto* rep = std::get_if<HeartbeatReply>(&msg)) {
+    if (rep->round == round_) {
+      replies_.push_back(Candidate{rep->ballot, rep->quorum_connected});
+    }
+    // Late replies are simply ignored (§5.2 correctness discussion).
+  }
+}
+
+std::vector<BleOut> BallotLeaderElection::TakeOutgoing() {
+  return std::exchange(pending_out_, {});
+}
+
+std::optional<Ballot> BallotLeaderElection::TakeLeaderEvent() {
+  return std::exchange(leader_event_, std::nullopt);
+}
+
+}  // namespace opx::omni

@@ -1,0 +1,90 @@
+// Ballot Leader Election (§5, Fig. 4).
+//
+// Servers exchange heartbeats every Tick(); a heartbeat reply carries only the
+// sender's ballot and its quorum-connected (QC) flag. From one round of
+// replies a server learns (1) whether it is itself quorum-connected and
+// (2) which peers are alive and QC. A leader is elected purely on
+// quorum-connectivity — no log constraints, no leader-identity gossip — which
+// is what makes progress possible with a single QC server (LE1–LE3, §5.1).
+//
+// Like SequencePaxos this is a pull-based state machine: the owner calls
+// Tick() once per heartbeat period, feeds messages through Handle(), and
+// drains TakeOutgoing() / TakeLeaderEvent().
+#ifndef SRC_OMNIPAXOS_BLE_H_
+#define SRC_OMNIPAXOS_BLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/omnipaxos/ballot.h"
+#include "src/omnipaxos/messages.h"
+#include "src/util/types.h"
+
+namespace opx::omni {
+
+struct BleConfig {
+  NodeId pid = kNoNode;
+  std::vector<NodeId> peers;
+  // Custom tie-break field of the ballot (§5.2): higher priority wins among
+  // equal rounds. Does not affect liveness — an elected candidate must still
+  // be quorum-connected.
+  uint32_t priority = 0;
+  // Starting ballot round. A recovering server must resume at least at its
+  // persisted promised round, or its future elections could never exceed the
+  // replication layer's promises (liveness after fail-recovery).
+  uint64_t initial_n = 0;
+  // True when restarting after a crash: the server renounces leadership
+  // claims for its *resumed* ballot (it cannot safely re-run that round), so
+  // peers stop seeing the pre-crash leader as a viable candidate and elect a
+  // fresh one. Candidacy returns with the first ballot bump.
+  bool recovered = false;
+};
+
+class BallotLeaderElection {
+ public:
+  explicit BallotLeaderElection(BleConfig config);
+
+  // Advances one heartbeat period: evaluates the replies of the finished
+  // round (connectivity + checkLeader) and broadcasts the next round's
+  // heartbeat requests.
+  void Tick();
+
+  void Handle(NodeId from, const BleMessage& msg);
+
+  std::vector<BleOut> TakeOutgoing();
+
+  // The leader elected since the last call, if it changed (LE3 guarantees the
+  // sequence of returned ballots is strictly increasing).
+  std::optional<Ballot> TakeLeaderEvent();
+
+  const Ballot& leader() const { return leader_; }
+  const Ballot& current_ballot() const { return ballot_; }
+  bool quorum_connected() const { return qc_; }
+  uint64_t round() const { return round_; }
+
+ private:
+  struct Candidate {
+    Ballot ballot;
+    bool quorum_connected = false;
+  };
+
+  size_t ClusterSize() const { return config_.peers.size() + 1; }
+  size_t Majority() const { return ClusterSize() / 2 + 1; }
+
+  void CheckLeader();
+
+  BleConfig config_;
+  Ballot ballot_;                     // this server's own ballot
+  bool candidacy_ = true;             // false while holding a resumed ballot
+  bool qc_ = true;                    // optimistic until the first round ends
+  Ballot leader_;                     // highest ballot ever elected (LE3)
+  uint64_t round_ = 0;
+  std::vector<Candidate> replies_;    // heartbeat replies of the current round
+  std::optional<Ballot> leader_event_;
+  std::vector<BleOut> pending_out_;
+};
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_BLE_H_

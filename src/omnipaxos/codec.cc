@@ -1,0 +1,305 @@
+#include "src/omnipaxos/codec.h"
+
+namespace opx::omni {
+namespace {
+
+// Message type tags on the wire.
+enum WireTag : uint8_t {
+  kPrepare = 1,
+  kPromise = 2,
+  kAcceptSync = 3,
+  kAcceptDecide = 4,
+  kAccepted = 5,
+  kDecide = 6,
+  kPrepareReq = 7,
+  kProposalForward = 8,
+  kHeartbeatRequest = 9,
+  kHeartbeatReply = 10,
+};
+
+constexpr uint32_t kMaxEntries = 16u << 20;  // sanity bound against garbage
+constexpr uint32_t kMaxNodes = 4096;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encoder.
+// ---------------------------------------------------------------------------
+
+void Encoder::EntryField(const Entry& e) {
+  U64(e.cmd_id);
+  U32(e.payload_bytes);
+  U8(e.IsStopSign() ? 1 : 0);
+  if (e.IsStopSign()) {
+    U32(e.stop_sign->next_config);
+    U32(static_cast<uint32_t>(e.stop_sign->next_nodes.size()));
+    for (NodeId n : e.stop_sign->next_nodes) {
+      U32(static_cast<uint32_t>(n));
+    }
+  }
+}
+
+void Encoder::EntriesField(const std::vector<Entry>& entries) {
+  U32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    EntryField(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+bool Decoder::U8(uint8_t* v) {
+  if (pos_ + 1 > size_) {
+    return false;
+  }
+  *v = data_[pos_++];
+  return true;
+}
+
+bool Decoder::U32(uint32_t* v) {
+  if (pos_ + 4 > size_) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return true;
+}
+
+bool Decoder::U64(uint64_t* v) {
+  if (pos_ + 8 > size_) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return true;
+}
+
+bool Decoder::BallotField(Ballot* b) {
+  uint32_t priority = 0, pid = 0;
+  if (!U64(&b->n) || !U32(&priority) || !U32(&pid)) {
+    return false;
+  }
+  b->priority = priority;
+  b->pid = static_cast<NodeId>(pid);
+  return true;
+}
+
+bool Decoder::EntryField(Entry* e) {
+  uint64_t cmd = 0;
+  uint32_t payload = 0;
+  uint8_t is_ss = 0;
+  if (!U64(&cmd) || !U32(&payload) || !U8(&is_ss)) {
+    return false;
+  }
+  if (is_ss != 0) {
+    StopSign ss;
+    uint32_t next_config = 0, count = 0;
+    if (!U32(&next_config) || !U32(&count) || count > kMaxNodes) {
+      return false;
+    }
+    ss.next_config = next_config;
+    ss.next_nodes.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t node = 0;
+      if (!U32(&node)) {
+        return false;
+      }
+      ss.next_nodes.push_back(static_cast<NodeId>(node));
+    }
+    *e = Entry::Stop(std::move(ss));
+    e->cmd_id = cmd;
+    e->payload_bytes = payload;
+  } else {
+    *e = Entry::Command(cmd, payload);
+  }
+  return true;
+}
+
+bool Decoder::EntriesField(std::vector<Entry>* entries) {
+  uint32_t count = 0;
+  if (!U32(&count) || count > kMaxEntries) {
+    return false;
+  }
+  entries->clear();
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    if (!EntryField(&e)) {
+      return false;
+    }
+    entries->push_back(std::move(e));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Message encode/decode.
+// ---------------------------------------------------------------------------
+
+void EncodeMessage(const OmniMessage& msg, std::vector<uint8_t>* out) {
+  Encoder enc(out);
+  if (const auto* ble = std::get_if<BleMessage>(&msg)) {
+    if (const auto* req = std::get_if<HeartbeatRequest>(ble)) {
+      enc.U8(kHeartbeatRequest);
+      enc.U64(req->round);
+    } else {
+      const auto& rep = std::get<HeartbeatReply>(*ble);
+      enc.U8(kHeartbeatReply);
+      enc.U64(rep.round);
+      enc.BallotField(rep.ballot);
+      enc.U8(rep.quorum_connected ? 1 : 0);
+    }
+    return;
+  }
+  const auto& paxos = std::get<PaxosMessage>(msg);
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Prepare>) {
+          enc.U8(kPrepare);
+          enc.BallotField(m.n);
+          enc.BallotField(m.acc_rnd);
+          enc.U64(m.log_idx);
+          enc.U64(m.decided_idx);
+        } else if constexpr (std::is_same_v<T, Promise>) {
+          enc.U8(kPromise);
+          enc.BallotField(m.n);
+          enc.BallotField(m.acc_rnd);
+          enc.U64(m.log_idx);
+          enc.U64(m.decided_idx);
+          enc.U64(m.snapshot_up_to);
+          enc.EntriesField(m.suffix);
+        } else if constexpr (std::is_same_v<T, AcceptSync>) {
+          enc.U8(kAcceptSync);
+          enc.BallotField(m.n);
+          enc.U64(m.sync_idx);
+          enc.U64(m.decided_idx);
+          enc.U64(m.snapshot_up_to);
+          enc.EntriesField(m.suffix);
+        } else if constexpr (std::is_same_v<T, AcceptDecide>) {
+          enc.U8(kAcceptDecide);
+          enc.BallotField(m.n);
+          enc.U64(m.start_idx);
+          enc.U64(m.decided_idx);
+          enc.EntriesField(m.entries);
+        } else if constexpr (std::is_same_v<T, Accepted>) {
+          enc.U8(kAccepted);
+          enc.BallotField(m.n);
+          enc.U64(m.log_idx);
+        } else if constexpr (std::is_same_v<T, Decide>) {
+          enc.U8(kDecide);
+          enc.BallotField(m.n);
+          enc.U64(m.decided_idx);
+        } else if constexpr (std::is_same_v<T, PrepareReq>) {
+          enc.U8(kPrepareReq);
+        } else if constexpr (std::is_same_v<T, ProposalForward>) {
+          enc.U8(kProposalForward);
+          enc.EntriesField(m.entries);
+        }
+      },
+      paxos);
+}
+
+bool DecodeMessage(const uint8_t* data, size_t size, OmniMessage* msg) {
+  Decoder dec(data, size);
+  uint8_t tag = 0;
+  if (!dec.U8(&tag)) {
+    return false;
+  }
+  switch (tag) {
+    case kPrepare: {
+      Prepare m;
+      if (!dec.BallotField(&m.n) || !dec.BallotField(&m.acc_rnd) || !dec.U64(&m.log_idx) ||
+          !dec.U64(&m.decided_idx)) {
+        return false;
+      }
+      *msg = PaxosMessage(m);
+      return true;
+    }
+    case kPromise: {
+      Promise m;
+      if (!dec.BallotField(&m.n) || !dec.BallotField(&m.acc_rnd) || !dec.U64(&m.log_idx) ||
+          !dec.U64(&m.decided_idx) || !dec.U64(&m.snapshot_up_to) ||
+          !dec.EntriesField(&m.suffix)) {
+        return false;
+      }
+      *msg = PaxosMessage(std::move(m));
+      return true;
+    }
+    case kAcceptSync: {
+      AcceptSync m;
+      if (!dec.BallotField(&m.n) || !dec.U64(&m.sync_idx) || !dec.U64(&m.decided_idx) ||
+          !dec.U64(&m.snapshot_up_to) || !dec.EntriesField(&m.suffix)) {
+        return false;
+      }
+      *msg = PaxosMessage(std::move(m));
+      return true;
+    }
+    case kAcceptDecide: {
+      AcceptDecide m;
+      if (!dec.BallotField(&m.n) || !dec.U64(&m.start_idx) || !dec.U64(&m.decided_idx) ||
+          !dec.EntriesField(&m.entries)) {
+        return false;
+      }
+      *msg = PaxosMessage(std::move(m));
+      return true;
+    }
+    case kAccepted: {
+      Accepted m;
+      if (!dec.BallotField(&m.n) || !dec.U64(&m.log_idx)) {
+        return false;
+      }
+      *msg = PaxosMessage(m);
+      return true;
+    }
+    case kDecide: {
+      Decide m;
+      if (!dec.BallotField(&m.n) || !dec.U64(&m.decided_idx)) {
+        return false;
+      }
+      *msg = PaxosMessage(m);
+      return true;
+    }
+    case kPrepareReq:
+      *msg = PaxosMessage(PrepareReq{});
+      return true;
+    case kProposalForward: {
+      ProposalForward m;
+      if (!dec.EntriesField(&m.entries)) {
+        return false;
+      }
+      *msg = PaxosMessage(std::move(m));
+      return true;
+    }
+    case kHeartbeatRequest: {
+      HeartbeatRequest m;
+      if (!dec.U64(&m.round)) {
+        return false;
+      }
+      *msg = BleMessage(m);
+      return true;
+    }
+    case kHeartbeatReply: {
+      HeartbeatReply m;
+      uint8_t qc = 0;
+      if (!dec.U64(&m.round) || !dec.BallotField(&m.ballot) || !dec.U8(&qc)) {
+        return false;
+      }
+      m.quorum_connected = qc != 0;
+      *msg = BleMessage(m);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace opx::omni

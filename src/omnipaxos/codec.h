@@ -1,0 +1,72 @@
+// Binary wire codec for Omni-Paxos messages (Sequence Paxos + BLE), used by
+// the TCP runtime (src/net/) and anywhere a message must cross a process
+// boundary. Little-endian, length-delimited fields; every Decode* returns
+// false on malformed or truncated input (no exceptions, no UB on garbage).
+#ifndef SRC_OMNIPAXOS_CODEC_H_
+#define SRC_OMNIPAXOS_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/omnipaxos/messages.h"
+#include "src/omnipaxos/omni_paxos.h"
+
+namespace opx::omni {
+
+// Appends primitives to a byte buffer.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void BallotField(const Ballot& b) {
+    U64(b.n);
+    U32(b.priority);
+    U32(static_cast<uint32_t>(b.pid));
+  }
+  void EntryField(const Entry& e);
+  void EntriesField(const std::vector<Entry>& entries);
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// Reads primitives from a byte buffer; all methods return false on underrun.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool BallotField(Ballot* b);
+  bool EntryField(Entry* e);
+  bool EntriesField(std::vector<Entry>* entries);
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Encodes an OmniMessage (either protocol component) into `out`.
+void EncodeMessage(const OmniMessage& msg, std::vector<uint8_t>* out);
+
+// Decodes a message produced by EncodeMessage. Returns false on malformed
+// input; `msg` is unspecified in that case.
+bool DecodeMessage(const uint8_t* data, size_t size, OmniMessage* msg);
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_CODEC_H_

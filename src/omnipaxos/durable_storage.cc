@@ -1,0 +1,326 @@
+#include "src/omnipaxos/durable_storage.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace opx::omni {
+namespace {
+
+enum RecordType : uint8_t {
+  kPromise = 1,
+  kAccepted = 2,
+  kAppend = 3,
+  kTruncate = 4,
+  kDecide = 5,
+};
+
+// CRC32 (Castagnoli polynomial, bitwise — journaling here is not a hot path).
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutBallot(std::vector<uint8_t>* out, const Ballot& b) {
+  PutU64(out, b.n);
+  PutU32(out, b.priority);
+  PutU32(out, static_cast<uint32_t>(b.pid));
+}
+
+void PutEntry(std::vector<uint8_t>* out, const Entry& e) {
+  PutU64(out, e.cmd_id);
+  PutU32(out, e.payload_bytes);
+  out->push_back(e.IsStopSign() ? 1 : 0);
+  if (e.IsStopSign()) {
+    PutU32(out, e.stop_sign->next_config);
+    PutU32(out, static_cast<uint32_t>(e.stop_sign->next_nodes.size()));
+    for (NodeId n : e.stop_sign->next_nodes) {
+      PutU32(out, static_cast<uint32_t>(n));
+    }
+  }
+}
+
+// Cursor over a byte buffer; all Get* return false on underrun.
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool GetU8(uint8_t* v) {
+    if (pos + 1 > size) {
+      return false;
+    }
+    *v = data[pos++];
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos + 4 > size) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos + 8 > size) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  bool GetBallot(Ballot* b) {
+    uint32_t priority = 0, pid = 0;
+    if (!GetU64(&b->n) || !GetU32(&priority) || !GetU32(&pid)) {
+      return false;
+    }
+    b->priority = priority;
+    b->pid = static_cast<NodeId>(pid);
+    return true;
+  }
+  bool GetEntry(Entry* e) {
+    uint64_t cmd = 0;
+    uint32_t payload = 0;
+    uint8_t is_ss = 0;
+    if (!GetU64(&cmd) || !GetU32(&payload) || !GetU8(&is_ss)) {
+      return false;
+    }
+    if (is_ss) {
+      StopSign ss;
+      uint32_t next_config = 0, count = 0;
+      if (!GetU32(&next_config) || !GetU32(&count) || count > 1024) {
+        return false;
+      }
+      ss.next_config = next_config;
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t node = 0;
+        if (!GetU32(&node)) {
+          return false;
+        }
+        ss.next_nodes.push_back(static_cast<NodeId>(node));
+      }
+      *e = Entry::Stop(std::move(ss));
+      e->payload_bytes = payload;
+      e->cmd_id = cmd;
+    } else {
+      *e = Entry::Command(cmd, payload);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+DurableStorage::DurableStorage(const std::string& path) : path_(path) {}
+
+DurableStorage::~DurableStorage() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));
+  }
+}
+
+std::unique_ptr<DurableStorage> DurableStorage::Create(const std::string& path) {
+  auto storage = std::unique_ptr<DurableStorage>(new DurableStorage(path));
+  storage->file_ = std::fopen(path.c_str(), "wb");
+  OPX_CHECK(storage->file_ != nullptr) << "cannot create WAL at " << path;
+  return storage;
+}
+
+std::unique_ptr<DurableStorage> DurableStorage::Recover(const std::string& path) {
+  FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return nullptr;
+  }
+  std::fseek(in, 0, SEEK_END);
+  const long file_size = std::ftell(in);
+  std::fseek(in, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(file_size));
+  if (file_size > 0) {
+    const size_t read = std::fread(bytes.data(), 1, bytes.size(), in);
+    bytes.resize(read);
+  }
+  std::fclose(in);
+
+  Ballot promised, accepted;
+  std::vector<Entry> log;
+  LogIndex decided = 0;
+
+  Reader r{bytes.data(), bytes.size()};
+  size_t valid_end = 0;
+  while (r.pos < r.size) {
+    const size_t record_start = r.pos;
+    uint8_t type = 0;
+    if (!r.GetU8(&type)) {
+      break;
+    }
+    // Stage the record first; apply only after the CRC validates, so a torn
+    // or corrupt record never half-mutates the recovered state.
+    bool parsed = true;
+    Ballot staged_ballot;
+    Entry staged_entry;
+    uint64_t staged_index = 0;
+    switch (type) {
+      case kPromise:
+      case kAccepted:
+        parsed = r.GetBallot(&staged_ballot);
+        break;
+      case kAppend:
+        parsed = r.GetEntry(&staged_entry);
+        break;
+      case kTruncate:
+      case kDecide:
+        parsed = r.GetU64(&staged_index);
+        break;
+      default:
+        parsed = false;
+        break;
+    }
+    if (!parsed) {
+      break;
+    }
+    uint32_t stored_crc = 0;
+    if (!r.GetU32(&stored_crc)) {
+      break;
+    }
+    const size_t payload_len = r.pos - record_start - 4;
+    if (Crc32(bytes.data() + record_start, payload_len) != stored_crc) {
+      break;
+    }
+    // Apply, re-checking the semantic bounds (a valid CRC does not guarantee
+    // the record is consistent with a prefix truncated earlier).
+    bool applied = true;
+    switch (type) {
+      case kPromise:
+        promised = staged_ballot;
+        break;
+      case kAccepted:
+        accepted = staged_ballot;
+        break;
+      case kAppend:
+        log.push_back(std::move(staged_entry));
+        break;
+      case kTruncate:
+        applied = staged_index <= log.size() && staged_index >= decided;
+        if (applied) {
+          log.resize(staged_index);
+        }
+        break;
+      case kDecide:
+        applied = staged_index <= log.size();
+        if (applied) {
+          decided = staged_index;
+        }
+        break;
+      default:
+        applied = false;
+        break;
+    }
+    if (!applied) {
+      break;
+    }
+    valid_end = r.pos;
+  }
+
+  auto storage = std::unique_ptr<DurableStorage>(new DurableStorage(path));
+  storage->RestoreForRecovery(promised, accepted, std::move(log), decided);
+  // Reopen for appending, dropping any torn tail.
+  FILE* out = std::fopen(path.c_str(), "rb+");
+  OPX_CHECK(out != nullptr) << "cannot reopen WAL at " << path;
+  OPX_CHECK_EQ(std::fseek(out, static_cast<long>(valid_end), SEEK_SET), 0);
+  storage->file_ = out;
+  return storage;
+}
+
+void DurableStorage::WriteRecord(uint8_t type, const std::vector<uint8_t>& payload) {
+  OPX_CHECK(file_ != nullptr);
+  std::vector<uint8_t> record;
+  record.reserve(payload.size() + 5);
+  record.push_back(type);
+  record.insert(record.end(), payload.begin(), payload.end());
+  PutU32(&record, Crc32(record.data(), record.size()));
+  FILE* f = static_cast<FILE*>(file_);
+  const size_t written = std::fwrite(record.data(), 1, record.size(), f);
+  OPX_CHECK_EQ(written, record.size()) << "WAL write failed";
+}
+
+void DurableStorage::set_promised_round(const Ballot& b) {
+  std::vector<uint8_t> payload;
+  PutBallot(&payload, b);
+  WriteRecord(kPromise, payload);
+  Storage::set_promised_round(b);
+}
+
+void DurableStorage::set_accepted_round(const Ballot& b) {
+  std::vector<uint8_t> payload;
+  PutBallot(&payload, b);
+  WriteRecord(kAccepted, payload);
+  Storage::set_accepted_round(b);
+}
+
+void DurableStorage::Append(Entry e) {
+  std::vector<uint8_t> payload;
+  PutEntry(&payload, e);
+  WriteRecord(kAppend, payload);
+  Storage::Append(std::move(e));
+}
+
+void DurableStorage::AppendAll(const std::vector<Entry>& entries) {
+  for (const Entry& e : entries) {
+    std::vector<uint8_t> payload;
+    PutEntry(&payload, e);
+    WriteRecord(kAppend, payload);
+  }
+  Storage::AppendAll(entries);
+}
+
+void DurableStorage::TruncateAndAppend(LogIndex len, const std::vector<Entry>& suffix) {
+  std::vector<uint8_t> payload;
+  PutU64(&payload, len);
+  WriteRecord(kTruncate, payload);
+  for (const Entry& e : suffix) {
+    std::vector<uint8_t> entry_payload;
+    PutEntry(&entry_payload, e);
+    WriteRecord(kAppend, entry_payload);
+  }
+  Storage::TruncateAndAppend(len, suffix);
+}
+
+void DurableStorage::set_decided_idx(LogIndex idx) {
+  std::vector<uint8_t> payload;
+  PutU64(&payload, idx);
+  WriteRecord(kDecide, payload);
+  Storage::set_decided_idx(idx);
+}
+
+void DurableStorage::Sync() {
+  if (file_ != nullptr) {
+    std::fflush(static_cast<FILE*>(file_));
+  }
+}
+
+}  // namespace opx::omni

@@ -1,0 +1,65 @@
+// Write-ahead-logged Storage backend.
+//
+// The fail-recovery model (§3) requires the promised round, accepted round,
+// log, and decided index to survive crashes. DurableStorage journals every
+// mutation to an append-only WAL file; Recover() replays the journal to
+// rebuild the exact pre-crash state, tolerating a torn (partially written)
+// final record.
+//
+// Record format (little-endian, no alignment):
+//   [u8 type][payload...][u32 payload_crc]
+// Types:
+//   kPromise / kAccepted : Ballot {u64 n, u32 priority, i32 pid}
+//   kAppend              : Entry  {u64 cmd_id, u32 payload, u8 is_ss,
+//                                  [u32 next_config, u32 n, i32 pid × n]}
+//   kTruncate            : u64 new_len (suffix entries follow as kAppend)
+//   kDecide              : u64 decided_idx
+#ifndef SRC_OMNIPAXOS_DURABLE_STORAGE_H_
+#define SRC_OMNIPAXOS_DURABLE_STORAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/omnipaxos/storage.h"
+
+namespace opx::omni {
+
+class DurableStorage final : public Storage {
+ public:
+  // Creates a fresh storage journaling to `path` (truncates any existing
+  // file). Use Recover() to resume from an existing journal.
+  static std::unique_ptr<DurableStorage> Create(const std::string& path);
+
+  // Rebuilds storage state from the journal at `path` and reopens it for
+  // appending. A torn final record is discarded. Returns nullptr if the file
+  // cannot be opened.
+  static std::unique_ptr<DurableStorage> Recover(const std::string& path);
+
+  ~DurableStorage() override;
+
+  void set_promised_round(const Ballot& b) override;
+  void set_accepted_round(const Ballot& b) override;
+  void Append(Entry e) override;
+  void AppendAll(const std::vector<Entry>& entries) override;
+  void TruncateAndAppend(LogIndex len, const std::vector<Entry>& suffix) override;
+  void set_decided_idx(LogIndex idx) override;
+
+  // Flushes buffered journal bytes to the OS (fflush; a production system
+  // would fsync here).
+  void Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit DurableStorage(const std::string& path);
+
+  void WriteRecord(uint8_t type, const std::vector<uint8_t>& payload);
+
+  std::string path_;
+  void* file_ = nullptr;  // FILE*, kept opaque to avoid <cstdio> in the header
+};
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_DURABLE_STORAGE_H_

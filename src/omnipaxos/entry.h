@@ -1,0 +1,81 @@
+// Replicated-log entries.
+//
+// An entry is either a client command (identified by cmd_id, with an abstract
+// payload size used for wire accounting) or a stop-sign (§6): the special
+// final entry of a configuration carrying the next configuration's membership.
+#ifndef SRC_OMNIPAXOS_ENTRY_H_
+#define SRC_OMNIPAXOS_ENTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace opx::omni {
+
+// Next-configuration descriptor decided as the last entry of a configuration.
+struct StopSign {
+  ConfigId next_config = 0;
+  std::vector<NodeId> next_nodes;
+
+  friend bool operator==(const StopSign& a, const StopSign& b) {
+    return a.next_config == b.next_config && a.next_nodes == b.next_nodes;
+  }
+};
+
+struct Entry {
+  uint64_t cmd_id = 0;
+  uint32_t payload_bytes = 0;
+  // Shared, immutable after construction; null for ordinary commands.
+  std::shared_ptr<const StopSign> stop_sign;
+
+  static Entry Command(uint64_t cmd_id, uint32_t payload_bytes) {
+    Entry e;
+    e.cmd_id = cmd_id;
+    e.payload_bytes = payload_bytes;
+    return e;
+  }
+
+  static Entry Stop(StopSign ss) {
+    Entry e;
+    e.payload_bytes = static_cast<uint32_t>(8 + ss.next_nodes.size() * 4);
+    e.stop_sign = std::make_shared<const StopSign>(std::move(ss));
+    return e;
+  }
+
+  bool IsStopSign() const { return stop_sign != nullptr; }
+
+  friend bool operator==(const Entry& a, const Entry& b) {
+    if (a.cmd_id != b.cmd_id || a.payload_bytes != b.payload_bytes) {
+      return false;
+    }
+    if ((a.stop_sign == nullptr) != (b.stop_sign == nullptr)) {
+      return false;
+    }
+    return a.stop_sign == nullptr || *a.stop_sign == *b.stop_sign;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Entry& e) {
+    if (e.IsStopSign()) {
+      return os << "SS(c" << e.stop_sign->next_config << ")";
+    }
+    return os << "cmd#" << e.cmd_id;
+  }
+};
+
+// Approximate wire size of one entry (payload plus per-entry metadata).
+inline uint64_t EntryWireBytes(const Entry& e) { return e.payload_bytes + 16; }
+
+inline uint64_t EntriesWireBytes(const std::vector<Entry>& entries) {
+  uint64_t total = 0;
+  for (const Entry& e : entries) {
+    total += EntryWireBytes(e);
+  }
+  return total;
+}
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_ENTRY_H_

@@ -1,0 +1,148 @@
+// Wire messages of Sequence Paxos (§4, Fig. 3) and Ballot Leader Election
+// (§5.2, Fig. 4).
+#ifndef SRC_OMNIPAXOS_MESSAGES_H_
+#define SRC_OMNIPAXOS_MESSAGES_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/omnipaxos/ballot.h"
+#include "src/omnipaxos/entry.h"
+#include "src/util/types.h"
+
+namespace opx::omni {
+
+// ---------------------------------------------------------------------------
+// Sequence Paxos messages.
+// ---------------------------------------------------------------------------
+
+// Leader → follower: opens round n and states the leader's log position so
+// the follower can compute which entries the leader is missing (Fig. 3b ②).
+struct Prepare {
+  Ballot n;
+  Ballot acc_rnd;        // round of the leader's last accepted entry
+  LogIndex log_idx = 0;  // leader's log length
+  LogIndex decided_idx = 0;
+};
+
+// Follower → leader: the promise not to accept lower rounds, plus the suffix
+// of entries the leader is missing (Fig. 3b ③).
+struct Promise {
+  Ballot n;
+  Ballot acc_rnd;
+  std::vector<Entry> suffix;
+  LogIndex log_idx = 0;  // follower's log length
+  LogIndex decided_idx = 0;
+  // Non-zero when the follower compacted below the leader's sync point: the
+  // suffix starts at snapshot_up_to, and everything below is covered by a
+  // snapshot (all chosen, §4.2 — compaction only touches the decided prefix).
+  LogIndex snapshot_up_to = 0;
+};
+
+// Leader → follower: synchronizes the follower's log with the leader's
+// adopted log; the follower truncates at sync_idx and appends suffix
+// (Fig. 3b ④/⑤).
+struct AcceptSync {
+  Ballot n;
+  std::vector<Entry> suffix;
+  LogIndex sync_idx = 0;
+  LogIndex decided_idx = 0;
+  // Non-zero when the leader compacted below the follower's sync point: the
+  // follower installs a snapshot covering [0, snapshot_up_to) and appends the
+  // suffix behind it.
+  LogIndex snapshot_up_to = 0;
+};
+
+// Leader → follower: replicates new entries in FIFO order and piggybacks the
+// leader's decided index (Fig. 3b ⑦). start_idx is the log position of
+// entries.front(); followers use it to detect (and resynchronize after) gaps
+// caused by messages lost to a link cut racing the reconnect notification.
+struct AcceptDecide {
+  Ballot n;
+  LogIndex start_idx = 0;
+  std::vector<Entry> entries;
+  LogIndex decided_idx = 0;
+};
+
+// Follower → leader: acknowledges every entry up to log_idx (Fig. 3b ⑧).
+struct Accepted {
+  Ballot n;
+  LogIndex log_idx = 0;
+};
+
+// Leader → follower: advances the decided index without new entries.
+struct Decide {
+  Ballot n;
+  LogIndex decided_idx = 0;
+};
+
+// Recovering / reconnecting server → peers: "if you are the leader, send me
+// <Prepare>" (§4.1.3, Fig. 3b ⑩–⑫).
+struct PrepareReq {};
+
+// Follower → leader: forwards client proposals so any server can accept them.
+struct ProposalForward {
+  std::vector<Entry> entries;
+};
+
+using PaxosMessage = std::variant<Prepare, Promise, AcceptSync, AcceptDecide, Accepted, Decide,
+                                  PrepareReq, ProposalForward>;
+
+// Addressed Sequence Paxos message produced by the protocol state machine.
+struct PaxosOut {
+  NodeId to = kNoNode;
+  PaxosMessage body;
+};
+
+// Approximate wire size for I/O accounting (header + ballots + entries).
+inline uint64_t WireBytes(const PaxosMessage& m) {
+  constexpr uint64_t kHeader = 24;  // type tag + ballot + indices
+  return std::visit(
+      [&](const auto& msg) -> uint64_t {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, Promise>) {
+          return kHeader + 24 + EntriesWireBytes(msg.suffix);
+        } else if constexpr (std::is_same_v<T, AcceptSync>) {
+          return kHeader + 16 + EntriesWireBytes(msg.suffix);
+        } else if constexpr (std::is_same_v<T, AcceptDecide>) {
+          return kHeader + 8 + EntriesWireBytes(msg.entries);
+        } else if constexpr (std::is_same_v<T, ProposalForward>) {
+          return kHeader + EntriesWireBytes(msg.entries);
+        } else {
+          return kHeader;
+        }
+      },
+      m);
+}
+
+// ---------------------------------------------------------------------------
+// Ballot Leader Election messages (Fig. 4).
+// ---------------------------------------------------------------------------
+
+struct HeartbeatRequest {
+  uint64_t round = 0;
+};
+
+// The reply carries the sender's ballot and its quorum-connected flag — the
+// only two facts BLE ever gossips (deliberately *not* the leader identity).
+struct HeartbeatReply {
+  uint64_t round = 0;
+  Ballot ballot;
+  bool quorum_connected = false;
+};
+
+using BleMessage = std::variant<HeartbeatRequest, HeartbeatReply>;
+
+struct BleOut {
+  NodeId to = kNoNode;
+  BleMessage body;
+};
+
+inline uint64_t WireBytes(const BleMessage& m) {
+  return std::holds_alternative<HeartbeatRequest>(m) ? 16 : 32;
+}
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_MESSAGES_H_

@@ -1,0 +1,80 @@
+#include "src/omnipaxos/omni_paxos.h"
+
+#include <utility>
+
+namespace opx::omni {
+namespace {
+
+SequencePaxosConfig MakePaxosConfig(const OmniConfig& c) {
+  SequencePaxosConfig pc;
+  pc.pid = c.pid;
+  pc.peers = c.peers;
+  pc.config_id = c.config_id;
+  pc.batch_limit = c.batch_limit;
+  return pc;
+}
+
+BleConfig MakeBleConfig(const OmniConfig& c, const Storage& storage, bool recovered) {
+  BleConfig bc;
+  bc.pid = c.pid;
+  bc.peers = c.peers;
+  bc.priority = c.ble_priority;
+  bc.initial_n = storage.promised_round().n;
+  bc.recovered = recovered;
+  return bc;
+}
+
+}  // namespace
+
+OmniPaxos::OmniPaxos(const OmniConfig& config, Storage* storage, bool recovered)
+    : config_(config),
+      paxos_(MakePaxosConfig(config), storage, recovered),
+      ble_(MakeBleConfig(config, *storage, recovered)) {}
+
+void OmniPaxos::TickElection() {
+  ble_.Tick();
+  DrainLeaderEvents();
+}
+
+void OmniPaxos::Handle(NodeId from, OmniMessage msg) {
+  if (auto* paxos_msg = std::get_if<PaxosMessage>(&msg)) {
+    paxos_.Handle(from, std::move(*paxos_msg));
+  } else {
+    ble_.Handle(from, std::get<BleMessage>(msg));
+    DrainLeaderEvents();
+  }
+}
+
+void OmniPaxos::DrainLeaderEvents() {
+  if (std::optional<Ballot> elected = ble_.TakeLeaderEvent()) {
+    paxos_.HandleLeader(*elected);
+  }
+}
+
+void OmniPaxos::Reconnected(NodeId peer) { paxos_.Reconnected(peer); }
+
+bool OmniPaxos::Append(Entry entry) { return paxos_.Append(std::move(entry)); }
+
+bool OmniPaxos::ProposeReconfiguration(StopSign ss) {
+  if (stop_sign_proposed_ || IsStopped()) {
+    return false;
+  }
+  if (!paxos_.Append(Entry::Stop(std::move(ss)))) {
+    return false;
+  }
+  stop_sign_proposed_ = true;
+  return true;
+}
+
+std::vector<OmniOut> OmniPaxos::TakeOutgoing() {
+  std::vector<OmniOut> out;
+  for (BleOut& b : ble_.TakeOutgoing()) {
+    out.push_back(OmniOut{b.to, std::move(b.body)});
+  }
+  for (PaxosOut& p : paxos_.TakeOutgoing()) {
+    out.push_back(OmniOut{p.to, std::move(p.body)});
+  }
+  return out;
+}
+
+}  // namespace opx::omni

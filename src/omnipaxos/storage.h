@@ -1,0 +1,137 @@
+// Persistent state of a Sequence Paxos server.
+//
+// In the fail-recovery model (§3) the promised round, accepted round, log, and
+// decided index survive crashes. Storage owns exactly that state; a recovering
+// server is rebuilt from its Storage (see SequencePaxos::Recover in tests and
+// the cluster harness). The interface mirrors the storage trait of the
+// reference Rust crate so alternative backends (e.g., a real WAL) can slot in.
+#ifndef SRC_OMNIPAXOS_STORAGE_H_
+#define SRC_OMNIPAXOS_STORAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/omnipaxos/ballot.h"
+#include "src/omnipaxos/entry.h"
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace opx::omni {
+
+class Storage {
+ public:
+  Storage() = default;
+  virtual ~Storage() = default;
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  // --- Rounds -----------------------------------------------------------
+  const Ballot& promised_round() const { return promised_round_; }
+  virtual void set_promised_round(const Ballot& b) {
+    OPX_CHECK_GE(b, promised_round_);
+    promised_round_ = b;
+  }
+
+  const Ballot& accepted_round() const { return accepted_round_; }
+  virtual void set_accepted_round(const Ballot& b) {
+    OPX_CHECK_GE(b, accepted_round_);
+    accepted_round_ = b;
+  }
+
+  // --- Log --------------------------------------------------------------
+  // Logical log length (including any compacted prefix).
+  LogIndex log_len() const { return compacted_idx_ + log_.size(); }
+  // In-memory tail: entries [compacted_idx(), log_len()).
+  const std::vector<Entry>& log() const { return log_; }
+  // First logical index still held in memory (everything below was trimmed).
+  LogIndex compacted_idx() const { return compacted_idx_; }
+
+  const Entry& At(LogIndex idx) const {
+    OPX_CHECK_GE(idx, compacted_idx_) << "entry was compacted away";
+    OPX_CHECK_LT(idx, log_len());
+    return log_[idx - compacted_idx_];
+  }
+
+  virtual void Append(Entry e) { log_.push_back(std::move(e)); }
+
+  virtual void AppendAll(const std::vector<Entry>& entries) {
+    log_.insert(log_.end(), entries.begin(), entries.end());
+  }
+
+  // Truncates the log to `len` entries, then appends `suffix`. Used when a
+  // follower adopts the leader's log in <AcceptSync>; never cuts below the
+  // decided prefix (decided entries are immutable, SC3).
+  virtual void TruncateAndAppend(LogIndex len, const std::vector<Entry>& suffix) {
+    OPX_CHECK_GE(len, decided_idx_);
+    OPX_CHECK_LE(len, log_len());
+    log_.resize(len - compacted_idx_);
+    log_.insert(log_.end(), suffix.begin(), suffix.end());
+  }
+
+  // Copy of log[from..), used to build Promise/AcceptSync suffixes. `from`
+  // must not reach into the compacted prefix (check compacted_idx() first).
+  std::vector<Entry> Suffix(LogIndex from) const {
+    if (from >= log_len()) {
+      return {};
+    }
+    OPX_CHECK_GE(from, compacted_idx_) << "suffix reaches into compacted prefix";
+    return std::vector<Entry>(log_.begin() + static_cast<ptrdiff_t>(from - compacted_idx_),
+                              log_.end());
+  }
+
+  // --- Compaction ----------------------------------------------------------
+  // Drops entries below `idx` from memory. Only the decided prefix may be
+  // trimmed (decided entries are immutable and recoverable from peers or an
+  // application snapshot).
+  virtual void Trim(LogIndex idx) {
+    OPX_CHECK_LE(idx, decided_idx_) << "only the decided prefix may be trimmed";
+    if (idx <= compacted_idx_) {
+      return;
+    }
+    log_.erase(log_.begin(), log_.begin() + static_cast<ptrdiff_t>(idx - compacted_idx_));
+    compacted_idx_ = idx;
+  }
+
+  // Replaces the entire log with "snapshot up to `up_to`" + `suffix`:
+  // entries below up_to are summarized away (the receiver installs the
+  // corresponding application snapshot); the decided index advances to at
+  // least up_to. Used when a leader has trimmed below a follower's sync point.
+  virtual void ResetToSnapshot(LogIndex up_to, const std::vector<Entry>& suffix) {
+    OPX_CHECK_GE(up_to, decided_idx_) << "snapshot must cover the decided prefix";
+    compacted_idx_ = up_to;
+    log_ = suffix;
+    decided_idx_ = up_to;
+  }
+
+  // --- Decided prefix ----------------------------------------------------
+  LogIndex decided_idx() const { return decided_idx_; }
+  virtual void set_decided_idx(LogIndex idx) {
+    OPX_CHECK_GE(idx, decided_idx_);
+    OPX_CHECK_LE(idx, log_len());
+    decided_idx_ = idx;
+  }
+
+ protected:
+  // Restores state without consistency checks (recovery paths of derived
+  // persistent implementations).
+  void RestoreForRecovery(Ballot promised, Ballot accepted, std::vector<Entry> log,
+                          LogIndex decided) {
+    promised_round_ = promised;
+    accepted_round_ = accepted;
+    log_ = std::move(log);
+    OPX_CHECK_LE(decided, log_.size());
+    decided_idx_ = decided;
+  }
+
+ private:
+  Ballot promised_round_;
+  Ballot accepted_round_;
+  std::vector<Entry> log_;       // entries [compacted_idx_, log_len())
+  LogIndex compacted_idx_ = 0;
+  LogIndex decided_idx_ = 0;
+};
+
+}  // namespace opx::omni
+
+#endif  // SRC_OMNIPAXOS_STORAGE_H_

@@ -1,0 +1,83 @@
+// Raft wire messages (Ongaro & Ousterhout, USENIX ATC '14), including the
+// PreVote extension evaluated as "Raft PV+CQ" in the paper (§7, [24]).
+#ifndef SRC_RAFT_MESSAGES_H_
+#define SRC_RAFT_MESSAGES_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/omnipaxos/entry.h"
+#include "src/util/types.h"
+
+namespace opx::raft {
+
+// Raft replicates the same abstract commands as the other protocols; each log
+// slot additionally records the term it was appended in.
+using Entry = omni::Entry;
+
+struct LogEntry {
+  uint64_t term = 0;
+  Entry data;
+
+  friend bool operator==(const LogEntry& a, const LogEntry& b) {
+    return a.term == b.term && a.data == b.data;
+  }
+};
+
+struct RequestVote {
+  uint64_t term = 0;          // for PreVote: the term the candidate *would* use
+  LogIndex last_log_idx = 0;  // length of the candidate's log
+  uint64_t last_log_term = 0;
+  bool pre_vote = false;
+};
+
+struct RequestVoteReply {
+  uint64_t term = 0;
+  bool granted = false;
+  bool pre_vote = false;
+};
+
+struct AppendEntries {
+  uint64_t term = 0;
+  LogIndex prev_idx = 0;  // number of entries preceding `entries`
+  uint64_t prev_term = 0;
+  std::vector<LogEntry> entries;
+  LogIndex commit_idx = 0;
+};
+
+struct AppendEntriesReply {
+  uint64_t term = 0;
+  bool success = false;
+  // On success: highest index now matched. On failure: a back-off hint — the
+  // follower's log length, letting the leader skip ahead.
+  LogIndex match_idx = 0;
+};
+
+using RaftMessage =
+    std::variant<RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply>;
+
+struct RaftOut {
+  NodeId to = kNoNode;
+  RaftMessage body;
+};
+
+inline uint64_t WireBytes(const std::vector<LogEntry>& entries) {
+  uint64_t total = 0;
+  for (const LogEntry& e : entries) {
+    total += omni::EntryWireBytes(e.data) + 8;  // +term
+  }
+  return total;
+}
+
+inline uint64_t WireBytes(const RaftMessage& m) {
+  constexpr uint64_t kHeader = 24;
+  if (const auto* ae = std::get_if<AppendEntries>(&m)) {
+    return kHeader + 16 + WireBytes(ae->entries);
+  }
+  return kHeader;
+}
+
+}  // namespace opx::raft
+
+#endif  // SRC_RAFT_MESSAGES_H_

@@ -1,0 +1,495 @@
+#include "src/raft/raft.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace opx::raft {
+
+Raft::Raft(RaftConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  OPX_CHECK_NE(config_.pid, kNoNode);
+  OPX_CHECK(!config_.voters.empty());
+  voters_ = config_.voters;
+  OPX_CHECK(InVoters(config_.pid)) << "server must start as a voter";
+  log_.reserve(config_.preload_entries);
+  for (LogIndex i = 0; i < config_.preload_entries; ++i) {
+    log_.push_back(LogEntry{0, Entry::Command(0, config_.preload_payload_bytes)});
+  }
+  commit_ = config_.preload_entries;
+  membership_scan_ = commit_;
+  ResetElectionTimer();
+  if (config_.fast_first_election) {
+    election_elapsed_ = randomized_timeout_ - 1;
+  }
+}
+
+bool Raft::InVoters(NodeId id) const {
+  return std::find(voters_.begin(), voters_.end(), id) != voters_.end();
+}
+
+std::vector<NodeId> Raft::ReplicationTargets() const {
+  std::vector<NodeId> targets;
+  for (NodeId v : voters_) {
+    if (v != config_.pid) {
+      targets.push_back(v);
+    }
+  }
+  for (NodeId l : learners_) {
+    if (l != config_.pid && !InVoters(l)) {
+      targets.push_back(l);
+    }
+  }
+  return targets;
+}
+
+void Raft::ResetElectionTimer() {
+  election_elapsed_ = 0;
+  randomized_timeout_ =
+      config_.election_ticks +
+      static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(config_.election_ticks)));
+}
+
+// ---------------------------------------------------------------------------
+// Timers.
+// ---------------------------------------------------------------------------
+
+void Raft::Tick() {
+  if (role_ == RaftRole::kLeader) {
+    BroadcastAppends(/*heartbeat=*/true);
+    if (config_.check_quorum) {
+      ++check_quorum_elapsed_;
+      if (check_quorum_elapsed_ >= config_.election_ticks) {
+        size_t active = 1;  // self
+        for (NodeId v : voters_) {
+          if (v != config_.pid && recent_active_.count(v) > 0) {
+            ++active;
+          }
+        }
+        recent_active_.clear();
+        check_quorum_elapsed_ = 0;
+        if (active < Majority()) {
+          // CheckQuorum: the leader cannot reach a majority; step down so a
+          // connected server can take over [24].
+          StepDown(term_);
+          leader_ = kNoNode;
+        }
+      }
+    }
+    return;
+  }
+  // Followers and (pre-)candidates run the election timer. Learners that are
+  // not voters never start elections.
+  if (!InVoters(config_.pid)) {
+    return;
+  }
+  ++election_elapsed_;
+  if (election_elapsed_ >= randomized_timeout_) {
+    ResetElectionTimer();
+    StartElection(config_.pre_vote);
+  }
+}
+
+void Raft::StartElection(bool pre) {
+  if (pre) {
+    role_ = RaftRole::kPreCandidate;
+    // PreVote probes with term+1 without bumping the real term.
+  } else {
+    role_ = RaftRole::kCandidate;
+    ++term_;
+    voted_for_ = config_.pid;
+    leader_ = kNoNode;
+  }
+  votes_granted_.clear();
+  votes_granted_.insert(config_.pid);
+  if (votes_granted_.size() >= Majority()) {  // single-voter cluster
+    if (pre) {
+      StartElection(/*pre=*/false);
+    } else {
+      BecomeLeader();
+    }
+    return;
+  }
+  RequestVote rv;
+  rv.term = pre ? term_ + 1 : term_;
+  rv.last_log_idx = log_.size();
+  rv.last_log_term = LastLogTerm();
+  rv.pre_vote = pre;
+  for (NodeId v : voters_) {
+    if (v != config_.pid) {
+      Emit(v, rv);
+    }
+  }
+}
+
+void Raft::BecomeLeader() {
+  role_ = RaftRole::kLeader;
+  leader_ = config_.pid;
+  next_send_.clear();
+  match_.clear();
+  inflight_.clear();
+  recent_active_.clear();
+  check_quorum_elapsed_ = 0;
+  for (NodeId t : ReplicationTargets()) {
+    next_send_[t] = log_.size();
+    match_[t] = 0;
+    inflight_[t] = 0;
+  }
+  // Commit a no-op to establish leadership over prior-term entries (§5.4.2 of
+  // the Raft paper).
+  log_.push_back(LogEntry{term_, Entry::Command(0, 0)});
+  BroadcastAppends(/*heartbeat=*/false);
+}
+
+void Raft::StepDown(uint64_t new_term) {
+  OPX_CHECK_GE(new_term, term_);
+  if (new_term > term_) {
+    term_ = new_term;
+    voted_for_ = kNoNode;
+  }
+  role_ = RaftRole::kFollower;
+  votes_granted_.clear();
+  ResetElectionTimer();
+}
+
+// ---------------------------------------------------------------------------
+// Elections.
+// ---------------------------------------------------------------------------
+
+void Raft::HandleRequestVote(NodeId from, const RequestVote& m) {
+  const bool log_up_to_date =
+      m.last_log_term > LastLogTerm() ||
+      (m.last_log_term == LastLogTerm() && m.last_log_idx >= log_.size());
+
+  if (m.pre_vote) {
+    // Grant without mutating state. Deny if we have a live leader (lease
+    // check): that is what stops disruptive rejoining servers.
+    const bool leader_alive = leader_ != kNoNode && election_elapsed_ < config_.election_ticks;
+    const bool grant = m.term >= term_ && log_up_to_date && !leader_alive;
+    Emit(from, RequestVoteReply{m.term, grant, /*pre_vote=*/true});
+    return;
+  }
+  if (config_.check_quorum && leader_ != kNoNode &&
+      election_elapsed_ < config_.election_ticks) {
+    // Leader-stickiness (Raft thesis §4.2.3, enabled with CheckQuorum as in
+    // TiKV): ignore votes while we believe a leader is alive, so removed or
+    // partitioned servers cannot depose a healthy leader.
+    return;
+  }
+  if (m.term > term_) {
+    StepDown(m.term);
+    leader_ = kNoNode;
+  }
+  bool grant = false;
+  if (m.term == term_ && (voted_for_ == kNoNode || voted_for_ == from) && log_up_to_date) {
+    grant = true;
+    voted_for_ = from;
+    ResetElectionTimer();
+  }
+  Emit(from, RequestVoteReply{term_, grant, /*pre_vote=*/false});
+}
+
+void Raft::HandleVoteReply(NodeId from, const RequestVoteReply& m) {
+  if (m.pre_vote) {
+    if (role_ != RaftRole::kPreCandidate || m.term != term_ + 1) {
+      return;
+    }
+    if (m.granted) {
+      votes_granted_.insert(from);
+      if (votes_granted_.size() >= Majority()) {
+        StartElection(/*pre=*/false);
+      }
+    }
+    return;
+  }
+  if (m.term > term_) {
+    StepDown(m.term);
+    leader_ = kNoNode;
+    return;
+  }
+  if (role_ != RaftRole::kCandidate || m.term != term_) {
+    return;
+  }
+  if (m.granted) {
+    votes_granted_.insert(from);
+    if (votes_granted_.size() >= Majority()) {
+      BecomeLeader();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Log replication.
+// ---------------------------------------------------------------------------
+
+void Raft::BroadcastAppends(bool heartbeat) {
+  for (NodeId t : ReplicationTargets()) {
+    SendAppend(t, heartbeat);
+  }
+}
+
+void Raft::SendAppend(NodeId peer, bool heartbeat) {
+  if (role_ != RaftRole::kLeader) {
+    return;  // deposed mid-handling (e.g., replaced by a committed change)
+  }
+  auto next_it = next_send_.find(peer);
+  if (next_it == next_send_.end()) {
+    return;  // no longer a replication target
+  }
+  LogIndex& next = next_it->second;
+  const bool has_payload = next < log_.size();
+  if (!has_payload && !heartbeat) {
+    return;
+  }
+  if (has_payload && inflight_[peer] >= config_.max_inflight_chunks) {
+    if (heartbeat) {
+      // Keep the follower's election timer fed even while throttled.
+      AppendEntries hb;
+      hb.term = term_;
+      hb.prev_idx = next;
+      hb.prev_term = next == 0 ? 0 : log_[next - 1].term;
+      hb.commit_idx = commit_;
+      Emit(peer, std::move(hb));
+    }
+    return;
+  }
+  AppendEntries ae;
+  ae.term = term_;
+  ae.prev_idx = next;
+  ae.prev_term = next == 0 ? 0 : log_[next - 1].term;
+  ae.commit_idx = commit_;
+  if (has_payload) {
+    const size_t count = std::min(config_.max_batch_entries,
+                                  static_cast<size_t>(log_.size() - next));
+    ae.entries.assign(log_.begin() + static_cast<ptrdiff_t>(next),
+                      log_.begin() + static_cast<ptrdiff_t>(next + count));
+    next += count;
+    ++inflight_[peer];
+  }
+  Emit(peer, std::move(ae));
+}
+
+void Raft::HandleAppendEntries(NodeId from, AppendEntries m) {
+  if (m.term < term_) {
+    // Rejecting with our higher term is the "leader vote gossiping" that
+    // Table 1 attributes to Raft; it deposes the stale leader.
+    Emit(from, AppendEntriesReply{term_, false, log_.size()});
+    return;
+  }
+  if (m.term > term_ || role_ != RaftRole::kFollower) {
+    StepDown(m.term);
+  }
+  leader_ = from;
+  election_elapsed_ = 0;
+
+  if (m.prev_idx > log_.size()) {
+    // Missing entries before prev_idx; hint our length so the leader skips
+    // straight back.
+    Emit(from, AppendEntriesReply{term_, false, log_.size()});
+    return;
+  }
+  if (m.prev_idx > 0 && log_[m.prev_idx - 1].term != m.prev_term) {
+    OPX_CHECK_GT(m.prev_idx, commit_) << "conflict below commit";
+    Emit(from, AppendEntriesReply{term_, false, m.prev_idx - 1});
+    return;
+  }
+  // Append, truncating at the first conflicting entry.
+  LogIndex idx = m.prev_idx;
+  size_t offset = 0;
+  while (offset < m.entries.size() && idx < log_.size()) {
+    if (log_[idx].term != m.entries[offset].term) {
+      OPX_CHECK_GE(idx, commit_) << "conflict below commit";
+      log_.resize(idx);
+      break;
+    }
+    ++idx;
+    ++offset;
+  }
+  for (; offset < m.entries.size(); ++offset) {
+    log_.push_back(m.entries[offset]);
+  }
+  const LogIndex new_commit =
+      std::min<LogIndex>(m.commit_idx, m.prev_idx + m.entries.size());
+  if (new_commit > commit_) {
+    commit_ = std::min<LogIndex>(new_commit, log_.size());
+    ApplyMembershipIfCommitted();
+  }
+  Emit(from, AppendEntriesReply{term_, true, m.prev_idx + m.entries.size()});
+}
+
+void Raft::HandleAppendReply(NodeId from, const AppendEntriesReply& m) {
+  if (m.term > term_) {
+    StepDown(m.term);
+    leader_ = kNoNode;
+    return;
+  }
+  if (role_ != RaftRole::kLeader || m.term != term_) {
+    return;
+  }
+  recent_active_.insert(from);
+  auto it = next_send_.find(from);
+  if (it == next_send_.end()) {
+    return;  // no longer a replication target
+  }
+  if (m.success) {
+    if (inflight_[from] > 0) {
+      --inflight_[from];
+    }
+    LogIndex& match = match_[from];
+    match = std::max(match, m.match_idx);
+    MaybeCommit();
+    // Keep the backfill pipeline moving.
+    SendAppend(from, /*heartbeat=*/false);
+  } else {
+    inflight_[from] = 0;
+    it->second = std::min(it->second, m.match_idx);
+    SendAppend(from, /*heartbeat=*/false);
+  }
+}
+
+void Raft::MaybeCommit() {
+  // Highest index replicated on a majority of voters whose entry is from the
+  // current term (Raft's commit restriction, §5.4.2).
+  std::vector<LogIndex> matches;
+  for (NodeId v : voters_) {
+    if (v == config_.pid) {
+      matches.push_back(log_.size());
+    } else {
+      auto it = match_.find(v);
+      matches.push_back(it == match_.end() ? 0 : it->second);
+    }
+  }
+  std::sort(matches.begin(), matches.end(), std::greater<LogIndex>());
+  const LogIndex candidate = matches[Majority() - 1];
+  if (candidate > commit_ && candidate <= log_.size() && log_[candidate - 1].term == term_) {
+    commit_ = candidate;
+    ApplyMembershipIfCommitted();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Membership change.
+// ---------------------------------------------------------------------------
+
+bool Raft::ProposeMembership(std::vector<NodeId> next_nodes) {
+  if (role_ != RaftRole::kLeader || membership_entry_idx_ != 0) {
+    return false;
+  }
+  omni::StopSign change;
+  change.next_nodes = next_nodes;
+  log_.push_back(LogEntry{term_, Entry::Stop(std::move(change))});
+  membership_entry_idx_ = log_.size();
+  // Fresh servers start as learners and are caught up by this leader — the
+  // leader-based log migration the paper contrasts with (Fig. 6a).
+  for (NodeId n : next_nodes) {
+    if (n != config_.pid && !InVoters(n)) {
+      learners_.insert(n);
+      next_send_.emplace(n, 0);
+      match_.emplace(n, 0);
+      inflight_.emplace(n, 0);
+    }
+  }
+  BroadcastAppends(/*heartbeat=*/false);
+  return true;
+}
+
+void Raft::ApplyMembershipIfCommitted() {
+  // Scan newly committed entries for membership changes (covers followers
+  // learning the change via AppendEntries). Log truncation cannot reach below
+  // commit_, so the scan cursor never goes backwards.
+  LogIndex found = 0;
+  for (LogIndex idx = membership_scan_; idx < commit_; ++idx) {
+    if (log_[idx].data.IsStopSign()) {
+      found = idx + 1;
+    }
+  }
+  membership_scan_ = commit_;
+  if (found != 0) {
+    const std::vector<NodeId>& next = log_[found - 1].data.stop_sign->next_nodes;
+    voters_ = next;
+    committed_membership_ = voters_;
+    learners_.clear();
+    membership_entry_idx_ = 0;
+    if (role_ == RaftRole::kLeader) {
+      // Drop replication state for servers outside the new configuration.
+      for (auto it = next_send_.begin(); it != next_send_.end();) {
+        if (!InVoters(it->first)) {
+          match_.erase(it->first);
+          inflight_.erase(it->first);
+          it = next_send_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!InVoters(config_.pid)) {
+        // Replaced leader: relinquish after committing the change.
+        StepDown(term_);
+        leader_ = kNoNode;
+      }
+    }
+  }
+}
+
+std::optional<std::vector<NodeId>> Raft::CommittedMembership() const {
+  return committed_membership_;
+}
+
+// ---------------------------------------------------------------------------
+// Proposals and output.
+// ---------------------------------------------------------------------------
+
+bool Raft::Append(Entry entry) {
+  if (role_ != RaftRole::kLeader) {
+    return false;
+  }
+  proposal_queue_.push_back(std::move(entry));
+  return true;
+}
+
+void Raft::FlushProposals() {
+  if (role_ != RaftRole::kLeader || proposal_queue_.empty()) {
+    proposal_queue_.clear();  // drop anything queued while deposed
+    return;
+  }
+  size_t budget = config_.batch_limit == 0 ? proposal_queue_.size() : config_.batch_limit;
+  size_t taken = 0;
+  while (taken < proposal_queue_.size() && budget > 0) {
+    log_.push_back(LogEntry{term_, std::move(proposal_queue_[taken])});
+    ++taken;
+    --budget;
+  }
+  proposal_queue_.erase(proposal_queue_.begin(),
+                        proposal_queue_.begin() + static_cast<ptrdiff_t>(taken));
+  if (taken > 0) {
+    BroadcastAppends(/*heartbeat=*/false);
+    MaybeCommit();  // single-voter clusters commit immediately
+  }
+}
+
+std::vector<RaftOut> Raft::TakeOutgoing() {
+  FlushProposals();
+  return std::exchange(pending_out_, {});
+}
+
+void Raft::Emit(NodeId to, RaftMessage msg) {
+  pending_out_.push_back(RaftOut{to, std::move(msg)});
+}
+
+void Raft::Handle(NodeId from, RaftMessage msg) {
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RequestVote>) {
+          HandleRequestVote(from, m);
+        } else if constexpr (std::is_same_v<T, RequestVoteReply>) {
+          HandleVoteReply(from, m);
+        } else if constexpr (std::is_same_v<T, AppendEntries>) {
+          HandleAppendEntries(from, std::move(m));
+        } else if constexpr (std::is_same_v<T, AppendEntriesReply>) {
+          HandleAppendReply(from, m);
+        }
+      },
+      std::move(msg));
+}
+
+}  // namespace opx::raft

@@ -1,0 +1,148 @@
+// Raft consensus (Ongaro & Ousterhout, 2014) — the primary baseline of the
+// paper's evaluation (§7), in the style of the TiKV raft library:
+//
+//  * randomized election timeouts in [T, 2T),
+//  * optional PreVote: probe electability without disrupting the term,
+//  * optional CheckQuorum: a leader steps down when it has not heard from a
+//    majority within an election timeout (together: "Raft PV+CQ" [24]),
+//  * single-step membership change with learner catch-up, where the *leader*
+//    transfers the full log to fresh servers (the behaviour contrasted with
+//    Omni-Paxos' parallel service-layer migration in Fig. 9).
+//
+// Pull-based, like every protocol here: Tick() advances logical time one
+// heartbeat interval; Handle() consumes messages; TakeOutgoing() drains sends.
+#ifndef SRC_RAFT_RAFT_H_
+#define SRC_RAFT_RAFT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/raft/messages.h"
+#include "src/util/rng.h"
+#include "src/util/types.h"
+
+namespace opx::raft {
+
+enum class RaftRole { kFollower, kPreCandidate, kCandidate, kLeader };
+
+struct RaftConfig {
+  NodeId pid = kNoNode;
+  std::vector<NodeId> voters;  // initial voting membership, including pid
+  bool pre_vote = false;
+  bool check_quorum = false;
+  // Election timeout in ticks; the actual timeout is randomized per election
+  // in [election_ticks, 2*election_ticks). Heartbeats go out every tick.
+  int election_ticks = 5;
+  // Max entries per AppendEntries message (backfill chunk size).
+  size_t max_batch_entries = 4096;
+  // Max un-acknowledged AppendEntries chunks per follower.
+  int max_inflight_chunks = 4;
+  // Leader-side cap on proposals accepted into the log per flush; 0 = none.
+  size_t batch_limit = 0;
+  uint64_t seed = 1;
+  // Fires this server's first election timeout after a single tick — used by
+  // harnesses to pin the initial leader (e.g., colocating it with the client
+  // as the paper's WAN deployment does).
+  bool fast_first_election = false;
+  // Pre-populates the log with `preload_entries` committed term-0 commands;
+  // models a long-running cluster for the reconfiguration experiments (§7.3).
+  LogIndex preload_entries = 0;
+  uint32_t preload_payload_bytes = 8;
+};
+
+class Raft {
+ public:
+  explicit Raft(RaftConfig config);
+
+  Raft(const Raft&) = delete;
+  Raft& operator=(const Raft&) = delete;
+
+  // --- Inputs -------------------------------------------------------------
+  void Tick();  // one heartbeat interval
+  void Handle(NodeId from, RaftMessage msg);
+
+  // Client proposal; only leaders accept. Returns false otherwise (the
+  // client retries against LeaderHint()).
+  bool Append(Entry entry);
+
+  // Proposes a membership change to `next_nodes` (replaces the voter set).
+  // New servers immediately become learners and are caught up by the leader;
+  // the voter set switches when the change entry commits.
+  bool ProposeMembership(std::vector<NodeId> next_nodes);
+
+  // --- Outputs --------------------------------------------------------------
+  std::vector<RaftOut> TakeOutgoing();
+
+  // --- Observers ------------------------------------------------------------
+  NodeId pid() const { return config_.pid; }
+  RaftRole role() const { return role_; }
+  bool IsLeader() const { return role_ == RaftRole::kLeader; }
+  uint64_t term() const { return term_; }
+  NodeId leader_hint() const { return leader_; }
+  LogIndex commit_idx() const { return commit_; }
+  LogIndex log_len() const { return log_.size(); }
+  const std::vector<LogEntry>& log() const { return log_; }
+  const std::vector<NodeId>& voters() const { return voters_; }
+  const std::set<NodeId>& learners() const { return learners_; }
+  bool InVoters(NodeId id) const;
+  // Index just past the last committed membership-change entry, if any.
+  std::optional<std::vector<NodeId>> CommittedMembership() const;
+
+ private:
+  size_t Majority() const { return voters_.size() / 2 + 1; }
+  uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
+
+  void ResetElectionTimer();
+  void StartElection(bool pre);
+  void BecomeLeader();
+  void StepDown(uint64_t new_term);
+  void BroadcastAppends(bool heartbeat);
+  void SendAppend(NodeId peer, bool heartbeat);
+  void MaybeCommit();
+  void ApplyMembershipIfCommitted();
+  void FlushProposals();
+  void Emit(NodeId to, RaftMessage msg);
+  std::vector<NodeId> ReplicationTargets() const;  // voters + learners, minus self
+
+  void HandleRequestVote(NodeId from, const RequestVote& m);
+  void HandleVoteReply(NodeId from, const RequestVoteReply& m);
+  void HandleAppendEntries(NodeId from, AppendEntries m);
+  void HandleAppendReply(NodeId from, const AppendEntriesReply& m);
+
+  RaftConfig config_;
+  Rng rng_;
+
+  uint64_t term_ = 0;
+  NodeId voted_for_ = kNoNode;
+  std::vector<LogEntry> log_;
+  LogIndex commit_ = 0;
+
+  RaftRole role_ = RaftRole::kFollower;
+  NodeId leader_ = kNoNode;
+  std::vector<NodeId> voters_;
+  std::set<NodeId> learners_;
+  LogIndex membership_entry_idx_ = 0;  // in-flight change entry (1-based; 0 = none)
+  LogIndex membership_scan_ = 0;       // commit prefix already scanned for changes
+  std::optional<std::vector<NodeId>> committed_membership_;
+
+  int election_elapsed_ = 0;
+  int randomized_timeout_ = 0;
+  std::set<NodeId> votes_granted_;
+
+  // Leader replication state.
+  std::map<NodeId, LogIndex> next_send_;  // next log offset to ship
+  std::map<NodeId, LogIndex> match_;      // highest replicated offset
+  std::map<NodeId, int> inflight_;        // outstanding non-heartbeat chunks
+  std::set<NodeId> recent_active_;        // CheckQuorum window
+  int check_quorum_elapsed_ = 0;
+
+  std::vector<Entry> proposal_queue_;
+  std::vector<RaftOut> pending_out_;
+};
+
+}  // namespace opx::raft
+
+#endif  // SRC_RAFT_RAFT_H_

@@ -1,0 +1,291 @@
+// Uniform adapters wrapping each protocol behind one node API so the
+// simulation harness (ClusterSim) and the benchmarks drive all protocols
+// identically:
+//
+//   Tick()                 — one protocol timer period (see TickPeriod below)
+//   Handle(from, Message)  — deliver a protocol message
+//   Reconnected(peer)      — link-session restored (no-op where unused)
+//   TakeOutgoing()         — drain {to, Message} sends
+//   Propose(cmd, bytes)    — client command; false if this server can't accept
+//   PollDecided(out)       — newly decided client command ids, in log order
+//   IsLeader()/LeaderHint()/Epoch()
+//
+// TickPeriod maps the experiment's election-timeout parameter T onto each
+// protocol's internal tick: Omni-Paxos heartbeat rounds run once per T; Raft
+// ticks are heartbeats with election_ticks=5 (timeout randomized [T, 2T));
+// Multi-Paxos and VR ping every T/3 with a missed budget of 3 (randomized to
+// 6). All protocols thus suspect a dead leader after ~T..2T, matching §7.2.
+#ifndef SRC_RSM_ADAPTERS_H_
+#define SRC_RSM_ADAPTERS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/multipaxos/multipaxos.h"
+#include "src/omnipaxos/omni_paxos.h"
+#include "src/raft/raft.h"
+#include "src/rsm/node_options.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+#include "src/vr/vr_replica.h"
+
+namespace opx::rsm {
+
+// ---------------------------------------------------------------------------
+// Omni-Paxos.
+// ---------------------------------------------------------------------------
+
+class OmniNode {
+ public:
+  using Message = omni::OmniMessage;
+
+  OmniNode(NodeId id, std::vector<NodeId> peers, const NodeOptions& opts) {
+    omni::OmniConfig cfg;
+    cfg.pid = id;
+    cfg.peers = std::move(peers);
+    cfg.ble_priority = opts.ble_priority;
+    storage_ = std::make_unique<omni::Storage>();
+    node_ = std::make_unique<omni::OmniPaxos>(cfg, storage_.get());
+  }
+
+  void Tick() { node_->TickElection(); }
+  void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
+  void Reconnected(NodeId peer) { node_->Reconnected(peer); }
+
+  std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
+    std::vector<std::pair<NodeId, Message>> out;
+    for (omni::OmniOut& o : node_->TakeOutgoing()) {
+      out.emplace_back(o.to, std::move(o.body));
+    }
+    return out;
+  }
+
+  bool Propose(uint64_t cmd, uint32_t bytes) {
+    if (!node_->IsLeader()) {
+      return false;
+    }
+    return node_->Append(omni::Entry::Command(cmd, bytes));
+  }
+
+  void PollDecided(std::vector<uint64_t>* out) {
+    const LogIndex decided = node_->decided_idx();
+    polled_ = std::max(polled_, storage_->compacted_idx());
+    for (; polled_ < decided; ++polled_) {
+      const omni::Entry& e = storage_->At(polled_);
+      if (!e.IsStopSign() && e.cmd_id != 0) {
+        out->push_back(e.cmd_id);
+      }
+    }
+  }
+
+  bool IsLeader() const { return node_->IsLeader(); }
+  NodeId LeaderHint() const { return node_->leader_hint(); }
+  uint64_t Epoch() const { return node_->ble().leader().n; }
+  static bool IsElectionMessage(const Message& m) {
+    return std::holds_alternative<omni::BleMessage>(m);
+  }
+  static Time TickPeriod(Time election_timeout) { return election_timeout; }
+
+  omni::OmniPaxos& impl() { return *node_; }
+
+ private:
+  std::unique_ptr<omni::Storage> storage_;
+  std::unique_ptr<omni::OmniPaxos> node_;
+  LogIndex polled_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Raft (plain, and PV+CQ via options).
+// ---------------------------------------------------------------------------
+
+template <bool kPreVote, bool kCheckQuorum>
+class RaftNodeT {
+ public:
+  using Message = raft::RaftMessage;
+
+  RaftNodeT(NodeId id, std::vector<NodeId> peers, const NodeOptions& opts) {
+    raft::RaftConfig cfg;
+    cfg.pid = id;
+    cfg.voters = std::move(peers);
+    cfg.voters.push_back(id);
+    cfg.pre_vote = kPreVote;
+    cfg.check_quorum = kCheckQuorum;
+    cfg.election_ticks = 5;
+    cfg.seed = opts.seed;
+    cfg.fast_first_election = opts.ble_priority > 0;
+    node_ = std::make_unique<raft::Raft>(cfg);
+  }
+
+  void Tick() { node_->Tick(); }
+  void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
+  void Reconnected(NodeId) {}  // Raft recovers via AppendEntries consistency checks
+
+  std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
+    std::vector<std::pair<NodeId, Message>> out;
+    for (raft::RaftOut& o : node_->TakeOutgoing()) {
+      out.emplace_back(o.to, std::move(o.body));
+    }
+    return out;
+  }
+
+  bool Propose(uint64_t cmd, uint32_t bytes) {
+    return node_->Append(raft::Entry::Command(cmd, bytes));
+  }
+
+  void PollDecided(std::vector<uint64_t>* out) {
+    const LogIndex commit = node_->commit_idx();
+    for (; polled_ < commit; ++polled_) {
+      const raft::LogEntry& e = node_->log()[polled_];
+      if (!e.data.IsStopSign() && e.data.cmd_id != 0) {
+        out->push_back(e.data.cmd_id);
+      }
+    }
+  }
+
+  bool IsLeader() const { return node_->IsLeader(); }
+  NodeId LeaderHint() const { return node_->leader_hint(); }
+  uint64_t Epoch() const { return node_->term(); }
+  static bool IsElectionMessage(const Message& m) {
+    return std::holds_alternative<raft::RequestVote>(m) ||
+           std::holds_alternative<raft::RequestVoteReply>(m);
+  }
+  // Raft ticks 5x per election timeout (heartbeat interval).
+  static Time TickPeriod(Time election_timeout) { return election_timeout / 5; }
+
+  raft::Raft& impl() { return *node_; }
+
+ private:
+  std::unique_ptr<raft::Raft> node_;
+  LogIndex polled_ = 0;
+};
+
+using RaftNode = RaftNodeT<false, false>;
+using RaftPvCqNode = RaftNodeT<true, true>;
+
+// ---------------------------------------------------------------------------
+// Multi-Paxos.
+// ---------------------------------------------------------------------------
+
+class MultiPaxosNode {
+ public:
+  using Message = mpx::MpxMessage;
+
+  MultiPaxosNode(NodeId id, std::vector<NodeId> peers, const NodeOptions& opts) {
+    mpx::MpxConfig cfg;
+    cfg.pid = id;
+    cfg.peers = std::move(peers);
+    cfg.ping_timeout_ticks = 3;
+    cfg.seed = opts.seed;
+    cfg.fast_first_takeover = opts.ble_priority > 0;
+    node_ = std::make_unique<mpx::MultiPaxos>(cfg);
+  }
+
+  void Tick() { node_->Tick(); }
+  void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
+  void Reconnected(NodeId peer) { node_->Reconnected(peer); }
+
+  std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
+    std::vector<std::pair<NodeId, Message>> out;
+    for (mpx::MpxOut& o : node_->TakeOutgoing()) {
+      out.emplace_back(o.to, std::move(o.body));
+    }
+    return out;
+  }
+
+  bool Propose(uint64_t cmd, uint32_t bytes) {
+    return node_->Append(mpx::Entry::Command(cmd, bytes));
+  }
+
+  void PollDecided(std::vector<uint64_t>* out) {
+    const uint64_t decided = node_->decided_idx();
+    for (; polled_ < decided; ++polled_) {
+      const mpx::Entry& e = node_->log()[polled_];
+      if (e.cmd_id != 0) {
+        out->push_back(e.cmd_id);
+      }
+    }
+  }
+
+  bool IsLeader() const { return node_->IsLeader(); }
+  NodeId LeaderHint() const { return node_->leader_hint(); }
+  uint64_t Epoch() const { return node_->promised().n; }
+  static bool IsElectionMessage(const Message& m) {
+    return std::holds_alternative<mpx::P1a>(m) || std::holds_alternative<mpx::P1b>(m) ||
+           std::holds_alternative<mpx::Ping>(m) || std::holds_alternative<mpx::Pong>(m);
+  }
+  static Time TickPeriod(Time election_timeout) { return election_timeout / 3; }
+
+  mpx::MultiPaxos& impl() { return *node_; }
+
+ private:
+  std::unique_ptr<mpx::MultiPaxos> node_;
+  uint64_t polled_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// VR (leader election) over Sequence Paxos.
+// ---------------------------------------------------------------------------
+
+class VrNode {
+ public:
+  using Message = vr::VrWire;
+
+  VrNode(NodeId id, std::vector<NodeId> peers, const NodeOptions& opts) {
+    vr::VrReplicaConfig cfg;
+    cfg.pid = id;
+    cfg.peers = std::move(peers);
+    cfg.timeout_ticks = 3;
+    cfg.seed = opts.seed;
+    storage_ = std::make_unique<omni::Storage>();
+    node_ = std::make_unique<vr::VrReplica>(cfg, storage_.get());
+  }
+
+  void Tick() { node_->Tick(); }
+  void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
+  void Reconnected(NodeId peer) { node_->Reconnected(peer); }
+
+  std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
+    std::vector<std::pair<NodeId, Message>> out;
+    for (vr::VrReplicaOut& o : node_->TakeOutgoing()) {
+      out.emplace_back(o.to, std::move(o.body));
+    }
+    return out;
+  }
+
+  bool Propose(uint64_t cmd, uint32_t bytes) {
+    if (!node_->IsLeader()) {
+      return false;
+    }
+    return node_->Append(omni::Entry::Command(cmd, bytes));
+  }
+
+  void PollDecided(std::vector<uint64_t>* out) {
+    const LogIndex decided = node_->decided_idx();
+    for (; polled_ < decided; ++polled_) {
+      const omni::Entry& e = storage_->At(polled_);
+      if (!e.IsStopSign() && e.cmd_id != 0) {
+        out->push_back(e.cmd_id);
+      }
+    }
+  }
+
+  bool IsLeader() const { return node_->IsLeader(); }
+  NodeId LeaderHint() const { return node_->leader_hint(); }
+  uint64_t Epoch() const { return node_->election().view(); }
+  static bool IsElectionMessage(const Message& m) {
+    return std::holds_alternative<vr::VrMessage>(m);
+  }
+  static Time TickPeriod(Time election_timeout) { return election_timeout / 3; }
+
+  vr::VrReplica& impl() { return *node_; }
+
+ private:
+  std::unique_ptr<omni::Storage> storage_;
+  std::unique_ptr<vr::VrReplica> node_;
+  LogIndex polled_ = 0;
+};
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_ADAPTERS_H_

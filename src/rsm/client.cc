@@ -1,0 +1,107 @@
+#include "src/rsm/client.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace opx::rsm {
+
+Client::Client(ClientParams params) : params_(params) {
+  OPX_CHECK_GT(params_.num_servers, 0);
+  OPX_CHECK_GT(params_.concurrent_proposals, 0u);
+  target_ = 1;
+}
+
+std::vector<Client::Send> Client::Tick(Time now) {
+  ProposeBatch batch;
+  batch.payload_bytes = params_.payload_bytes;
+
+  // Rotate the contact server when responses dried up, and re-propose
+  // everything outstanding (commands may have been lost with a deposed
+  // leader; the log tolerates duplicates, the client counts unique ids).
+  if (!outstanding_.empty() && now - std::max(last_response_, last_completion_) >
+                                   params_.retry_timeout) {
+    target_ = target_ % params_.num_servers + 1;
+    last_response_ = now;  // back off one retry period before rotating again
+    need_reproposal_ = true;
+  }
+  if (need_reproposal_) {
+    need_reproposal_ = false;
+    for (auto& [cmd, first_sent] : outstanding_) {
+      batch.cmd_ids.push_back(cmd);
+    }
+  }
+
+  // Top up to CP outstanding proposals.
+  while (outstanding_.size() < params_.concurrent_proposals) {
+    const uint64_t cmd = next_cmd_++;
+    outstanding_.emplace(cmd, now);
+    batch.cmd_ids.push_back(cmd);
+  }
+
+  if (batch.cmd_ids.empty()) {
+    return {};
+  }
+  return {Send{target_, std::move(batch)}};
+}
+
+void Client::OnResponse(Time now, NodeId from, const ResponseBatch& batch) {
+  if (batch.cmd_ids.empty() && batch.leader_hint == kNoNode) {
+    // Uninformative rejection (server knows no leader). Do not refresh the
+    // retry timer — otherwise a stream of such rejections would suppress the
+    // rotation that eventually finds a serving leader.
+    return;
+  }
+  last_response_ = now;
+  if (batch.leader_hint != kNoNode && batch.leader_hint != target_) {
+    // Redirected: move to the hinted leader and re-propose what is in flight.
+    target_ = batch.leader_hint;
+    need_reproposal_ = true;
+  } else if (batch.leader_hint == kNoNode && !batch.cmd_ids.empty()) {
+    // Responses prove `from` decides entries; stick with it.
+    target_ = from;
+  }
+  for (uint64_t cmd : batch.cmd_ids) {
+    RecordCompletion(now, cmd);
+  }
+}
+
+void Client::RecordCompletion(Time now, uint64_t cmd_id) {
+  auto it = outstanding_.find(cmd_id);
+  if (it == outstanding_.end()) {
+    return;  // duplicate decision (re-proposal); count only the first
+  }
+  latency_sum_seconds_ += ToSeconds(now - it->second);
+  outstanding_.erase(it);
+  ++completed_;
+  if (completed_ > 1 && now - last_completion_ >= kGapThreshold) {
+    gaps_.emplace_back(last_completion_, now);
+  }
+  last_completion_ = now;
+  const size_t window = static_cast<size_t>(now / window_width_);
+  if (window_counts_.size() <= window) {
+    window_counts_.resize(window + 1, 0);
+  }
+  ++window_counts_[window];
+}
+
+Time Client::LongestGap(Time from, Time to) const {
+  Time longest = 0;
+  for (const auto& [start, end] : gaps_) {
+    const Time lo = std::max(start, from);
+    const Time hi = std::min(end, to);
+    if (hi > lo) {
+      longest = std::max(longest, hi - lo);
+    }
+  }
+  // Open gap: no completion between the last one and `to`.
+  if (last_completion_ < to) {
+    const Time lo = std::max(last_completion_, from);
+    if (to > lo) {
+      longest = std::max(longest, to - lo);
+    }
+  }
+  return longest;
+}
+
+}  // namespace opx::rsm

@@ -1,0 +1,90 @@
+// Closed-loop benchmark client.
+//
+// Reproduces the paper's workload model (§7, Hardware): a single client keeps
+// `concurrent_proposals` (CP) commands outstanding against the RSM, proposing
+// 8-byte no-op commands and recording when each is first decided. All
+// experiment metrics — windowed throughput, down-time (longest period without
+// decided replies), completion latency — derive from this component.
+//
+// Pull-based like the protocols: Tick() returns the batches to transmit;
+// OnResponse() consumes decided ids and leader redirects.
+#ifndef SRC_RSM_CLIENT_H_
+#define SRC_RSM_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/rsm/client_messages.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::rsm {
+
+struct ClientParams {
+  int num_servers = 3;
+  size_t concurrent_proposals = 500;
+  uint32_t payload_bytes = 8;
+  // Re-propose outstanding commands (and rotate the target server) when no
+  // response has arrived for this long.
+  Time retry_timeout = Millis(500);
+};
+
+class Client {
+ public:
+  explicit Client(ClientParams params);
+
+  // Advances the client; returns the proposal batch (if any) to send and the
+  // server to send it to.
+  struct Send {
+    NodeId to = kNoNode;
+    ProposeBatch batch;
+  };
+  std::vector<Send> Tick(Time now);
+
+  void OnResponse(Time now, NodeId from, const ResponseBatch& batch);
+
+  // --- Metrics ------------------------------------------------------------
+  uint64_t completed() const { return completed_; }
+  Time last_completion_time() const { return last_completion_; }
+
+  // Completion counts bucketed into fixed windows from t=0 (for throughput-
+  // over-time plots, Fig. 9). Window w covers [w*width, (w+1)*width).
+  const std::vector<uint64_t>& window_counts() const { return window_counts_; }
+  void set_window_width(Time width) { window_width_ = width; }
+  Time window_width() const { return window_width_; }
+
+  // Longest interval inside [from, to] with no completions ("down-time",
+  // Fig. 8a/8b). Includes the open gap at `to` if completions stopped.
+  Time LongestGap(Time from, Time to) const;
+
+  double MeanLatencySeconds() const {
+    return completed_ == 0 ? 0.0 : latency_sum_seconds_ / static_cast<double>(completed_);
+  }
+
+ private:
+  void RecordCompletion(Time now, uint64_t cmd_id);
+
+  ClientParams params_;
+  uint64_t next_cmd_ = 1;
+  NodeId target_;
+  bool need_reproposal_ = false;
+  Time last_response_ = 0;
+  std::unordered_map<uint64_t, Time> outstanding_;  // cmd -> first propose time
+
+  uint64_t completed_ = 0;
+  Time last_completion_ = 0;
+  double latency_sum_seconds_ = 0.0;
+  Time window_width_ = Seconds(5);
+  std::vector<uint64_t> window_counts_;
+  // Gaps between consecutive completions longer than this are recorded for
+  // down-time queries.
+  static constexpr Time kGapThreshold = Millis(10);
+  std::vector<std::pair<Time, Time>> gaps_;
+};
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_CLIENT_H_

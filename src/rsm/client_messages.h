@@ -1,0 +1,33 @@
+// Client <-> cluster wire messages used by every protocol harness.
+#ifndef SRC_RSM_CLIENT_MESSAGES_H_
+#define SRC_RSM_CLIENT_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace opx::rsm {
+
+// A batch of command ids proposed by the client to one server.
+struct ProposeBatch {
+  std::vector<uint64_t> cmd_ids;
+  uint32_t payload_bytes = 8;
+};
+
+// A batch of decided command ids pushed back to the client by the leader.
+// leader_hint redirects the client when the contacted server is not leading.
+struct ResponseBatch {
+  std::vector<uint64_t> cmd_ids;
+  NodeId leader_hint = kNoNode;
+};
+
+inline uint64_t WireBytes(const ProposeBatch& b) {
+  return 16 + b.cmd_ids.size() * (8 + b.payload_bytes);
+}
+
+inline uint64_t WireBytes(const ResponseBatch& b) { return 16 + b.cmd_ids.size() * 8; }
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_CLIENT_MESSAGES_H_

@@ -1,0 +1,320 @@
+// ClusterSim — drives one protocol cluster plus a closed-loop client on the
+// discrete-event simulator. This is the engine behind the Fig. 7 / Fig. 8 /
+// Table 1 experiments: servers are nodes 1..N, the client is node N+1, all
+// connected through sim::Network (latency, partial partitions, egress
+// bandwidth, I/O accounting).
+//
+// Leader admission: real RSM leaders saturate on CPU/serialization long
+// before a 10 Gb NIC does; a token bucket caps admitted proposals per second
+// so throughput saturates realistically with growing CP (§7.1 shapes).
+#ifndef SRC_RSM_CLUSTER_SIM_H_
+#define SRC_RSM_CLUSTER_SIM_H_
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/rsm/client.h"
+#include "src/rsm/client_messages.h"
+#include "src/rsm/node_options.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::rsm {
+
+struct ClusterParams {
+  int num_servers = 5;
+  // The experiment's election-timeout parameter T (§7.2); adapters derive
+  // their tick cadence from it.
+  Time election_timeout = Millis(50);
+  Time client_tick = Millis(1);
+  size_t concurrent_proposals = 500;
+  uint32_t payload_bytes = 8;
+  Time retry_timeout = 0;  // 0 = auto: max(4T, 200 ms)
+  sim::NetworkParams net;
+  uint64_t seed = 1;
+  // Max proposals admitted into the leader per second (token bucket);
+  // 0 disables the model.
+  double proposal_rate = 600'000.0;
+  // Omni-Paxos: server given BLE priority 1 so it wins the first election.
+  NodeId preferred_leader = kNoNode;
+  Time metrics_window = Seconds(5);
+};
+
+template <typename Node>
+class ClusterSim {
+ public:
+  using Message = typename Node::Message;
+  using Wire = std::variant<Message, ProposeBatch, ResponseBatch>;
+
+  explicit ClusterSim(ClusterParams params)
+      : params_(params),
+        net_(&sim_, params.num_servers + 1, params.net),
+        client_(MakeClientParams(params)),
+        rng_(params.seed) {
+    if (params_.retry_timeout == 0) {
+      params_.retry_timeout = std::max<Time>(4 * params_.election_timeout, Millis(200));
+    }
+    client_.set_window_width(params_.metrics_window);
+
+    const int n = params_.num_servers;
+    nodes_.resize(static_cast<size_t>(n) + 1);
+    was_leader_.resize(static_cast<size_t>(n) + 1, false);
+    admission_.resize(static_cast<size_t>(n) + 1);
+    election_bytes_.resize(static_cast<size_t>(n) + 1, 0);
+    for (NodeId id = 1; id <= n; ++id) {
+      std::vector<NodeId> peers;
+      for (NodeId other = 1; other <= n; ++other) {
+        if (other != id) {
+          peers.push_back(other);
+        }
+      }
+      NodeOptions opts;
+      opts.seed = rng_.Next();
+      opts.ble_priority = (id == params_.preferred_leader) ? 1u : 0u;
+      nodes_[static_cast<size_t>(id)] = std::make_unique<Node>(id, std::move(peers), opts);
+
+      net_.SetHandler(id, [this, id](NodeId from, Wire w) { OnServerWire(id, from, std::move(w)); });
+      net_.SetReconnectHandler(id, [this, id](NodeId peer) {
+        if (peer >= 1 && peer <= params_.num_servers) {
+          nodes_[static_cast<size_t>(id)]->Reconnected(peer);
+          PumpServer(id);
+        }
+      });
+    }
+    net_.SetHandler(ClientId(), [this](NodeId from, Wire w) { OnClientWire(from, std::move(w)); });
+
+    // Staggered protocol tick timers.
+    const Time period = Node::TickPeriod(params_.election_timeout);
+    for (NodeId id = 1; id <= n; ++id) {
+      const Time offset = (period / (2 * n)) * (id - 1);
+      sim_.ScheduleAfter(offset, [this, id, period]() { TickServer(id, period); });
+    }
+    sim_.ScheduleAfter(params_.client_tick, [this]() { TickClient(); });
+    sim_.ScheduleAfter(params_.metrics_window, [this]() { SampleIo(); });
+    io_samples_.push_back(SnapshotIo());
+  }
+
+  // --- Driving --------------------------------------------------------------
+
+  void RunUntil(Time t) { sim_.RunUntil(t); }
+
+  // --- Access ---------------------------------------------------------------
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network<Wire>& network() { return net_; }
+  Client& client() { return client_; }
+  Node& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
+  int num_servers() const { return params_.num_servers; }
+  NodeId ClientId() const { return params_.num_servers + 1; }
+  const ClusterParams& params() const { return params_; }
+
+  // Leader claimant with the highest epoch (stale claimants lose).
+  NodeId CurrentLeader() {
+    NodeId best = kNoNode;
+    uint64_t best_epoch = 0;
+    for (NodeId id = 1; id <= params_.num_servers; ++id) {
+      if (node(id).IsLeader() && node(id).Epoch() + 1 > best_epoch) {
+        best = id;
+        best_epoch = node(id).Epoch() + 1;
+      }
+    }
+    return best;
+  }
+
+  // --- Metrics ----------------------------------------------------------------
+
+  uint64_t leader_elevations() const { return leader_elevations_; }
+  uint64_t MaxEpoch() {
+    uint64_t max_epoch = 0;
+    for (NodeId id = 1; id <= params_.num_servers; ++id) {
+      max_epoch = std::max(max_epoch, node(id).Epoch());
+    }
+    return max_epoch;
+  }
+  uint64_t ElectionBytes(NodeId id) const {
+    return election_bytes_[static_cast<size_t>(id)];
+  }
+  uint64_t TotalElectionBytes() const {
+    uint64_t total = 0;
+    for (NodeId id = 1; id <= params_.num_servers; ++id) {
+      total += ElectionBytes(id);
+    }
+    return total;
+  }
+
+  // Per-window egress bytes for `id` (deltas between metric samples).
+  std::vector<uint64_t> WindowEgressBytes(NodeId id) const {
+    std::vector<uint64_t> deltas;
+    for (size_t w = 1; w < io_samples_.size(); ++w) {
+      deltas.push_back(io_samples_[w][static_cast<size_t>(id)] -
+                       io_samples_[w - 1][static_cast<size_t>(id)]);
+    }
+    return deltas;
+  }
+
+ private:
+  struct Admission {
+    double tokens = 0.0;
+    Time last_refill = 0;
+    std::deque<uint64_t> pending;
+    bool drain_scheduled = false;
+  };
+
+  static ClientParams MakeClientParams(const ClusterParams& p) {
+    ClientParams cp;
+    cp.num_servers = p.num_servers;
+    cp.concurrent_proposals = p.concurrent_proposals;
+    cp.payload_bytes = p.payload_bytes;
+    cp.retry_timeout = p.retry_timeout == 0 ? std::max<Time>(4 * p.election_timeout, Millis(200))
+                                            : p.retry_timeout;
+    return cp;
+  }
+
+  void TickServer(NodeId id, Time period) {
+    node(id).Tick();
+    PumpServer(id);
+    sim_.ScheduleAfter(period, [this, id, period]() { TickServer(id, period); });
+  }
+
+  void TickClient() {
+    for (Client::Send& send : client_.Tick(sim_.Now())) {
+      const uint64_t bytes = WireBytes(send.batch);
+      net_.Send(ClientId(), send.to, Wire(std::move(send.batch)), static_cast<uint32_t>(bytes));
+    }
+    sim_.ScheduleAfter(params_.client_tick, [this]() { TickClient(); });
+  }
+
+  void OnServerWire(NodeId id, NodeId from, Wire w) {
+    if (auto* proposals = std::get_if<ProposeBatch>(&w)) {
+      OnProposals(id, std::move(*proposals));
+    } else if (auto* msg = std::get_if<Message>(&w)) {
+      node(id).Handle(from, std::move(*msg));
+    }
+    PumpServer(id);
+  }
+
+  void OnClientWire(NodeId from, Wire w) {
+    if (auto* resp = std::get_if<ResponseBatch>(&w)) {
+      client_.OnResponse(sim_.Now(), from, *resp);
+    }
+  }
+
+  void OnProposals(NodeId id, ProposeBatch batch) {
+    if (!node(id).IsLeader()) {
+      ResponseBatch reject;
+      reject.leader_hint = node(id).LeaderHint();
+      net_.Send(id, ClientId(), Wire(std::move(reject)), 24);
+      return;
+    }
+    Admission& adm = admission_[static_cast<size_t>(id)];
+    for (uint64_t cmd : batch.cmd_ids) {
+      adm.pending.push_back(cmd);
+    }
+    DrainAdmission(id);
+  }
+
+  void DrainAdmission(NodeId id) {
+    Admission& adm = admission_[static_cast<size_t>(id)];
+    if (!node(id).IsLeader()) {
+      // Deposed with proposals queued: bounce the client to the new leader.
+      adm.pending.clear();
+      ResponseBatch reject;
+      reject.leader_hint = node(id).LeaderHint();
+      net_.Send(id, ClientId(), Wire(std::move(reject)), 24);
+      return;
+    }
+    if (params_.proposal_rate > 0.0) {
+      const Time now = sim_.Now();
+      adm.tokens += ToSeconds(now - adm.last_refill) * params_.proposal_rate;
+      const double burst = params_.proposal_rate * 0.01;  // 10 ms of burst
+      if (adm.tokens > burst) {
+        adm.tokens = burst;
+      }
+      adm.last_refill = now;
+    }
+    while (!adm.pending.empty() &&
+           (params_.proposal_rate <= 0.0 || adm.tokens >= 1.0)) {
+      if (node(id).Propose(adm.pending.front(), params_.payload_bytes)) {
+        adm.tokens -= 1.0;
+      }
+      adm.pending.pop_front();
+    }
+    if (!adm.pending.empty() && !adm.drain_scheduled) {
+      adm.drain_scheduled = true;
+      // Wake up with enough tokens for a whole batch (~1 ms worth), not one
+      // entry at a time.
+      const double batch = std::min(static_cast<double>(adm.pending.size()),
+                                    std::max(1.0, params_.proposal_rate / 1000.0));
+      const double deficit = batch - adm.tokens;
+      const Time wait = std::max<Time>(
+          Micros(50), static_cast<Time>(deficit / params_.proposal_rate * 1e9));
+      sim_.ScheduleAfter(wait, [this, id]() {
+        admission_[static_cast<size_t>(id)].drain_scheduled = false;
+        DrainAdmission(id);
+        PumpServer(id);
+      });
+    }
+  }
+
+  void PumpServer(NodeId id) {
+    Node& n = node(id);
+    for (auto& [to, msg] : n.TakeOutgoing()) {
+      const uint64_t bytes = WireBytes(msg);
+      if (Node::IsElectionMessage(msg)) {
+        election_bytes_[static_cast<size_t>(id)] += bytes;
+      }
+      net_.Send(id, to, Wire(std::move(msg)), static_cast<uint32_t>(bytes));
+    }
+    decided_scratch_.clear();
+    n.PollDecided(&decided_scratch_);
+    if (!decided_scratch_.empty() && n.IsLeader()) {
+      ResponseBatch resp;
+      resp.cmd_ids = std::move(decided_scratch_);
+      decided_scratch_ = {};
+      const uint64_t bytes = WireBytes(resp);
+      net_.Send(id, ClientId(), Wire(std::move(resp)), static_cast<uint32_t>(bytes));
+    }
+    const bool lead = n.IsLeader();
+    if (lead && !was_leader_[static_cast<size_t>(id)]) {
+      ++leader_elevations_;
+    }
+    was_leader_[static_cast<size_t>(id)] = lead;
+  }
+
+  std::vector<uint64_t> SnapshotIo() const {
+    std::vector<uint64_t> snap(static_cast<size_t>(params_.num_servers) + 2, 0);
+    for (NodeId id = 1; id <= params_.num_servers + 1; ++id) {
+      snap[static_cast<size_t>(id)] = net_.BytesSent(id);
+    }
+    return snap;
+  }
+
+  void SampleIo() {
+    io_samples_.push_back(SnapshotIo());
+    sim_.ScheduleAfter(params_.metrics_window, [this]() { SampleIo(); });
+  }
+
+  ClusterParams params_;
+  sim::Simulator sim_;
+  sim::Network<Wire> net_;
+  Client client_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  std::vector<bool> was_leader_;
+  uint64_t leader_elevations_ = 0;
+  std::vector<Admission> admission_;
+  std::vector<uint64_t> election_bytes_;
+  std::vector<std::vector<uint64_t>> io_samples_;
+  std::vector<uint64_t> decided_scratch_;
+};
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_CLUSTER_SIM_H_

@@ -1,0 +1,198 @@
+// Experiment runners reproducing the paper's evaluation protocols (§7).
+// Header-only templates so each benchmark instantiates them with any protocol
+// adapter. Shared by bench/ (Figs. 7-8, Table 1) and integration tests.
+#ifndef SRC_RSM_EXPERIMENTS_H_
+#define SRC_RSM_EXPERIMENTS_H_
+
+#include <algorithm>
+
+#include "src/rsm/adapters.h"
+#include "src/rsm/cluster_sim.h"
+#include "src/rsm/scenarios.h"
+#include "src/util/time.h"
+
+namespace opx::rsm {
+
+// ---------------------------------------------------------------------------
+// Regular execution (§7.1, Fig. 7).
+// ---------------------------------------------------------------------------
+
+struct NormalConfig {
+  int num_servers = 3;
+  size_t concurrent_proposals = 500;
+  Time election_timeout = Millis(50);
+  Time warmup = Seconds(10);
+  Time duration = Seconds(60);
+  // One-way latencies. wan_mode deploys the WAN setting of §7.1: the leader's
+  // region hosts the client; followers sit 105/145 ms RTT away.
+  bool wan = false;
+  uint64_t seed = 1;
+  double proposal_rate = 600'000.0;
+};
+
+struct NormalResult {
+  double throughput = 0.0;    // decided proposals per second
+  double mean_latency_s = 0.0;
+  double election_io_share = 0.0;  // BLE/FD bytes over total bytes (§7.1 claim)
+  uint64_t leader_elevations = 0;
+};
+
+template <typename Node>
+NormalResult RunNormal(const NormalConfig& cfg) {
+  ClusterParams params;
+  params.num_servers = cfg.num_servers;
+  params.election_timeout = cfg.election_timeout;
+  params.concurrent_proposals = cfg.concurrent_proposals;
+  params.seed = cfg.seed;
+  params.proposal_rate = cfg.proposal_rate;
+  params.preferred_leader = 1;
+  params.net.default_latency = cfg.wan ? Millis(52) : Micros(100);
+
+  ClusterSim<Node> sim(params);
+  if (cfg.wan) {
+    // §7.1 WAN: leader (server 1) and client colocated in us-central1;
+    // half the followers in eu-west1 (RTT 105 ms), half in asia-northeast1
+    // (RTT 145 ms). Latencies here are one-way.
+    auto& net = sim.network();
+    const NodeId client = sim.ClientId();
+    net.SetLatency(1, client, Micros(100));
+    for (NodeId f = 2; f <= cfg.num_servers; ++f) {
+      const Time one_way = (f % 2 == 0) ? Micros(52'500) : Micros(72'500);
+      net.SetLatency(1, f, one_way);
+      net.SetLatency(f, client, one_way);
+      for (NodeId g = 2; g < f; ++g) {
+        net.SetLatency(f, g, Micros(60'000));
+      }
+    }
+  }
+
+  sim.RunUntil(cfg.warmup);
+  const uint64_t completed_at_warmup = sim.client().completed();
+  const uint64_t elevations_at_warmup = sim.leader_elevations();
+  sim.RunUntil(cfg.warmup + cfg.duration);
+
+  NormalResult result;
+  result.throughput = static_cast<double>(sim.client().completed() - completed_at_warmup) /
+                      ToSeconds(cfg.duration);
+  result.mean_latency_s = sim.client().MeanLatencySeconds();
+  const uint64_t total = sim.network().TotalBytesSent();
+  result.election_io_share =
+      total == 0 ? 0.0
+                 : static_cast<double>(sim.TotalElectionBytes()) / static_cast<double>(total);
+  result.leader_elevations = sim.leader_elevations() - elevations_at_warmup;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Partial connectivity (§7.2, Fig. 8, Table 1).
+// ---------------------------------------------------------------------------
+
+struct PartitionConfig {
+  Scenario scenario = Scenario::kQuorumLoss;
+  int num_servers = 5;  // 3 for the chained scenario
+  Time election_timeout = Millis(50);
+  Time partition_duration = Minutes(1);
+  Time post_heal = Seconds(30);
+  size_t concurrent_proposals = 500;
+  uint64_t seed = 1;
+  // Down-time metrics are rate-independent; a modest rate keeps runs fast.
+  double proposal_rate = 50'000.0;
+  Time warmup = 0;  // 0 = auto: max(10 s, 6 * election timeout)
+};
+
+struct PartitionResult {
+  Time downtime = 0;            // longest no-decides gap from partition start
+  bool recovered = false;       // made progress before the partition healed
+  uint64_t decided_during = 0;  // completions inside the partition window
+  uint64_t leader_elevations = 0;
+  uint64_t epoch_increments = 0;  // term/ballot/view growth during partition
+  NodeId leader_at_cut = kNoNode;
+  NodeId leader_after = kNoNode;
+};
+
+template <typename Node>
+PartitionResult RunPartition(const PartitionConfig& cfg) {
+  ClusterParams params;
+  params.num_servers = cfg.num_servers;
+  params.election_timeout = cfg.election_timeout;
+  params.concurrent_proposals = cfg.concurrent_proposals;
+  params.seed = cfg.seed;
+  params.proposal_rate = cfg.proposal_rate;
+  params.preferred_leader = 1;
+  params.net.default_latency = Micros(100);
+
+  ClusterSim<Node> sim(params);
+  const Time warmup =
+      cfg.warmup != 0 ? cfg.warmup : std::max<Time>(Seconds(10), 6 * cfg.election_timeout);
+
+  LinkControl lc;
+  lc.num_servers = cfg.num_servers;
+  lc.set_link = [&sim](NodeId a, NodeId b, bool up) { sim.network().SetLink(a, b, up); };
+
+  PartitionResult result;
+
+  // Let the cluster elect a leader and serve the client.
+  sim.RunUntil(warmup);
+  const NodeId leader = sim.CurrentLeader();
+  if (leader == kNoNode) {
+    // No leader after warmup (pathological timeout settings): report a full
+    // outage.
+    result.downtime = cfg.partition_duration;
+    return result;
+  }
+  result.leader_at_cut = leader;
+  const NodeId hub = leader % cfg.num_servers + 1;  // the paper's "A"
+
+  // Apply the scenario.
+  Time cut_time = sim.simulator().Now();
+  switch (cfg.scenario) {
+    case Scenario::kQuorumLoss:
+      ApplyQuorumLoss(lc, hub);
+      break;
+    case Scenario::kConstrained:
+      // Early cut half a timeout before the main partition so the hub's log
+      // is outdated but no election triggers yet (§7.2).
+      ApplyConstrainedEarlyCut(lc, hub, leader);
+      sim.RunUntil(cut_time + cfg.election_timeout / 2);
+      cut_time = sim.simulator().Now();
+      ApplyConstrainedMainCut(lc, hub, leader);
+      break;
+    case Scenario::kChained: {
+      const NodeId middle = hub;
+      NodeId other = kNoNode;
+      for (NodeId id = 1; id <= cfg.num_servers; ++id) {
+        if (id != leader && id != middle) {
+          other = id;
+        }
+      }
+      ApplyChained(lc, leader, middle, other);
+      break;
+    }
+  }
+
+  const uint64_t completed_at_cut = sim.client().completed();
+  const uint64_t elevations_at_cut = sim.leader_elevations();
+  const uint64_t epoch_at_cut = sim.MaxEpoch();
+
+  const Time heal_time = cut_time + cfg.partition_duration;
+  sim.RunUntil(heal_time);
+  result.decided_during = sim.client().completed() - completed_at_cut;
+  // "Recovered" = the cluster decided new commands while still partitioned,
+  // within the scenario window minus one settling period.
+  result.recovered =
+      sim.client().last_completion_time() > cut_time + 8 * cfg.election_timeout &&
+      result.decided_during > 0;
+
+  HealAll(lc);
+  sim.RunUntil(heal_time + cfg.post_heal);
+
+  result.downtime = sim.client().LongestGap(cut_time, heal_time + cfg.post_heal);
+  result.leader_elevations = sim.leader_elevations() - elevations_at_cut;
+  result.epoch_increments = sim.MaxEpoch() - epoch_at_cut;
+  result.leader_after = sim.CurrentLeader();
+  return result;
+}
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_EXPERIMENTS_H_

@@ -1,0 +1,224 @@
+// LocalCluster — an in-process Omni-Paxos cluster with immediate message
+// delivery. This is the batteries-included entry point for library users and
+// the examples: no simulator, no networking — call Step() to exchange
+// messages, Tick() to advance election heartbeats, and Append() to replicate.
+//
+// For latency/bandwidth-faithful experiments use rsm::ClusterSim instead.
+#ifndef SRC_RSM_LOCAL_CLUSTER_H_
+#define SRC_RSM_LOCAL_CLUSTER_H_
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/omnipaxos/omni_paxos.h"
+#include "src/util/check.h"
+
+namespace opx::rsm {
+
+class LocalCluster {
+ public:
+  // Called for every newly decided entry, on every live server, in log order.
+  using ApplyFn = std::function<void(NodeId server, LogIndex idx, const omni::Entry& entry)>;
+
+  explicit LocalCluster(int num_servers, uint32_t leader_priority_node = 1)
+      : n_(num_servers) {
+    OPX_CHECK_GT(num_servers, 0);
+    storages_.resize(static_cast<size_t>(n_) + 1);
+    nodes_.resize(static_cast<size_t>(n_) + 1);
+    applied_.resize(static_cast<size_t>(n_) + 1, 0);
+    for (NodeId id = 1; id <= n_; ++id) {
+      storages_[static_cast<size_t>(id)] = std::make_unique<omni::Storage>();
+      omni::OmniConfig cfg;
+      cfg.pid = id;
+      for (NodeId peer = 1; peer <= n_; ++peer) {
+        if (peer != id) {
+          cfg.peers.push_back(peer);
+        }
+      }
+      cfg.ble_priority = (static_cast<uint32_t>(id) == leader_priority_node) ? 1u : 0u;
+      nodes_[static_cast<size_t>(id)] =
+          std::make_unique<omni::OmniPaxos>(cfg, storages_[static_cast<size_t>(id)].get());
+    }
+  }
+
+  void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
+
+  int size() const { return n_; }
+  omni::OmniPaxos& node(NodeId id) { return *nodes_[Checked(id)]; }
+  const omni::Storage& storage(NodeId id) const { return *storages_[Checked(id)]; }
+
+  // One election heartbeat period on every live server, then settle.
+  void Tick() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id)) {
+        node(id).TickElection();
+      }
+    }
+    Step();
+  }
+
+  void TickRounds(int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      Tick();
+    }
+  }
+
+  // Runs enough heartbeat rounds for a stable leader; returns its id.
+  NodeId ElectLeader(int max_rounds = 10) {
+    for (int round = 0; round < max_rounds; ++round) {
+      Tick();
+      if (NodeId leader = CurrentLeader(); leader != kNoNode) {
+        return leader;
+      }
+    }
+    return kNoNode;
+  }
+
+  // Proposes a command at `server` (leaders accept directly; followers
+  // forward). Returns false if the configuration is stopped.
+  bool Append(NodeId server, uint64_t cmd_id, uint32_t payload_bytes = 8) {
+    const bool ok = node(server).Append(omni::Entry::Command(cmd_id, payload_bytes));
+    Step();
+    return ok;
+  }
+
+  // Exchanges all outstanding messages until the cluster is quiescent,
+  // applying newly decided entries through the apply callback.
+  void Step() {
+    Collect();
+    size_t guard = 0;
+    while (!queue_.empty()) {
+      OPX_CHECK_LT(++guard, 10'000'000u);
+      Wire w = std::move(queue_.front());
+      queue_.pop_front();
+      if (IsCrashed(w.to) || IsCrashed(w.from) || !LinkUp(w.from, w.to)) {
+        continue;
+      }
+      node(w.to).Handle(w.from, std::move(w.body));
+      Collect();
+    }
+    Apply();
+  }
+
+  // --- Fault injection -------------------------------------------------------
+
+  void SetLink(NodeId a, NodeId b, bool up) {
+    const std::pair<NodeId, NodeId> key = std::minmax(a, b);
+    if (up) {
+      const bool was_down = down_links_.erase(key) > 0;
+      if (was_down && !IsCrashed(a) && !IsCrashed(b)) {
+        node(a).Reconnected(b);
+        node(b).Reconnected(a);
+        Step();
+      }
+    } else {
+      down_links_.insert(key);
+    }
+  }
+
+  bool LinkUp(NodeId a, NodeId b) const { return down_links_.count(std::minmax(a, b)) == 0; }
+
+  void Crash(NodeId id) {
+    crashed_.insert(id);
+    nodes_[Checked(id)] = nullptr;
+    std::deque<Wire> kept;
+    for (Wire& w : queue_) {
+      if (w.from != id && w.to != id) {
+        kept.push_back(std::move(w));
+      }
+    }
+    queue_ = std::move(kept);
+  }
+
+  // Restarts a crashed server from its persistent storage (§4.1.3).
+  void Restart(NodeId id) {
+    OPX_CHECK(IsCrashed(id));
+    crashed_.erase(id);
+    omni::OmniConfig cfg;
+    cfg.pid = id;
+    for (NodeId peer = 1; peer <= n_; ++peer) {
+      if (peer != id) {
+        cfg.peers.push_back(peer);
+      }
+    }
+    nodes_[Checked(id)] = std::make_unique<omni::OmniPaxos>(
+        cfg, storages_[Checked(id)].get(), /*recovered=*/true);
+    // Replay already-decided entries into the apply callback after recovery.
+    applied_[Checked(id)] = 0;
+    Step();
+  }
+
+  bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  // Leader claimant with the highest ballot.
+  NodeId CurrentLeader() {
+    NodeId best = kNoNode;
+    omni::Ballot best_ballot;
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id) && node(id).IsLeader() &&
+          node(id).paxos().leader_ballot() > best_ballot) {
+        best = id;
+        best_ballot = node(id).paxos().leader_ballot();
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct Wire {
+    NodeId from;
+    NodeId to;
+    omni::OmniMessage body;
+  };
+
+  size_t Checked(NodeId id) const {
+    OPX_CHECK(id >= 1 && id <= n_);
+    return static_cast<size_t>(id);
+  }
+
+  void Collect() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (IsCrashed(id)) {
+        continue;
+      }
+      for (omni::OmniOut& out : node(id).TakeOutgoing()) {
+        queue_.push_back(Wire{id, out.to, std::move(out.body)});
+      }
+    }
+  }
+
+  void Apply() {
+    if (!apply_) {
+      return;
+    }
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (IsCrashed(id)) {
+        continue;
+      }
+      LogIndex& applied = applied_[Checked(id)];
+      const LogIndex decided = node(id).decided_idx();
+      applied = std::max(applied, storage(id).compacted_idx());
+      for (; applied < decided; ++applied) {
+        apply_(id, applied, storage(id).At(applied));
+      }
+    }
+  }
+
+  int n_;
+  std::vector<std::unique_ptr<omni::Storage>> storages_;
+  std::vector<std::unique_ptr<omni::OmniPaxos>> nodes_;
+  std::vector<LogIndex> applied_;
+  std::deque<Wire> queue_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<NodeId> crashed_;
+  ApplyFn apply_;
+};
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_LOCAL_CLUSTER_H_

@@ -1,0 +1,17 @@
+// Per-node knobs the cluster harness passes to protocol adapters.
+#ifndef SRC_RSM_NODE_OPTIONS_H_
+#define SRC_RSM_NODE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace opx::rsm {
+
+struct NodeOptions {
+  uint64_t seed = 1;
+  // Omni-Paxos only: BLE ballot priority (pins the initial leader).
+  uint32_t ble_priority = 0;
+};
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_NODE_OPTIONS_H_

@@ -1,0 +1,62 @@
+#include "src/rsm/scenarios.h"
+
+#include "src/util/check.h"
+
+namespace opx::rsm {
+
+std::string ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kQuorumLoss:
+      return "quorum-loss";
+    case Scenario::kConstrained:
+      return "constrained-election";
+    case Scenario::kChained:
+      return "chained";
+  }
+  return "?";
+}
+
+void ApplyQuorumLoss(const LinkControl& lc, NodeId hub) {
+  OPX_CHECK(lc.set_link != nullptr);
+  for (NodeId a = 1; a <= lc.num_servers; ++a) {
+    for (NodeId b = a + 1; b <= lc.num_servers; ++b) {
+      if (a != hub && b != hub) {
+        lc.set_link(a, b, false);
+      }
+    }
+  }
+}
+
+void ApplyConstrainedEarlyCut(const LinkControl& lc, NodeId hub, NodeId leader) {
+  OPX_CHECK_NE(hub, leader);
+  lc.set_link(hub, leader, false);
+}
+
+void ApplyConstrainedMainCut(const LinkControl& lc, NodeId hub, NodeId leader) {
+  OPX_CHECK_NE(hub, leader);
+  for (NodeId a = 1; a <= lc.num_servers; ++a) {
+    for (NodeId b = a + 1; b <= lc.num_servers; ++b) {
+      const bool incident_leader = (a == leader || b == leader);
+      const bool incident_hub = (a == hub || b == hub);
+      if (incident_leader || !incident_hub) {
+        lc.set_link(a, b, false);
+      }
+    }
+  }
+}
+
+void ApplyChained(const LinkControl& lc, NodeId leader, NodeId middle, NodeId other) {
+  OPX_CHECK_EQ(lc.num_servers, 3);
+  OPX_CHECK(leader != middle && middle != other && leader != other);
+  lc.set_link(leader, other, false);
+}
+
+void HealAll(const LinkControl& lc) {
+  for (NodeId a = 1; a <= lc.num_servers; ++a) {
+    for (NodeId b = a + 1; b <= lc.num_servers; ++b) {
+      lc.set_link(a, b, true);
+    }
+  }
+}
+
+}  // namespace opx::rsm

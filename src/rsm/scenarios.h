@@ -1,0 +1,52 @@
+// The paper's partial-connectivity scenarios (§2, Fig. 1) as link scripts.
+//
+// Scenarios are expressed relative to the currently elected leader and a
+// designated fully-connected "hub" server (called A in the paper), and applied
+// to any network through a type-erased link-control handle, so the same
+// scripts drive every protocol harness, the Table 1 matrix, and Fig. 8.
+#ifndef SRC_RSM_SCENARIOS_H_
+#define SRC_RSM_SCENARIOS_H_
+
+#include <functional>
+#include <string>
+
+#include "src/util/types.h"
+
+namespace opx::rsm {
+
+enum class Scenario {
+  kQuorumLoss,   // Fig. 1a: every server only connected to the hub; the
+                 // leader stays alive but loses quorum-connectivity
+  kConstrained,  // Fig. 1b: leader fully partitioned; hub is the only QC
+                 // server and has an outdated log (disconnected earlier)
+  kChained,      // Fig. 1c: 3 servers in a chain, leader at one end
+};
+
+std::string ScenarioName(Scenario s);
+
+struct LinkControl {
+  int num_servers = 0;
+  std::function<void(NodeId a, NodeId b, bool up)> set_link;
+};
+
+// Fig. 1a. Cuts every link not incident to `hub`. The leader remains
+// connected to the hub (alive but not QC).
+void ApplyQuorumLoss(const LinkControl& lc, NodeId hub);
+
+// Fig. 1b, stage 1: disconnect hub from the leader early so the hub's log
+// falls behind (§7.2 experiment description).
+void ApplyConstrainedEarlyCut(const LinkControl& lc, NodeId hub, NodeId leader);
+
+// Fig. 1b, stage 2: fully partition the leader; all remaining servers keep
+// only their link to the hub.
+void ApplyConstrainedMainCut(const LinkControl& lc, NodeId hub, NodeId leader);
+
+// Fig. 1c (3 servers): cut leader <-> other so the chain is
+// leader — middle — other, with the leader at an endpoint.
+void ApplyChained(const LinkControl& lc, NodeId leader, NodeId middle, NodeId other);
+
+void HealAll(const LinkControl& lc);
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_SCENARIOS_H_

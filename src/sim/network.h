@@ -1,0 +1,225 @@
+// Simulated message network with partial-connectivity control.
+//
+// Models the paper's assumptions (§3): bidirectional, session-based FIFO
+// perfect links (TCP in the paper). Each directed link carries a session
+// epoch; cutting a link bumps the epoch so in-flight messages of the old
+// session are discarded, and healing it delivers a "reconnected" event to both
+// endpoints — the cue Sequence Paxos uses to send <PrepareReq> (§4.1.3).
+//
+// Bandwidth: every node owns an egress queue draining at a configurable rate.
+// A message occupies the sender NIC for size/rate seconds before propagating
+// with the per-link one-way latency. This serialization is the mechanism
+// behind the reconfiguration leader-bottleneck experiments (Fig. 9) and also
+// provides the per-node I/O counters the paper reports.
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::sim {
+
+struct NetworkParams {
+  // One-way propagation delay applied to every link unless overridden.
+  Time default_latency = Micros(100);  // LAN: RTT 0.2 ms as in §7.1
+  // Egress serialization rate per node, bytes/second. 0 disables the model
+  // (messages only incur latency). 1.25e9 B/s ~ a 10 Gbps NIC.
+  double egress_bytes_per_sec = 0.0;
+  // Fixed per-message framing overhead added to the payload size for both
+  // serialization and I/O accounting (rough TCP/IP + header cost).
+  uint32_t per_message_overhead_bytes = 64;
+};
+
+template <typename Msg>
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, Msg msg)>;
+  using ReconnectHandler = std::function<void(NodeId peer)>;
+
+  // Nodes are ids 1..num_nodes.
+  Network(Simulator* sim, int num_nodes, NetworkParams params)
+      : sim_(sim), n_(num_nodes), params_(params) {
+    OPX_CHECK_GT(num_nodes, 0);
+    links_.resize(static_cast<size_t>(n_ + 1) * static_cast<size_t>(n_ + 1));
+    for (auto& link : links_) {
+      link.latency = params_.default_latency;
+    }
+    handlers_.resize(static_cast<size_t>(n_) + 1);
+    reconnect_handlers_.resize(static_cast<size_t>(n_) + 1);
+    egress_free_at_.resize(static_cast<size_t>(n_) + 1, 0);
+    bytes_sent_.resize(static_cast<size_t>(n_) + 1, 0);
+    messages_sent_.resize(static_cast<size_t>(n_) + 1, 0);
+  }
+
+  int num_nodes() const { return n_; }
+
+  void SetHandler(NodeId node, Handler handler) {
+    handlers_[CheckedIndex(node)] = std::move(handler);
+  }
+
+  void SetReconnectHandler(NodeId node, ReconnectHandler handler) {
+    reconnect_handlers_[CheckedIndex(node)] = std::move(handler);
+  }
+
+  // Sends `msg` over the directed link from→to. `payload_bytes` is the logical
+  // wire size used for bandwidth/I/O accounting. Silently drops if the link is
+  // down (the session-epoch check also drops messages that were in the NIC
+  // queue when the link was cut).
+  //
+  // `control_plane` marks tiny election/failure-detector messages that bypass
+  // the egress serialization queue (modelling an out-of-band control channel;
+  // they still count toward I/O). Without this, a saturated scaled-down NIC
+  // starves heartbeats behind multi-hundred-KB data messages — an artifact
+  // real gigabit deployments do not exhibit.
+  void Send(NodeId from, NodeId to, Msg msg, uint32_t payload_bytes,
+            bool control_plane = false) {
+    OPX_CHECK_NE(from, to);
+    Link& link = LinkRef(from, to);
+    const uint64_t session = link.epoch;
+    if (!link.up) {
+      return;
+    }
+    const uint64_t wire_bytes = payload_bytes + params_.per_message_overhead_bytes;
+    bytes_sent_[CheckedIndex(from)] += wire_bytes;
+    messages_sent_[CheckedIndex(from)] += 1;
+
+    Time start = sim_->Now();
+    if (params_.egress_bytes_per_sec > 0.0 && !control_plane) {
+      Time& free_at = egress_free_at_[CheckedIndex(from)];
+      if (free_at > start) {
+        start = free_at;
+      }
+      const Time tx = static_cast<Time>(static_cast<double>(wire_bytes) /
+                                        params_.egress_bytes_per_sec * 1e9);
+      free_at = start + tx;
+      start = free_at;
+    }
+    Time deliver_at = start + link.latency;
+    // Enforce FIFO per directed link and channel (control-plane messages ride
+    // their own session, as BLE does over a dedicated connection in practice;
+    // clamping them behind queued data would defeat the bypass).
+    Time& last = control_plane ? link.last_control_delivery : link.last_delivery;
+    if (deliver_at <= last) {
+      deliver_at = last + 1;
+    }
+    last = deliver_at;
+
+    sim_->ScheduleAt(deliver_at, [this, from, to, session, m = std::move(msg)]() mutable {
+      Link& l = LinkRef(from, to);
+      if (!l.up || l.epoch != session) {
+        return;  // session dropped while the message was in flight
+      }
+      Handler& h = handlers_[CheckedIndex(to)];
+      if (h) {
+        h(from, std::move(m));
+      }
+    });
+  }
+
+  // Cuts or heals the bidirectional link a<->b. Healing a previously-down link
+  // raises the reconnect event on both endpoints after one propagation delay
+  // (models the TCP session re-establishing).
+  void SetLink(NodeId a, NodeId b, bool up) {
+    SetLinkOneWay(a, b, up);
+    SetLinkOneWay(b, a, up);
+  }
+
+  // Half-duplex control (§8 discussion): affects only messages a→b.
+  void SetLinkOneWay(NodeId a, NodeId b, bool up) {
+    Link& link = LinkRef(a, b);
+    if (link.up == up) {
+      return;
+    }
+    link.up = up;
+    link.epoch += 1;
+    if (up) {
+      sim_->ScheduleAfter(link.latency, [this, a, b]() {
+        // Notify the *receiver* side (b) that its session with a is fresh.
+        ReconnectHandler& h = reconnect_handlers_[CheckedIndex(b)];
+        if (h && LinkRef(a, b).up) {
+          h(a);
+        }
+      });
+    }
+  }
+
+  bool LinkUp(NodeId a, NodeId b) const {
+    return LinkConstRef(a, b).up && LinkConstRef(b, a).up;
+  }
+
+  void SetLatency(NodeId a, NodeId b, Time one_way) {
+    LinkRef(a, b).latency = one_way;
+    LinkRef(b, a).latency = one_way;
+  }
+
+  // Cuts every link of `node` (both directions), isolating it.
+  void Isolate(NodeId node) {
+    for (NodeId other = 1; other <= n_; ++other) {
+      if (other != node) {
+        SetLink(node, other, false);
+      }
+    }
+  }
+
+  // Restores full connectivity among all nodes.
+  void HealAll() {
+    for (NodeId a = 1; a <= n_; ++a) {
+      for (NodeId b = a + 1; b <= n_; ++b) {
+        SetLink(a, b, true);
+      }
+    }
+  }
+
+  uint64_t BytesSent(NodeId node) const { return bytes_sent_[CheckedIndex(node)]; }
+  uint64_t MessagesSent(NodeId node) const { return messages_sent_[CheckedIndex(node)]; }
+
+  uint64_t TotalBytesSent() const {
+    uint64_t total = 0;
+    for (NodeId node = 1; node <= n_; ++node) {
+      total += BytesSent(node);
+    }
+    return total;
+  }
+
+ private:
+  struct Link {
+    bool up = true;
+    uint64_t epoch = 0;
+    Time latency = 0;
+    Time last_delivery = -1;
+    Time last_control_delivery = -1;
+  };
+
+  size_t CheckedIndex(NodeId node) const {
+    OPX_CHECK(node >= 1 && node <= n_) << "node=" << node;
+    return static_cast<size_t>(node);
+  }
+
+  Link& LinkRef(NodeId from, NodeId to) {
+    return links_[CheckedIndex(from) * static_cast<size_t>(n_ + 1) + CheckedIndex(to)];
+  }
+  const Link& LinkConstRef(NodeId from, NodeId to) const {
+    return links_[CheckedIndex(from) * static_cast<size_t>(n_ + 1) + CheckedIndex(to)];
+  }
+
+  Simulator* sim_;
+  int n_;
+  NetworkParams params_;
+  std::vector<Link> links_;
+  std::vector<Handler> handlers_;
+  std::vector<ReconnectHandler> reconnect_handlers_;
+  std::vector<Time> egress_free_at_;
+  std::vector<uint64_t> bytes_sent_;
+  std::vector<uint64_t> messages_sent_;
+};
+
+}  // namespace opx::sim
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,123 @@
+// Deterministic discrete-event simulator.
+//
+// Events are closures scheduled at absolute virtual times; ties are broken by
+// insertion order so a run is a pure function of its inputs (seed + scenario).
+// This is the substrate substituting for the paper's Google Cloud deployment
+// (see DESIGN.md §2): protocols never read wall-clock time and never spawn
+// threads, so a whole-cluster experiment replays identically from a seed.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/time.h"
+
+namespace opx::sim {
+
+// Identifies a scheduled event for cancellation.
+using EventId = uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time. Starts at 0.
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay. delay >= 0.
+  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `at` (>= Now()).
+  EventId ScheduleAt(Time at, std::function<void()> fn) {
+    OPX_CHECK_GE(at, now_);
+    const EventId id = next_id_++;
+    queue_.push(Event{at, id, std::move(fn)});
+    return id;
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op, which lets timer owners cancel unconditionally.
+  void Cancel(EventId id) {
+    if (id != kInvalidEvent) {
+      cancelled_.insert(id);
+    }
+  }
+
+  // Runs the earliest pending event; returns false if the queue is empty.
+  bool Step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      OPX_CHECK_GE(ev.at, now_);
+      now_ = ev.at;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs every event with time <= deadline, then advances Now() to deadline.
+  void RunUntil(Time deadline) {
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (cancelled_.count(top.id) > 0) {
+        cancelled_.erase(top.id);
+        queue_.pop();
+        continue;
+      }
+      if (top.at > deadline) {
+        break;
+      }
+      Step();
+    }
+    OPX_CHECK_GE(deadline, now_);
+    now_ = deadline;
+  }
+
+  // Drains the queue completely. Only sensible for tests with finite event sets.
+  void RunToCompletion() {
+    while (Step()) {
+    }
+  }
+
+  size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;  // doubles as the FIFO tie-breaker: ids increase monotonically
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace opx::sim
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,75 @@
+// Lightweight runtime assertion macros in the spirit of absl/glog CHECK.
+//
+// Protocol code in this repository is exception-free; invariant violations are
+// programming errors and abort the process with a source location and message.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace opx {
+namespace internal {
+
+// Terminates the process after printing a formatted failure report. Marked
+// noreturn so CHECK can be used in value-returning control flow.
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr,
+                                   const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so call sites can write `CHECK(x) << "context " << v;`.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Consumes a CheckMessage when the condition held; compiles to nothing.
+struct CheckVoidify {
+  // Accepts both a fresh CheckMessage and the lvalue returned by <<-chains.
+  void operator&(const CheckMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace opx
+
+#define OPX_CHECK(cond)                 \
+  (cond) ? (void)0                      \
+         : ::opx::internal::CheckVoidify() & \
+               ::opx::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define OPX_CHECK_EQ(a, b) OPX_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OPX_CHECK_NE(a, b) OPX_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OPX_CHECK_LT(a, b) OPX_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OPX_CHECK_LE(a, b) OPX_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OPX_CHECK_GT(a, b) OPX_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OPX_CHECK_GE(a, b) OPX_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#ifndef NDEBUG
+#define OPX_DCHECK(cond) OPX_CHECK(cond)
+#else
+#define OPX_DCHECK(cond) \
+  while (false) OPX_CHECK(cond)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

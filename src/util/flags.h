@@ -1,0 +1,68 @@
+// Minimal command-line flag parsing for the tools (no external dependencies).
+// Supports --name=value and --name value forms plus boolean --name.
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opx {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name, const std::string& def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      return def;
+    }
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opx
+
+#endif  // SRC_UTIL_FLAGS_H_

@@ -1,0 +1,65 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace opx {
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("OPX_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kOff;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  return LogLevel::kOff;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = ParseEnvLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MutableLevel());
+}
+
+void LogLine(LogLevel level, const std::string& line) {
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), line.c_str());
+}
+
+}  // namespace opx

@@ -1,0 +1,55 @@
+// Minimal leveled logging. Off by default so tests and benchmarks stay quiet;
+// set OPX_LOG_LEVEL=debug|info|warn|error (environment) or call SetLogLevel.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace opx {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+void LogLine(LogLevel level, const std::string& line);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace opx
+
+#define OPX_LOG(level)                        \
+  if (!::opx::LogEnabled(::opx::LogLevel::level)) { \
+  } else                                      \
+    ::opx::internal::LogMessage(::opx::LogLevel::level)
+
+#define OPX_DLOG OPX_LOG(kDebug)
+#define OPX_ILOG OPX_LOG(kInfo)
+#define OPX_WLOG OPX_LOG(kWarn)
+#define OPX_ELOG OPX_LOG(kError)
+
+#endif  // SRC_UTIL_LOGGING_H_

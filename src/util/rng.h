@@ -1,0 +1,80 @@
+// Deterministic random number generation for simulation runs.
+//
+// Every experiment is reproducible from a single 64-bit seed. SplitMix64 is
+// used for seeding; xoshiro256** is the workhorse generator (fast, passes
+// BigCrush, trivially copyable so cluster harnesses can fork substreams).
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace opx {
+
+// One step of the SplitMix64 sequence; also usable stand-alone for hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    OPX_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    OPX_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Derives an independent child stream; used to give each node its own RNG.
+  Rng Fork() { return Rng(Next() ^ 0xa0761d6478bd642fULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace opx
+
+#endif  // SRC_UTIL_RNG_H_

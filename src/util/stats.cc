@@ -1,0 +1,80 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace opx {
+
+double TCritical95(size_t dof) {
+  // Two-sided 95% critical values of Student's t-distribution.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,  // dof 1..9
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,  // dof 10..19
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,  // dof 20..29
+      2.042};                                                                  // dof 30
+  if (dof == 0) {
+    return 0.0;
+  }
+  if (dof <= 30) {
+    return kTable[dof];
+  }
+  if (dof <= 60) {
+    return 2.000;
+  }
+  if (dof <= 120) {
+    return 1.980;
+  }
+  return 1.960;
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double sq = 0.0;
+    for (double v : samples) {
+      const double d = v - s.mean;
+      sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    s.ci95_half = TCritical95(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  OPX_CHECK(!samples.empty());
+  OPX_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+std::string FormatMeanCi(const Summary& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f ± %.1f", s.mean, s.ci95_half);
+  return buf;
+}
+
+}  // namespace opx

@@ -1,0 +1,37 @@
+// Summary statistics used by the benchmark harnesses.
+//
+// The paper reports means with 95% confidence intervals computed with the
+// t-distribution over 10 repetitions; Summarize() mirrors that.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace opx {
+
+struct Summary {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;     // sample standard deviation
+  double ci95_half = 0.0;  // half-width of the 95% CI (t-distribution)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Two-sided 97.5% quantile of Student's t with `dof` degrees of freedom.
+// Exact table for small dof (the regimes benchmarks use), 1.96 asymptote.
+double TCritical95(size_t dof);
+
+Summary Summarize(const std::vector<double>& samples);
+
+// p in [0, 100]; linear interpolation between order statistics.
+double Percentile(std::vector<double> samples, double p);
+
+// Renders "mean ± ci" with a sensible precision, e.g. "12345.6 ± 213.4".
+std::string FormatMeanCi(const Summary& s);
+
+}  // namespace opx
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,30 @@
+// Virtual time used throughout the simulator and protocol state machines.
+//
+// All protocol code is driven by the discrete-event simulator, so "time" is a
+// signed 64-bit count of nanoseconds since the start of a run. Helpers below
+// build durations from human units; a full 5-minute experiment is ~3e11 ns,
+// leaving ample headroom in 63 bits.
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace opx {
+
+// Nanoseconds. Used both as a point on the simulated timeline and as a span.
+using Time = int64_t;
+
+constexpr Time kTimeNever = INT64_MAX;
+
+constexpr Time Nanos(int64_t n) { return n; }
+constexpr Time Micros(int64_t n) { return n * 1'000; }
+constexpr Time Millis(int64_t n) { return n * 1'000'000; }
+constexpr Time Seconds(int64_t n) { return n * 1'000'000'000; }
+constexpr Time Minutes(int64_t n) { return Seconds(n * 60); }
+
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double ToMillis(Time t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace opx
+
+#endif  // SRC_UTIL_TIME_H_

@@ -1,0 +1,23 @@
+// Shared primitive identifiers.
+#ifndef SRC_UTIL_TYPES_H_
+#define SRC_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace opx {
+
+// Server / process identifier. Servers are numbered 1..N as in the paper;
+// 0 is reserved as "no node". Clients and auxiliary actors use ids > N.
+using NodeId = int32_t;
+constexpr NodeId kNoNode = 0;
+
+// Index into the replicated log (0-based). An index is "decided" when every
+// entry at position < decided_idx is decided.
+using LogIndex = uint64_t;
+
+// Configuration number for reconfiguration (c_0, c_1, ... in the paper).
+using ConfigId = uint32_t;
+
+}  // namespace opx
+
+#endif  // SRC_UTIL_TYPES_H_

@@ -1,0 +1,166 @@
+#include "src/vr/vr_election.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace opx::vr {
+
+VrElection::VrElection(VrConfig config) : config_(std::move(config)), rng_(config_.seed) {
+  OPX_CHECK_NE(config_.pid, kNoNode);
+  all_nodes_ = config_.peers;
+  all_nodes_.push_back(config_.pid);
+  std::sort(all_nodes_.begin(), all_nodes_.end());
+  ResetBudget();
+  // View 0's leader is immediately "elected" — VR starts in normal status
+  // with the predetermined primary.
+  leader_event_ = Ballot{1, 0, LeaderOf(0)};
+  view_ = 0;
+  last_normal_view_ = 0;
+}
+
+NodeId VrElection::LeaderOf(uint64_t view) const {
+  return all_nodes_[view % all_nodes_.size()];
+}
+
+void VrElection::ResetBudget() {
+  missed_ = 0;
+  budget_ = config_.timeout_ticks +
+            static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(config_.timeout_ticks)));
+}
+
+void VrElection::Tick() {
+  if (status_ == VrStatus::kNormal) {
+    const NodeId leader = current_leader();
+    if (leader == config_.pid) {
+      return;  // primaries answer pings, they do not monitor
+    }
+    if (alive_seen_) {
+      missed_ = 0;
+    } else {
+      ++missed_;
+    }
+    alive_seen_ = false;
+    if (missed_ >= budget_) {
+      AdvanceView(view_ + 1);
+      return;
+    }
+    Emit(leader, VrPing{});
+    return;
+  }
+  // View change in progress: if it stalls (designated leader unreachable or
+  // not enough quorum-connected voters), try the next view.
+  ++missed_;
+  if (missed_ >= budget_) {
+    AdvanceView(view_ + 1);
+  }
+}
+
+void VrElection::AdvanceView(uint64_t view) {
+  OPX_CHECK_GT(view, view_);
+  view_ = view;
+  status_ = VrStatus::kViewChange;
+  svc_received_.clear();
+  svc_received_.insert(config_.pid);
+  dvc_received_.clear();
+  dvc_sent_ = false;
+  ResetBudget();
+  ++view_changes_started_;
+  for (NodeId peer : config_.peers) {
+    Emit(peer, StartViewChange{view_});
+  }
+  MaybeSendDoViewChange();
+}
+
+void VrElection::MaybeSendDoViewChange() {
+  // EQC requirement: only a server that has itself heard StartViewChange from
+  // a majority (i.e., is quorum-connected) votes for the new leader.
+  if (dvc_sent_ || status_ != VrStatus::kViewChange ||
+      svc_received_.size() < Majority()) {
+    return;
+  }
+  dvc_sent_ = true;
+  const NodeId leader = current_leader();
+  if (leader == config_.pid) {
+    dvc_received_.insert(config_.pid);
+    if (dvc_received_.size() >= Majority()) {
+      CompleteViewChange();
+    }
+  } else {
+    Emit(leader, DoViewChange{view_});
+  }
+}
+
+void VrElection::CompleteViewChange() {
+  if (status_ != VrStatus::kViewChange) {
+    return;  // already completed via an earlier vote
+  }
+  status_ = VrStatus::kNormal;
+  last_normal_view_ = view_;
+  ResetBudget();
+  leader_event_ = Ballot{view_ + 1, 0, config_.pid};
+  for (NodeId peer : config_.peers) {
+    Emit(peer, StartView{view_});
+  }
+}
+
+void VrElection::Handle(NodeId from, const VrMessage& msg) {
+  if (const auto* svc = std::get_if<StartViewChange>(&msg)) {
+    if (svc->view > view_) {
+      AdvanceView(svc->view);
+    }
+    if (svc->view == view_ && status_ == VrStatus::kViewChange) {
+      svc_received_.insert(from);
+      MaybeSendDoViewChange();
+    }
+    return;
+  }
+  if (const auto* dvc = std::get_if<DoViewChange>(&msg)) {
+    if (dvc->view > view_) {
+      AdvanceView(dvc->view);
+    }
+    if (dvc->view == view_ && current_leader() == config_.pid &&
+        status_ == VrStatus::kViewChange) {
+      dvc_received_.insert(from);
+      // Our own vote still requires our own SVC majority first (EQC).
+      MaybeSendDoViewChange();
+      if (dvc_sent_ && dvc_received_.size() >= Majority()) {
+        CompleteViewChange();
+      }
+    }
+    return;
+  }
+  if (const auto* sv = std::get_if<StartView>(&msg)) {
+    if (sv->view > view_ || (sv->view == view_ && status_ == VrStatus::kViewChange)) {
+      view_ = sv->view;
+      status_ = VrStatus::kNormal;
+      last_normal_view_ = view_;
+      ResetBudget();
+      alive_seen_ = true;
+      leader_event_ = Ballot{view_ + 1, 0, from};
+    }
+    return;
+  }
+  if (std::holds_alternative<VrPing>(msg)) {
+    Emit(from, VrPong{});
+    return;
+  }
+  if (std::holds_alternative<VrPong>(msg)) {
+    if (status_ == VrStatus::kNormal && from == current_leader()) {
+      alive_seen_ = true;
+    }
+  }
+}
+
+std::vector<VrOut> VrElection::TakeOutgoing() { return std::exchange(pending_out_, {}); }
+
+std::optional<Ballot> VrElection::TakeLeaderEvent() {
+  return std::exchange(leader_event_, std::nullopt);
+}
+
+void VrElection::Emit(NodeId to, VrMessage msg) {
+  pending_out_.push_back(VrOut{to, std::move(msg)});
+}
+
+}  // namespace opx::vr

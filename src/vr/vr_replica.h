@@ -1,0 +1,108 @@
+// VR baseline replica: VrElection (view changes) + SequencePaxos (log
+// replication), composed exactly as the paper's VR implementation (§7).
+#ifndef SRC_VR_VR_REPLICA_H_
+#define SRC_VR_VR_REPLICA_H_
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/omnipaxos/sequence_paxos.h"
+#include "src/omnipaxos/storage.h"
+#include "src/vr/vr_election.h"
+
+namespace opx::vr {
+
+using VrWire = std::variant<omni::PaxosMessage, VrMessage>;
+
+struct VrReplicaOut {
+  NodeId to = kNoNode;
+  VrWire body;
+};
+
+inline uint64_t WireBytes(const VrWire& m) {
+  return std::visit([](const auto& inner) { return WireBytes(inner); }, m);
+}
+
+struct VrReplicaConfig {
+  NodeId pid = kNoNode;
+  std::vector<NodeId> peers;
+  int timeout_ticks = 3;
+  size_t batch_limit = 0;
+  uint64_t seed = 1;
+};
+
+class VrReplica {
+ public:
+  VrReplica(const VrReplicaConfig& config, omni::Storage* storage)
+      : paxos_(MakePaxosConfig(config), storage), election_(MakeVrConfig(config)) {
+    DrainLeaderEvents();
+  }
+
+  void Tick() {
+    election_.Tick();
+    DrainLeaderEvents();
+  }
+
+  void Handle(NodeId from, VrWire msg) {
+    if (auto* paxos_msg = std::get_if<omni::PaxosMessage>(&msg)) {
+      paxos_.Handle(from, std::move(*paxos_msg));
+    } else {
+      election_.Handle(from, std::get<VrMessage>(msg));
+      DrainLeaderEvents();
+    }
+  }
+
+  void Reconnected(NodeId peer) { paxos_.Reconnected(peer); }
+
+  bool Append(omni::Entry entry) { return paxos_.Append(std::move(entry)); }
+
+  std::vector<VrReplicaOut> TakeOutgoing() {
+    std::vector<VrReplicaOut> out;
+    for (VrOut& v : election_.TakeOutgoing()) {
+      out.push_back(VrReplicaOut{v.to, std::move(v.body)});
+    }
+    for (omni::PaxosOut& p : paxos_.TakeOutgoing()) {
+      out.push_back(VrReplicaOut{p.to, std::move(p.body)});
+    }
+    return out;
+  }
+
+  bool IsLeader() const { return paxos_.IsLeader(); }
+  NodeId leader_hint() const { return paxos_.leader_hint(); }
+  LogIndex decided_idx() const { return paxos_.decided_idx(); }
+  const omni::Storage& storage() const { return paxos_.storage(); }
+  const VrElection& election() const { return election_; }
+  omni::SequencePaxos& paxos() { return paxos_; }
+
+ private:
+  void DrainLeaderEvents() {
+    if (std::optional<Ballot> elected = election_.TakeLeaderEvent()) {
+      paxos_.HandleLeader(*elected);
+    }
+  }
+
+  static omni::SequencePaxosConfig MakePaxosConfig(const VrReplicaConfig& c) {
+    omni::SequencePaxosConfig pc;
+    pc.pid = c.pid;
+    pc.peers = c.peers;
+    pc.batch_limit = c.batch_limit;
+    return pc;
+  }
+
+  static VrConfig MakeVrConfig(const VrReplicaConfig& c) {
+    VrConfig vc;
+    vc.pid = c.pid;
+    vc.peers = c.peers;
+    vc.timeout_ticks = c.timeout_ticks;
+    vc.seed = c.seed;
+    return vc;
+  }
+
+  omni::SequencePaxos paxos_;
+  VrElection election_;
+};
+
+}  // namespace opx::vr
+
+#endif  // SRC_VR_VR_REPLICA_H_

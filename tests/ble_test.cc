@@ -1,0 +1,248 @@
+// Unit tests for Ballot Leader Election in isolation (no SequencePaxos):
+// quorum-connectivity evaluation, checkLeader rules, takeover bumps, priority
+// tie-breaks, and the LE1–LE3 properties of §5.1.
+#include <gtest/gtest.h>
+
+#include "src/omnipaxos/ble.h"
+
+namespace opx {
+namespace {
+
+using omni::Ballot;
+using omni::BallotLeaderElection;
+using omni::BleConfig;
+using omni::BleMessage;
+using omni::BleOut;
+using omni::HeartbeatReply;
+using omni::HeartbeatRequest;
+
+BleConfig Config(NodeId pid, std::vector<NodeId> peers, uint32_t priority = 0) {
+  BleConfig cfg;
+  cfg.pid = pid;
+  cfg.peers = std::move(peers);
+  cfg.priority = priority;
+  return cfg;
+}
+
+// Feeds one full round: Tick (starts round), replies, Tick (evaluates).
+void Round(BallotLeaderElection& ble, const std::vector<HeartbeatReply>& replies,
+           const std::vector<NodeId>& froms) {
+  ble.Tick();
+  (void)ble.TakeOutgoing();
+  for (size_t i = 0; i < replies.size(); ++i) {
+    HeartbeatReply r = replies[i];
+    r.round = ble.round();
+    ble.Handle(froms[i], r);
+  }
+}
+
+TEST(Ble, FirstTickBroadcastsRequests) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  ble.Tick();
+  const std::vector<BleOut> out = ble.TakeOutgoing();
+  ASSERT_EQ(out.size(), 2u);
+  for (const BleOut& o : out) {
+    EXPECT_TRUE(std::holds_alternative<HeartbeatRequest>(o.body));
+  }
+}
+
+TEST(Ble, RepliesCarryBallotAndQcFlag) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  ble.Tick();
+  (void)ble.TakeOutgoing();
+  ble.Handle(2, HeartbeatRequest{1});
+  const std::vector<BleOut> out = ble.TakeOutgoing();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& reply = std::get<HeartbeatReply>(out[0].body);
+  EXPECT_EQ(reply.ballot.pid, 1);
+  EXPECT_TRUE(reply.quorum_connected);  // optimistic before the first round ends
+}
+
+TEST(Ble, ElectsHighestBallotAmongQcCandidates) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();  // evaluate
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_EQ(elected->pid, 3);  // (0,0,3) is the max ballot
+}
+
+TEST(Ble, PriorityBreaksTies) {
+  BallotLeaderElection ble(Config(1, {2, 3}, /*priority=*/5));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_EQ(elected->pid, 1);  // own ballot (0,5,1) beats (0,0,3)
+}
+
+TEST(Ble, NonQcPeersAreNotCandidates) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  Round(ble, {{0, Ballot{9, 0, 2}, false}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_NE(elected->pid, 2);  // the higher ballot is not QC
+}
+
+TEST(Ble, NoMajorityNoElectionAndNotQc) {
+  BallotLeaderElection ble(Config(1, {2, 3, 4, 5}));  // majority = 3
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});      // only 1 reply + self = 2
+  ble.Tick();
+  EXPECT_FALSE(ble.TakeLeaderEvent().has_value());
+  EXPECT_FALSE(ble.quorum_connected());
+}
+
+TEST(Ble, LateRepliesAreIgnored) {
+  BallotLeaderElection ble(Config(1, {2, 3, 4, 5}));
+  ble.Tick();
+  (void)ble.TakeOutgoing();
+  const uint64_t old_round = ble.round();
+  ble.Tick();  // round advances; replies to old_round are late now
+  ble.Handle(2, HeartbeatReply{old_round, Ballot{0, 0, 2}, true});
+  ble.Handle(3, HeartbeatReply{old_round, Ballot{0, 0, 3}, true});
+  ble.Tick();
+  EXPECT_FALSE(ble.TakeLeaderEvent().has_value());
+}
+
+TEST(Ble, LeaderLossTriggersBallotBump) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  // Elect server 3.
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  ASSERT_EQ(ble.TakeLeaderEvent()->pid, 3);
+  const uint64_t n_before = ble.current_ballot().n;
+  // Next round: 3's heartbeat missing (dead or disconnected).
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});
+  ble.Tick();
+  EXPECT_GT(ble.current_ballot().n, n_before);  // takeover attempt
+  // And one round later we elect ourselves with the bumped ballot.
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});
+  ble.Tick();
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_EQ(elected->pid, 1);
+}
+
+TEST(Ble, LeaderLosingQcFlagTriggersTakeover) {
+  // Quorum-loss essence (Fig. 5a): the leader is alive but reports qc=false.
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  ASSERT_EQ(ble.TakeLeaderEvent()->pid, 3);
+  const uint64_t n_before = ble.current_ballot().n;
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, false}}, {2, 3});
+  ble.Tick();
+  EXPECT_GT(ble.current_ballot().n, n_before);
+}
+
+TEST(Ble, ElectedBallotsStrictlyIncrease) {
+  // LE3 over a sequence of takeovers and failures.
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  Ballot last = *ble.TakeLeaderEvent();
+  for (int k = 0; k < 3; ++k) {
+    // Server 2 takes over with a higher ballot.
+    const Ballot takeover{last.n + 5, 0, 2};
+    Round(ble, {{0, takeover, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+    ble.Tick();
+    auto elected = ble.TakeLeaderEvent();
+    ASSERT_TRUE(elected.has_value());
+    EXPECT_GT(*elected, last);
+    last = *elected;
+    // Server 2 vanishes: we bump past its ballot and elect ourselves.
+    Round(ble, {{0, Ballot{0, 0, 3}, true}}, {3});
+    ble.Tick();
+    Round(ble, {{0, Ballot{0, 0, 3}, true}}, {3});
+    ble.Tick();
+    elected = ble.TakeLeaderEvent();
+    ASSERT_TRUE(elected.has_value());
+    EXPECT_GT(*elected, last);
+    EXPECT_EQ(elected->pid, 1);
+    last = *elected;
+    // Server 2 returns with its now-stale ballot: never re-elected (LE3).
+    Round(ble, {{0, takeover, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+    ble.Tick();
+    EXPECT_FALSE(ble.TakeLeaderEvent().has_value());
+  }
+}
+
+TEST(Ble, StableLeaderNoSpuriousEvents) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  ASSERT_TRUE(ble.TakeLeaderEvent().has_value());
+  for (int round = 0; round < 10; ++round) {
+    Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 3}, true}}, {2, 3});
+    ble.Tick();
+    EXPECT_FALSE(ble.TakeLeaderEvent().has_value()) << "round " << round;
+  }
+}
+
+TEST(Ble, RecoveredServerResumesBallotCounter) {
+  // A recovering server must resume at least at its persisted promised round
+  // (liveness: its future elections must be able to exceed replication-layer
+  // promises).
+  BleConfig cfg = Config(1, {2, 3});
+  cfg.initial_n = 42;
+  cfg.recovered = true;
+  BallotLeaderElection ble(cfg);
+  EXPECT_EQ(ble.current_ballot().n, 42u);
+  // Elect the higher peer, then lose it (only the lower peer remains): the
+  // takeover bump must exceed the resumed counter (42), not restart at zero.
+  Round(ble, {{0, Ballot{0, 0, 3}, true}}, {3});
+  ble.Tick();
+  ASSERT_TRUE(ble.TakeLeaderEvent().has_value());
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});  // leader 3 vanished
+  ble.Tick();
+  EXPECT_GT(ble.current_ballot().n, 42u);
+}
+
+TEST(Ble, RecoveredServerRenouncesCandidacyUntilBump) {
+  // The resumed ballot must not be electable: the server may have used that
+  // round before the crash and cannot safely re-run it. Its heartbeat
+  // replies carry qc=false until the first fresh ballot.
+  BleConfig cfg = Config(1, {2, 3});
+  cfg.initial_n = 10;
+  cfg.recovered = true;
+  BallotLeaderElection ble(cfg);
+  ble.Tick();
+  (void)ble.TakeOutgoing();
+  ble.Handle(2, HeartbeatRequest{1});
+  const auto out = ble.TakeOutgoing();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(std::get<HeartbeatReply>(out[0].body).quorum_connected);
+  // It also never elects itself with the resumed ballot: peers with lower
+  // ballots are the only candidates.
+  Round(ble, {{0, Ballot{3, 0, 2}, true}, {0, Ballot{2, 0, 3}, true}}, {2, 3});
+  ble.Tick();
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_NE(elected->pid, 1);
+  // After bumping (leader loss), candidacy returns with a fresh ballot.
+  Round(ble, {{0, Ballot{2, 0, 3}, true}}, {3});
+  ble.Tick();  // bump
+  Round(ble, {{0, Ballot{2, 0, 3}, true}}, {3});
+  ble.Tick();
+  ble.Handle(2, HeartbeatRequest{ble.round()});
+  bool qc_seen = false;
+  for (const BleOut& o : ble.TakeOutgoing()) {
+    if (const auto* reply = std::get_if<HeartbeatReply>(&o.body)) {
+      qc_seen = reply->quorum_connected;
+    }
+  }
+  EXPECT_TRUE(qc_seen);
+}
+
+TEST(Ble, SingleServerElectsItself) {
+  BallotLeaderElection ble(Config(1, {}));
+  ble.Tick();
+  ble.Tick();
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_EQ(elected->pid, 1);
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,140 @@
+// Unit tests for the closed-loop benchmark client: CP maintenance, leader
+// redirection, retry/rotation, duplicate suppression, and the down-time /
+// windowed-throughput metrics every figure depends on.
+#include <gtest/gtest.h>
+
+#include "src/rsm/client.h"
+
+namespace opx {
+namespace {
+
+using rsm::Client;
+using rsm::ClientParams;
+using rsm::ResponseBatch;
+
+ClientParams Params(size_t cp = 10) {
+  ClientParams p;
+  p.num_servers = 3;
+  p.concurrent_proposals = cp;
+  p.retry_timeout = Millis(100);
+  return p;
+}
+
+TEST(Client, TopsUpToConcurrentProposals) {
+  Client client(Params(10));
+  const auto sends = client.Tick(0);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].batch.cmd_ids.size(), 10u);
+}
+
+TEST(Client, NoSendWhenSaturated) {
+  Client client(Params(10));
+  (void)client.Tick(0);
+  EXPECT_TRUE(client.Tick(Millis(1)).empty());
+}
+
+TEST(Client, RefillsAfterCompletions) {
+  Client client(Params(10));
+  const auto first = client.Tick(0);
+  ResponseBatch resp;
+  resp.cmd_ids = {first[0].batch.cmd_ids[0], first[0].batch.cmd_ids[1]};
+  client.OnResponse(Millis(5), 1, resp);
+  EXPECT_EQ(client.completed(), 2u);
+  const auto refill = client.Tick(Millis(6));
+  ASSERT_EQ(refill.size(), 1u);
+  EXPECT_EQ(refill[0].batch.cmd_ids.size(), 2u);
+}
+
+TEST(Client, DuplicateResponsesCountedOnce) {
+  Client client(Params(5));
+  const auto first = client.Tick(0);
+  ResponseBatch resp;
+  resp.cmd_ids = {first[0].batch.cmd_ids[0]};
+  client.OnResponse(Millis(1), 1, resp);
+  client.OnResponse(Millis(2), 1, resp);
+  client.OnResponse(Millis(3), 2, resp);
+  EXPECT_EQ(client.completed(), 1u);
+}
+
+TEST(Client, RedirectsToHintedLeaderAndReproposes) {
+  Client client(Params(5));
+  (void)client.Tick(0);
+  ResponseBatch reject;
+  reject.leader_hint = 3;
+  client.OnResponse(Millis(1), 1, reject);
+  const auto resend = client.Tick(Millis(2));
+  ASSERT_EQ(resend.size(), 1u);
+  EXPECT_EQ(resend[0].to, 3);
+  EXPECT_EQ(resend[0].batch.cmd_ids.size(), 5u);  // outstanding re-proposed
+}
+
+TEST(Client, RotatesTargetAfterSilence) {
+  Client client(Params(5));
+  const auto first = client.Tick(0);
+  const NodeId first_target = first[0].to;
+  // No responses for > retry_timeout: rotate and re-propose.
+  const auto retry = client.Tick(Millis(150));
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_NE(retry[0].to, first_target);
+  EXPECT_EQ(retry[0].batch.cmd_ids.size(), 5u);
+}
+
+TEST(Client, SticksWithRespondingServer) {
+  Client client(Params(5));
+  const auto first = client.Tick(0);
+  ResponseBatch resp;
+  resp.cmd_ids = {first[0].batch.cmd_ids[0]};
+  client.OnResponse(Millis(1), 2, resp);  // server 2 decided something
+  const auto next = client.Tick(Millis(2));
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].to, 2);
+}
+
+TEST(Client, WindowCountsBucketCompletions) {
+  Client client(Params(4));
+  client.set_window_width(Seconds(1));
+  const auto first = client.Tick(0);
+  ResponseBatch resp;
+  resp.cmd_ids = {first[0].batch.cmd_ids[0]};
+  client.OnResponse(Millis(500), 1, resp);     // window 0
+  ResponseBatch resp2;
+  resp2.cmd_ids = {first[0].batch.cmd_ids[1], first[0].batch.cmd_ids[2]};
+  client.OnResponse(Millis(2'500), 1, resp2);  // window 2
+  const auto& windows = client.window_counts();
+  ASSERT_GE(windows.size(), 3u);
+  EXPECT_EQ(windows[0], 1u);
+  EXPECT_EQ(windows[1], 0u);
+  EXPECT_EQ(windows[2], 2u);
+}
+
+TEST(Client, LongestGapTracksDowntime) {
+  Client client(Params(4));
+  const auto first = client.Tick(0);
+  auto respond_one = [&](size_t i, Time at) {
+    ResponseBatch resp;
+    resp.cmd_ids = {first[0].batch.cmd_ids[i]};
+    client.OnResponse(at, 1, resp);
+  };
+  respond_one(0, Millis(10));
+  respond_one(1, Millis(20));
+  // 980 ms outage.
+  respond_one(2, Millis(1000));
+  respond_one(3, Millis(1010));
+  EXPECT_EQ(client.LongestGap(0, Millis(1010)), Millis(980));
+  // Clipped to a window inside the outage.
+  EXPECT_EQ(client.LongestGap(Millis(100), Millis(600)), Millis(500));
+  // Open-ended gap at the query horizon.
+  EXPECT_EQ(client.LongestGap(0, Seconds(5)), Seconds(5) - Millis(1010));
+}
+
+TEST(Client, MeanLatencyAveragesProposeToDecide) {
+  Client client(Params(2));
+  const auto first = client.Tick(0);
+  ResponseBatch resp;
+  resp.cmd_ids = first[0].batch.cmd_ids;
+  client.OnResponse(Millis(100), 1, resp);
+  EXPECT_NEAR(client.MeanLatencySeconds(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace opx

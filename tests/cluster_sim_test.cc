@@ -1,0 +1,159 @@
+// Integration tests: full simulated clusters (client + network + protocol)
+// for every protocol adapter, including the §7.2 partial-connectivity
+// behaviours that Table 1 summarizes.
+#include <gtest/gtest.h>
+
+#include "src/rsm/experiments.h"
+
+namespace opx {
+namespace {
+
+using rsm::MultiPaxosNode;
+using rsm::NormalConfig;
+using rsm::OmniNode;
+using rsm::PartitionConfig;
+using rsm::RaftNode;
+using rsm::RaftPvCqNode;
+using rsm::Scenario;
+using rsm::VrNode;
+
+NormalConfig QuickNormal() {
+  NormalConfig cfg;
+  cfg.warmup = Seconds(2);
+  cfg.duration = Seconds(5);
+  return cfg;
+}
+
+PartitionConfig QuickPartition(Scenario s) {
+  PartitionConfig cfg;
+  cfg.scenario = s;
+  cfg.num_servers = s == Scenario::kChained ? 3 : 5;
+  cfg.partition_duration = Seconds(10);
+  cfg.post_heal = Seconds(5);
+  cfg.warmup = Seconds(2);
+  return cfg;
+}
+
+// --- Normal execution: every protocol serves the closed-loop client. -------
+
+TEST(ClusterNormal, OmniServesClient) {
+  const auto r = rsm::RunNormal<OmniNode>(QuickNormal());
+  EXPECT_GT(r.throughput, 10'000.0);
+  EXPECT_LT(r.election_io_share, 0.01);  // §7.1: BLE overhead is negligible
+}
+
+TEST(ClusterNormal, RaftServesClient) {
+  const auto r = rsm::RunNormal<RaftNode>(QuickNormal());
+  EXPECT_GT(r.throughput, 10'000.0);
+}
+
+TEST(ClusterNormal, RaftPvCqServesClient) {
+  const auto r = rsm::RunNormal<RaftPvCqNode>(QuickNormal());
+  EXPECT_GT(r.throughput, 10'000.0);
+}
+
+TEST(ClusterNormal, MultiPaxosServesClient) {
+  const auto r = rsm::RunNormal<MultiPaxosNode>(QuickNormal());
+  EXPECT_GT(r.throughput, 10'000.0);
+}
+
+TEST(ClusterNormal, VrServesClient) {
+  const auto r = rsm::RunNormal<VrNode>(QuickNormal());
+  EXPECT_GT(r.throughput, 10'000.0);
+}
+
+TEST(ClusterNormal, WanLatencyBoundsThroughput) {
+  NormalConfig lan = QuickNormal();
+  NormalConfig wan = QuickNormal();
+  wan.wan = true;
+  // Election timeouts must exceed the WAN RTT (heartbeat replies would
+  // otherwise always arrive late and no leader could be elected).
+  wan.election_timeout = Millis(500);
+  const auto lan_result = rsm::RunNormal<OmniNode>(lan);
+  const auto wan_result = rsm::RunNormal<OmniNode>(wan);
+  // CP=500 over a >100 ms RTT is latency-bound: far below the LAN number.
+  EXPECT_LT(wan_result.throughput, lan_result.throughput / 10);
+  EXPECT_GT(wan_result.throughput, 1'000.0);
+}
+
+// --- Quorum-loss (Fig. 8a). -------------------------------------------------
+
+TEST(ClusterQuorumLoss, OmniRecoversInConstantTime) {
+  const auto r = rsm::RunPartition<OmniNode>(QuickPartition(Scenario::kQuorumLoss));
+  EXPECT_TRUE(r.recovered);
+  // Constant-time recovery: about four election timeouts (§7.2), generously
+  // bounded here.
+  EXPECT_LT(r.downtime, 8 * Millis(50));
+}
+
+TEST(ClusterQuorumLoss, RaftEventuallyRecovers) {
+  const auto r = rsm::RunPartition<RaftNode>(QuickPartition(Scenario::kQuorumLoss));
+  EXPECT_TRUE(r.recovered);  // the hub learns higher terms and gets elected
+}
+
+TEST(ClusterQuorumLoss, MultiPaxosDeadlocks) {
+  const auto r = rsm::RunPartition<MultiPaxosNode>(QuickPartition(Scenario::kQuorumLoss));
+  EXPECT_FALSE(r.recovered);
+  EXPECT_GE(r.downtime, Seconds(9));  // down for the partition duration
+}
+
+TEST(ClusterQuorumLoss, VrDeadlocks) {
+  const auto r = rsm::RunPartition<VrNode>(QuickPartition(Scenario::kQuorumLoss));
+  EXPECT_FALSE(r.recovered);
+}
+
+// --- Constrained election (Fig. 8b). ----------------------------------------
+
+TEST(ClusterConstrained, OmniRecovers) {
+  const auto r = rsm::RunPartition<OmniNode>(QuickPartition(Scenario::kConstrained));
+  EXPECT_TRUE(r.recovered);
+  EXPECT_LT(r.downtime, 8 * Millis(50));
+}
+
+TEST(ClusterConstrained, MultiPaxosRecovers) {
+  const auto r = rsm::RunPartition<MultiPaxosNode>(QuickPartition(Scenario::kConstrained));
+  EXPECT_TRUE(r.recovered);
+}
+
+TEST(ClusterConstrained, RaftDeadlocks) {
+  const auto r = rsm::RunPartition<RaftNode>(QuickPartition(Scenario::kConstrained));
+  EXPECT_FALSE(r.recovered);  // the only QC server has an outdated log
+}
+
+TEST(ClusterConstrained, RaftPvCqDeadlocks) {
+  const auto r = rsm::RunPartition<RaftPvCqNode>(QuickPartition(Scenario::kConstrained));
+  EXPECT_FALSE(r.recovered);
+}
+
+TEST(ClusterConstrained, VrDeadlocks) {
+  const auto r = rsm::RunPartition<VrNode>(QuickPartition(Scenario::kConstrained));
+  EXPECT_FALSE(r.recovered);
+}
+
+// --- Chained scenario (Fig. 8c). ---------------------------------------------
+
+TEST(ClusterChained, OmniSingleLeaderChangeAndProgress) {
+  const auto r = rsm::RunPartition<OmniNode>(QuickPartition(Scenario::kChained));
+  EXPECT_TRUE(r.recovered);
+  EXPECT_LE(r.leader_elevations, 1u);  // §7.2: a single leader change
+}
+
+TEST(ClusterChained, MultiPaxosLivelocksWithRepeatedElections) {
+  const auto r = rsm::RunPartition<MultiPaxosNode>(QuickPartition(Scenario::kChained));
+  // Progress happens between leader changes but elections keep repeating.
+  EXPECT_GE(r.leader_elevations, 4u);
+}
+
+TEST(ClusterChained, RaftPvCqNoLeaderChanges) {
+  const auto r = rsm::RunPartition<RaftPvCqNode>(QuickPartition(Scenario::kChained));
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.leader_elevations, 0u);  // §7.2: PreVote keeps the leader
+}
+
+TEST(ClusterChained, VrRecovers) {
+  const auto r = rsm::RunPartition<VrNode>(QuickPartition(Scenario::kChained));
+  EXPECT_TRUE(r.recovered);
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,175 @@
+// Wire-codec tests: exact round-trips for every message type, and robustness
+// against truncated/corrupted input (parameterized fuzz sweep).
+#include <gtest/gtest.h>
+
+#include "src/omnipaxos/codec.h"
+#include "src/util/rng.h"
+
+namespace opx {
+namespace {
+
+using omni::Ballot;
+using omni::DecodeMessage;
+using omni::EncodeMessage;
+using omni::Entry;
+using omni::OmniMessage;
+
+OmniMessage RoundTrip(const OmniMessage& in) {
+  std::vector<uint8_t> wire;
+  EncodeMessage(in, &wire);
+  OmniMessage out;
+  EXPECT_TRUE(DecodeMessage(wire.data(), wire.size(), &out));
+  return out;
+}
+
+template <typename T>
+T PaxosAs(const OmniMessage& m) {  // by value: callers pass temporaries
+  return std::get<T>(std::get<omni::PaxosMessage>(m));
+}
+
+TEST(Codec, Prepare) {
+  omni::Prepare in;
+  in.n = Ballot{7, 2, 3};
+  in.acc_rnd = Ballot{5, 0, 1};
+  in.log_idx = 1234;
+  in.decided_idx = 1200;
+  const auto out = PaxosAs<omni::Prepare>(RoundTrip(omni::PaxosMessage(in)));
+  EXPECT_EQ(out.n, in.n);
+  EXPECT_EQ(out.acc_rnd, in.acc_rnd);
+  EXPECT_EQ(out.log_idx, in.log_idx);
+  EXPECT_EQ(out.decided_idx, in.decided_idx);
+}
+
+TEST(Codec, PromiseWithSuffixAndStopSign) {
+  omni::Promise in;
+  in.n = Ballot{9, 0, 2};
+  in.acc_rnd = Ballot{8, 1, 4};
+  in.log_idx = 42;
+  in.decided_idx = 40;
+  in.snapshot_up_to = 30;
+  in.suffix.push_back(Entry::Command(100, 8));
+  omni::StopSign ss;
+  ss.next_config = 2;
+  ss.next_nodes = {1, 2, 6};
+  in.suffix.push_back(Entry::Stop(ss));
+  const auto out = PaxosAs<omni::Promise>(RoundTrip(omni::PaxosMessage(in)));
+  EXPECT_EQ(out.snapshot_up_to, 30u);
+  ASSERT_EQ(out.suffix.size(), 2u);
+  EXPECT_EQ(out.suffix[0], in.suffix[0]);
+  EXPECT_EQ(out.suffix[1], in.suffix[1]);
+  ASSERT_TRUE(out.suffix[1].IsStopSign());
+  EXPECT_EQ(out.suffix[1].stop_sign->next_nodes, (std::vector<NodeId>{1, 2, 6}));
+}
+
+TEST(Codec, AcceptSync) {
+  omni::AcceptSync in;
+  in.n = Ballot{3, 0, 1};
+  in.sync_idx = 17;
+  in.decided_idx = 15;
+  in.snapshot_up_to = 10;
+  in.suffix = {Entry::Command(1, 8), Entry::Command(2, 16)};
+  const auto out = PaxosAs<omni::AcceptSync>(RoundTrip(omni::PaxosMessage(in)));
+  EXPECT_EQ(out.sync_idx, in.sync_idx);
+  EXPECT_EQ(out.suffix, in.suffix);
+}
+
+TEST(Codec, AcceptDecide) {
+  omni::AcceptDecide in;
+  in.n = Ballot{3, 0, 1};
+  in.start_idx = 100;
+  in.decided_idx = 99;
+  in.entries = {Entry::Command(5, 8)};
+  const auto out = PaxosAs<omni::AcceptDecide>(RoundTrip(omni::PaxosMessage(in)));
+  EXPECT_EQ(out.start_idx, 100u);
+  EXPECT_EQ(out.entries, in.entries);
+}
+
+TEST(Codec, SmallMessages) {
+  const auto accepted =
+      PaxosAs<omni::Accepted>(RoundTrip(omni::PaxosMessage(omni::Accepted{Ballot{1, 0, 2}, 55})));
+  EXPECT_EQ(accepted.log_idx, 55u);
+  const auto decide =
+      PaxosAs<omni::Decide>(RoundTrip(omni::PaxosMessage(omni::Decide{Ballot{1, 0, 2}, 50})));
+  EXPECT_EQ(decide.decided_idx, 50u);
+  const OmniMessage req = RoundTrip(omni::PaxosMessage(omni::PrepareReq{}));
+  EXPECT_TRUE(std::holds_alternative<omni::PrepareReq>(std::get<omni::PaxosMessage>(req)));
+}
+
+TEST(Codec, ProposalForward) {
+  omni::ProposalForward in;
+  in.entries = {Entry::Command(9, 8), Entry::Command(10, 8)};
+  const auto out = PaxosAs<omni::ProposalForward>(RoundTrip(omni::PaxosMessage(in)));
+  EXPECT_EQ(out.entries, in.entries);
+}
+
+TEST(Codec, BleMessages) {
+  const OmniMessage req = RoundTrip(omni::BleMessage(omni::HeartbeatRequest{77}));
+  EXPECT_EQ(std::get<omni::HeartbeatRequest>(std::get<omni::BleMessage>(req)).round, 77u);
+  omni::HeartbeatReply reply;
+  reply.round = 78;
+  reply.ballot = Ballot{4, 1, 5};
+  reply.quorum_connected = true;
+  const OmniMessage out = RoundTrip(omni::BleMessage(reply));
+  const auto& decoded = std::get<omni::HeartbeatReply>(std::get<omni::BleMessage>(out));
+  EXPECT_EQ(decoded.round, 78u);
+  EXPECT_EQ(decoded.ballot, reply.ballot);
+  EXPECT_TRUE(decoded.quorum_connected);
+}
+
+TEST(Codec, RejectsEmptyAndUnknownTag) {
+  OmniMessage out;
+  EXPECT_FALSE(DecodeMessage(nullptr, 0, &out));
+  const uint8_t bogus[] = {0x7f, 1, 2, 3};
+  EXPECT_FALSE(DecodeMessage(bogus, sizeof(bogus), &out));
+}
+
+TEST(Codec, RejectsAllTruncations) {
+  // Every strict prefix of a valid encoding must be rejected (no partial
+  // state, no crash).
+  omni::Promise promise;
+  promise.n = Ballot{9, 0, 2};
+  promise.acc_rnd = Ballot{8, 1, 4};
+  promise.suffix = {Entry::Command(100, 8)};
+  std::vector<uint8_t> wire;
+  EncodeMessage(omni::PaxosMessage(promise), &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    OmniMessage out;
+    EXPECT_FALSE(DecodeMessage(wire.data(), len, &out)) << "prefix len " << len;
+  }
+}
+
+class CodecFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t len = rng.NextBounded(128);
+    std::vector<uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    OmniMessage out;
+    (void)DecodeMessage(bytes.data(), bytes.size(), &out);  // must not crash/UB
+  }
+}
+
+TEST_P(CodecFuzzTest, BitFlippedEncodingsNeverCrash) {
+  Rng rng(GetParam());
+  omni::AcceptDecide ad;
+  ad.n = Ballot{3, 0, 1};
+  ad.entries = {Entry::Command(5, 8), Entry::Command(6, 8)};
+  std::vector<uint8_t> wire;
+  EncodeMessage(omni::PaxosMessage(ad), &wire);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> mutated = wire;
+    mutated[rng.NextBounded(mutated.size())] ^=
+        static_cast<uint8_t>(1u << rng.NextBounded(8));
+    OmniMessage out;
+    (void)DecodeMessage(mutated.data(), mutated.size(), &out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest, ::testing::Range<uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace opx

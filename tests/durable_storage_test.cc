@@ -1,0 +1,235 @@
+// Tests for the WAL-backed storage: round-trip recovery of every mutation
+// type, torn-tail tolerance, and end-to-end crash-recovery of a SequencePaxos
+// server running on durable storage.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/omnipaxos/durable_storage.h"
+#include "src/omnipaxos/omni_paxos.h"
+#include "tests/omni_test_harness.h"
+
+namespace opx {
+namespace {
+
+using omni::Ballot;
+using omni::DurableStorage;
+using omni::Entry;
+using omni::StopSign;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "_" +
+         std::to_string(reinterpret_cast<uintptr_t>(&name)) + ".wal";
+}
+
+TEST(DurableStorage, RecoversEmptyJournal) {
+  const std::string path = TempPath("empty");
+  { auto storage = DurableStorage::Create(path); }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->log_len(), 0u);
+  EXPECT_EQ(recovered->decided_idx(), 0u);
+  EXPECT_EQ(recovered->promised_round(), omni::kNullBallot);
+  std::remove(path.c_str());
+}
+
+TEST(DurableStorage, RecoverMissingFileReturnsNull) {
+  EXPECT_EQ(DurableStorage::Recover("/nonexistent/dir/x.wal"), nullptr);
+}
+
+TEST(DurableStorage, RoundTripsAllMutations) {
+  const std::string path = TempPath("roundtrip");
+  {
+    auto storage = DurableStorage::Create(path);
+    storage->set_promised_round(Ballot{3, 1, 2});
+    storage->set_accepted_round(Ballot{3, 1, 2});
+    storage->Append(Entry::Command(1, 8));
+    storage->AppendAll({Entry::Command(2, 8), Entry::Command(3, 16)});
+    StopSign ss;
+    ss.next_config = 7;
+    ss.next_nodes = {1, 2, 9};
+    storage->Append(Entry::Stop(ss));
+    storage->set_decided_idx(2);
+    storage->TruncateAndAppend(3, {Entry::Command(99, 8)});
+    storage->Sync();
+  }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->promised_round(), (Ballot{3, 1, 2}));
+  EXPECT_EQ(recovered->accepted_round(), (Ballot{3, 1, 2}));
+  ASSERT_EQ(recovered->log_len(), 4u);
+  EXPECT_EQ(recovered->At(0).cmd_id, 1u);
+  EXPECT_EQ(recovered->At(1).cmd_id, 2u);
+  EXPECT_EQ(recovered->At(2).cmd_id, 3u);
+  EXPECT_EQ(recovered->At(2).payload_bytes, 16u);
+  EXPECT_EQ(recovered->At(3).cmd_id, 99u);
+  EXPECT_EQ(recovered->decided_idx(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DurableStorage, StopSignSurvivesRecovery) {
+  const std::string path = TempPath("ss");
+  {
+    auto storage = DurableStorage::Create(path);
+    StopSign ss;
+    ss.next_config = 3;
+    ss.next_nodes = {4, 5, 6, 7};
+    storage->Append(Entry::Stop(ss));
+  }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  ASSERT_EQ(recovered->log_len(), 1u);
+  ASSERT_TRUE(recovered->At(0).IsStopSign());
+  EXPECT_EQ(recovered->At(0).stop_sign->next_config, 3u);
+  EXPECT_EQ(recovered->At(0).stop_sign->next_nodes,
+            (std::vector<NodeId>{4, 5, 6, 7}));
+  std::remove(path.c_str());
+}
+
+TEST(DurableStorage, TornTailIsDiscarded) {
+  const std::string path = TempPath("torn");
+  {
+    auto storage = DurableStorage::Create(path);
+    storage->Append(Entry::Command(1, 8));
+    storage->Append(Entry::Command(2, 8));
+    storage->Sync();
+  }
+  // Chop a few bytes off the end: the last record becomes torn.
+  {
+    FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_EQ(0, ftruncate(fileno(f), size - 3));
+    std::fclose(f);
+  }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->log_len(), 1u);
+  EXPECT_EQ(recovered->At(0).cmd_id, 1u);
+  // The journal remains usable: new appends land after the valid prefix.
+  recovered->Append(Entry::Command(3, 8));
+  recovered->Sync();
+  auto again = DurableStorage::Recover(path);
+  ASSERT_NE(again, nullptr);
+  ASSERT_EQ(again->log_len(), 2u);
+  EXPECT_EQ(again->At(1).cmd_id, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DurableStorage, CorruptMiddleByteTruncatesFromThere) {
+  const std::string path = TempPath("corrupt");
+  {
+    auto storage = DurableStorage::Create(path);
+    for (uint64_t i = 1; i <= 5; ++i) {
+      storage->Append(Entry::Command(i, 8));
+    }
+  }
+  {
+    FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    const uint8_t garbage = 0xff;
+    std::fwrite(&garbage, 1, 1, f);
+    std::fclose(f);
+  }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  // Some prefix survives; nothing bogus appears.
+  EXPECT_LT(recovered->log_len(), 5u);
+  for (LogIndex i = 0; i < recovered->log_len(); ++i) {
+    EXPECT_EQ(recovered->At(i).cmd_id, i + 1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DurableStorage, SequencePaxosSurvivesCrashViaWal) {
+  // End-to-end: a 3-server cluster where server 3 journals to disk; crash it
+  // (drop all volatile state), recover from the WAL, and catch up.
+  const std::string path = TempPath("e2e");
+  omni::Storage mem1, mem2;
+  auto wal3 = DurableStorage::Create(path);
+
+  auto make = [](NodeId id, omni::Storage* storage, bool recovered = false) {
+    omni::OmniConfig cfg;
+    cfg.pid = id;
+    for (NodeId p = 1; p <= 3; ++p) {
+      if (p != id) {
+        cfg.peers.push_back(p);
+      }
+    }
+    cfg.ble_priority = id == 1 ? 1 : 0;
+    return std::make_unique<omni::OmniPaxos>(cfg, storage, recovered);
+  };
+  std::vector<std::unique_ptr<omni::OmniPaxos>> nodes;
+  nodes.push_back(nullptr);
+  nodes.push_back(make(1, &mem1));
+  nodes.push_back(make(2, &mem2));
+  nodes.push_back(make(3, wal3.get()));
+
+  auto settle = [&]() {
+    for (int iter = 0; iter < 20; ++iter) {
+      bool any = false;
+      for (NodeId id = 1; id <= 3; ++id) {
+        if (!nodes[static_cast<size_t>(id)]) {
+          continue;
+        }
+        for (omni::OmniOut& out : nodes[static_cast<size_t>(id)]->TakeOutgoing()) {
+          if (nodes[static_cast<size_t>(out.to)]) {
+            nodes[static_cast<size_t>(out.to)]->Handle(id, std::move(out.body));
+            any = true;
+          }
+        }
+      }
+      if (!any) {
+        break;
+      }
+    }
+  };
+  auto tick = [&]() {
+    for (NodeId id = 1; id <= 3; ++id) {
+      if (nodes[static_cast<size_t>(id)]) {
+        nodes[static_cast<size_t>(id)]->TickElection();
+      }
+    }
+    settle();
+  };
+
+  tick();
+  tick();
+  ASSERT_TRUE(nodes[1]->IsLeader());
+  for (uint64_t cmd = 1; cmd <= 5; ++cmd) {
+    nodes[1]->Append(Entry::Command(cmd, 8));
+    settle();
+  }
+  EXPECT_EQ(wal3->decided_idx(), 5u);
+
+  // Crash server 3: volatile protocol state gone, WAL handle closed.
+  nodes[3] = nullptr;
+  wal3.reset();
+  for (uint64_t cmd = 6; cmd <= 8; ++cmd) {
+    nodes[1]->Append(Entry::Command(cmd, 8));
+    settle();
+  }
+
+  // Recover from disk and rejoin.
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->decided_idx(), 5u);
+  nodes[3] = make(3, recovered.get(), /*recovered=*/true);
+  settle();  // PrepareReq → Prepare → re-sync
+  tick();
+  EXPECT_EQ(recovered->decided_idx(), 8u);
+  for (LogIndex i = 0; i < 8; ++i) {
+    EXPECT_EQ(recovered->At(i).cmd_id, i + 1);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,62 @@
+// Tests for the minimal flag parser used by the CLI tools.
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+
+namespace opx {
+namespace {
+
+Flags Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags flags = Parse({"--id=3", "--wal=/tmp/x.wal"});
+  EXPECT_EQ(flags.GetInt("id", 0), 3);
+  EXPECT_EQ(flags.GetString("wal", ""), "/tmp/x.wal");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags flags = Parse({"--port", "7001", "--host", "localhost"});
+  EXPECT_EQ(flags.GetInt("port", 0), 7001);
+  EXPECT_EQ(flags.GetString("host", ""), "localhost");
+}
+
+TEST(Flags, BareBooleans) {
+  const Flags flags = Parse({"--status", "--verbose=false"});
+  EXPECT_TRUE(flags.GetBool("status", false));
+  EXPECT_FALSE(flags.GetBool("verbose", true));
+  EXPECT_TRUE(flags.GetBool("missing", true));  // default respected
+}
+
+TEST(Flags, Positional) {
+  const Flags flags = Parse({"file.wal", "--tail=5", "other"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "file.wal");
+  EXPECT_EQ(flags.positional()[1], "other");
+  EXPECT_EQ(flags.GetInt("tail", 0), 5);
+}
+
+TEST(Flags, DoublesAndDefaults) {
+  const Flags flags = Parse({"--rate=2.5e6"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 2.5e6);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("other", 1.25), 1.25);
+  EXPECT_FALSE(flags.Has("other"));
+  EXPECT_TRUE(flags.Has("rate"));
+}
+
+TEST(Flags, BooleanFollowedByFlagNotConsumed) {
+  const Flags flags = Parse({"--quick", "--count=3"});
+  EXPECT_TRUE(flags.GetBool("quick", false));
+  EXPECT_EQ(flags.GetInt("count", 0), 3);
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,142 @@
+// Unit tests for the KV state machine used by examples and integration tests.
+#include <gtest/gtest.h>
+
+#include "src/kvstore/kv_store.h"
+
+namespace opx {
+namespace {
+
+using kv::Command;
+using kv::CommandLog;
+using kv::KvStore;
+using kv::OpType;
+
+Command Put(const std::string& key, int64_t value) {
+  Command c;
+  c.type = OpType::kPut;
+  c.key = key;
+  c.value = value;
+  return c;
+}
+
+TEST(KvStore, PutAndGet) {
+  KvStore store;
+  EXPECT_TRUE(store.Apply(Put("a", 1)));
+  EXPECT_EQ(store.Get("a"), 1);
+  EXPECT_EQ(store.Get("missing"), std::nullopt);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStore, PutOverwrites) {
+  KvStore store;
+  store.Apply(Put("a", 1));
+  store.Apply(Put("a", 2));
+  EXPECT_EQ(store.Get("a"), 2);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.version(), 2u);
+}
+
+TEST(KvStore, DeleteRemoves) {
+  KvStore store;
+  store.Apply(Put("a", 1));
+  Command del;
+  del.type = OpType::kDelete;
+  del.key = "a";
+  EXPECT_TRUE(store.Apply(del));
+  EXPECT_EQ(store.Get("a"), std::nullopt);
+  EXPECT_FALSE(store.Apply(del));  // second delete is a no-op
+}
+
+TEST(KvStore, AddAccumulates) {
+  KvStore store;
+  Command add;
+  add.type = OpType::kAdd;
+  add.key = "ctr";
+  add.value = 5;
+  store.Apply(add);
+  store.Apply(add);
+  add.value = -3;
+  store.Apply(add);
+  EXPECT_EQ(store.Get("ctr"), 7);
+}
+
+TEST(KvStore, CompareSwapSucceedsOnMatch) {
+  KvStore store;
+  store.Apply(Put("a", 10));
+  Command cas;
+  cas.type = OpType::kCompareSwap;
+  cas.key = "a";
+  cas.expected = 10;
+  cas.value = 20;
+  EXPECT_TRUE(store.Apply(cas));
+  EXPECT_EQ(store.Get("a"), 20);
+}
+
+TEST(KvStore, CompareSwapFailsOnMismatch) {
+  KvStore store;
+  store.Apply(Put("a", 10));
+  Command cas;
+  cas.type = OpType::kCompareSwap;
+  cas.key = "a";
+  cas.expected = 99;
+  cas.value = 20;
+  EXPECT_FALSE(store.Apply(cas));
+  EXPECT_EQ(store.Get("a"), 10);
+}
+
+TEST(KvStore, CompareSwapTreatsMissingAsZero) {
+  KvStore store;
+  Command cas;
+  cas.type = OpType::kCompareSwap;
+  cas.key = "new";
+  cas.expected = 0;
+  cas.value = 7;
+  EXPECT_TRUE(store.Apply(cas));
+  EXPECT_EQ(store.Get("new"), 7);
+}
+
+TEST(KvStore, DigestEqualForSameState) {
+  KvStore a, b;
+  // Different application orders of commuting ops converge to the same state
+  // but different version counters — apply identical sequences instead.
+  for (int i = 0; i < 10; ++i) {
+    a.Apply(Put("k" + std::to_string(i), i));
+    b.Apply(Put("k" + std::to_string(i), i));
+  }
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(KvStore, DigestDiffersForDifferentState) {
+  KvStore a, b;
+  a.Apply(Put("k", 1));
+  b.Apply(Put("k", 2));
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(KvStore, SumAllTotalsValues) {
+  KvStore store;
+  store.Apply(Put("a", 10));
+  store.Apply(Put("b", -4));
+  EXPECT_EQ(store.SumAll(), 6);
+}
+
+TEST(CommandLog, RegistersAndLooksUp) {
+  CommandLog log;
+  const uint64_t id1 = log.Register(Put("x", 1));
+  const uint64_t id2 = log.Register(Put("y", 2));
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(id2, 2u);
+  EXPECT_EQ(log.Lookup(id1).key, "x");
+  EXPECT_EQ(log.Lookup(id2).key, "y");
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(CommandLog, LookupOutOfRangeDies) {
+  CommandLog log;
+  log.Register(Put("x", 1));
+  EXPECT_DEATH(log.Lookup(0), "CHECK failed");
+  EXPECT_DEATH(log.Lookup(2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace opx

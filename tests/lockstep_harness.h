@@ -1,0 +1,158 @@
+// Generic lockstep in-memory cluster for protocol unit tests.
+//
+// Works with any pull-based protocol node exposing Tick() / Handle(from, Msg)
+// / TakeOutgoing() -> vector<{to, body}>. Reconnected(peer) is invoked on
+// link heals when the node type provides it (Sequence-Paxos-based protocols).
+#ifndef TESTS_LOCKSTEP_HARNESS_H_
+#define TESTS_LOCKSTEP_HARNESS_H_
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace opx::testing {
+
+template <typename Node>
+class LockstepCluster {
+ public:
+  using OutVector = decltype(std::declval<Node&>().TakeOutgoing());
+  using Out = typename OutVector::value_type;
+  using Message = decltype(Out::body);
+  using Factory = std::function<std::unique_ptr<Node>(NodeId id, std::vector<NodeId> peers)>;
+
+  LockstepCluster(int n, Factory factory) : n_(n), factory_(std::move(factory)) {
+    nodes_.resize(static_cast<size_t>(n_) + 1);
+    for (NodeId id = 1; id <= n_; ++id) {
+      nodes_[static_cast<size_t>(id)] = factory_(id, PeersOf(id));
+    }
+  }
+
+  Node& node(NodeId id) { return *nodes_[Checked(id)]; }
+  int size() const { return n_; }
+
+  void SetLink(NodeId a, NodeId b, bool up) {
+    const std::pair<NodeId, NodeId> key = std::minmax(a, b);
+    if (up) {
+      const bool was_down = down_links_.erase(key) > 0;
+      if (was_down && !IsCrashed(a) && !IsCrashed(b)) {
+        NotifyReconnect(a, b);
+        NotifyReconnect(b, a);
+        Collect();
+      }
+    } else {
+      down_links_.insert(key);
+    }
+  }
+
+  bool LinkUp(NodeId a, NodeId b) const {
+    return down_links_.count(std::minmax(a, b)) == 0;
+  }
+
+  void Isolate(NodeId id) {
+    for (NodeId other = 1; other <= n_; ++other) {
+      if (other != id) {
+        SetLink(id, other, false);
+      }
+    }
+  }
+
+  void HealAll() {
+    for (NodeId a = 1; a <= n_; ++a) {
+      for (NodeId b = a + 1; b <= n_; ++b) {
+        SetLink(a, b, true);
+      }
+    }
+  }
+
+  void Crash(NodeId id) { crashed_.insert(id); }
+  bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  void Tick() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id)) {
+        node(id).Tick();
+      }
+    }
+    Collect();
+    DeliverAll();
+  }
+
+  void TickRounds(int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      Tick();
+    }
+  }
+
+  void DeliverAll() {
+    size_t guard = 0;
+    while (!queue_.empty()) {
+      OPX_CHECK_LT(++guard, 1'000'000u) << "message storm";
+      Wire w = std::move(queue_.front());
+      queue_.pop_front();
+      if (IsCrashed(w.to) || IsCrashed(w.from) || !LinkUp(w.from, w.to)) {
+        continue;
+      }
+      node(w.to).Handle(w.from, std::move(w.body));
+      Collect();
+    }
+  }
+
+  void Collect() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (IsCrashed(id)) {
+        continue;
+      }
+      for (Out& out : node(id).TakeOutgoing()) {
+        if (out.to >= 1 && out.to <= n_ && LinkUp(id, out.to) && !IsCrashed(out.to)) {
+          queue_.push_back(Wire{id, out.to, std::move(out.body)});
+        }
+      }
+    }
+  }
+
+ private:
+  struct Wire {
+    NodeId from;
+    NodeId to;
+    Message body;
+  };
+
+  std::vector<NodeId> PeersOf(NodeId id) const {
+    std::vector<NodeId> peers;
+    for (NodeId other = 1; other <= n_; ++other) {
+      if (other != id) {
+        peers.push_back(other);
+      }
+    }
+    return peers;
+  }
+
+  void NotifyReconnect(NodeId node_id, NodeId peer) {
+    if constexpr (requires(Node& n, NodeId p) { n.Reconnected(p); }) {
+      node(node_id).Reconnected(peer);
+    }
+  }
+
+  size_t Checked(NodeId id) const {
+    OPX_CHECK(id >= 1 && id <= n_);
+    return static_cast<size_t>(id);
+  }
+
+  int n_;
+  Factory factory_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::deque<Wire> queue_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<NodeId> crashed_;
+};
+
+}  // namespace opx::testing
+
+#endif  // TESTS_LOCKSTEP_HARNESS_H_

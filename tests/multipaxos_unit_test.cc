@@ -1,0 +1,175 @@
+// Message-level Multi-Paxos unit tests: promise/NACK rules, the
+// ack-watermark safety invariant, Phase-1 adoption, and gap repair.
+#include <gtest/gtest.h>
+
+#include "src/multipaxos/multipaxos.h"
+
+namespace opx {
+namespace {
+
+using mpx::Ballot;
+using mpx::Commit;
+using mpx::Entry;
+using mpx::LearnReq;
+using mpx::LearnResp;
+using mpx::MpxConfig;
+using mpx::MpxMessage;
+using mpx::MultiPaxos;
+using mpx::Nack;
+using mpx::P1a;
+using mpx::P1b;
+using mpx::P2a;
+using mpx::P2b;
+using mpx::SlotValue;
+
+MpxConfig Config3(NodeId pid) {
+  MpxConfig cfg;
+  cfg.pid = pid;
+  for (NodeId p = 1; p <= 3; ++p) {
+    if (p != pid) {
+      cfg.peers.push_back(p);
+    }
+  }
+  cfg.seed = 7 + static_cast<uint64_t>(pid);
+  return cfg;
+}
+
+template <typename T>
+std::vector<T> TakeOfType(MultiPaxos& node) {
+  std::vector<T> found;
+  for (mpx::MpxOut& out : node.TakeOutgoing()) {
+    if (auto* m = std::get_if<T>(&out.body)) {
+      found.push_back(std::move(*m));
+    }
+  }
+  return found;
+}
+
+TEST(MpxUnit, LowerBallotP1aNacked) {
+  MultiPaxos node(Config3(2));
+  node.Handle(1, MpxMessage(P1a{Ballot{5, 0, 1}, 0}));
+  EXPECT_EQ(TakeOfType<P1b>(node).size(), 1u);
+  node.Handle(3, MpxMessage(P1a{Ballot{2, 0, 3}, 0}));
+  const auto nacks = TakeOfType<Nack>(node);
+  ASSERT_EQ(nacks.size(), 1u);
+  EXPECT_EQ(nacks[0].promised, (Ballot{5, 0, 1}));
+}
+
+TEST(MpxUnit, P1bCarriesAcceptedSuffixAboveRequestedWatermark) {
+  MultiPaxos node(Config3(2));
+  // Accept three slots in ballot (1,0,1).
+  P2a p2a;
+  p2a.b = Ballot{1, 0, 1};
+  p2a.first_slot = 0;
+  p2a.values = {Entry::Command(1, 8), Entry::Command(2, 8), Entry::Command(3, 8)};
+  p2a.commit = 2;
+  node.Handle(1, MpxMessage(p2a));
+  (void)node.TakeOutgoing();
+  // New candidate asks with watermark 1: slots 1 and 2 are reported.
+  node.Handle(3, MpxMessage(P1a{Ballot{2, 0, 3}, 1}));
+  const auto promises = TakeOfType<P1b>(node);
+  ASSERT_EQ(promises.size(), 1u);
+  ASSERT_EQ(promises[0].accepted.size(), 2u);
+  EXPECT_EQ(promises[0].accepted[0].slot, 1u);
+  EXPECT_EQ(promises[0].accepted[0].value.cmd_id, 2u);
+  EXPECT_EQ(promises[0].decided, 2u);
+}
+
+TEST(MpxUnit, AckWatermarkStopsAtStaleBallotSlots) {
+  // The acceptor must not acknowledge slots whose values are from an older
+  // ballot (the divergence bug the chaos tests caught).
+  MultiPaxos node(Config3(2));
+  // Slots 0..2 accepted at ballot (1,0,1), nothing decided.
+  P2a old;
+  old.b = Ballot{1, 0, 1};
+  old.first_slot = 0;
+  old.values = {Entry::Command(1, 8), Entry::Command(2, 8), Entry::Command(3, 8)};
+  node.Handle(1, MpxMessage(old));
+  (void)node.TakeOutgoing();
+  // A new leader (3,0,3) sends only slot 3 — slots 0..2 still hold old-ballot
+  // values the new leader never re-sent.
+  P2a fresh;
+  fresh.b = Ballot{3, 0, 3};
+  fresh.first_slot = 3;
+  fresh.values = {Entry::Command(99, 8)};
+  fresh.commit = 0;
+  node.Handle(3, MpxMessage(fresh));
+  const auto acks = TakeOfType<P2b>(node);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].up_to, 0u);  // nothing certifiable in ballot (3,0,3)
+}
+
+TEST(MpxUnit, CommitBeyondHoldingsTriggersLearnReqFromDecided) {
+  MultiPaxos node(Config3(2));
+  P2a p2a;
+  p2a.b = Ballot{1, 0, 1};
+  p2a.first_slot = 0;
+  p2a.values = {Entry::Command(1, 8)};
+  node.Handle(1, MpxMessage(p2a));
+  (void)node.TakeOutgoing();
+  // Leader claims 5 chosen slots; we hold 1.
+  node.Handle(1, MpxMessage(Commit{Ballot{1, 0, 1}, 5}));
+  const auto reqs = TakeOfType<LearnReq>(node);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].from_slot, 1u);  // from our decided watermark
+  EXPECT_EQ(node.decided_idx(), 1u);
+}
+
+TEST(MpxUnit, LearnRespInstallsChosenPrefix) {
+  MultiPaxos node(Config3(2));
+  node.Handle(1, MpxMessage(P1a{Ballot{1, 0, 1}, 0}));  // promise the ballot
+  (void)node.TakeOutgoing();
+  LearnResp resp;
+  resp.first_slot = 0;
+  resp.values = {Entry::Command(1, 8), Entry::Command(2, 8)};
+  resp.commit = 2;
+  node.Handle(1, MpxMessage(resp));
+  EXPECT_EQ(node.decided_idx(), 2u);
+  EXPECT_EQ(node.log()[1].cmd_id, 2u);
+}
+
+TEST(MpxUnit, TakeoverAdoptsHighestBallotValuePerSlot) {
+  // 5 servers: the Phase-1 majority (3) needs both remote promises, so the
+  // adoption must compare their per-slot ballots.
+  MpxConfig cfg;
+  cfg.pid = 1;
+  cfg.peers = {2, 3, 4, 5};
+  cfg.seed = 9;
+  MultiPaxos node(cfg);
+  // Force a takeover: tick until Phase 1 starts.
+  for (int i = 0; i < 20 && node.role() == mpx::MpxRole::kFollower; ++i) {
+    node.Tick();
+  }
+  (void)node.TakeOutgoing();
+  ASSERT_EQ(node.role(), mpx::MpxRole::kPhase1);
+  const Ballot b = node.ballot();
+  // Two promises report conflicting values for slot 0 at different ballots.
+  P1b low;
+  low.b = b;
+  low.accepted = {SlotValue{0, Ballot{1, 0, 2}, Entry::Command(100, 8)}};
+  node.Handle(2, MpxMessage(low));
+  P1b high;
+  high.b = b;
+  high.accepted = {SlotValue{0, Ballot{2, 0, 3}, Entry::Command(200, 8)}};
+  node.Handle(3, MpxMessage(high));
+  (void)node.TakeOutgoing();
+  ASSERT_TRUE(node.IsLeader());
+  ASSERT_GE(node.log_len(), 1u);
+  EXPECT_EQ(node.log()[0].cmd_id, 200u);  // the higher-ballot value wins
+}
+
+TEST(MpxUnit, GapInP2aRequestsRepairInsteadOfAppending) {
+  MultiPaxos node(Config3(2));
+  P2a gap;
+  gap.b = Ballot{1, 0, 1};
+  gap.first_slot = 10;  // we have nothing
+  gap.values = {Entry::Command(11, 8)};
+  node.Handle(1, MpxMessage(gap));
+  EXPECT_EQ(node.log_len(), 0u);
+  const auto reqs = TakeOfType<LearnReq>(node);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].from_slot, 0u);
+}
+
+}  // namespace
+}  // namespace opx

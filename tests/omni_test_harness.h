@@ -1,0 +1,207 @@
+// In-memory lockstep cluster for unit-testing OmniPaxos protocol logic
+// without the discrete-event simulator: messages are delivered from a FIFO
+// queue with manual link control, ticks are explicit, and crashes/restarts
+// reuse the per-node Storage exactly as the fail-recovery model prescribes.
+#ifndef TESTS_OMNI_TEST_HARNESS_H_
+#define TESTS_OMNI_TEST_HARNESS_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/omnipaxos/omni_paxos.h"
+#include "src/util/check.h"
+
+namespace opx::testing {
+
+class OmniCluster {
+ public:
+  explicit OmniCluster(int n, size_t batch_limit = 0) : n_(n), batch_limit_(batch_limit) {
+    storages_.resize(static_cast<size_t>(n) + 1);
+    nodes_.resize(static_cast<size_t>(n) + 1);
+    for (NodeId id = 1; id <= n_; ++id) {
+      storages_[static_cast<size_t>(id)] = std::make_unique<omni::Storage>();
+      nodes_[static_cast<size_t>(id)] =
+          std::make_unique<omni::OmniPaxos>(ConfigFor(id), storages_[static_cast<size_t>(id)].get());
+    }
+  }
+
+  omni::OmniPaxos& node(NodeId id) { return *nodes_[Checked(id)]; }
+  omni::Storage& storage(NodeId id) { return *storages_[Checked(id)]; }
+  int size() const { return n_; }
+
+  // Gives `id` a BLE priority so it wins the first election deterministically.
+  void SetPriority(NodeId id, uint32_t priority) {
+    omni::OmniConfig cfg = ConfigFor(id);
+    cfg.ble_priority = priority;
+    nodes_[Checked(id)] = std::make_unique<omni::OmniPaxos>(cfg, &storage(id));
+  }
+
+  void SetLink(NodeId a, NodeId b, bool up) {
+    const auto key = std::minmax(a, b);
+    if (up) {
+      const bool was_down = down_links_.erase(key) > 0;
+      if (was_down && !IsCrashed(a) && !IsCrashed(b)) {
+        node(a).Reconnected(b);
+        node(b).Reconnected(a);
+        Collect();
+      }
+    } else {
+      down_links_.insert(key);
+    }
+  }
+
+  bool LinkUp(NodeId a, NodeId b) const {
+    return down_links_.count(std::minmax(a, b)) == 0;
+  }
+
+  // Isolates `id` from everyone.
+  void Isolate(NodeId id) {
+    for (NodeId other = 1; other <= n_; ++other) {
+      if (other != id) {
+        SetLink(id, other, false);
+      }
+    }
+  }
+
+  void HealAll() {
+    for (NodeId a = 1; a <= n_; ++a) {
+      for (NodeId b = a + 1; b <= n_; ++b) {
+        SetLink(a, b, true);
+      }
+    }
+  }
+
+  void Crash(NodeId id) {
+    crashed_.insert(id);
+    nodes_[Checked(id)] = nullptr;
+    // In-flight messages to/from a crashed node vanish.
+    std::deque<Wire> kept;
+    for (Wire& w : queue_) {
+      if (w.from != id && w.to != id) {
+        kept.push_back(std::move(w));
+      }
+    }
+    queue_ = std::move(kept);
+  }
+
+  void Restart(NodeId id) {
+    OPX_CHECK(IsCrashed(id));
+    crashed_.erase(id);
+    nodes_[Checked(id)] =
+        std::make_unique<omni::OmniPaxos>(ConfigFor(id), &storage(id), /*recovered=*/true);
+    Collect();
+  }
+
+  bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  // One BLE heartbeat period on all live nodes, then full message settling.
+  void Tick() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id)) {
+        node(id).TickElection();
+      }
+    }
+    Collect();
+    DeliverAll();
+  }
+
+  // Runs `rounds` heartbeat periods.
+  void TickRounds(int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      Tick();
+    }
+  }
+
+  // Delivers queued messages (and any they generate) until quiescent.
+  void DeliverAll() {
+    size_t guard = 0;
+    while (!queue_.empty()) {
+      OPX_CHECK_LT(++guard, 1'000'000u) << "message storm: protocol not quiescing";
+      Wire w = std::move(queue_.front());
+      queue_.pop_front();
+      if (IsCrashed(w.to) || IsCrashed(w.from) || !LinkUp(w.from, w.to)) {
+        continue;
+      }
+      node(w.to).Handle(w.from, std::move(w.body));
+      Collect();
+    }
+  }
+
+  // Appends a command at `id` and settles. Returns false if rejected.
+  bool Append(NodeId id, uint64_t cmd_id) {
+    const bool ok = node(id).Append(omni::Entry::Command(cmd_id, 8));
+    Collect();
+    DeliverAll();
+    return ok;
+  }
+
+  // The leader claimant with the highest ballot. A leader that lost
+  // quorum-connectivity keeps its role until it observes a higher round, so
+  // multiple claimants can coexist transiently (LE2 allows this); the one
+  // with the maximum ballot is the live leader of the cluster.
+  NodeId CurrentLeader() {
+    NodeId best = kNoNode;
+    omni::Ballot best_ballot;
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id) && node(id).IsLeader() &&
+          node(id).paxos().leader_ballot() > best_ballot) {
+        best = id;
+        best_ballot = node(id).paxos().leader_ballot();
+      }
+    }
+    return best;
+  }
+
+  // Collects outgoing messages from all live nodes into the wire queue.
+  void Collect() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (IsCrashed(id)) {
+        continue;
+      }
+      for (omni::OmniOut& out : node(id).TakeOutgoing()) {
+        if (LinkUp(id, out.to) && !IsCrashed(out.to)) {
+          queue_.push_back(Wire{id, out.to, std::move(out.body)});
+        }
+      }
+    }
+  }
+
+ private:
+  struct Wire {
+    NodeId from;
+    NodeId to;
+    omni::OmniMessage body;
+  };
+
+  size_t Checked(NodeId id) const {
+    OPX_CHECK(id >= 1 && id <= n_);
+    return static_cast<size_t>(id);
+  }
+
+  omni::OmniConfig ConfigFor(NodeId id) const {
+    omni::OmniConfig cfg;
+    cfg.pid = id;
+    for (NodeId peer = 1; peer <= n_; ++peer) {
+      if (peer != id) {
+        cfg.peers.push_back(peer);
+      }
+    }
+    cfg.batch_limit = batch_limit_;
+    return cfg;
+  }
+
+  int n_;
+  size_t batch_limit_ = 0;
+  std::vector<std::unique_ptr<omni::OmniPaxos>> nodes_;
+  std::vector<std::unique_ptr<omni::Storage>> storages_;
+  std::deque<Wire> queue_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<NodeId> crashed_;
+};
+
+}  // namespace opx::testing
+
+#endif  // TESTS_OMNI_TEST_HARNESS_H_

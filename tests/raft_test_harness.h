@@ -1,0 +1,170 @@
+// Lockstep in-memory cluster for Raft unit tests (mirror of
+// omni_test_harness.h; Raft has no session-reconnect hook, so link heals do
+// not notify nodes — exactly like the real protocol over its own retries).
+#ifndef TESTS_RAFT_TEST_HARNESS_H_
+#define TESTS_RAFT_TEST_HARNESS_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/raft/raft.h"
+#include "src/util/check.h"
+
+namespace opx::testing {
+
+class RaftCluster {
+ public:
+  explicit RaftCluster(int n, raft::RaftConfig base = {}) : n_(n), base_(base) {
+    std::vector<NodeId> voters;
+    for (NodeId id = 1; id <= n_; ++id) {
+      voters.push_back(id);
+    }
+    nodes_.resize(static_cast<size_t>(n_) + 1);
+    for (NodeId id = 1; id <= n_; ++id) {
+      raft::RaftConfig cfg = base_;
+      cfg.pid = id;
+      cfg.voters = voters;
+      cfg.seed = base_.seed + static_cast<uint64_t>(id) * 7919;
+      nodes_[static_cast<size_t>(id)] = std::make_unique<raft::Raft>(cfg);
+    }
+  }
+
+  // Adds a fresh (empty-log) server, e.g. the target of a membership change.
+  NodeId AddFreshServer() {
+    const NodeId id = ++n_;
+    raft::RaftConfig cfg = base_;
+    cfg.pid = id;
+    cfg.voters = {id};  // placeholder; it never self-elects as a learner once
+                        // contacted, and tests drive membership via the leader
+    cfg.seed = base_.seed + static_cast<uint64_t>(id) * 7919;
+    // Fresh servers must not start elections before joining; give them a huge
+    // election timeout.
+    cfg.election_ticks = 1 << 20;
+    nodes_.push_back(std::make_unique<raft::Raft>(cfg));
+    return id;
+  }
+
+  raft::Raft& node(NodeId id) { return *nodes_[Checked(id)]; }
+  int size() const { return n_; }
+
+  void SetLink(NodeId a, NodeId b, bool up) {
+    const std::pair<NodeId, NodeId> key = std::minmax(a, b);
+    if (up) {
+      down_links_.erase(key);
+    } else {
+      down_links_.insert(key);
+    }
+  }
+
+  bool LinkUp(NodeId a, NodeId b) const {
+    return down_links_.count(std::minmax(a, b)) == 0;
+  }
+
+  void Isolate(NodeId id) {
+    for (NodeId other = 1; other <= n_; ++other) {
+      if (other != id) {
+        SetLink(id, other, false);
+      }
+    }
+  }
+
+  void HealAll() {
+    for (NodeId a = 1; a <= n_; ++a) {
+      for (NodeId b = a + 1; b <= n_; ++b) {
+        SetLink(a, b, true);
+      }
+    }
+  }
+
+  void Crash(NodeId id) { crashed_.insert(id); }
+  bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  void Tick() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id)) {
+        node(id).Tick();
+      }
+    }
+    Collect();
+    DeliverAll();
+  }
+
+  void TickRounds(int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      Tick();
+    }
+  }
+
+  void DeliverAll() {
+    size_t guard = 0;
+    while (!queue_.empty()) {
+      OPX_CHECK_LT(++guard, 1'000'000u) << "message storm";
+      Wire w = std::move(queue_.front());
+      queue_.pop_front();
+      if (IsCrashed(w.to) || IsCrashed(w.from) || !LinkUp(w.from, w.to)) {
+        continue;
+      }
+      node(w.to).Handle(w.from, std::move(w.body));
+      Collect();
+    }
+  }
+
+  bool Append(NodeId id, uint64_t cmd_id) {
+    const bool ok = node(id).Append(omni::Entry::Command(cmd_id, 8));
+    Collect();
+    DeliverAll();
+    return ok;
+  }
+
+  // Leader claimant with the highest term.
+  NodeId CurrentLeader() {
+    NodeId best = kNoNode;
+    uint64_t best_term = 0;
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id) && node(id).IsLeader() && node(id).term() > best_term) {
+        best = id;
+        best_term = node(id).term();
+      }
+    }
+    return best;
+  }
+
+  void Collect() {
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (IsCrashed(id)) {
+        continue;
+      }
+      for (raft::RaftOut& out : node(id).TakeOutgoing()) {
+        if (out.to >= 1 && out.to <= n_ && LinkUp(id, out.to) && !IsCrashed(out.to)) {
+          queue_.push_back(Wire{id, out.to, std::move(out.body)});
+        }
+      }
+    }
+  }
+
+ private:
+  struct Wire {
+    NodeId from;
+    NodeId to;
+    raft::RaftMessage body;
+  };
+
+  size_t Checked(NodeId id) const {
+    OPX_CHECK(id >= 1 && id <= n_);
+    return static_cast<size_t>(id);
+  }
+
+  int n_;
+  raft::RaftConfig base_;
+  std::vector<std::unique_ptr<raft::Raft>> nodes_;
+  std::deque<Wire> queue_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<NodeId> crashed_;
+};
+
+}  // namespace opx::testing
+
+#endif  // TESTS_RAFT_TEST_HARNESS_H_

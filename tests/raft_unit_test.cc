@@ -1,0 +1,198 @@
+// Message-level Raft unit tests: vote rules, commit-term restriction,
+// learner behaviour, and backfill flow control.
+#include <gtest/gtest.h>
+
+#include "src/raft/raft.h"
+
+namespace opx {
+namespace {
+
+using raft::AppendEntries;
+using raft::AppendEntriesReply;
+using raft::Entry;
+using raft::LogEntry;
+using raft::Raft;
+using raft::RaftConfig;
+using raft::RaftMessage;
+using raft::RaftRole;
+using raft::RequestVote;
+using raft::RequestVoteReply;
+
+RaftConfig Config(NodeId pid, std::vector<NodeId> voters) {
+  RaftConfig cfg;
+  cfg.pid = pid;
+  cfg.voters = std::move(voters);
+  cfg.seed = 42 + static_cast<uint64_t>(pid);
+  return cfg;
+}
+
+template <typename T>
+std::vector<T> TakeOfType(Raft& node) {
+  std::vector<T> found;
+  for (raft::RaftOut& out : node.TakeOutgoing()) {
+    if (auto* m = std::get_if<T>(&out.body)) {
+      found.push_back(std::move(*m));
+    }
+  }
+  return found;
+}
+
+// Makes `node` (a single-voter config is cheating; use vote replies) leader.
+void MakeLeader(Raft& node, NodeId voter) {
+  while (!node.IsLeader()) {
+    node.Tick();
+    (void)node.TakeOutgoing();
+    if (node.role() == RaftRole::kCandidate) {
+      node.Handle(voter, RaftMessage(RequestVoteReply{node.term(), true, false}));
+    }
+  }
+  (void)node.TakeOutgoing();
+}
+
+TEST(RaftUnit, VoteDeniedForShorterLog) {
+  Raft node(Config(2, {1, 2, 3}));
+  // Give ourselves a log entry at term 1.
+  AppendEntries ae;
+  ae.term = 1;
+  ae.entries = {LogEntry{1, Entry::Command(1, 8)}};
+  node.Handle(1, RaftMessage(ae));
+  (void)node.TakeOutgoing();
+  // Candidate with an empty log at a higher term: vote denied.
+  RequestVote rv;
+  rv.term = 5;
+  rv.last_log_idx = 0;
+  rv.last_log_term = 0;
+  node.Handle(3, RaftMessage(rv));
+  const auto replies = TakeOfType<RequestVoteReply>(node);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].granted);
+  EXPECT_EQ(node.term(), 5u);  // term adopted even when vote denied
+}
+
+TEST(RaftUnit, SingleVotePerTerm) {
+  Raft node(Config(2, {1, 2, 3}));
+  RequestVote rv;
+  rv.term = 3;
+  node.Handle(1, RaftMessage(rv));
+  auto replies = TakeOfType<RequestVoteReply>(node);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].granted);
+  // Same term, different candidate: denied. Same candidate: re-granted.
+  node.Handle(3, RaftMessage(rv));
+  replies = TakeOfType<RequestVoteReply>(node);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].granted);
+  node.Handle(1, RaftMessage(rv));
+  replies = TakeOfType<RequestVoteReply>(node);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].granted);
+}
+
+TEST(RaftUnit, PreVoteDoesNotMutateState) {
+  Raft node(Config(2, {1, 2, 3}));
+  RequestVote pre;
+  pre.term = 9;
+  pre.pre_vote = true;
+  node.Handle(1, RaftMessage(pre));
+  const auto replies = TakeOfType<RequestVoteReply>(node);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].granted);
+  EXPECT_TRUE(replies[0].pre_vote);
+  EXPECT_EQ(node.term(), 0u);  // term untouched
+}
+
+TEST(RaftUnit, CommitRestrictedToCurrentTermEntries) {
+  // A leader must not directly commit entries from previous terms (§5.4.2);
+  // they commit transitively via a current-term entry (the no-op).
+  Raft node(Config(1, {1, 2, 3}));
+  // Receive an old-term entry as follower first.
+  AppendEntries ae;
+  ae.term = 1;
+  ae.entries = {LogEntry{1, Entry::Command(10, 8)}};
+  node.Handle(2, RaftMessage(ae));
+  (void)node.TakeOutgoing();
+  EXPECT_EQ(node.commit_idx(), 0u);
+  // Become leader of term 2: a no-op is appended (index 2).
+  MakeLeader(node, 2);
+  ASSERT_EQ(node.log_len(), 2u);
+  // Follower 2 acknowledges only the OLD entry (index 1): no commit yet.
+  node.Handle(2, RaftMessage(AppendEntriesReply{node.term(), true, 1}));
+  (void)node.TakeOutgoing();
+  EXPECT_EQ(node.commit_idx(), 0u);
+  // Acknowledging the current-term no-op commits everything.
+  node.Handle(2, RaftMessage(AppendEntriesReply{node.term(), true, 2}));
+  (void)node.TakeOutgoing();
+  EXPECT_EQ(node.commit_idx(), 2u);
+}
+
+TEST(RaftUnit, LearnerNeverStartsElections) {
+  RaftConfig cfg = Config(5, {5});
+  cfg.election_ticks = 1 << 20;  // the fresh-server pattern
+  Raft node(cfg);
+  for (int i = 0; i < 100; ++i) {
+    node.Tick();
+  }
+  EXPECT_FALSE(node.IsLeader());
+  EXPECT_TRUE(node.TakeOutgoing().empty());
+}
+
+TEST(RaftUnit, BackfillRespectsInflightLimit) {
+  RaftConfig cfg = Config(1, {1, 2, 3});
+  cfg.max_batch_entries = 10;
+  cfg.max_inflight_chunks = 2;
+  Raft node(cfg);
+  MakeLeader(node, 2);
+  for (uint64_t cmd = 1; cmd <= 100; ++cmd) {
+    node.Append(Entry::Command(cmd, 8));
+  }
+  // Count payload-bearing AppendEntries to peer 3 in the first flush: at most
+  // max_inflight_chunks chunks of max_batch_entries each.
+  int chunks_to_3 = 0;
+  for (raft::RaftOut& out : node.TakeOutgoing()) {
+    if (out.to == 3) {
+      if (auto* ae = std::get_if<AppendEntries>(&out.body); ae && !ae->entries.empty()) {
+        ++chunks_to_3;
+        EXPECT_LE(ae->entries.size(), 10u);
+      }
+    }
+  }
+  EXPECT_GT(chunks_to_3, 0);
+  EXPECT_LE(chunks_to_3, 2);
+  // Acks open the window for more chunks.
+  node.Handle(3, RaftMessage(AppendEntriesReply{node.term(), true, 10}));
+  int more = 0;
+  for (raft::RaftOut& out : node.TakeOutgoing()) {
+    if (out.to == 3) {
+      if (auto* ae = std::get_if<AppendEntries>(&out.body); ae && !ae->entries.empty()) {
+        ++more;
+      }
+    }
+  }
+  EXPECT_GE(more, 1);
+}
+
+TEST(RaftUnit, PreloadStartsCommitted) {
+  RaftConfig cfg = Config(1, {1, 2, 3});
+  cfg.preload_entries = 1000;
+  Raft node(cfg);
+  EXPECT_EQ(node.log_len(), 1000u);
+  EXPECT_EQ(node.commit_idx(), 1000u);
+}
+
+TEST(RaftUnit, StaleTermAppendRejectedWithHigherTerm) {
+  Raft node(Config(2, {1, 2, 3}));
+  RequestVote rv;
+  rv.term = 7;
+  node.Handle(1, RaftMessage(rv));
+  (void)node.TakeOutgoing();
+  AppendEntries stale;
+  stale.term = 3;
+  node.Handle(3, RaftMessage(stale));
+  const auto replies = TakeOfType<AppendEntriesReply>(node);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].success);
+  EXPECT_EQ(replies[0].term, 7u);  // the term gossip of Table 1
+}
+
+}  // namespace
+}  // namespace opx

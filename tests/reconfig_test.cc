@@ -1,0 +1,126 @@
+// Reconfiguration integration tests (§6, §7.3): stop-sign flow, parallel vs
+// leader-only log migration, donor-failure resilience, and the Raft baseline.
+#include <gtest/gtest.h>
+
+#include "src/rsm/omni_reconfig_sim.h"
+#include "src/rsm/raft_reconfig_sim.h"
+
+namespace opx {
+namespace {
+
+using rsm::OmniReconfigSim;
+using rsm::RaftReconfigSim;
+using rsm::ReconfigParams;
+using rsm::ReconfigResult;
+
+ReconfigParams QuickParams(int replace) {
+  ReconfigParams p;
+  p.replace_count = replace;
+  p.preload_entries = 100'000;
+  p.concurrent_proposals = 1'000;
+  p.warmup = Seconds(5);
+  p.run_after = Seconds(25);
+  p.egress_bytes_per_sec = 4e6;
+  p.migration_chunk = 10'000;
+  return p;
+}
+
+TEST(OmniReconfig, ReplaceOneCompletesAndServes) {
+  OmniReconfigSim sim(QuickParams(1));
+  const ReconfigResult r = sim.Run();
+  EXPECT_GT(r.ss_decided_at, 0);
+  EXPECT_GT(r.migration_done_at, r.ss_decided_at);
+  EXPECT_GT(r.new_config_first_decide, 0);
+  // The paper's headline: a short dip, not an outage.
+  EXPECT_LT(r.downtime, Seconds(5));
+}
+
+TEST(OmniReconfig, ReplaceMajorityWaitsForFirstMigratedServer) {
+  OmniReconfigSim sim(QuickParams(3));
+  const ReconfigResult r = sim.Run();
+  EXPECT_GT(r.ss_decided_at, 0);
+  EXPECT_GT(r.new_config_first_decide, r.ss_decided_at);
+  EXPECT_GT(r.migration_done_at, 0);
+  // With only 2 of 5 continuing, c1 cannot serve until a fresh server holds
+  // the full log — downtime is real but bounded.
+  EXPECT_GT(r.downtime, Millis(100));
+  EXPECT_LT(r.downtime, Seconds(20));
+}
+
+TEST(OmniReconfig, ParallelMigrationFasterThanLeaderOnly) {
+  ReconfigParams parallel = QuickParams(3);
+  ReconfigParams leader_only = QuickParams(3);
+  leader_only.leader_only_migration = true;
+  const ReconfigResult rp = OmniReconfigSim(parallel).Run();
+  const ReconfigResult rl = OmniReconfigSim(leader_only).Run();
+  ASSERT_GT(rp.migration_done_at, 0);
+  ASSERT_GT(rl.migration_done_at, 0);
+  const Time parallel_span = rp.migration_done_at - rp.ss_decided_at;
+  const Time leader_span = rl.migration_done_at - rl.ss_decided_at;
+  EXPECT_LT(parallel_span, leader_span);
+  // The leader's NIC is the bottleneck in leader-only mode.
+  EXPECT_GT(rl.peak_window_egress_old_leader, rp.peak_window_egress_old_leader);
+}
+
+TEST(OmniReconfig, MigrationSurvivesDonorDisconnect) {
+  ReconfigParams p = QuickParams(1);
+  p.chunk_timeout = Seconds(2);
+  OmniReconfigSim sim(p);
+  // Cut the fresh server (id 6) off from two donors right when migration is
+  // about to start; timeouts must reassign their chunks.
+  sim.At(p.warmup + Millis(200), [&sim]() {
+    sim.SetLink(6, 2, false);
+    sim.SetLink(6, 3, false);
+  });
+  const ReconfigResult r = sim.Run();
+  EXPECT_GT(r.migration_done_at, 0);
+  EXPECT_GT(r.new_config_first_decide, 0);
+}
+
+TEST(OmniReconfig, ChainedReconfigurationsRollThroughThePool) {
+  // Rolling replacement (§6.1 "software upgrade"): c0={1..5} -> c1 replaces
+  // s5 with s6, then c2 replaces s4 with s7. Each step uses the service
+  // layer's parallel migration of the previous segment.
+  ReconfigParams p = QuickParams(2);  // pool has servers 6 and 7 available
+  p.run_after = Seconds(40);
+  OmniReconfigSim sim(p);
+
+  // Step 1 happens via Run()'s built-in proposal? No — drive both manually.
+  sim.simulator().RunUntil(p.warmup);
+  ASSERT_NE(sim.LeaderOf(0), kNoNode);
+  ASSERT_TRUE(sim.ProposeNextReconfiguration(0, {1, 2, 3, 4, 6}));
+  // Let c1 establish itself, then roll the next server.
+  Time deadline = p.warmup + Seconds(20);
+  sim.simulator().RunUntil(deadline);
+  ASSERT_NE(sim.LeaderOf(1), kNoNode) << "c1 did not come up";
+  ASSERT_TRUE(sim.ProposeNextReconfiguration(1, {1, 2, 3, 6, 7}));
+  sim.simulator().RunUntil(deadline + Seconds(20));
+
+  // c2 is serving: it has a leader, and the freshly migrated server 7 runs
+  // an instance of c2.
+  EXPECT_NE(sim.LeaderOf(2), kNoNode);
+  EXPECT_NE(sim.instance(7, 2), nullptr);
+  ASSERT_NE(sim.instance(7, 2), nullptr);
+  EXPECT_GT(sim.instance(7, 2)->decided_idx(), 0u);
+  // And the client kept completing commands through both transitions.
+  EXPECT_GT(sim.client().completed(), 0u);
+}
+
+TEST(RaftReconfig, ReplaceOneCompletes) {
+  RaftReconfigSim sim(QuickParams(1));
+  const ReconfigResult r = sim.Run();
+  EXPECT_GT(r.ss_decided_at, 0);       // membership change committed
+  EXPECT_GT(r.migration_done_at, 0);   // learner caught up via the leader
+}
+
+TEST(RaftReconfig, LeaderCarriesTheMigrationLoad) {
+  const ReconfigResult omni = OmniReconfigSim(QuickParams(1)).Run();
+  const ReconfigResult raft = RaftReconfigSim(QuickParams(1)).Run();
+  ASSERT_GT(raft.migration_done_at, 0);
+  // Raft's leader ships the entire history itself; its peak egress exceeds
+  // the Omni-Paxos leader's, which shares the work with the followers.
+  EXPECT_GT(raft.peak_window_egress_old_leader, omni.peak_window_egress_old_leader);
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,255 @@
+// Unit tests for the discrete-event simulator and the simulated network.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace opx {
+namespace {
+
+using sim::Network;
+using sim::NetworkParams;
+using sim::Simulator;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAfter(Millis(30), [&order]() { order.push_back(3); });
+  simulator.ScheduleAfter(Millis(10), [&order]() { order.push_back(1); });
+  simulator.ScheduleAfter(Millis(20), [&order]() { order.push_back(2); });
+  simulator.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.ScheduleAfter(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator simulator;
+  Time seen = -1;
+  simulator.ScheduleAfter(Millis(7), [&]() { seen = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_EQ(seen, Millis(7));
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator simulator;
+  simulator.RunUntil(Seconds(3));
+  EXPECT_EQ(simulator.Now(), Seconds(3));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAfter(Millis(10), [&fired]() { ++fired; });
+  simulator.ScheduleAfter(Millis(30), [&fired]() { ++fired; });
+  simulator.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.Now(), Millis(20));
+  simulator.RunUntil(Millis(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  int fired = 0;
+  const sim::EventId id = simulator.ScheduleAfter(Millis(10), [&fired]() { ++fired; });
+  simulator.Cancel(id);
+  simulator.RunToCompletion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator simulator;
+  simulator.Cancel(123456);
+  simulator.Cancel(sim::kInvalidEvent);
+  EXPECT_FALSE(simulator.Step());
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      simulator.ScheduleAfter(Millis(1), recurse);
+    }
+  };
+  simulator.ScheduleAfter(Millis(1), recurse);
+  simulator.RunToCompletion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(simulator.Now(), Millis(5));
+}
+
+// ---------------------------------------------------------------------------
+// Network.
+// ---------------------------------------------------------------------------
+
+struct NetFixture {
+  Simulator simulator;
+  NetworkParams params;
+  std::unique_ptr<Network<std::string>> net;
+  std::vector<std::pair<NodeId, std::string>> received;  // (from, msg) at node 2
+
+  explicit NetFixture(double egress = 0.0, Time latency = Micros(100)) {
+    params.default_latency = latency;
+    params.egress_bytes_per_sec = egress;
+    net = std::make_unique<Network<std::string>>(&simulator, 3, params);
+    net->SetHandler(2, [this](NodeId from, std::string msg) {
+      received.emplace_back(from, std::move(msg));
+    });
+  }
+};
+
+TEST(Network, DeliversAfterLatency) {
+  NetFixture fx(0.0, Millis(5));
+  fx.net->Send(1, 2, "hello", 16);
+  fx.simulator.RunUntil(Millis(4));
+  EXPECT_TRUE(fx.received.empty());
+  fx.simulator.RunUntil(Millis(6));
+  ASSERT_EQ(fx.received.size(), 1u);
+  EXPECT_EQ(fx.received[0].second, "hello");
+}
+
+TEST(Network, FifoPerLink) {
+  NetFixture fx;
+  for (int i = 0; i < 10; ++i) {
+    fx.net->Send(1, 2, std::to_string(i), 8);
+  }
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(fx.received.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fx.received[static_cast<size_t>(i)].second, std::to_string(i));
+  }
+}
+
+TEST(Network, DownLinkDropsMessages) {
+  NetFixture fx;
+  fx.net->SetLink(1, 2, false);
+  fx.net->Send(1, 2, "lost", 8);
+  fx.simulator.RunToCompletion();
+  EXPECT_TRUE(fx.received.empty());
+  // The other direction of an unrelated pair still works.
+  fx.net->Send(3, 2, "ok", 8);
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(fx.received.size(), 1u);
+}
+
+TEST(Network, CutDropsInFlightMessages) {
+  NetFixture fx(0.0, Millis(10));
+  fx.net->Send(1, 2, "in-flight", 8);
+  fx.simulator.RunUntil(Millis(5));
+  fx.net->SetLink(1, 2, false);  // session epoch bump while the message flies
+  fx.simulator.RunToCompletion();
+  EXPECT_TRUE(fx.received.empty());
+}
+
+TEST(Network, ReconnectNotifiesBothEnds) {
+  NetFixture fx;
+  std::vector<NodeId> reconnects_at_1, reconnects_at_2;
+  fx.net->SetReconnectHandler(1, [&](NodeId peer) { reconnects_at_1.push_back(peer); });
+  fx.net->SetReconnectHandler(2, [&](NodeId peer) { reconnects_at_2.push_back(peer); });
+  fx.net->SetLink(1, 2, false);
+  fx.simulator.RunUntil(Millis(1));
+  fx.net->SetLink(1, 2, true);
+  fx.simulator.RunToCompletion();
+  EXPECT_EQ(reconnects_at_1, (std::vector<NodeId>{2}));
+  EXPECT_EQ(reconnects_at_2, (std::vector<NodeId>{1}));
+}
+
+TEST(Network, HalfDuplexCutOnlyAffectsOneDirection) {
+  NetFixture fx;
+  std::vector<std::string> at_1;
+  fx.net->SetHandler(1, [&](NodeId, std::string m) { at_1.push_back(std::move(m)); });
+  fx.net->SetLinkOneWay(1, 2, false);  // 1 -> 2 cut; 2 -> 1 alive
+  fx.net->Send(1, 2, "dropped", 8);
+  fx.net->Send(2, 1, "delivered", 8);
+  fx.simulator.RunToCompletion();
+  EXPECT_TRUE(fx.received.empty());
+  EXPECT_EQ(at_1, (std::vector<std::string>{"delivered"}));
+}
+
+TEST(Network, EgressBandwidthSerializesLargeMessages) {
+  // 1 MB at 1 MB/s occupies the sender NIC for 1 s; the next message queues.
+  NetFixture fx(1e6, Micros(0));
+  fx.net->Send(1, 2, "big", 1'000'000 - 64);  // +64 overhead = 1 MB wire
+  fx.net->Send(1, 2, "after", 936);           // 1 KB wire
+  fx.simulator.RunUntil(Millis(999));
+  EXPECT_TRUE(fx.received.empty());
+  fx.simulator.RunUntil(Millis(1000));  // big finishes at exactly 1 s
+  ASSERT_EQ(fx.received.size(), 1u);
+  fx.simulator.RunUntil(Millis(1001));  // then 1 KB takes 1 ms more
+  ASSERT_EQ(fx.received.size(), 2u);
+}
+
+TEST(Network, ControlPlaneBypassesEgressQueue) {
+  // A control-plane message sent behind a large queued data message arrives
+  // first (separate channel), yet still counts toward I/O.
+  NetFixture fx(1e6, Micros(0));  // 1 MB/s NIC
+  fx.net->Send(1, 2, "big-data", 1'000'000 - 64);              // 1 s of NIC time
+  fx.net->Send(1, 2, "heartbeat", 16, /*control_plane=*/true);  // bypasses
+  fx.simulator.RunUntil(Millis(10));
+  ASSERT_EQ(fx.received.size(), 1u);
+  EXPECT_EQ(fx.received[0].second, "heartbeat");
+  fx.simulator.RunUntil(Millis(1001));
+  ASSERT_EQ(fx.received.size(), 2u);
+  EXPECT_EQ(fx.received[1].second, "big-data");
+  EXPECT_EQ(fx.net->BytesSent(1), 1'000'000u + 80u);
+}
+
+TEST(Network, ControlPlaneKeepsItsOwnFifo) {
+  NetFixture fx(1e6, Micros(100));
+  for (int i = 0; i < 5; ++i) {
+    fx.net->Send(1, 2, "c" + std::to_string(i), 8, /*control_plane=*/true);
+  }
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(fx.received.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fx.received[static_cast<size_t>(i)].second, "c" + std::to_string(i));
+  }
+}
+
+TEST(Network, CountsBytesPerSender) {
+  NetFixture fx;
+  fx.net->Send(1, 2, "x", 100);  // +64 overhead
+  fx.net->Send(1, 2, "y", 36);
+  fx.net->Send(3, 2, "z", 0);
+  fx.simulator.RunToCompletion();
+  EXPECT_EQ(fx.net->BytesSent(1), 264u);
+  EXPECT_EQ(fx.net->BytesSent(3), 64u);
+  EXPECT_EQ(fx.net->MessagesSent(1), 2u);
+  EXPECT_EQ(fx.net->TotalBytesSent(), 328u);
+}
+
+TEST(Network, BytesCountedEvenWhenDroppedAtReceiver) {
+  // A message sent before the cut and dropped mid-flight was still egressed.
+  NetFixture fx(0.0, Millis(10));
+  fx.net->Send(1, 2, "x", 36);
+  fx.net->SetLink(1, 2, false);
+  fx.simulator.RunToCompletion();
+  EXPECT_EQ(fx.net->BytesSent(1), 100u);
+  EXPECT_TRUE(fx.received.empty());
+}
+
+TEST(Network, IsolateAndHealAll) {
+  NetFixture fx;
+  fx.net->Isolate(1);
+  EXPECT_FALSE(fx.net->LinkUp(1, 2));
+  EXPECT_FALSE(fx.net->LinkUp(1, 3));
+  EXPECT_TRUE(fx.net->LinkUp(2, 3));
+  fx.net->HealAll();
+  EXPECT_TRUE(fx.net->LinkUp(1, 2));
+  EXPECT_TRUE(fx.net->LinkUp(1, 3));
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,125 @@
+// Unit tests for Storage (the persistent state of a Sequence Paxos server)
+// and the Entry/Ballot primitives.
+#include <gtest/gtest.h>
+
+#include "src/omnipaxos/ballot.h"
+#include "src/omnipaxos/entry.h"
+#include "src/omnipaxos/storage.h"
+
+namespace opx {
+namespace {
+
+using omni::Ballot;
+using omni::Entry;
+using omni::StopSign;
+using omni::Storage;
+
+TEST(Ballot, TotalOrderLexicographic) {
+  EXPECT_LT((Ballot{1, 0, 5}), (Ballot{2, 0, 1}));   // n dominates
+  EXPECT_LT((Ballot{1, 1, 5}), (Ballot{1, 2, 1}));   // then priority
+  EXPECT_LT((Ballot{1, 1, 2}), (Ballot{1, 1, 3}));   // then pid
+  EXPECT_EQ((Ballot{1, 1, 2}), (Ballot{1, 1, 2}));
+  EXPECT_GE((Ballot{2, 0, 0}), (Ballot{1, 9, 9}));
+}
+
+TEST(Ballot, NullBallotSmallerThanAll) {
+  EXPECT_LT(omni::kNullBallot, (Ballot{0, 0, 1}));
+  EXPECT_LT(omni::kNullBallot, (Ballot{1, 0, 0}));
+}
+
+TEST(Entry, CommandAndStopSign) {
+  const Entry cmd = Entry::Command(42, 8);
+  EXPECT_FALSE(cmd.IsStopSign());
+  EXPECT_EQ(cmd.cmd_id, 42u);
+
+  StopSign ss;
+  ss.next_config = 2;
+  ss.next_nodes = {1, 2, 6};
+  const Entry stop = Entry::Stop(ss);
+  EXPECT_TRUE(stop.IsStopSign());
+  EXPECT_EQ(stop.stop_sign->next_nodes.size(), 3u);
+}
+
+TEST(Entry, EqualityComparesPayloadAndKind) {
+  EXPECT_EQ(Entry::Command(1, 8), Entry::Command(1, 8));
+  EXPECT_NE(Entry::Command(1, 8), Entry::Command(2, 8));
+  StopSign ss;
+  ss.next_config = 1;
+  EXPECT_NE(Entry::Command(0, 8), Entry::Stop(ss));
+  EXPECT_EQ(Entry::Stop(ss), Entry::Stop(ss));
+}
+
+TEST(Entry, WireBytesScaleWithPayload) {
+  EXPECT_GT(omni::EntryWireBytes(Entry::Command(1, 100)),
+            omni::EntryWireBytes(Entry::Command(1, 8)));
+  std::vector<Entry> batch{Entry::Command(1, 8), Entry::Command(2, 8)};
+  EXPECT_EQ(omni::EntriesWireBytes(batch), 2 * omni::EntryWireBytes(batch[0]));
+}
+
+TEST(Storage, AppendAndRead) {
+  Storage storage;
+  storage.Append(Entry::Command(1, 8));
+  storage.Append(Entry::Command(2, 8));
+  EXPECT_EQ(storage.log_len(), 2u);
+  EXPECT_EQ(storage.At(0).cmd_id, 1u);
+  EXPECT_EQ(storage.At(1).cmd_id, 2u);
+}
+
+TEST(Storage, SuffixCopies) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  const auto suffix = storage.Suffix(3);
+  ASSERT_EQ(suffix.size(), 2u);
+  EXPECT_EQ(suffix[0].cmd_id, 4u);
+  EXPECT_EQ(suffix[1].cmd_id, 5u);
+  EXPECT_TRUE(storage.Suffix(5).empty());
+  EXPECT_TRUE(storage.Suffix(99).empty());
+}
+
+TEST(Storage, TruncateAndAppendReplacesTail) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  storage.TruncateAndAppend(2, {Entry::Command(100, 8), Entry::Command(101, 8)});
+  ASSERT_EQ(storage.log_len(), 4u);
+  EXPECT_EQ(storage.At(1).cmd_id, 2u);
+  EXPECT_EQ(storage.At(2).cmd_id, 100u);
+  EXPECT_EQ(storage.At(3).cmd_id, 101u);
+}
+
+TEST(Storage, DecidedIndexMonotonicAndBounded) {
+  Storage storage;
+  storage.Append(Entry::Command(1, 8));
+  storage.Append(Entry::Command(2, 8));
+  storage.set_decided_idx(1);
+  EXPECT_EQ(storage.decided_idx(), 1u);
+  storage.set_decided_idx(2);
+  EXPECT_EQ(storage.decided_idx(), 2u);
+  EXPECT_DEATH(storage.set_decided_idx(1), "CHECK failed");   // regression
+  EXPECT_DEATH(storage.set_decided_idx(3), "CHECK failed");   // beyond log
+}
+
+TEST(Storage, TruncateBelowDecidedForbidden) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  storage.set_decided_idx(3);
+  EXPECT_DEATH(storage.TruncateAndAppend(2, {}), "CHECK failed");  // SC3 guard
+}
+
+TEST(Storage, RoundsMonotonic) {
+  Storage storage;
+  storage.set_promised_round(Ballot{1, 0, 1});
+  storage.set_promised_round(Ballot{1, 0, 1});  // idempotent re-promise
+  storage.set_promised_round(Ballot{2, 0, 2});
+  EXPECT_DEATH(storage.set_promised_round((Ballot{1, 0, 3})), "CHECK failed");
+  storage.set_accepted_round(Ballot{2, 0, 2});
+  EXPECT_DEATH(storage.set_accepted_round((Ballot{1, 0, 1})), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,185 @@
+// Integration tests for the real TCP runtime: three OmniTcpServer instances
+// on localhost sockets (each on its own thread), driven by OmniClient —
+// replication, leader redirect, crash + WAL recovery, all over actual TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/net/omni_client.h"
+#include "src/net/omni_tcp_server.h"
+
+namespace opx {
+namespace {
+
+using net::Endpoint;
+using net::OmniClient;
+using net::OmniTcpServer;
+using net::ServerOptions;
+
+// A 3-server localhost cluster on ephemeral ports. Ports must be known before
+// peers can connect, so servers bind first (port 0), then learn each other.
+class TcpCluster {
+ public:
+  explicit TcpCluster(const std::string& wal_prefix = "") {
+    // Phase 1: bind all listeners to learn the ports.
+    std::map<NodeId, uint16_t> ports;
+    std::vector<std::unique_ptr<OmniTcpServer>> bound;
+    for (NodeId id = 1; id <= 3; ++id) {
+      ServerOptions options;
+      options.id = id;
+      options.listen_port = 0;
+      options.election_timeout = Millis(30);
+      options.ble_priority = id == 1 ? 1 : 0;
+      if (!wal_prefix.empty()) {
+        options.wal_path = wal_prefix + std::to_string(id) + ".wal";
+      }
+      options_[static_cast<size_t>(id)] = options;
+      // Peers are filled in phase 2; Start() with empty peers just binds.
+      auto server = std::make_unique<OmniTcpServer>(options);
+      // Can't Start yet without peers — instead bind via a throwaway
+      // transport? Simpler: pre-allocate fixed ports by binding sockets.
+      (void)server;
+      bound.push_back(nullptr);
+    }
+    // Use a base derived from the PID to avoid collisions between parallel
+    // test invocations.
+    const uint16_t base = static_cast<uint16_t>(20000 + (getpid() % 20000));
+    for (NodeId id = 1; id <= 3; ++id) {
+      ports[id] = static_cast<uint16_t>(base + id);
+    }
+    for (NodeId id = 1; id <= 3; ++id) {
+      ServerOptions& options = options_[static_cast<size_t>(id)];
+      options.listen_port = ports[id];
+      for (NodeId peer = 1; peer <= 3; ++peer) {
+        if (peer != id) {
+          options.peers[peer] = Endpoint{"127.0.0.1", ports[peer]};
+        }
+      }
+      endpoints_[id] = Endpoint{"127.0.0.1", ports[id]};
+    }
+    for (NodeId id = 1; id <= 3; ++id) {
+      StartServer(id);
+    }
+  }
+
+  ~TcpCluster() {
+    for (NodeId id = 1; id <= 3; ++id) {
+      StopServer(id);
+    }
+    for (NodeId id = 1; id <= 3; ++id) {
+      if (!options_[static_cast<size_t>(id)].wal_path.empty()) {
+        std::remove(options_[static_cast<size_t>(id)].wal_path.c_str());
+      }
+    }
+  }
+
+  void StartServer(NodeId id) {
+    auto& slot = servers_[static_cast<size_t>(id)];
+    ASSERT_EQ(slot.server, nullptr);
+    slot.stop.store(false);
+    slot.server = std::make_unique<OmniTcpServer>(options_[static_cast<size_t>(id)]);
+    ASSERT_TRUE(slot.server->Start());
+    slot.thread = std::thread([&slot]() { slot.server->Run(slot.stop); });
+  }
+
+  void StopServer(NodeId id) {
+    auto& slot = servers_[static_cast<size_t>(id)];
+    if (slot.server == nullptr) {
+      return;
+    }
+    slot.stop.store(true);
+    if (slot.thread.joinable()) {
+      slot.thread.join();
+    }
+    slot.server = nullptr;
+  }
+
+  const std::map<NodeId, Endpoint>& endpoints() const { return endpoints_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<OmniTcpServer> server;
+    std::thread thread;
+    std::atomic<bool> stop{false};
+  };
+
+  ServerOptions options_[4];
+  Slot servers_[4];
+  std::map<NodeId, Endpoint> endpoints_;
+};
+
+TEST(TcpRuntime, ReplicatesCommandsEndToEnd) {
+  TcpCluster cluster;
+  OmniClient client(cluster.endpoints());
+  ASSERT_TRUE(client.Connect(Seconds(10)));
+  for (uint64_t cmd = 1; cmd <= 20; ++cmd) {
+    ASSERT_TRUE(client.AppendAndWait(cmd, 8, Seconds(10))) << "cmd " << cmd;
+  }
+  OmniClient::Status status;
+  ASSERT_TRUE(client.GetStatus(&status, Seconds(5)));
+  EXPECT_GE(status.decided, 20u);
+  EXPECT_NE(status.leader, kNoNode);
+}
+
+TEST(TcpRuntime, FollowerRedirectsToLeader) {
+  TcpCluster cluster;
+  OmniClient probe(cluster.endpoints());
+  ASSERT_TRUE(probe.Connect(Seconds(10)));
+  OmniClient::Status status;
+  ASSERT_TRUE(probe.GetStatus(&status, Seconds(10)));
+  // Wait for a leader to emerge.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (status.leader == kNoNode && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(probe.GetStatus(&status, Seconds(5)));
+  }
+  ASSERT_NE(status.leader, kNoNode);
+  // Connect specifically to a follower and append: the redirect + retry path
+  // must still decide the command.
+  NodeId follower = kNoNode;
+  for (const auto& [id, endpoint] : cluster.endpoints()) {
+    if (id != status.leader) {
+      follower = id;
+      break;
+    }
+  }
+  std::map<NodeId, Endpoint> all = cluster.endpoints();
+  OmniClient client(all);
+  ASSERT_TRUE(client.Connect(Seconds(5)));
+  EXPECT_TRUE(client.AppendAndWait(777, 8, Seconds(10)));
+}
+
+TEST(TcpRuntime, SurvivesServerCrashAndWalRecovery) {
+  const std::string wal_prefix = ::testing::TempDir() + "/tcp_e2e_";
+  TcpCluster cluster(wal_prefix);
+  OmniClient client(cluster.endpoints());
+  ASSERT_TRUE(client.Connect(Seconds(10)));
+  for (uint64_t cmd = 1; cmd <= 10; ++cmd) {
+    ASSERT_TRUE(client.AppendAndWait(cmd, 8, Seconds(10)));
+  }
+  // Crash server 3 (thread stopped, state dropped; WAL remains).
+  cluster.StopServer(3);
+  for (uint64_t cmd = 11; cmd <= 20; ++cmd) {
+    ASSERT_TRUE(client.AppendAndWait(cmd, 8, Seconds(10))) << "cmd " << cmd;
+  }
+  // Restart from the WAL; it must catch up with entries decided while down.
+  cluster.StartServer(3);
+  OmniClient direct(std::map<NodeId, Endpoint>{{3, cluster.endpoints().at(3)}});
+  ASSERT_TRUE(direct.Connect(Seconds(10)));
+  OmniClient::Status status;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (direct.GetStatus(&status, Seconds(5)) && status.decided >= 20u) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_GE(status.decided, 20u) << "recovered server did not catch up";
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,140 @@
+// Unit tests for utilities: deterministic RNG, statistics, time helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/time.h"
+
+namespace opx {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(3);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += parent.Next() == child.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix, AdvancesState) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SummarizeBasics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  // t(4 dof, 95%) = 2.776 → CI half-width = 2.776 * 1.5811 / sqrt(5)
+  EXPECT_NEAR(s.ci95_half, 1.9630, 1e-3);
+}
+
+TEST(Stats, SummarizeSingleSample) {
+  const Summary s = Summarize({7.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, TCriticalMatchesTable) {
+  EXPECT_NEAR(TCritical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(TCritical95(9), 2.262, 1e-3);   // the paper's 10 repetitions
+  EXPECT_NEAR(TCritical95(30), 2.042, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.960, 1e-3);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 4, 2, 3}, 50), 3.0);  // unsorted input
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TimeHelpers, UnitConversions) {
+  EXPECT_EQ(Millis(1), Micros(1000));
+  EXPECT_EQ(Seconds(1), Millis(1000));
+  EXPECT_EQ(Minutes(2), Seconds(120));
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+}
+
+}  // namespace
+}  // namespace opx

@@ -1,0 +1,84 @@
+// omni_node — a real Omni-Paxos server process.
+//
+//   omni_node --id=1 --port=7001 --peers=2=127.0.0.1:7002,3=127.0.0.1:7003 \
+//             --wal=/var/lib/omnipaxos/node1.wal --timeout-ms=100
+//
+// Run one per machine (or per port on localhost) to form a cluster; connect
+// with omni_client to replicate commands. Ctrl-C to stop; restart with the
+// same --wal to recover (§4.1.3).
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "src/net/omni_tcp_server.h"
+#include "src/util/flags.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+// Parses "2=127.0.0.1:7002,3=127.0.0.1:7003".
+bool ParsePeers(const std::string& spec, std::map<opx::NodeId, opx::net::Endpoint>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t eq = item.find('=');
+    const size_t colon = item.rfind(':');
+    if (eq == std::string::npos || colon == std::string::npos || colon < eq) {
+      return false;
+    }
+    const opx::NodeId id = static_cast<opx::NodeId>(std::stoi(item.substr(0, eq)));
+    opx::net::Endpoint endpoint;
+    endpoint.host = item.substr(eq + 1, colon - eq - 1);
+    endpoint.port = static_cast<uint16_t>(std::stoi(item.substr(colon + 1)));
+    (*out)[id] = endpoint;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opx;
+  Flags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf(
+        "usage: omni_node --id=N --port=P --peers=ID=HOST:PORT,... "
+        "[--wal=PATH] [--timeout-ms=100] [--priority=0]\n");
+    return 0;
+  }
+
+  net::ServerOptions options;
+  options.id = static_cast<NodeId>(flags.GetInt("id", 0));
+  options.listen_port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.wal_path = flags.GetString("wal", "");
+  options.election_timeout = Millis(flags.GetInt("timeout-ms", 100));
+  options.ble_priority = static_cast<uint32_t>(flags.GetInt("priority", 0));
+  if (options.id == kNoNode || !ParsePeers(flags.GetString("peers", ""), &options.peers)) {
+    std::fprintf(stderr, "omni_node: --id and --peers are required (see --help)\n");
+    return 2;
+  }
+
+  net::OmniTcpServer server(options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "omni_node: cannot bind port %u\n", options.listen_port);
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("omni_node %d listening on %u (%zu peers, wal=%s)\n", options.id,
+              server.listen_port(), options.peers.size(),
+              options.wal_path.empty() ? "<memory>" : options.wal_path.c_str());
+  std::fflush(stdout);
+  server.Run(g_stop);
+  std::printf("omni_node %d: shutting down (decided=%lu)\n", options.id,
+              server.decided_idx());
+  return 0;
+}

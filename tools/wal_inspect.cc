@@ -1,0 +1,70 @@
+// wal_inspect — print the recovered state of an omni_node write-ahead log.
+//
+//   wal_inspect /var/lib/omnipaxos/node1.wal [--entries] [--tail=N]
+#include <cstdio>
+#include <string>
+
+#include "src/omnipaxos/durable_storage.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace opx;
+  Flags flags(argc, argv);
+  if (flags.positional().empty() || flags.GetBool("help", false)) {
+    std::printf("usage: wal_inspect PATH [--entries] [--tail=N]\n");
+    return flags.GetBool("help", false) ? 0 : 2;
+  }
+  const std::string path = flags.positional()[0];
+  auto storage = omni::DurableStorage::Recover(path);
+  if (storage == nullptr) {
+    std::fprintf(stderr, "wal_inspect: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const auto& promised = storage->promised_round();
+  const auto& accepted = storage->accepted_round();
+  std::printf("wal:            %s\n", path.c_str());
+  std::printf("promised round: (n=%lu, prio=%u, pid=%d)\n", promised.n, promised.priority,
+              promised.pid);
+  std::printf("accepted round: (n=%lu, prio=%u, pid=%d)\n", accepted.n, accepted.priority,
+              accepted.pid);
+  std::printf("log length:     %lu (compacted below %lu)\n", storage->log_len(),
+              storage->compacted_idx());
+  std::printf("decided index:  %lu\n", storage->decided_idx());
+
+  uint64_t commands = 0, stop_signs = 0, payload_bytes = 0;
+  for (LogIndex i = storage->compacted_idx(); i < storage->log_len(); ++i) {
+    const omni::Entry& e = storage->At(i);
+    if (e.IsStopSign()) {
+      ++stop_signs;
+    } else {
+      ++commands;
+      payload_bytes += e.payload_bytes;
+    }
+  }
+  std::printf("in memory:      %lu commands (%lu payload bytes), %lu stop-signs\n",
+              commands, payload_bytes, stop_signs);
+
+  if (flags.Has("entries") || flags.Has("tail")) {
+    const uint64_t tail = static_cast<uint64_t>(flags.GetInt("tail", 0));
+    LogIndex from = storage->compacted_idx();
+    if (tail > 0 && storage->log_len() - from > tail) {
+      from = storage->log_len() - tail;
+    }
+    for (LogIndex i = from; i < storage->log_len(); ++i) {
+      const omni::Entry& e = storage->At(i);
+      const char* mark = i < storage->decided_idx() ? "decided " : "accepted";
+      if (e.IsStopSign()) {
+        std::printf("  [%8lu] %s stop-sign -> config %u (", i, mark,
+                    e.stop_sign->next_config);
+        for (size_t k = 0; k < e.stop_sign->next_nodes.size(); ++k) {
+          std::printf("%s%d", k == 0 ? "" : ",", e.stop_sign->next_nodes[k]);
+        }
+        std::printf(")\n");
+      } else {
+        std::printf("  [%8lu] %s cmd#%lu (%u bytes)\n", i, mark, e.cmd_id,
+                    e.payload_bytes);
+      }
+    }
+  }
+  return 0;
+}
