@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ble_priority.dir/ablation_ble_priority.cc.o"
+  "CMakeFiles/ablation_ble_priority.dir/ablation_ble_priority.cc.o.d"
+  "ablation_ble_priority"
+  "ablation_ble_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ble_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_normal.dir/fig7_normal.cc.o"
+  "CMakeFiles/fig7_normal.dir/fig7_normal.cc.o.d"
+  "fig7_normal"
+  "fig7_normal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

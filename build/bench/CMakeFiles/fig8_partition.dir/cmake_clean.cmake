@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_partition.dir/fig8_partition.cc.o"
+  "CMakeFiles/fig8_partition.dir/fig8_partition.cc.o.d"
+  "fig8_partition"
+  "fig8_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_reconfig.dir/fig9_reconfig.cc.o"
+  "CMakeFiles/fig9_reconfig.dir/fig9_reconfig.cc.o.d"
+  "fig9_reconfig"
+  "fig9_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_bank.dir/kv_bank.cpp.o"
+  "CMakeFiles/kv_bank.dir/kv_bank.cpp.o.d"
+  "kv_bank"
+  "kv_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_rolling.dir/reconfig_rolling.cpp.o"
+  "CMakeFiles/reconfig_rolling.dir/reconfig_rolling.cpp.o.d"
+  "reconfig_rolling"
+  "reconfig_rolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_rolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

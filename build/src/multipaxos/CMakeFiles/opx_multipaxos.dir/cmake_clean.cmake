@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_multipaxos.dir/multipaxos.cc.o"
+  "CMakeFiles/opx_multipaxos.dir/multipaxos.cc.o.d"
+  "libopx_multipaxos.a"
+  "libopx_multipaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_multipaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_net.dir/omni_client.cc.o"
+  "CMakeFiles/opx_net.dir/omni_client.cc.o.d"
+  "CMakeFiles/opx_net.dir/omni_tcp_server.cc.o"
+  "CMakeFiles/opx_net.dir/omni_tcp_server.cc.o.d"
+  "CMakeFiles/opx_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/opx_net.dir/tcp_transport.cc.o.d"
+  "libopx_net.a"
+  "libopx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

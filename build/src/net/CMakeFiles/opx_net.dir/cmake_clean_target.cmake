@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopx_net.a"
+)

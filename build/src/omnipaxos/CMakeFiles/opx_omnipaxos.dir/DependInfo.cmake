@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omnipaxos/ble.cc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/ble.cc.o" "gcc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/ble.cc.o.d"
+  "/root/repo/src/omnipaxos/codec.cc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/codec.cc.o" "gcc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/codec.cc.o.d"
+  "/root/repo/src/omnipaxos/durable_storage.cc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/durable_storage.cc.o" "gcc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/durable_storage.cc.o.d"
+  "/root/repo/src/omnipaxos/omni_paxos.cc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/omni_paxos.cc.o" "gcc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/omni_paxos.cc.o.d"
+  "/root/repo/src/omnipaxos/sequence_paxos.cc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/sequence_paxos.cc.o" "gcc" "src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/sequence_paxos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

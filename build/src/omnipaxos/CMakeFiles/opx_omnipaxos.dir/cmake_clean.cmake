@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_omnipaxos.dir/ble.cc.o"
+  "CMakeFiles/opx_omnipaxos.dir/ble.cc.o.d"
+  "CMakeFiles/opx_omnipaxos.dir/codec.cc.o"
+  "CMakeFiles/opx_omnipaxos.dir/codec.cc.o.d"
+  "CMakeFiles/opx_omnipaxos.dir/durable_storage.cc.o"
+  "CMakeFiles/opx_omnipaxos.dir/durable_storage.cc.o.d"
+  "CMakeFiles/opx_omnipaxos.dir/omni_paxos.cc.o"
+  "CMakeFiles/opx_omnipaxos.dir/omni_paxos.cc.o.d"
+  "CMakeFiles/opx_omnipaxos.dir/sequence_paxos.cc.o"
+  "CMakeFiles/opx_omnipaxos.dir/sequence_paxos.cc.o.d"
+  "libopx_omnipaxos.a"
+  "libopx_omnipaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_omnipaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for opx_omnipaxos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_raft.dir/raft.cc.o"
+  "CMakeFiles/opx_raft.dir/raft.cc.o.d"
+  "libopx_raft.a"
+  "libopx_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

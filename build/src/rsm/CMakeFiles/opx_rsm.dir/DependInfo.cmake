@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsm/client.cc" "src/rsm/CMakeFiles/opx_rsm.dir/client.cc.o" "gcc" "src/rsm/CMakeFiles/opx_rsm.dir/client.cc.o.d"
+  "/root/repo/src/rsm/scenarios.cc" "src/rsm/CMakeFiles/opx_rsm.dir/scenarios.cc.o" "gcc" "src/rsm/CMakeFiles/opx_rsm.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/opx_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipaxos/CMakeFiles/opx_multipaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/vr/CMakeFiles/opx_vr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_rsm.dir/client.cc.o"
+  "CMakeFiles/opx_rsm.dir/client.cc.o.d"
+  "CMakeFiles/opx_rsm.dir/scenarios.cc.o"
+  "CMakeFiles/opx_rsm.dir/scenarios.cc.o.d"
+  "libopx_rsm.a"
+  "libopx_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

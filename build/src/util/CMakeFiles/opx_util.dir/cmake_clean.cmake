@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_util.dir/logging.cc.o"
+  "CMakeFiles/opx_util.dir/logging.cc.o.d"
+  "CMakeFiles/opx_util.dir/stats.cc.o"
+  "CMakeFiles/opx_util.dir/stats.cc.o.d"
+  "libopx_util.a"
+  "libopx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opx_vr.dir/vr_election.cc.o"
+  "CMakeFiles/opx_vr.dir/vr_election.cc.o.d"
+  "libopx_vr.a"
+  "libopx_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opx_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ble_test.cc" "tests/CMakeFiles/opx_tests.dir/ble_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/ble_test.cc.o.d"
+  "/root/repo/tests/client_test.cc" "tests/CMakeFiles/opx_tests.dir/client_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/client_test.cc.o.d"
+  "/root/repo/tests/cluster_sim_test.cc" "tests/CMakeFiles/opx_tests.dir/cluster_sim_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/cluster_sim_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/opx_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/durable_storage_test.cc" "tests/CMakeFiles/opx_tests.dir/durable_storage_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/durable_storage_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/opx_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/kv_store_test.cc" "tests/CMakeFiles/opx_tests.dir/kv_store_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/kv_store_test.cc.o.d"
+  "/root/repo/tests/local_cluster_test.cc" "tests/CMakeFiles/opx_tests.dir/local_cluster_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/local_cluster_test.cc.o.d"
+  "/root/repo/tests/multipaxos_test.cc" "tests/CMakeFiles/opx_tests.dir/multipaxos_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/multipaxos_test.cc.o.d"
+  "/root/repo/tests/multipaxos_unit_test.cc" "tests/CMakeFiles/opx_tests.dir/multipaxos_unit_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/multipaxos_unit_test.cc.o.d"
+  "/root/repo/tests/omni_paxos_test.cc" "tests/CMakeFiles/opx_tests.dir/omni_paxos_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/omni_paxos_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/opx_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/raft_test.cc" "tests/CMakeFiles/opx_tests.dir/raft_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/raft_test.cc.o.d"
+  "/root/repo/tests/raft_unit_test.cc" "tests/CMakeFiles/opx_tests.dir/raft_unit_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/raft_unit_test.cc.o.d"
+  "/root/repo/tests/reconfig_test.cc" "tests/CMakeFiles/opx_tests.dir/reconfig_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/reconfig_test.cc.o.d"
+  "/root/repo/tests/scenario_sweep_test.cc" "tests/CMakeFiles/opx_tests.dir/scenario_sweep_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/scenario_sweep_test.cc.o.d"
+  "/root/repo/tests/sequence_paxos_test.cc" "tests/CMakeFiles/opx_tests.dir/sequence_paxos_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/sequence_paxos_test.cc.o.d"
+  "/root/repo/tests/sequence_paxos_unit_test.cc" "tests/CMakeFiles/opx_tests.dir/sequence_paxos_unit_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/sequence_paxos_unit_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/opx_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/opx_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tcp_runtime_test.cc" "tests/CMakeFiles/opx_tests.dir/tcp_runtime_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/tcp_runtime_test.cc.o.d"
+  "/root/repo/tests/trim_test.cc" "tests/CMakeFiles/opx_tests.dir/trim_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/trim_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/opx_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/vr_chaos_test.cc" "tests/CMakeFiles/opx_tests.dir/vr_chaos_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/vr_chaos_test.cc.o.d"
+  "/root/repo/tests/vr_test.cc" "tests/CMakeFiles/opx_tests.dir/vr_test.cc.o" "gcc" "tests/CMakeFiles/opx_tests.dir/vr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/opx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/opx_rsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/omnipaxos/CMakeFiles/opx_omnipaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/opx_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipaxos/CMakeFiles/opx_multipaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/vr/CMakeFiles/opx_vr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omni_client.dir/omni_client_cli.cc.o"
+  "CMakeFiles/omni_client.dir/omni_client_cli.cc.o.d"
+  "omni_client"
+  "omni_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omni_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

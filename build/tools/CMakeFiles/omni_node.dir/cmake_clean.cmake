@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omni_node.dir/omni_node.cc.o"
+  "CMakeFiles/omni_node.dir/omni_node.cc.o.d"
+  "omni_node"
+  "omni_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omni_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

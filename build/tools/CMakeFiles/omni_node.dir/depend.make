@@ -1,0 +1,2 @@
+# Empty dependencies file for omni_node.
+# This may be replaced when dependencies are built.

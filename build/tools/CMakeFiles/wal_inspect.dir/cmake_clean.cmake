@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_inspect.dir/wal_inspect.cc.o"
+  "CMakeFiles/wal_inspect.dir/wal_inspect.cc.o.d"
+  "wal_inspect"
+  "wal_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
