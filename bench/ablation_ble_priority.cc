@@ -19,6 +19,7 @@ double DesignatedWinRate(bool use_priority, int runs) {
     params.election_timeout = Millis(50);
     params.seed = 500 + static_cast<uint64_t>(rep);
     params.preferred_leader = use_priority ? 2 : kNoNode;
+    params.audit = bench::AuditEnabled();
     rsm::ClusterSim<rsm::OmniNode> sim(params);
     sim.RunUntil(Seconds(2));
     if (sim.CurrentLeader() == 2) {
@@ -36,6 +37,7 @@ bool LivenessWithIsolatedPriority() {
   params.election_timeout = Millis(50);
   params.seed = 99;
   params.preferred_leader = 2;
+  params.audit = bench::AuditEnabled();
   rsm::ClusterSim<rsm::OmniNode> sim(params);
   // Isolate the prioritized server from everyone before any election.
   for (NodeId other = 1; other <= 5; ++other) {
@@ -51,8 +53,9 @@ bool LivenessWithIsolatedPriority() {
 }  // namespace
 }  // namespace opx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opx;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Ablation: BLE ballot priority (custom tie-break field)", "§5.2");
   const int runs = bench::FullMode() ? 20 : 8;
   std::printf("designated server wins first election: with priority %.0f%%, without %.0f%%\n",

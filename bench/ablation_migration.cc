@@ -47,8 +47,9 @@ void RunPair(const char* title, int replace) {
 }  // namespace
 }  // namespace opx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opx;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Ablation: parallel vs leader-only log migration", "Fig. 6 / §6.1");
   RunPair("replace one server", 1);
   RunPair("replace a majority (3 of 5)", 3);

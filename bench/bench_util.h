@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/flags.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
 
@@ -26,6 +27,22 @@ inline bool FullMode() {
 }
 
 inline int Repetitions() { return FullMode() ? 10 : 3; }
+
+// Process-wide safety-audit switch. Benches run audited by default (the
+// auditor rides along at a few percent overhead); pass --audit=false for
+// raw-performance measurement runs.
+inline bool& AuditFlag() {
+  static bool enabled = true;
+  return enabled;
+}
+
+inline bool AuditEnabled() { return AuditFlag(); }
+
+// Parses shared bench flags (currently just --audit). Call first in main().
+inline void ParseArgs(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  AuditFlag() = flags.GetBool("audit", true);
+}
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

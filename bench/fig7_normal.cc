@@ -34,6 +34,7 @@ Cell RunCell(int servers, bool wan, size_t cp) {
     cfg.warmup = FullMode() ? Seconds(60) : Seconds(3);
     cfg.duration = FullMode() ? Minutes(5) : Seconds(15);
     cfg.seed = 42 + static_cast<uint64_t>(rep);
+    cfg.audit = bench::AuditEnabled();
     const NormalResult r = rsm::RunNormal<Node>(cfg);
     tputs.push_back(r.throughput);
     io_share = std::max(io_share, r.election_io_share);
@@ -68,8 +69,9 @@ void RunSetting(int servers, bool wan) {
 }  // namespace
 }  // namespace opx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opx;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Figure 7: regular execution throughput",
                      "Fig. 7 + §7.1 BLE-overhead claim");
   RunSetting(3, /*wan=*/false);

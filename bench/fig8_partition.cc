@@ -61,6 +61,7 @@ DowntimeRow RunDowntime(const std::string& name, Scenario scenario) {
       }
       cfg.post_heal = std::max<Time>(Seconds(10), 4 * timeout);
       cfg.seed = 7 + static_cast<uint64_t>(rep);
+      cfg.audit = bench::AuditEnabled();
       const PartitionResult r = rsm::RunPartition<Node>(cfg);
       samples.push_back(ToSeconds(r.downtime));
       elevations += static_cast<double>(r.leader_elevations);
@@ -105,6 +106,7 @@ void RunChained(const std::string& name) {
       cfg.partition_duration = duration;
       cfg.post_heal = Seconds(5);
       cfg.seed = 13 + static_cast<uint64_t>(rep);
+      cfg.audit = bench::AuditEnabled();
       const PartitionResult r = rsm::RunPartition<Node>(cfg);
       decided.push_back(static_cast<double>(r.decided_during));
     }
@@ -120,8 +122,9 @@ void RunChained(const std::string& name) {
 }  // namespace
 }  // namespace opx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opx;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Figure 8: partial-connectivity experiments", "Fig. 8a/8b/8c + §7.2");
 
   {

@@ -91,8 +91,9 @@ void RunExperiment(const std::string& title, int replace, size_t cp) {
 }  // namespace
 }  // namespace opx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opx;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Figure 9: reconfiguration experiments", "Fig. 9a/9b/9c + §7.3");
   RunExperiment("Fig. 9a: replace one server, CP=5k", 1, 5'000);
   RunExperiment("Fig. 9b: replace one server, CP=50k", 1, 50'000);

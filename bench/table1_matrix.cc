@@ -37,6 +37,7 @@ PartitionConfig Config(Scenario s, uint64_t seed) {
   cfg.partition_duration = FullMode() ? Minutes(1) : Seconds(20);
   cfg.post_heal = Seconds(10);
   cfg.seed = seed;
+  cfg.audit = bench::AuditEnabled();
   return cfg;
 }
 
@@ -75,8 +76,9 @@ std::vector<std::string> RunAll() {
 }  // namespace
 }  // namespace opx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opx;
+  bench::ParseArgs(argc, argv);
   bench::PrintHeader("Table 1: protocols vs. partial-connectivity scenarios",
                      "Table 1 (measured verdicts; properties are by design)");
 

@@ -1,0 +1,109 @@
+// AuditView — the read-only safety snapshot every consensus implementation
+// exposes to the cross-replica safety auditor (src/audit/auditor.h).
+//
+// The paper's correctness claims (Table 1, Appendix A) are uniform across
+// protocol families — one leader per ballot/term/view, decided prefixes never
+// diverge, the stop-sign is final — so the view deliberately abstracts the
+// four implementations (Omni-Paxos, Raft, Multi-Paxos, VR) into one shape:
+// an epoch triple ordered like omni::Ballot, a decided/committed index, and a
+// per-entry content hash the auditor chains into a canonical log fingerprint.
+//
+// Views are cheap to build (plain data plus a raw function pointer into the
+// node's log — no allocation) because the simulator builds one per node after
+// every delivered event.
+#ifndef SRC_AUDIT_AUDIT_VIEW_H_
+#define SRC_AUDIT_AUDIT_VIEW_H_
+
+#include <cstdint>
+#include <ostream>
+#include <tuple>
+
+#include "src/util/types.h"
+
+namespace opx::audit {
+
+// ---------------------------------------------------------------------------
+// Hash helpers (splitmix64 finalizer). Shared by entry hashing and the
+// simulator's event-sequence fingerprint.
+// ---------------------------------------------------------------------------
+
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashMix(uint64_t seed, uint64_t v) { return Hash64(seed ^ Hash64(v)); }
+
+// ---------------------------------------------------------------------------
+// Epochs — a protocol-agnostic ballot/term/view triple, ordered like
+// omni::Ballot. Raft terms map to {term, 0, 0}; full ballots keep their
+// priority and pid components so cross-node comparisons match the protocol's
+// own total order.
+// ---------------------------------------------------------------------------
+
+struct AuditEpoch {
+  uint64_t n = 0;
+  uint32_t priority = 0;
+  NodeId pid = kNoNode;
+
+  friend bool operator==(const AuditEpoch& a, const AuditEpoch& b) {
+    return a.n == b.n && a.priority == b.priority && a.pid == b.pid;
+  }
+  friend bool operator<(const AuditEpoch& a, const AuditEpoch& b) {
+    return std::tie(a.n, a.priority, a.pid) < std::tie(b.n, b.priority, b.pid);
+  }
+  friend bool operator>(const AuditEpoch& a, const AuditEpoch& b) { return b < a; }
+  friend bool operator<=(const AuditEpoch& a, const AuditEpoch& b) { return !(b < a); }
+
+  friend std::ostream& operator<<(std::ostream& os, const AuditEpoch& e) {
+    return os << "(" << e.n << "," << e.priority << ",s" << e.pid << ")";
+  }
+};
+
+// What the auditor needs to know about one decided log entry: a content hash
+// (byte-for-byte identity across replicas) and whether the entry is a
+// stop-sign / configuration-final marker.
+struct AuditEntryInfo {
+  uint64_t hash = 0;
+  bool is_stop = false;
+};
+
+struct AuditView {
+  NodeId pid = kNoNode;
+  const char* protocol = "";
+
+  // Leadership claim. `leader_epoch` is the uniqueness class within which at
+  // most one leader may ever exist (ballot.n for the Paxos family, term for
+  // Raft, view+1 for VR). `leader_owner` is the server the protocol says owns
+  // that epoch (ballot pid, VR's round-robin designee); kNoNode when the
+  // class is shared (Raft terms) and ownership is decided by election alone.
+  bool is_leader = false;
+  uint64_t leader_epoch = 0;
+  NodeId leader_owner = kNoNode;
+
+  // Promise/acceptance state: `promised` is the highest round this node
+  // vowed not to undercut; `accepted` is the round of its latest accepted
+  // entry. Accepting above the promise is a protocol violation.
+  AuditEpoch promised;
+  AuditEpoch accepted;
+
+  LogIndex log_len = 0;
+  LogIndex decided_idx = 0;  // decided/committed watermark
+  LogIndex first_idx = 0;    // first index still readable (compaction floor)
+
+  // True when a decided stop-sign ends the configuration permanently
+  // (Omni-Paxos/VR §6); false where the log continues past membership
+  // entries (Raft, Multi-Paxos).
+  bool stop_is_final = false;
+
+  // Reads entry `idx` (valid in [first_idx, log_len)); `ctx` points at the
+  // node. Raw function pointer so building a view never allocates.
+  const void* ctx = nullptr;
+  AuditEntryInfo (*entry_at)(const void* ctx, LogIndex idx) = nullptr;
+};
+
+}  // namespace opx::audit
+
+#endif  // SRC_AUDIT_AUDIT_VIEW_H_

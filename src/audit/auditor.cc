@@ -1,0 +1,184 @@
+#include "src/audit/auditor.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace opx::audit {
+
+namespace {
+
+// Prune lazily: erasing from the front of canon_ is O(window), so only pay
+// it once the retired prefix is large.
+constexpr LogIndex kPruneThreshold = 1u << 16;
+
+}  // namespace
+
+const char* InvariantName(Invariant inv) {
+  switch (inv) {
+    case Invariant::kLeaderUniqueness: return "leader-uniqueness";
+    case Invariant::kLogDivergence: return "log-divergence";
+    case Invariant::kMonotonicity: return "monotonicity";
+    case Invariant::kPromiseOrder: return "promise-order";
+    case Invariant::kStopSign: return "stop-sign-finality";
+  }
+  return "unknown";
+}
+
+void SafetyAuditor::Observe(const std::vector<AuditView>& views, const AuditContext& ctx) {
+  ++events_audited_;
+  for (const AuditView& v : views) {
+    CheckLeadership(v, ctx);
+    CheckNode(v, ctx);
+    MatchDecided(v, ctx);
+    NodeState& st = nodes_[v.pid];
+    st.seen = true;
+    st.last = v;
+  }
+  PruneCanon();
+}
+
+void SafetyAuditor::CheckLeadership(const AuditView& v, const AuditContext& ctx) {
+  if (!v.is_leader) return;
+  // A leader must own the epoch it leads under: an Omni-Paxos/Multi-Paxos
+  // ballot carries its issuer's pid, VR's view designates a round-robin
+  // owner. Raft terms have no owner (leader_owner == kNoNode) — uniqueness
+  // within the term is all the protocol promises.
+  if (v.leader_owner != kNoNode && v.leader_owner != v.pid) {
+    std::ostringstream os;
+    os << "s" << v.pid << " claims leadership of epoch " << v.leader_epoch
+       << " owned by s" << v.leader_owner;
+    Fail(Invariant::kLeaderUniqueness, v.pid, os.str(), ctx);
+    return;
+  }
+  auto key = std::make_pair(v.leader_epoch, v.leader_owner);
+  auto [it, inserted] = leaders_.emplace(key, v.pid);
+  if (!inserted && it->second != v.pid) {
+    std::ostringstream os;
+    os << "epoch " << v.leader_epoch << " has two leaders: s" << it->second
+       << " and s" << v.pid;
+    Fail(Invariant::kLeaderUniqueness, v.pid, os.str(), ctx);
+  }
+}
+
+void SafetyAuditor::CheckNode(const AuditView& v, const AuditContext& ctx) {
+  NodeState& st = nodes_[v.pid];
+  if (st.seen) {
+    if (v.promised < st.max_promised) {
+      std::ostringstream os;
+      os << "promised epoch moved backwards: " << st.max_promised << " -> " << v.promised;
+      Fail(Invariant::kMonotonicity, v.pid, os.str(), ctx);
+    }
+    if (v.decided_idx < st.audited_decided) {
+      std::ostringstream os;
+      os << "decided index moved backwards: " << st.audited_decided << " -> "
+         << v.decided_idx;
+      Fail(Invariant::kMonotonicity, v.pid, os.str(), ctx);
+    }
+  }
+  if (st.max_promised < v.promised) st.max_promised = v.promised;
+  if (v.promised < v.accepted) {
+    std::ostringstream os;
+    os << "accepted epoch " << v.accepted << " above promised " << v.promised;
+    Fail(Invariant::kPromiseOrder, v.pid, os.str(), ctx);
+  }
+}
+
+void SafetyAuditor::MatchDecided(const AuditView& v, const AuditContext& ctx) {
+  NodeState& st = nodes_[v.pid];
+  // Compaction may have trimmed entries the auditor never chained (decide
+  // and trim inside one event). Those indices stay unaudited for this node;
+  // other replicas still cross-check them against the canon.
+  if (st.audited_decided < v.first_idx) st.audited_decided = v.first_idx;
+  if (v.decided_idx <= st.audited_decided) return;
+  if (v.entry_at == nullptr) return;
+
+  for (LogIndex idx = st.audited_decided; idx < v.decided_idx; ++idx) {
+    const AuditEntryInfo e = v.entry_at(v.ctx, idx);
+    if (stop_seen_ && v.stop_is_final && idx > stop_idx_) {
+      std::ostringstream os;
+      os << "entry decided at index " << idx << " after stop-sign at index " << stop_idx_;
+      Fail(Invariant::kStopSign, v.pid, os.str(), ctx);
+    }
+    if (e.is_stop && v.stop_is_final && !stop_seen_) {
+      stop_seen_ = true;
+      stop_idx_ = idx;
+    }
+
+    if (idx < canon_base_) continue;  // already pruned: every node agreed
+    const LogIndex slot = idx - canon_base_;
+    if (slot >= canon_.size()) canon_.resize(slot + 1);
+    CanonEntry& canon = canon_[slot];
+    if (!canon.known) {
+      canon.info = e;
+      canon.author = v.pid;
+      canon.known = true;
+    } else if (canon.info.hash != e.hash || canon.info.is_stop != e.is_stop) {
+      std::ostringstream os;
+      os << "decided entry " << idx << " diverges: s" << v.pid << " has hash "
+         << e.hash << (e.is_stop ? " (stop)" : "") << ", s" << canon.author
+         << " decided hash " << canon.info.hash
+         << (canon.info.is_stop ? " (stop)" : "");
+      Fail(Invariant::kLogDivergence, v.pid, os.str(), ctx);
+    } else {
+      ++entries_matched_;
+    }
+  }
+  st.audited_decided = v.decided_idx;
+}
+
+void SafetyAuditor::PruneCanon() {
+  if (nodes_.empty()) return;
+  LogIndex min_audited = ~LogIndex{0};
+  for (const auto& [pid, st] : nodes_) {
+    if (st.audited_decided < min_audited) min_audited = st.audited_decided;
+  }
+  if (min_audited <= canon_base_ || min_audited - canon_base_ < kPruneThreshold) return;
+  const LogIndex drop = min_audited - canon_base_;
+  if (drop >= canon_.size()) {
+    canon_.clear();
+    canon_base_ = min_audited;
+  } else {
+    canon_.erase(canon_.begin(), canon_.begin() + static_cast<ptrdiff_t>(drop));
+    canon_base_ = min_audited;
+  }
+}
+
+void SafetyAuditor::Fail(Invariant inv, NodeId pid, std::string detail,
+                         const AuditContext& ctx) {
+  violations_.push_back(Violation{inv, pid, std::move(detail), ctx});
+  if (!opts_.abort_on_violation) return;
+  std::string report = Report();
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string SafetyAuditor::Report() const {
+  std::ostringstream os;
+  os << "=== SAFETY AUDIT REPORT ===\n";
+  os << "events audited: " << events_audited_
+     << ", decided entries cross-checked: " << entries_matched_ << "\n";
+  for (const Violation& viol : violations_) {
+    os << "VIOLATION [" << InvariantName(viol.invariant) << "] at s" << viol.pid
+       << ": " << viol.detail << "\n"
+       << "  replay: seed=" << viol.ctx.seed << " t=" << viol.ctx.now << "ns event="
+       << viol.ctx.event_id << " (" << viol.ctx.label << ")\n";
+  }
+  os << "--- per-node state ---\n";
+  for (const auto& [pid, st] : nodes_) {
+    const AuditView& v = st.last;
+    os << "s" << pid << " [" << v.protocol << "]"
+       << (v.is_leader ? " LEADER" : "")
+       << " epoch=" << v.leader_epoch
+       << " promised=" << v.promised << " accepted=" << v.accepted
+       << " log_len=" << v.log_len << " decided=" << v.decided_idx
+       << " first=" << v.first_idx << " audited=" << st.audited_decided << "\n";
+  }
+  if (stop_seen_) os << "stop-sign decided at index " << stop_idx_ << "\n";
+  os << "===========================\n";
+  return os.str();
+}
+
+}  // namespace opx::audit

@@ -1,0 +1,132 @@
+// SafetyAuditor — cross-replica invariant checker for the deterministic
+// simulator. After every delivered event the harness snapshots one AuditView
+// per live node and feeds the set to Observe(); the auditor verifies the
+// global safety properties the paper proves in Appendix A:
+//
+//   1. Leader uniqueness  — at most one leader per ballot/term/view class.
+//   2. Log matching       — decided prefixes agree byte-for-byte across
+//                           replicas (rolling entry-hash chain).
+//   3. Monotonicity       — promised epoch and decided index never move
+//                           backwards on any node.
+//   4. Promise order      — a node never holds an accepted epoch above its
+//                           promised epoch.
+//   5. Stop-sign finality — nothing is decided past a decided stop-sign in
+//                           the same configuration (where the protocol
+//                           treats stop-signs as final).
+//
+// A violation produces a replayable report — seed, virtual time, event id,
+// per-node state dump — and (by default) aborts the process so the failing
+// seed is never papered over by later progress.
+#ifndef SRC_AUDIT_AUDITOR_H_
+#define SRC_AUDIT_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/audit/audit_view.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::audit {
+
+enum class Invariant {
+  kLeaderUniqueness,
+  kLogDivergence,
+  kMonotonicity,
+  kPromiseOrder,
+  kStopSign,
+};
+
+const char* InvariantName(Invariant inv);
+
+// Where in the run a check happened — everything needed to replay it.
+struct AuditContext {
+  uint64_t seed = 0;
+  Time now = 0;
+  uint64_t event_id = 0;
+  const char* label = "";  // e.g. "deliver", "tick", "reconnect"
+};
+
+struct Violation {
+  Invariant invariant;
+  NodeId pid = kNoNode;  // node the violation was detected on
+  std::string detail;
+  AuditContext ctx;
+};
+
+class SafetyAuditor {
+ public:
+  struct Options {
+    // Abort with a full report on the first violation. Tests that verify the
+    // auditor itself set this false and inspect violations() instead.
+    bool abort_on_violation = true;
+  };
+
+  SafetyAuditor() = default;
+  explicit SafetyAuditor(Options opts) : opts_(opts) {}
+
+  // Checks all five invariants against the current cluster snapshot. Crashed
+  // nodes are simply omitted from `views`; their historical contributions
+  // (leader claims, canonical hashes) remain in force.
+  void Observe(const std::vector<AuditView>& views, const AuditContext& ctx);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  uint64_t events_audited() const { return events_audited_; }
+  uint64_t entries_matched() const { return entries_matched_; }
+
+  // Full per-node state dump plus violation list; the body of the abort
+  // report, also usable from test failures.
+  std::string Report() const;
+
+ private:
+  // Incremental per-node audit state. The auditor only re-hashes entries a
+  // node newly decided since the last Observe, so a run costs O(total
+  // decided) not O(events × log length).
+  struct NodeState {
+    bool seen = false;
+    AuditEpoch max_promised;
+    LogIndex audited_decided = 0;  // decided prefix already chained
+    // Last snapshot, kept for the report.
+    AuditView last;
+  };
+
+  void Fail(Invariant inv, NodeId pid, std::string detail, const AuditContext& ctx);
+  void CheckNode(const AuditView& v, const AuditContext& ctx);
+  void CheckLeadership(const AuditView& v, const AuditContext& ctx);
+  void MatchDecided(const AuditView& v, const AuditContext& ctx);
+  void PruneCanon();
+
+  // Canonical decided-entry hashes, indexed by log position minus
+  // canon_base_. The first node to decide an index establishes the canonical
+  // hash; every other node must reproduce it exactly. Entries below every
+  // node's audited prefix are pruned so multi-million-entry bench runs stay
+  // O(window) in memory. `known` covers the (compaction-induced) case where
+  // a node decides past indices no live node can still read.
+  struct CanonEntry {
+    AuditEntryInfo info;
+    NodeId author = kNoNode;
+    bool known = false;
+  };
+  std::vector<CanonEntry> canon_;
+  LogIndex canon_base_ = 0;
+
+  // Epoch class → leader pid, for every leadership claim ever observed.
+  std::map<std::pair<uint64_t, NodeId>, NodeId> leaders_;
+
+  // Index of the first decided stop-sign (final configurations only).
+  bool stop_seen_ = false;
+  LogIndex stop_idx_ = 0;
+
+  std::map<NodeId, NodeState> nodes_;
+  std::vector<Violation> violations_;
+  uint64_t events_audited_ = 0;
+  uint64_t entries_matched_ = 0;
+  Options opts_;
+};
+
+}  // namespace opx::audit
+
+#endif  // SRC_AUDIT_AUDITOR_H_

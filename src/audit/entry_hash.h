@@ -1,0 +1,39 @@
+// Content hashing for replicated-log entries. All four protocols store
+// omni::Entry (Raft wraps it in LogEntry), so one hash definition gives the
+// auditor byte-for-byte identity across replicas: two entries hash equal iff
+// Entry::operator== holds.
+#ifndef SRC_AUDIT_ENTRY_HASH_H_
+#define SRC_AUDIT_ENTRY_HASH_H_
+
+#include <cstdint>
+
+#include "src/audit/audit_view.h"
+#include "src/omnipaxos/ballot.h"
+#include "src/omnipaxos/entry.h"
+
+namespace opx::audit {
+
+inline uint64_t EntryContentHash(const omni::Entry& e) {
+  uint64_t h = Hash64(e.cmd_id);
+  h = HashMix(h, e.payload_bytes);
+  if (e.stop_sign != nullptr) {
+    h = HashMix(h, 0x570b'516eull);  // distinguishes stop-signs from commands
+    h = HashMix(h, e.stop_sign->next_config);
+    for (NodeId n : e.stop_sign->next_nodes) {
+      h = HashMix(h, static_cast<uint64_t>(static_cast<uint32_t>(n)));
+    }
+  }
+  return h;
+}
+
+inline AuditEntryInfo EntryInfo(const omni::Entry& e) {
+  return AuditEntryInfo{EntryContentHash(e), e.IsStopSign()};
+}
+
+inline AuditEpoch EpochOf(const omni::Ballot& b) {
+  return AuditEpoch{b.n, b.priority, b.pid};
+}
+
+}  // namespace opx::audit
+
+#endif  // SRC_AUDIT_ENTRY_HASH_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/audit/entry_hash.h"
 #include "src/util/check.h"
 
 namespace opx::mpx {
@@ -175,6 +176,9 @@ void MultiPaxos::CompletePhase1() {
     log_.push_back(it != best.end() ? it->second.value : Entry::Command(0, 0));
     acc_ballots_.push_back(ballot_);
   }
+  if (max_slot_end > decided_) {
+    NoteAccepted(ballot_);
+  }
   decided_ = std::min<uint64_t>(max_decided, log_.size());
 
   role_ = MpxRole::kLeader;
@@ -237,6 +241,9 @@ void MultiPaxos::HandleP2a(NodeId from, P2a m) {
     // from a previous ballot that the new leader never re-sent).
     Emit(from, LearnReq{decided_});
     return;
+  }
+  if (!m.values.empty()) {
+    NoteAccepted(m.b);
   }
   for (size_t i = 0; i < m.values.size(); ++i) {
     const uint64_t slot = m.first_slot + i;
@@ -373,6 +380,9 @@ void MultiPaxos::HandleLearnResp(NodeId from, LearnResp m) {
   // overwrite any unchosen local tail. The recorded accept ballot is
   // irrelevant for slots below the decided watermark (Phase 1 never reports
   // them), so the current promise is fine.
+  if (!m.values.empty()) {
+    NoteAccepted(promised_);
+  }
   for (size_t i = 0; i < m.values.size(); ++i) {
     const uint64_t slot = m.first_slot + i;
     if (slot < log_.size()) {
@@ -433,9 +443,35 @@ void MultiPaxos::FlushProposals() {
   }
   proposal_queue_.erase(proposal_queue_.begin(),
                         proposal_queue_.begin() + static_cast<ptrdiff_t>(taken));
-  if (taken > 0 && ClusterSize() == 1) {
-    AdvanceCommit();
+  if (taken > 0) {
+    NoteAccepted(ballot_);
+    if (ClusterSize() == 1) {
+      AdvanceCommit();
+    }
   }
+}
+
+audit::AuditView MultiPaxos::Audit() const {
+  audit::AuditView v;
+  v.pid = config_.pid;
+  v.protocol = "multipaxos";
+  v.is_leader = IsLeader();
+  // Ballots are unique per (n, pid); two servers may transiently lead under
+  // the same n with different pids, so the pid is part of the epoch identity.
+  v.leader_epoch = ballot_.n;
+  v.leader_owner = ballot_.pid;
+  v.promised = audit::EpochOf(promised_);
+  v.accepted = audit::EpochOf(max_accepted_);
+  v.log_len = log_.size();
+  v.decided_idx = decided_;
+  v.first_idx = 0;
+  v.stop_is_final = false;
+  v.ctx = this;
+  v.entry_at = [](const void* ctx, LogIndex idx) {
+    const auto* self = static_cast<const MultiPaxos*>(ctx);
+    return audit::EntryInfo(self->log_[idx]);
+  };
+  return v;
 }
 
 std::vector<MpxOut> MultiPaxos::TakeOutgoing() {

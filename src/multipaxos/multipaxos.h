@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "src/audit/audit_view.h"
 #include "src/multipaxos/messages.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
@@ -69,6 +70,9 @@ class MultiPaxos {
   const std::vector<Entry>& log() const { return log_; }
   uint64_t leader_changes() const { return leader_changes_; }
 
+  // Read-only safety snapshot for the cross-replica auditor.
+  audit::AuditView Audit() const;
+
  private:
   size_t ClusterSize() const { return config_.peers.size() + 1; }
   size_t Majority() const { return ClusterSize() / 2 + 1; }
@@ -98,11 +102,18 @@ class MultiPaxos {
   MpxConfig config_;
   Rng rng_;
 
+  // Every acceptance records the ballot into max_accepted_ so the auditor can
+  // check accepted <= promised without rescanning acc_ballots_.
+  void NoteAccepted(const Ballot& b) {
+    if (max_accepted_ < b) max_accepted_ = b;
+  }
+
   // Acceptor/replica state. log_ holds accepted values; acc_ballots_[i] is
   // the ballot slot i was accepted in; decided_ is the chosen watermark.
   Ballot promised_;
   std::vector<Entry> log_;
   std::vector<Ballot> acc_ballots_;
+  Ballot max_accepted_;  // highest ballot ever written into acc_ballots_
   uint64_t decided_ = 0;
 
   // Proposer state.

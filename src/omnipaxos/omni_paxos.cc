@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/audit/entry_hash.h"
+
 namespace opx::omni {
 namespace {
 
@@ -64,6 +66,28 @@ bool OmniPaxos::ProposeReconfiguration(StopSign ss) {
   }
   stop_sign_proposed_ = true;
   return true;
+}
+
+audit::AuditView OmniPaxos::Audit() const {
+  const Storage& st = paxos_.storage();
+  audit::AuditView v;
+  v.pid = config_.pid;
+  v.protocol = "omnipaxos";
+  v.is_leader = IsLeader();
+  v.leader_epoch = paxos_.leader_ballot().n;
+  v.leader_owner = paxos_.leader_ballot().pid;
+  v.promised = audit::EpochOf(st.promised_round());
+  v.accepted = audit::EpochOf(st.accepted_round());
+  v.log_len = st.log_len();
+  v.decided_idx = st.decided_idx();
+  v.first_idx = st.compacted_idx();
+  v.stop_is_final = true;
+  v.ctx = this;
+  v.entry_at = [](const void* ctx, LogIndex idx) {
+    const auto* self = static_cast<const OmniPaxos*>(ctx);
+    return audit::EntryInfo(self->paxos_.storage().At(idx));
+  };
+  return v;
 }
 
 std::vector<OmniOut> OmniPaxos::TakeOutgoing() {

@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/audit/audit_view.h"
 #include "src/omnipaxos/ble.h"
 #include "src/omnipaxos/messages.h"
 #include "src/omnipaxos/sequence_paxos.h"
@@ -71,6 +72,9 @@ class OmniPaxos {
   bool IsStopped() const { return paxos_.IsStopped(); }
   std::optional<StopSign> DecidedStopSign() const { return paxos_.DecidedStopSign(); }
   const Storage& storage() const { return paxos_.storage(); }
+
+  // Read-only safety snapshot for the cross-replica auditor.
+  audit::AuditView Audit() const;
 
   SequencePaxos& paxos() { return paxos_; }
   const SequencePaxos& paxos() const { return paxos_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/audit/entry_hash.h"
 #include "src/util/check.h"
 
 namespace opx::raft {
@@ -469,6 +470,39 @@ void Raft::FlushProposals() {
 std::vector<RaftOut> Raft::TakeOutgoing() {
   FlushProposals();
   return std::exchange(pending_out_, {});
+}
+
+audit::AuditView Raft::Audit() const {
+  audit::AuditView v;
+  v.pid = config_.pid;
+  v.protocol = "raft";
+  v.is_leader = IsLeader();
+  // Raft terms have no designated owner; uniqueness within the term is the
+  // whole safety property (Election Safety), so leader_owner stays kNoNode.
+  v.leader_epoch = term_;
+  v.leader_owner = kNoNode;
+  v.promised = audit::AuditEpoch{term_, 0, kNoNode};
+  // A log entry's term never exceeds the term of the server holding it (the
+  // AppendEntries term check), which is the Raft analogue of accepted <=
+  // promised.
+  v.accepted = audit::AuditEpoch{LastLogTerm(), 0, kNoNode};
+  v.log_len = log_.size();
+  v.decided_idx = commit_;
+  v.first_idx = 0;
+  // Raft keeps committing after membership-change entries, so stop-signs are
+  // not final here.
+  v.stop_is_final = false;
+  v.ctx = this;
+  v.entry_at = [](const void* ctx, LogIndex idx) {
+    const auto* self = static_cast<const Raft*>(ctx);
+    const LogEntry& e = self->log_[idx];
+    // Committed replicas must agree on term as well as content (Log
+    // Matching), so the term folds into the hash.
+    audit::AuditEntryInfo info = audit::EntryInfo(e.data);
+    info.hash = audit::HashMix(info.hash, e.term);
+    return info;
+  };
+  return v;
 }
 
 void Raft::Emit(NodeId to, RaftMessage msg) {

@@ -20,6 +20,7 @@
 #include <set>
 #include <vector>
 
+#include "src/audit/audit_view.h"
 #include "src/raft/messages.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
@@ -90,6 +91,9 @@ class Raft {
   bool InVoters(NodeId id) const;
   // Index just past the last committed membership-change entry, if any.
   std::optional<std::vector<NodeId>> CommittedMembership() const;
+
+  // Read-only safety snapshot for the cross-replica auditor.
+  audit::AuditView Audit() const;
 
  private:
   size_t Majority() const { return voters_.size() / 2 + 1; }

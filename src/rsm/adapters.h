@@ -87,6 +87,8 @@ class OmniNode {
   }
   static Time TickPeriod(Time election_timeout) { return election_timeout; }
 
+  audit::AuditView Audit() const { return node_->Audit(); }
+
   omni::OmniPaxos& impl() { return *node_; }
 
  private:
@@ -153,6 +155,8 @@ class RaftNodeT {
   // Raft ticks 5x per election timeout (heartbeat interval).
   static Time TickPeriod(Time election_timeout) { return election_timeout / 5; }
 
+  audit::AuditView Audit() const { return node_->Audit(); }
+
   raft::Raft& impl() { return *node_; }
 
  private:
@@ -216,6 +220,8 @@ class MultiPaxosNode {
   }
   static Time TickPeriod(Time election_timeout) { return election_timeout / 3; }
 
+  audit::AuditView Audit() const { return node_->Audit(); }
+
   mpx::MultiPaxos& impl() { return *node_; }
 
  private:
@@ -277,6 +283,8 @@ class VrNode {
     return std::holds_alternative<vr::VrMessage>(m);
   }
   static Time TickPeriod(Time election_timeout) { return election_timeout / 3; }
+
+  audit::AuditView Audit() const { return node_->Audit(); }
 
   vr::VrReplica& impl() { return *node_; }
 

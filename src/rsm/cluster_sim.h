@@ -16,6 +16,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/rsm/client.h"
 #include "src/rsm/client_messages.h"
 #include "src/rsm/node_options.h"
@@ -44,6 +45,9 @@ struct ClusterParams {
   // Omni-Paxos: server given BLE priority 1 so it wins the first election.
   NodeId preferred_leader = kNoNode;
   Time metrics_window = Seconds(5);
+  // Run the cross-replica safety auditor after every delivered event.
+  // Default on; benches pass --audit=false to take it off the hot path.
+  bool audit = true;
 };
 
 template <typename Node>
@@ -84,6 +88,7 @@ class ClusterSim {
         if (peer >= 1 && peer <= params_.num_servers) {
           nodes_[static_cast<size_t>(id)]->Reconnected(peer);
           PumpServer(id);
+          AuditNow("reconnect", id);
         }
       });
     }
@@ -113,6 +118,13 @@ class ClusterSim {
   int num_servers() const { return params_.num_servers; }
   NodeId ClientId() const { return params_.num_servers + 1; }
   const ClusterParams& params() const { return params_; }
+  const audit::SafetyAuditor& auditor() const { return auditor_; }
+
+  // Rolling hash over the audited event sequence (virtual time + node of
+  // every event), seeded with params.seed. Two runs of the same seed and
+  // scenario must produce identical hashes — the determinism regression
+  // check in sim_test.cc.
+  uint64_t EventHash() const { return event_hash_; }
 
   // Leader claimant with the highest epoch (stale claimants lose).
   NodeId CurrentLeader() {
@@ -179,6 +191,7 @@ class ClusterSim {
   void TickServer(NodeId id, Time period) {
     node(id).Tick();
     PumpServer(id);
+    AuditNow("tick", id);
     sim_.ScheduleAfter(period, [this, id, period]() { TickServer(id, period); });
   }
 
@@ -197,6 +210,7 @@ class ClusterSim {
       node(id).Handle(from, std::move(*msg));
     }
     PumpServer(id);
+    AuditNow("deliver", id);
   }
 
   void OnClientWire(NodeId from, Wire w) {
@@ -258,8 +272,30 @@ class ClusterSim {
         admission_[static_cast<size_t>(id)].drain_scheduled = false;
         DrainAdmission(id);
         PumpServer(id);
+        AuditNow("admission", id);
       });
     }
+  }
+
+  // Snapshot every server's AuditView and run the cross-replica safety
+  // checks. Called after each event that can change protocol state (message
+  // delivery, tick, reconnect, admission drain).
+  void AuditNow(const char* label, NodeId id) {
+    event_hash_ = audit::HashMix(event_hash_, static_cast<uint64_t>(sim_.Now()));
+    event_hash_ = audit::HashMix(event_hash_, static_cast<uint64_t>(static_cast<uint32_t>(id)));
+    if (!params_.audit) {
+      return;
+    }
+    views_scratch_.clear();
+    for (NodeId s = 1; s <= params_.num_servers; ++s) {
+      views_scratch_.push_back(node(s).Audit());
+    }
+    audit::AuditContext ctx;
+    ctx.seed = params_.seed;
+    ctx.now = sim_.Now();
+    ctx.event_id = ++audit_events_;
+    ctx.label = label;
+    auditor_.Observe(views_scratch_, ctx);
   }
 
   void PumpServer(NodeId id) {
@@ -313,6 +349,11 @@ class ClusterSim {
   std::vector<uint64_t> election_bytes_;
   std::vector<std::vector<uint64_t>> io_samples_;
   std::vector<uint64_t> decided_scratch_;
+
+  audit::SafetyAuditor auditor_;
+  std::vector<audit::AuditView> views_scratch_;
+  uint64_t audit_events_ = 0;
+  uint64_t event_hash_ = audit::Hash64(params_.seed);
 };
 
 }  // namespace opx::rsm

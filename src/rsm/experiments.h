@@ -28,6 +28,9 @@ struct NormalConfig {
   bool wan = false;
   uint64_t seed = 1;
   double proposal_rate = 600'000.0;
+  // Run the safety auditor during the experiment (benches pass --audit=false
+  // when measuring raw protocol performance).
+  bool audit = true;
 };
 
 struct NormalResult {
@@ -46,6 +49,7 @@ NormalResult RunNormal(const NormalConfig& cfg) {
   params.seed = cfg.seed;
   params.proposal_rate = cfg.proposal_rate;
   params.preferred_leader = 1;
+  params.audit = cfg.audit;
   params.net.default_latency = cfg.wan ? Millis(52) : Micros(100);
 
   ClusterSim<Node> sim(params);
@@ -98,6 +102,8 @@ struct PartitionConfig {
   // Down-time metrics are rate-independent; a modest rate keeps runs fast.
   double proposal_rate = 50'000.0;
   Time warmup = 0;  // 0 = auto: max(10 s, 6 * election timeout)
+  // Run the safety auditor during the experiment.
+  bool audit = true;
 };
 
 struct PartitionResult {
@@ -119,6 +125,7 @@ PartitionResult RunPartition(const PartitionConfig& cfg) {
   params.seed = cfg.seed;
   params.proposal_rate = cfg.proposal_rate;
   params.preferred_leader = 1;
+  params.audit = cfg.audit;
   params.net.default_latency = Micros(100);
 
   ClusterSim<Node> sim(params);

@@ -80,7 +80,7 @@ class Network {
   // real gigabit deployments do not exhibit.
   void Send(NodeId from, NodeId to, Msg msg, uint32_t payload_bytes,
             bool control_plane = false) {
-    OPX_CHECK_NE(from, to);
+    OPX_DCHECK_NE(from, to);
     Link& link = LinkRef(from, to);
     const uint64_t session = link.epoch;
     if (!link.up) {
@@ -198,7 +198,7 @@ class Network {
   };
 
   size_t CheckedIndex(NodeId node) const {
-    OPX_CHECK(node >= 1 && node <= n_) << "node=" << node;
+    OPX_DCHECK(node >= 1 && node <= n_) << "node=" << node;
     return static_cast<size_t>(node);
   }
 

@@ -39,7 +39,7 @@ class Simulator {
 
   // Schedules `fn` at absolute time `at` (>= Now()).
   EventId ScheduleAt(Time at, std::function<void()> fn) {
-    OPX_CHECK_GE(at, now_);
+    OPX_DCHECK_GE(at, now_);
     const EventId id = next_id_++;
     queue_.push(Event{at, id, std::move(fn)});
     return id;
@@ -62,7 +62,7 @@ class Simulator {
         cancelled_.erase(it);
         continue;
       }
-      OPX_CHECK_GE(ev.at, now_);
+      OPX_DCHECK_GE(ev.at, now_);
       now_ = ev.at;
       ev.fn();
       return true;

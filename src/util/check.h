@@ -65,11 +65,33 @@ struct CheckVoidify {
 #define OPX_CHECK_GT(a, b) OPX_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
 #define OPX_CHECK_GE(a, b) OPX_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
 
+// Debug-only variants for hot paths (simulator event loop, network fan-out):
+// full checks in debug and sanitizer builds, compiled out under NDEBUG. The
+// dead `while (false)` form keeps the condition and stream operands
+// type-checked (and silences unused-variable warnings) at zero runtime cost.
 #ifndef NDEBUG
 #define OPX_DCHECK(cond) OPX_CHECK(cond)
+#define OPX_DCHECK_EQ(a, b) OPX_CHECK_EQ(a, b)
+#define OPX_DCHECK_NE(a, b) OPX_CHECK_NE(a, b)
+#define OPX_DCHECK_LT(a, b) OPX_CHECK_LT(a, b)
+#define OPX_DCHECK_LE(a, b) OPX_CHECK_LE(a, b)
+#define OPX_DCHECK_GT(a, b) OPX_CHECK_GT(a, b)
+#define OPX_DCHECK_GE(a, b) OPX_CHECK_GE(a, b)
 #else
 #define OPX_DCHECK(cond) \
   while (false) OPX_CHECK(cond)
+#define OPX_DCHECK_EQ(a, b) \
+  while (false) OPX_CHECK_EQ(a, b)
+#define OPX_DCHECK_NE(a, b) \
+  while (false) OPX_CHECK_NE(a, b)
+#define OPX_DCHECK_LT(a, b) \
+  while (false) OPX_CHECK_LT(a, b)
+#define OPX_DCHECK_LE(a, b) \
+  while (false) OPX_CHECK_LE(a, b)
+#define OPX_DCHECK_GT(a, b) \
+  while (false) OPX_CHECK_GT(a, b)
+#define OPX_DCHECK_GE(a, b) \
+  while (false) OPX_CHECK_GE(a, b)
 #endif
 
 #endif  // SRC_UTIL_CHECK_H_

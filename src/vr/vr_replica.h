@@ -7,6 +7,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/audit/entry_hash.h"
 #include "src/omnipaxos/sequence_paxos.h"
 #include "src/omnipaxos/storage.h"
 #include "src/vr/vr_election.h"
@@ -74,6 +75,31 @@ class VrReplica {
   const omni::Storage& storage() const { return paxos_.storage(); }
   const VrElection& election() const { return election_; }
   omni::SequencePaxos& paxos() { return paxos_; }
+
+  // Read-only safety snapshot for the cross-replica auditor. Leader events
+  // are Ballot{view+1, 0, leader(view)}, so the ballot pid is the view's
+  // round-robin designee and doubles as the epoch owner.
+  audit::AuditView Audit() const {
+    const omni::Storage& st = paxos_.storage();
+    audit::AuditView v;
+    v.pid = paxos_.pid();
+    v.protocol = "vr";
+    v.is_leader = IsLeader();
+    v.leader_epoch = paxos_.leader_ballot().n;
+    v.leader_owner = paxos_.leader_ballot().pid;
+    v.promised = audit::EpochOf(st.promised_round());
+    v.accepted = audit::EpochOf(st.accepted_round());
+    v.log_len = st.log_len();
+    v.decided_idx = st.decided_idx();
+    v.first_idx = st.compacted_idx();
+    v.stop_is_final = true;
+    v.ctx = this;
+    v.entry_at = [](const void* ctx, LogIndex idx) {
+      const auto* self = static_cast<const VrReplica*>(ctx);
+      return audit::EntryInfo(self->paxos_.storage().At(idx));
+    };
+    return v;
+  }
 
  private:
   void DrainLeaderEvents() {

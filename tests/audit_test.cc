@@ -1,0 +1,290 @@
+// Self-test for the cross-replica safety auditor: injected corruption in
+// hand-built AuditViews must trip each invariant class, and clean histories
+// must not. The auditor runs with abort_on_violation=false so the test can
+// inspect violations() instead of dying.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/audit/auditor.h"
+
+namespace opx {
+namespace {
+
+using audit::AuditContext;
+using audit::AuditEntryInfo;
+using audit::AuditEpoch;
+using audit::AuditView;
+using audit::Invariant;
+using audit::SafetyAuditor;
+
+// A replica reduced to exactly what the auditor sees: a decided log of entry
+// hashes plus the leadership/promise scalars.
+struct FakeNode {
+  NodeId pid = kNoNode;
+  std::vector<AuditEntryInfo> log;
+  LogIndex decided = 0;
+  LogIndex first = 0;
+  bool is_leader = false;
+  uint64_t leader_epoch = 0;
+  NodeId leader_owner = kNoNode;
+  AuditEpoch promised;
+  AuditEpoch accepted;
+  bool stop_is_final = true;
+
+  AuditView View() const {
+    AuditView v;
+    v.pid = pid;
+    v.protocol = "fake";
+    v.is_leader = is_leader;
+    v.leader_epoch = leader_epoch;
+    v.leader_owner = leader_owner;
+    v.promised = promised;
+    v.accepted = accepted;
+    v.log_len = static_cast<LogIndex>(log.size());
+    v.decided_idx = decided;
+    v.first_idx = first;
+    v.stop_is_final = stop_is_final;
+    v.ctx = this;
+    v.entry_at = [](const void* ctx, LogIndex idx) {
+      return static_cast<const FakeNode*>(ctx)->log[idx];
+    };
+    return v;
+  }
+};
+
+AuditContext Ctx(uint64_t event_id = 1) {
+  AuditContext ctx;
+  ctx.seed = 42;
+  ctx.now = Millis(5);
+  ctx.event_id = event_id;
+  ctx.label = "test";
+  return ctx;
+}
+
+SafetyAuditor MakeAuditor() {
+  SafetyAuditor::Options opts;
+  opts.abort_on_violation = false;
+  return SafetyAuditor(opts);
+}
+
+std::vector<AuditView> Views(const std::vector<FakeNode*>& nodes) {
+  std::vector<AuditView> out;
+  for (const FakeNode* n : nodes) out.push_back(n->View());
+  return out;
+}
+
+FakeNode Node(NodeId pid) {
+  FakeNode n;
+  n.pid = pid;
+  n.promised = {1, 0, 1};
+  n.accepted = {1, 0, 1};
+  return n;
+}
+
+AuditEntryInfo Entry(uint64_t hash, bool is_stop = false) { return {hash, is_stop}; }
+
+// --- Clean histories produce no violations. --------------------------------
+
+TEST(Auditor, CleanClusterPasses) {
+  FakeNode a = Node(1), b = Node(2);
+  a.is_leader = true;
+  a.leader_epoch = 1;
+  a.leader_owner = 1;
+  a.log = {Entry(10), Entry(20), Entry(30)};
+  a.decided = 3;
+  b.log = {Entry(10), Entry(20)};
+  b.decided = 2;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a, &b}), Ctx(1));
+  b.log.push_back(Entry(30));
+  b.decided = 3;
+  auditor.Observe(Views({&a, &b}), Ctx(2));
+
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+  EXPECT_EQ(auditor.events_audited(), 2u);
+  // b reproduced a's canonical entries: 2 at the first event, 1 at the second.
+  EXPECT_EQ(auditor.entries_matched(), 3u);
+}
+
+TEST(Auditor, CompactedPrefixIsSkippedNotFlagged) {
+  // A node whose log starts past genesis (trim/snapshot) fast-forwards its
+  // audit position instead of reading unreadable indices.
+  FakeNode a = Node(1);
+  a.log = {Entry(0), Entry(0), Entry(50), Entry(60)};  // 0,1 trimmed
+  a.first = 2;
+  a.decided = 4;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx());
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+// --- Invariant 1: leader uniqueness. ---------------------------------------
+
+TEST(Auditor, TwoLeadersInOneEpochTrips) {
+  FakeNode a = Node(1), b = Node(2);
+  // Raft-style shared epoch (no owner): both claim term 7.
+  a.is_leader = true;
+  a.leader_epoch = 7;
+  b.is_leader = true;
+  b.leader_epoch = 7;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a, &b}), Ctx());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kLeaderUniqueness);
+}
+
+TEST(Auditor, LeadingAnotherServersBallotTrips) {
+  FakeNode a = Node(1);
+  a.is_leader = true;
+  a.leader_epoch = 3;
+  a.leader_owner = 2;  // ballot (3, s2) but s1 claims to lead under it
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kLeaderUniqueness);
+}
+
+TEST(Auditor, SameEpochDifferentOwnersIsLegal) {
+  // Multi-Paxos ballots (n, pid): two servers may both hold n=3 under their
+  // own pid — these are distinct ballots, not a split brain.
+  FakeNode a = Node(1), b = Node(2);
+  a.is_leader = true;
+  a.leader_epoch = 3;
+  a.leader_owner = 1;
+  b.is_leader = true;
+  b.leader_epoch = 3;
+  b.leader_owner = 2;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a, &b}), Ctx());
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+// --- Invariant 2: decided prefixes agree byte-for-byte. --------------------
+
+TEST(Auditor, DivergingDecidedEntryTrips) {
+  FakeNode a = Node(1), b = Node(2);
+  a.log = {Entry(10), Entry(20)};
+  a.decided = 2;
+  b.log = {Entry(10), Entry(99)};  // corrupted second entry
+  b.decided = 2;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a, &b}), Ctx());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kLogDivergence);
+  EXPECT_EQ(auditor.violations()[0].pid, 2);
+}
+
+TEST(Auditor, StopFlagMismatchIsDivergence) {
+  FakeNode a = Node(1), b = Node(2);
+  b.stop_is_final = a.stop_is_final = false;  // keep invariant 5 out of the way
+  a.log = {Entry(10, /*is_stop=*/true)};
+  a.decided = 1;
+  b.log = {Entry(10, /*is_stop=*/false)};
+  b.decided = 1;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a, &b}), Ctx());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kLogDivergence);
+}
+
+// --- Invariant 3: per-node monotonicity. -----------------------------------
+
+TEST(Auditor, PromisedEpochRegressionTrips) {
+  FakeNode a = Node(1);
+  a.promised = {5, 0, 2};
+  a.accepted = {1, 0, 1};
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx(1));
+  a.promised = {4, 0, 2};
+  auditor.Observe(Views({&a}), Ctx(2));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kMonotonicity);
+}
+
+TEST(Auditor, DecidedIndexRegressionTrips) {
+  FakeNode a = Node(1);
+  a.log = {Entry(10), Entry(20)};
+  a.decided = 2;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx(1));
+  a.decided = 1;
+  auditor.Observe(Views({&a}), Ctx(2));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kMonotonicity);
+}
+
+// --- Invariant 4: acceptance never exceeds the promise. --------------------
+
+TEST(Auditor, AcceptedAbovePromisedTrips) {
+  FakeNode a = Node(1);
+  a.promised = {3, 0, 1};
+  a.accepted = {4, 0, 2};
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kPromiseOrder);
+}
+
+// --- Invariant 5: nothing decided past a final stop-sign. ------------------
+
+TEST(Auditor, EntryDecidedAfterStopSignTrips) {
+  FakeNode a = Node(1);
+  a.log = {Entry(10), Entry(20, /*is_stop=*/true)};
+  a.decided = 2;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx(1));
+  EXPECT_TRUE(auditor.violations().empty());
+
+  a.log.push_back(Entry(30));  // decided past the stop-sign
+  a.decided = 3;
+  auditor.Observe(Views({&a}), Ctx(2));
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, Invariant::kStopSign);
+}
+
+TEST(Auditor, NonFinalStopSignsAllowLogToContinue) {
+  // Raft/Multi-Paxos membership entries are not final: decides past them are
+  // normal operation.
+  FakeNode a = Node(1);
+  a.stop_is_final = false;
+  a.log = {Entry(10, /*is_stop=*/true), Entry(20)};
+  a.decided = 2;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a}), Ctx());
+  EXPECT_TRUE(auditor.violations().empty()) << auditor.Report();
+}
+
+// --- Reports carry everything needed to replay. ----------------------------
+
+TEST(Auditor, ReportIsReplayable) {
+  FakeNode a = Node(1), b = Node(2);
+  a.is_leader = true;
+  a.leader_epoch = 7;
+  b.is_leader = true;
+  b.leader_epoch = 7;
+
+  SafetyAuditor auditor = MakeAuditor();
+  auditor.Observe(Views({&a, &b}), Ctx(9));
+  const std::string report = auditor.Report();
+  EXPECT_NE(report.find("leader-uniqueness"), std::string::npos);
+  EXPECT_NE(report.find("seed=42"), std::string::npos);
+  EXPECT_NE(report.find("event=9"), std::string::npos);
+  EXPECT_NE(report.find("(test)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opx

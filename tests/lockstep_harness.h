@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/util/check.h"
 #include "src/util/types.h"
 
@@ -45,6 +46,7 @@ class LockstepCluster {
         NotifyReconnect(a, b);
         NotifyReconnect(b, a);
         Collect();
+        AuditNow("reconnect");
       }
     } else {
       down_links_.insert(key);
@@ -75,12 +77,14 @@ class LockstepCluster {
   bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
 
   void Tick() {
+    ++ticks_;
     for (NodeId id = 1; id <= n_; ++id) {
       if (!IsCrashed(id)) {
         node(id).Tick();
       }
     }
     Collect();
+    AuditNow("tick");
     DeliverAll();
   }
 
@@ -101,8 +105,11 @@ class LockstepCluster {
       }
       node(w.to).Handle(w.from, std::move(w.body));
       Collect();
+      AuditNow("deliver");
     }
   }
+
+  const audit::SafetyAuditor& auditor() const { return auditor_; }
 
   void Collect() {
     for (NodeId id = 1; id <= n_; ++id) {
@@ -140,6 +147,24 @@ class LockstepCluster {
     }
   }
 
+  // Runs the cross-replica safety auditor over all live nodes. Compiles away
+  // for node types that don't expose an AuditView.
+  void AuditNow(const char* label) {
+    if constexpr (requires(const Node& n) { n.Audit(); }) {
+      views_.clear();
+      for (NodeId id = 1; id <= n_; ++id) {
+        if (!IsCrashed(id)) {
+          views_.push_back(node(id).Audit());
+        }
+      }
+      audit::AuditContext ctx;
+      ctx.now = ticks_;  // lockstep "time" is the tick count
+      ctx.event_id = ++audit_events_;
+      ctx.label = label;
+      auditor_.Observe(views_, ctx);
+    }
+  }
+
   size_t Checked(NodeId id) const {
     OPX_CHECK(id >= 1 && id <= n_);
     return static_cast<size_t>(id);
@@ -151,6 +176,11 @@ class LockstepCluster {
   std::deque<Wire> queue_;
   std::set<std::pair<NodeId, NodeId>> down_links_;
   std::set<NodeId> crashed_;
+
+  audit::SafetyAuditor auditor_;
+  std::vector<audit::AuditView> views_;
+  uint64_t audit_events_ = 0;
+  int64_t ticks_ = 0;
 };
 
 }  // namespace opx::testing

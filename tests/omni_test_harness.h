@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/omnipaxos/omni_paxos.h"
 #include "src/util/check.h"
 
@@ -47,6 +48,7 @@ class OmniCluster {
         node(a).Reconnected(b);
         node(b).Reconnected(a);
         Collect();
+        AuditNow("reconnect");
       }
     } else {
       down_links_.insert(key);
@@ -99,12 +101,14 @@ class OmniCluster {
 
   // One BLE heartbeat period on all live nodes, then full message settling.
   void Tick() {
+    ++ticks_;
     for (NodeId id = 1; id <= n_; ++id) {
       if (!IsCrashed(id)) {
         node(id).TickElection();
       }
     }
     Collect();
+    AuditNow("tick");
     DeliverAll();
   }
 
@@ -127,7 +131,25 @@ class OmniCluster {
       }
       node(w.to).Handle(w.from, std::move(w.body));
       Collect();
+      AuditNow("deliver");
     }
+  }
+
+  const audit::SafetyAuditor& auditor() const { return auditor_; }
+
+  // Runs the cross-replica safety auditor over all live nodes.
+  void AuditNow(const char* label) {
+    views_.clear();
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id)) {
+        views_.push_back(node(id).Audit());
+      }
+    }
+    audit::AuditContext ctx;
+    ctx.now = ticks_;  // lockstep "time" is the tick count
+    ctx.event_id = ++audit_events_;
+    ctx.label = label;
+    auditor_.Observe(views_, ctx);
   }
 
   // Appends a command at `id` and settles. Returns false if rejected.
@@ -200,6 +222,11 @@ class OmniCluster {
   std::deque<Wire> queue_;
   std::set<std::pair<NodeId, NodeId>> down_links_;
   std::set<NodeId> crashed_;
+
+  audit::SafetyAuditor auditor_;
+  std::vector<audit::AuditView> views_;
+  uint64_t audit_events_ = 0;
+  int64_t ticks_ = 0;
 };
 
 }  // namespace opx::testing

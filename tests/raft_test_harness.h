@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/raft/raft.h"
 #include "src/util/check.h"
 
@@ -83,12 +84,14 @@ class RaftCluster {
   bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
 
   void Tick() {
+    ++ticks_;
     for (NodeId id = 1; id <= n_; ++id) {
       if (!IsCrashed(id)) {
         node(id).Tick();
       }
     }
     Collect();
+    AuditNow("tick");
     DeliverAll();
   }
 
@@ -109,7 +112,25 @@ class RaftCluster {
       }
       node(w.to).Handle(w.from, std::move(w.body));
       Collect();
+      AuditNow("deliver");
     }
+  }
+
+  const audit::SafetyAuditor& auditor() const { return auditor_; }
+
+  // Runs the cross-replica safety auditor over all live nodes.
+  void AuditNow(const char* label) {
+    views_.clear();
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (!IsCrashed(id)) {
+        views_.push_back(node(id).Audit());
+      }
+    }
+    audit::AuditContext ctx;
+    ctx.now = ticks_;  // lockstep "time" is the tick count
+    ctx.event_id = ++audit_events_;
+    ctx.label = label;
+    auditor_.Observe(views_, ctx);
   }
 
   bool Append(NodeId id, uint64_t cmd_id) {
@@ -163,6 +184,11 @@ class RaftCluster {
   std::deque<Wire> queue_;
   std::set<std::pair<NodeId, NodeId>> down_links_;
   std::set<NodeId> crashed_;
+
+  audit::SafetyAuditor auditor_;
+  std::vector<audit::AuditView> views_;
+  uint64_t audit_events_ = 0;
+  int64_t ticks_ = 0;
 };
 
 }  // namespace opx::testing

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Dispatch-exhaustiveness lint for the message variants.
+
+Every protocol's wire format is a std::variant, and every handler dispatches
+on it with std::visit/is_same_v chains or get_if ladders. C++ makes it easy to
+add a variant alternative and silently never handle it (a get_if ladder just
+falls through). This lint parses each `using X = std::variant<...>;` and
+verifies every alternative is named in at least one dispatch expression
+(is_same_v<T, A>, get_if<A>, holds_alternative<A>, std::get<A>) in the files
+that handle that variant.
+
+Run from the repo root (tools/run_checks.sh does):  python3 tools/lint_handlers.py
+Exit status 0 = every alternative handled, 1 = missing cases, 2 = parse error.
+"""
+
+import os
+import re
+import sys
+
+# (variant name, header that defines it, files that must dispatch on it)
+VARIANTS = [
+    ("PaxosMessage", "src/omnipaxos/messages.h", ["src/omnipaxos/sequence_paxos.cc"]),
+    ("BleMessage", "src/omnipaxos/messages.h", ["src/omnipaxos/ble.cc"]),
+    ("OmniMessage", "src/omnipaxos/omni_paxos.h", ["src/omnipaxos/omni_paxos.cc"]),
+    ("RaftMessage", "src/raft/messages.h", ["src/raft/raft.cc"]),
+    ("MpxMessage", "src/multipaxos/messages.h", ["src/multipaxos/multipaxos.cc"]),
+    ("VrMessage", "src/vr/vr_election.h", ["src/vr/vr_election.cc"]),
+    ("VrWire", "src/vr/vr_replica.h", ["src/vr/vr_replica.h"]),
+]
+
+
+def strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def split_alternatives(body):
+    """Split the variant's template-argument list on top-level commas."""
+    alts, depth, cur = [], 0, []
+    for ch in body:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        if ch == "," and depth == 0:
+            alts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        alts.append("".join(cur).strip())
+    return [a for a in alts if a]
+
+
+def parse_variant(header_text, name):
+    m = re.search(
+        r"using\s+" + re.escape(name) + r"\s*=\s*std::variant<(.*?)>\s*;",
+        header_text,
+        flags=re.S,
+    )
+    if m is None:
+        return None
+    return split_alternatives(re.sub(r"\s+", " ", m.group(1)))
+
+
+def dispatch_pattern(alt):
+    """Match any dispatch expression naming `alt`, namespace-qualified or not."""
+    unqualified = alt.split("::")[-1]
+    name = r"(?:\w+::)*" + re.escape(unqualified)
+    return re.compile(
+        r"(?:is_same_v\s*<\s*T\s*,\s*|get_if\s*<\s*|holds_alternative\s*<\s*|std::get\s*<\s*)"
+        + name
+        + r"\s*>"
+    )
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    missing = []
+    checked = 0
+    for name, header, dispatch_files in VARIANTS:
+        header_path = os.path.join(root, header)
+        try:
+            header_text = strip_comments(open(header_path).read())
+        except OSError as e:
+            print(f"error: cannot read {header}: {e}", file=sys.stderr)
+            return 2
+        alts = parse_variant(header_text, name)
+        if alts is None:
+            print(f"error: no `using {name} = std::variant<...>;` in {header}",
+                  file=sys.stderr)
+            return 2
+        dispatch_text = ""
+        for f in dispatch_files:
+            try:
+                dispatch_text += strip_comments(open(os.path.join(root, f)).read())
+            except OSError as e:
+                print(f"error: cannot read {f}: {e}", file=sys.stderr)
+                return 2
+        for alt in alts:
+            checked += 1
+            if not dispatch_pattern(alt).search(dispatch_text):
+                missing.append((name, alt, dispatch_files))
+
+    if missing:
+        for name, alt, files in missing:
+            print(f"MISSING: {name} alternative `{alt}` has no dispatch case "
+                  f"in {', '.join(files)}")
+        print(f"\nlint_handlers: {len(missing)} missing of {checked} alternatives")
+        return 1
+    print(f"lint_handlers: all {checked} variant alternatives across "
+          f"{len(VARIANTS)} message variants have dispatch cases")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Full static+dynamic check pipeline, as run before merging:
+#   1. sanitized build (ASan+UBSan, assertions live) of everything;
+#   2. the complete CTest suite under sanitizers — every scenario/chaos test
+#      runs with the cross-replica safety auditor enabled (the default);
+#   3. dispatch-exhaustiveness lint over the message variants;
+#   4. clang-tidy over files changed relative to origin/main (skipped with a
+#      note when clang-tidy is not installed).
+#
+# Usage: tools/run_checks.sh [build-dir]      (default: build-asan)
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILED=0
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "sanitized build (ASan+UBSan) -> $BUILD"
+cmake -B "$BUILD" -S "$ROOT" -DOPX_SANITIZE=ON >"$BUILD.configure.log" 2>&1 ||
+  { echo "configure FAILED (see $BUILD.configure.log)"; exit 1; }
+cmake --build "$BUILD" -j "$JOBS" >"$BUILD.build.log" 2>&1 ||
+  { echo "build FAILED (see $BUILD.build.log)"; exit 1; }
+echo "ok"
+
+step "ctest under sanitizers (auditor on)"
+if (cd "$BUILD" && ctest --output-on-failure -j "$JOBS"); then
+  echo "ok"
+else
+  echo "ctest FAILED"
+  FAILED=1
+fi
+
+step "message-variant dispatch lint"
+if python3 "$ROOT/tools/lint_handlers.py"; then
+  echo "ok"
+else
+  echo "lint_handlers FAILED"
+  FAILED=1
+fi
+
+step "clang-tidy (changed files vs origin/main)"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping"
+else
+  # compile_commands.json comes from the sanitized build dir.
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null 2>&1
+  BASE="$(git -C "$ROOT" merge-base HEAD origin/main 2>/dev/null || echo HEAD)"
+  CHANGED="$(git -C "$ROOT" diff --name-only "$BASE" -- '*.cc' '*.h' |
+             while read -r f; do [ -f "$ROOT/$f" ] && echo "$ROOT/$f"; done)"
+  if [ -z "$CHANGED" ]; then
+    echo "no changed C++ files"
+  elif echo "$CHANGED" | xargs clang-tidy -p "$BUILD" --quiet; then
+    echo "ok"
+  else
+    echo "clang-tidy FAILED"
+    FAILED=1
+  fi
+fi
+
+step "summary"
+if [ "$FAILED" -eq 0 ]; then
+  echo "all checks passed"
+else
+  echo "CHECKS FAILED"
+fi
+exit "$FAILED"

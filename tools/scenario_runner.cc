@@ -12,6 +12,7 @@
 //   --duration-s   fault-free run duration (scenario=none)          [30]
 //   --partition-s  partition duration (scenario!=none)              [30]
 //   --rate         leader admission rate, proposals/s               [50000]
+//   --audit        run the cross-replica safety auditor             [true]
 //   --seed         RNG seed                                         [1]
 //   --wan          WAN latencies (scenario=none only)               [false]
 #include <cstdio>
@@ -34,6 +35,7 @@ int RunNone(const Flags& flags) {
   cfg.wan = flags.GetBool("wan", false);
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.proposal_rate = flags.GetDouble("rate", 50'000.0);
+  cfg.audit = flags.GetBool("audit", true);
   if (cfg.wan && cfg.election_timeout < Millis(300)) {
     std::fprintf(stderr, "note: raising election timeout to 500 ms (> WAN RTT)\n");
     cfg.election_timeout = Millis(500);
@@ -57,6 +59,7 @@ int RunScenario(const Flags& flags, rsm::Scenario scenario) {
   cfg.concurrent_proposals = static_cast<size_t>(flags.GetInt("cp", 500));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.proposal_rate = flags.GetDouble("rate", 50'000.0);
+  cfg.audit = flags.GetBool("audit", true);
   const rsm::PartitionResult r = rsm::RunPartition<Node>(cfg);
   std::printf("scenario:          %s\n", rsm::ScenarioName(scenario).c_str());
   std::printf("recovered:         %s\n", r.recovered ? "yes (progress during partition)"
@@ -98,7 +101,7 @@ int main(int argc, char** argv) {
         "usage: scenario_runner --protocol=P --scenario=S [options]\n"
         "  P: omnipaxos | raft | raft-pvcq | vr | multipaxos\n"
         "  S: none | quorum-loss | constrained | chained\n"
-        "  options: --servers --timeout-ms --cp --duration-s --partition-s --rate --seed --wan\n");
+        "  options: --servers --timeout-ms --cp --duration-s --partition-s --rate --seed --wan --audit\n");
     return 0;
   }
   const std::string protocol = flags.GetString("protocol", "omnipaxos");
