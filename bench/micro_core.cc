@@ -3,6 +3,9 @@
 // protocol inner loops fast enough for the minute-scale experiments.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/omnipaxos/ble.h"
 #include "src/omnipaxos/sequence_paxos.h"
 #include "src/omnipaxos/storage.h"
@@ -106,6 +109,34 @@ void BM_SimulatorEventChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorEventChurn);
+
+// Schedule/cancel/fire mix with message-sized closures — the pattern of
+// failure-detector timers being re-armed under load, and the case the slab
+// queue's O(1) tombstone cancellation targets.
+void BM_SimulatorChurn(benchmark::State& state) {
+  struct Payload {
+    uint64_t words[8];  // mirrors a realistic {net*, from, to, session, msg} capture
+  };
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    uint64_t fired = 0;
+    std::vector<sim::EventId> ids(64, sim::kInvalidEvent);
+    for (int wave = 0; wave < 32; ++wave) {
+      for (size_t t = 0; t < ids.size(); ++t) {
+        simulator.Cancel(ids[t]);  // half are still pending: tombstone path
+        Payload p{};
+        p.words[0] = static_cast<uint64_t>(wave);
+        ids[t] = simulator.ScheduleAfter(Micros((wave * 37 + static_cast<int>(t)) % 997),
+                                         [&fired, p]() { fired += p.words[0]; });
+      }
+      simulator.RunUntil(simulator.Now() + Micros(500));
+    }
+    simulator.RunToCompletion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 64);
+}
+BENCHMARK(BM_SimulatorChurn);
 
 void BM_NetworkSend(benchmark::State& state) {
   sim::Simulator simulator;

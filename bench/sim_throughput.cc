@@ -1,0 +1,210 @@
+// Core simulator throughput bench — the perf trajectory of the deterministic
+// event loop itself (not a paper figure).
+//
+// Measures three layers:
+//  1. churn        — raw Simulator events/sec on a schedule/cancel/fire mix
+//                    (the timer pattern protocol adapters generate);
+//  2. net          — simulated messages/sec through Network (per-message
+//                    closure scheduling, FIFO clamping, I/O accounting);
+//  3. fig7-quick   — wall-clock seconds of a shortened Fig. 7-style
+//                    ClusterSim<OmniNode> run, audited and raw (--audit=false
+//                    equivalent), plus decided proposals/sec.
+//
+// Emits BENCH_core.json (see --out) holding both the frozen pre-rewrite
+// baseline (kBaseline below, measured at the commit noted there) and the
+// numbers of the binary being run, so successive PRs track the trajectory.
+//
+// Every measurement is best-of-kReps (max rate / min wall): shared CI
+// machines jitter ±20%, and the minimum wall clock is the standard
+// noise-robust estimator of a workload's true cost.
+//
+// Usage: sim_throughput [--out=PATH] [--scale=N]
+//   --scale multiplies work sizes (default 1; CI smoke uses the default).
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/rsm/experiments.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/util/flags.h"
+
+namespace opx {
+namespace {
+
+double WallSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+constexpr int kReps = 3;
+
+// --- 1. Simulator churn: schedule waves of timers, cancel half, fire the rest.
+// Mirrors the protocol-adapter pattern (every tick re-arms timers; reconnects
+// and retries cancel them).
+double ChurnEventsPerSec(int64_t waves) {
+  sim::Simulator simulator;
+  constexpr int kWave = 64;
+  // Each closure carries a message-sized payload: real simulated sends capture
+  // {network*, from, to, session, msg} — tens to ~130 bytes, not a bare ref.
+  struct Payload {
+    uint64_t words[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  };
+  uint64_t fired = 0;
+  sim::EventId ids[kWave];
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t w = 0; w < waves; ++w) {
+    for (int i = 0; i < kWave; ++i) {
+      ids[i] = simulator.ScheduleAfter(Micros((i * 37) % 997),
+                                       [&fired, p = Payload{}]() { fired += p.words[0]; });
+    }
+    for (int i = 0; i < kWave; i += 2) {
+      simulator.Cancel(ids[i]);
+    }
+    simulator.RunUntil(simulator.Now() + Millis(1));
+  }
+  const double wall = WallSeconds(t0);
+  return static_cast<double>(waves * kWave) / wall;
+}
+
+// --- 2. Network message path: full Send -> schedule -> deliver cycle.
+double NetMessagesPerSec(int64_t rounds) {
+  sim::Simulator simulator;
+  sim::NetworkParams params;
+  sim::Network<uint64_t> net(&simulator, 5, params);
+  uint64_t received = 0;
+  for (NodeId id = 1; id <= 5; ++id) {
+    net.SetHandler(id, [&received](NodeId, uint64_t) { ++received; });
+  }
+  constexpr int kBatch = 100;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t r = 0; r < rounds; ++r) {
+    for (int i = 0; i < kBatch; ++i) {
+      const NodeId from = static_cast<NodeId>(i % 5 + 1);
+      const NodeId to = static_cast<NodeId>((i + 1) % 5 + 1);
+      net.Send(from, to, static_cast<uint64_t>(i), 64);
+    }
+    simulator.RunToCompletion();
+  }
+  const double wall = WallSeconds(t0);
+  return static_cast<double>(rounds * kBatch) / wall;
+}
+
+// --- 3. Shortened Fig. 7 run: 3 servers, LAN, CP=500.
+struct Fig7Numbers {
+  double wall_s = 0.0;
+  double throughput = 0.0;  // decided proposals per simulated second
+};
+
+Fig7Numbers RunFig7Quick(bool audit, int64_t scale) {
+  rsm::NormalConfig cfg;
+  cfg.num_servers = 3;
+  cfg.concurrent_proposals = 500;
+  cfg.warmup = Seconds(1);
+  cfg.duration = Seconds(4 * scale);
+  cfg.seed = 42;
+  cfg.audit = audit;
+  const auto t0 = std::chrono::steady_clock::now();
+  const rsm::NormalResult r = rsm::RunNormal<rsm::OmniNode>(cfg);
+  Fig7Numbers out;
+  out.wall_s = WallSeconds(t0);
+  out.throughput = r.throughput;
+  return out;
+}
+
+struct Numbers {
+  double churn_events_per_sec = 0.0;
+  double net_messages_per_sec = 0.0;
+  double fig7_wall_s_audited = 0.0;
+  double fig7_wall_s_raw = 0.0;  // --audit=false
+  double fig7_throughput = 0.0;
+};
+
+// Pre-rewrite baseline, measured at commit 79a91a3 (priority_queue<Event> +
+// unordered_set cancellation, std::function closures, per-follower vector
+// copies) with --scale=1, best of 3 runs on the CI container. Frozen so every
+// later run of this bench reports the trajectory against the same origin.
+constexpr Numbers kBaseline = {
+    /*churn_events_per_sec=*/11.2e6,
+    /*net_messages_per_sec=*/10.9e6,
+    /*fig7_wall_s_audited=*/0.78,
+    /*fig7_wall_s_raw=*/0.65,
+    /*fig7_throughput=*/500'000.0,
+};
+
+void PrintJsonNumbers(std::FILE* f, const char* key, const Numbers& n, bool last) {
+  std::fprintf(f,
+               "  \"%s\": {\n"
+               "    \"churn_events_per_sec\": %.0f,\n"
+               "    \"net_messages_per_sec\": %.0f,\n"
+               "    \"fig7_quick_wall_s_audited\": %.3f,\n"
+               "    \"fig7_quick_wall_s_raw\": %.3f,\n"
+               "    \"fig7_quick_throughput_per_sim_s\": %.0f\n"
+               "  }%s\n",
+               key, n.churn_events_per_sec, n.net_messages_per_sec, n.fig7_wall_s_audited,
+               n.fig7_wall_s_raw, n.fig7_throughput, last ? "" : ",");
+}
+
+}  // namespace
+}  // namespace opx
+
+int main(int argc, char** argv) {
+  using namespace opx;
+  const Flags flags(argc, argv);
+  const int64_t scale = flags.GetInt("scale", 1);
+  const std::string out_path = flags.GetString("out", "");
+
+  bench::PrintHeader("Core simulator throughput", "event-loop perf trajectory");
+
+  Numbers cur;
+  for (int rep = 0; rep < kReps; ++rep) {
+    cur.churn_events_per_sec =
+        std::max(cur.churn_events_per_sec, ChurnEventsPerSec(20'000 * scale));
+  }
+  std::printf("churn (schedule/cancel/fire):  %s events\n",
+              bench::HumanRate(cur.churn_events_per_sec).c_str());
+  for (int rep = 0; rep < kReps; ++rep) {
+    cur.net_messages_per_sec =
+        std::max(cur.net_messages_per_sec, NetMessagesPerSec(20'000 * scale));
+  }
+  std::printf("network send->deliver:         %s messages\n",
+              bench::HumanRate(cur.net_messages_per_sec).c_str());
+
+  cur.fig7_wall_s_audited = 1e100;
+  cur.fig7_wall_s_raw = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Fig7Numbers audited = RunFig7Quick(/*audit=*/true, scale);
+    const Fig7Numbers raw = RunFig7Quick(/*audit=*/false, scale);
+    cur.fig7_wall_s_audited = std::min(cur.fig7_wall_s_audited, audited.wall_s);
+    cur.fig7_wall_s_raw = std::min(cur.fig7_wall_s_raw, raw.wall_s);
+    cur.fig7_throughput = raw.throughput;
+  }
+  std::printf("fig7-quick wall clock:         %.2fs audited / %.2fs raw (tput %s)\n",
+              cur.fig7_wall_s_audited, cur.fig7_wall_s_raw,
+              bench::HumanRate(cur.fig7_throughput).c_str());
+
+  std::printf("\nvs baseline (commit 79a91a3): churn %.2fx, net %.2fx, fig7 raw wall %.2fx\n",
+              cur.churn_events_per_sec / kBaseline.churn_events_per_sec,
+              cur.net_messages_per_sec / kBaseline.net_messages_per_sec,
+              kBaseline.fig7_wall_s_raw / cur.fig7_wall_s_raw);
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"sim_throughput\",\n  \"scale\": %" PRId64 ",\n", scale);
+    std::fprintf(f, "  \"baseline_commit\": \"79a91a3\",\n");
+    PrintJsonNumbers(f, "baseline", kBaseline, /*last=*/false);
+    PrintJsonNumbers(f, "current", cur, /*last=*/true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

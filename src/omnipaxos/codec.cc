@@ -39,7 +39,7 @@ void Encoder::EntryField(const Entry& e) {
   }
 }
 
-void Encoder::EntriesField(const std::vector<Entry>& entries) {
+void Encoder::EntriesField(std::span<const Entry> entries) {
   U32(static_cast<uint32_t>(entries.size()));
   for (const Entry& e : entries) {
     EntryField(e);
@@ -137,6 +137,15 @@ bool Decoder::EntriesField(std::vector<Entry>* entries) {
     }
     entries->push_back(std::move(e));
   }
+  return true;
+}
+
+bool Decoder::EntriesField(EntrySegment* entries) {
+  std::vector<Entry> decoded;
+  if (!EntriesField(&decoded)) {
+    return false;
+  }
+  *entries = EntrySegment(std::move(decoded));
   return true;
 }
 

@@ -6,6 +6,7 @@
 #define SRC_OMNIPAXOS_CODEC_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/omnipaxos/messages.h"
@@ -35,7 +36,8 @@ class Encoder {
     U32(static_cast<uint32_t>(b.pid));
   }
   void EntryField(const Entry& e);
-  void EntriesField(const std::vector<Entry>& entries);
+  // Accepts vectors and EntrySegments alike (both convert to a span).
+  void EntriesField(std::span<const Entry> entries);
 
  private:
   std::vector<uint8_t>* out_;
@@ -52,6 +54,7 @@ class Decoder {
   bool BallotField(Ballot* b);
   bool EntryField(Entry* e);
   bool EntriesField(std::vector<Entry>* entries);
+  bool EntriesField(EntrySegment* entries);
   size_t remaining() const { return size_ - pos_; }
 
  private:

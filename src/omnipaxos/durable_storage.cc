@@ -289,7 +289,7 @@ void DurableStorage::Append(Entry e) {
   Storage::Append(std::move(e));
 }
 
-void DurableStorage::AppendAll(const std::vector<Entry>& entries) {
+void DurableStorage::AppendAll(std::span<const Entry> entries) {
   for (const Entry& e : entries) {
     std::vector<uint8_t> payload;
     PutEntry(&payload, e);
@@ -298,7 +298,7 @@ void DurableStorage::AppendAll(const std::vector<Entry>& entries) {
   Storage::AppendAll(entries);
 }
 
-void DurableStorage::TruncateAndAppend(LogIndex len, const std::vector<Entry>& suffix) {
+void DurableStorage::TruncateAndAppend(LogIndex len, std::span<const Entry> suffix) {
   std::vector<uint8_t> payload;
   PutU64(&payload, len);
   WriteRecord(kTruncate, payload);

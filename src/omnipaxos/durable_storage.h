@@ -18,6 +18,7 @@
 #define SRC_OMNIPAXOS_DURABLE_STORAGE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,9 +42,12 @@ class DurableStorage final : public Storage {
   void set_promised_round(const Ballot& b) override;
   void set_accepted_round(const Ballot& b) override;
   void Append(Entry e) override;
-  void AppendAll(const std::vector<Entry>& entries) override;
-  void TruncateAndAppend(LogIndex len, const std::vector<Entry>& suffix) override;
+  void AppendAll(std::span<const Entry> entries) override;
+  void TruncateAndAppend(LogIndex len, std::span<const Entry> suffix) override;
   void set_decided_idx(LogIndex idx) override;
+  // Re-expose the base initializer_list conveniences hidden by the overrides.
+  using Storage::AppendAll;
+  using Storage::TruncateAndAppend;
 
   // Flushes buffered journal bytes to the OS (fflush; a production system
   // would fsync here).

@@ -6,11 +6,16 @@
 #ifndef SRC_OMNIPAXOS_ENTRY_H_
 #define SRC_OMNIPAXOS_ENTRY_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <ostream>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/types.h"
 
 namespace opx::omni {
@@ -65,10 +70,61 @@ struct Entry {
   }
 };
 
+// A shared, immutable run of log entries — the zero-copy body of replication
+// messages. The leader materializes one suffix snapshot and every follower's
+// AcceptDecide/AcceptSync shares it (a shared_ptr bump plus offsets) instead
+// of receiving its own vector copy. Views over one snapshot may start at
+// different offsets, which is how per-follower next_send_ positions share a
+// single buffer. Always contiguous, so it converts to std::span.
+class EntrySegment {
+ public:
+  EntrySegment() = default;
+
+  // Owning constructors (implicit: messages are built from plain entry lists
+  // in tests and the codec).
+  EntrySegment(std::vector<Entry> entries)  // NOLINT(google-explicit-constructor)
+      : data_(entries.empty()
+                  ? nullptr
+                  : std::make_shared<const std::vector<Entry>>(std::move(entries))),
+        count_(data_ == nullptr ? 0 : data_->size()) {}
+  EntrySegment(std::initializer_list<Entry> entries)  // NOLINT(google-explicit-constructor)
+      : EntrySegment(std::vector<Entry>(entries)) {}
+
+  // View over [offset, offset + count) of a shared immutable snapshot.
+  EntrySegment(std::shared_ptr<const std::vector<Entry>> data, size_t offset, size_t count)
+      : data_(std::move(data)), offset_(offset), count_(count) {
+    OPX_DCHECK(data_ != nullptr || count == 0);
+    OPX_DCHECK(data_ == nullptr || offset + count <= data_->size());
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const Entry* data() const { return count_ == 0 ? nullptr : data_->data() + offset_; }
+  const Entry* begin() const { return data(); }
+  const Entry* end() const { return data() + count_; }
+  const Entry& operator[](size_t i) const {
+    OPX_DCHECK_LT(i, count_);
+    return (*data_)[offset_ + i];
+  }
+
+  operator std::span<const Entry>() const {  // NOLINT(google-explicit-constructor)
+    return {data(), count_};
+  }
+
+  friend bool operator==(const EntrySegment& a, const EntrySegment& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Entry>> data_;
+  size_t offset_ = 0;
+  size_t count_ = 0;
+};
+
 // Approximate wire size of one entry (payload plus per-entry metadata).
 inline uint64_t EntryWireBytes(const Entry& e) { return e.payload_bytes + 16; }
 
-inline uint64_t EntriesWireBytes(const std::vector<Entry>& entries) {
+inline uint64_t EntriesWireBytes(std::span<const Entry> entries) {
   uint64_t total = 0;
   for (const Entry& e : entries) {
     total += EntryWireBytes(e);

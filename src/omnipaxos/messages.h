@@ -27,11 +27,13 @@ struct Prepare {
 };
 
 // Follower → leader: the promise not to accept lower rounds, plus the suffix
-// of entries the leader is missing (Fig. 3b ③).
+// of entries the leader is missing (Fig. 3b ③). The suffix is an immutable
+// shared segment: building the message from the follower's log is a
+// shared_ptr bump, not a copy.
 struct Promise {
   Ballot n;
   Ballot acc_rnd;
-  std::vector<Entry> suffix;
+  EntrySegment suffix;
   LogIndex log_idx = 0;  // follower's log length
   LogIndex decided_idx = 0;
   // Non-zero when the follower compacted below the leader's sync point: the
@@ -45,7 +47,7 @@ struct Promise {
 // (Fig. 3b ④/⑤).
 struct AcceptSync {
   Ballot n;
-  std::vector<Entry> suffix;
+  EntrySegment suffix;  // shared across all followers synced in one phase
   LogIndex sync_idx = 0;
   LogIndex decided_idx = 0;
   // Non-zero when the leader compacted below the follower's sync point: the
@@ -61,7 +63,9 @@ struct AcceptSync {
 struct AcceptDecide {
   Ballot n;
   LogIndex start_idx = 0;
-  std::vector<Entry> entries;
+  // One immutable snapshot of the leader's log tail, shared by every
+  // follower's message as an offset view (zero-copy fan-out).
+  EntrySegment entries;
   LogIndex decided_idx = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "src/omnipaxos/sequence_paxos.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "src/util/check.h"
@@ -138,15 +139,15 @@ void SequencePaxos::HandlePrepare(NodeId from, const Prepare& p) {
     // compacted below that point, the suffix starts at our compaction
     // boundary and a snapshot covers the rest (only decided entries are ever
     // trimmed, so the summarized prefix is chosen).
-    LogIndex from = p.decided_idx;
-    if (from < storage_->compacted_idx()) {
-      from = storage_->compacted_idx();
-      promise.snapshot_up_to = from;
+    LogIndex suffix_from = p.decided_idx;
+    if (suffix_from < storage_->compacted_idx()) {
+      suffix_from = storage_->compacted_idx();
+      promise.snapshot_up_to = suffix_from;
     }
-    promise.suffix = storage_->Suffix(from);
+    promise.suffix = storage_->SharedSuffix(suffix_from);
   } else if (storage_->accepted_round() == p.acc_rnd && storage_->log_len() > p.log_idx) {
     // Same round ⇒ same leader ⇒ our log extends the leader's (FIFO).
-    promise.suffix = storage_->Suffix(p.log_idx);
+    promise.suffix = storage_->SharedSuffix(p.log_idx);
   }
   Emit(from, std::move(promise));
 }
@@ -262,7 +263,7 @@ void SequencePaxos::SendAcceptSyncTo(NodeId follower, const PromiseMeta& meta) {
     sync_idx = as.snapshot_up_to;
   }
   as.sync_idx = sync_idx;
-  as.suffix = storage_->Suffix(sync_idx);
+  as.suffix = storage_->SharedSuffix(sync_idx);
   as.decided_idx = storage_->decided_idx();
   next_send_[follower] = storage_->log_len();
   Emit(follower, std::move(as));
@@ -306,13 +307,12 @@ void SequencePaxos::HandleAcceptDecide(NodeId from, const AcceptDecide& ad) {
   if (ad.start_idx + ad.entries.size() <= len) {
     return;  // pure duplicate
   }
+  const std::span<const Entry> entries = ad.entries;
   if (ad.start_idx < len) {
-    // Overlapping resend: append only the unseen tail.
-    std::vector<Entry> tail(ad.entries.begin() + static_cast<ptrdiff_t>(len - ad.start_idx),
-                            ad.entries.end());
-    storage_->AppendAll(tail);
+    // Overlapping resend: append only the unseen tail (a subspan, no copy).
+    storage_->AppendAll(entries.subspan(len - ad.start_idx));
   } else {
-    storage_->AppendAll(ad.entries);
+    storage_->AppendAll(entries);
   }
   const LogIndex decided = std::min<LogIndex>(ad.decided_idx, storage_->log_len());
   if (decided > storage_->decided_idx()) {
@@ -460,12 +460,22 @@ void SequencePaxos::FlushAccepts() {
   }
   const LogIndex len = storage_->log_len();
   const LogIndex decided = storage_->decided_idx();
+  // Prewarm the shared-suffix memo at the furthest-behind follower: every
+  // per-follower body below is then an offset view into one snapshot (one
+  // materialization per flush regardless of cluster size).
+  LogIndex min_next = len;
+  for (const auto& [pid, next] : next_send_) {
+    min_next = std::min(min_next, next);
+  }
+  if (min_next < len) {
+    (void)storage_->SharedSuffix(min_next);
+  }
   for (auto& [pid, next] : next_send_) {
     if (next < len) {
       AcceptDecide ad;
       ad.n = n_;
       ad.start_idx = next;
-      ad.entries = storage_->Suffix(next);
+      ad.entries = storage_->SharedSuffix(next);
       ad.decided_idx = decided;
       next = len;
       Emit(pid, std::move(ad));

@@ -112,7 +112,7 @@ class SequencePaxos {
     LogIndex log_idx = 0;
     LogIndex decided_idx = 0;
     LogIndex snapshot_up_to = 0;
-    std::vector<Entry> suffix;
+    EntrySegment suffix;  // shared with the Promise message, never copied
   };
 
   size_t ClusterSize() const { return config_.peers.size() + 1; }

@@ -5,10 +5,18 @@
 // server is rebuilt from its Storage (see SequencePaxos::Recover in tests and
 // the cluster harness). The interface mirrors the storage trait of the
 // reference Rust crate so alternative backends (e.g., a real WAL) can slot in.
+//
+// Mutators take std::span<const Entry> so callers can hand over views into
+// shared immutable segments (EntrySegment) without materializing vectors;
+// SharedSuffix() is the zero-copy counterpart of Suffix() used by the leader's
+// replication fan-out.
 #ifndef SRC_OMNIPAXOS_STORAGE_H_
 #define SRC_OMNIPAXOS_STORAGE_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/omnipaxos/ballot.h"
@@ -53,24 +61,36 @@ class Storage {
     return log_[idx - compacted_idx_];
   }
 
-  virtual void Append(Entry e) { log_.push_back(std::move(e)); }
+  virtual void Append(Entry e) {
+    ++log_version_;
+    log_.push_back(std::move(e));
+  }
 
-  virtual void AppendAll(const std::vector<Entry>& entries) {
+  virtual void AppendAll(std::span<const Entry> entries) {
+    ++log_version_;
     log_.insert(log_.end(), entries.begin(), entries.end());
+  }
+  void AppendAll(std::initializer_list<Entry> entries) {
+    AppendAll(std::span<const Entry>(entries.begin(), entries.size()));
   }
 
   // Truncates the log to `len` entries, then appends `suffix`. Used when a
   // follower adopts the leader's log in <AcceptSync>; never cuts below the
   // decided prefix (decided entries are immutable, SC3).
-  virtual void TruncateAndAppend(LogIndex len, const std::vector<Entry>& suffix) {
+  virtual void TruncateAndAppend(LogIndex len, std::span<const Entry> suffix) {
     OPX_CHECK_GE(len, decided_idx_);
     OPX_CHECK_LE(len, log_len());
+    ++log_version_;
     log_.resize(len - compacted_idx_);
     log_.insert(log_.end(), suffix.begin(), suffix.end());
   }
+  void TruncateAndAppend(LogIndex len, std::initializer_list<Entry> suffix) {
+    TruncateAndAppend(len, std::span<const Entry>(suffix.begin(), suffix.size()));
+  }
 
-  // Copy of log[from..), used to build Promise/AcceptSync suffixes. `from`
-  // must not reach into the compacted prefix (check compacted_idx() first).
+  // Copy of log[from..), used where the caller needs an independent vector.
+  // `from` must not reach into the compacted prefix (check compacted_idx()
+  // first). Replication fan-out should use SharedSuffix() instead.
   std::vector<Entry> Suffix(LogIndex from) const {
     if (from >= log_len()) {
       return {};
@@ -78,6 +98,27 @@ class Storage {
     OPX_CHECK_GE(from, compacted_idx_) << "suffix reaches into compacted prefix";
     return std::vector<Entry>(log_.begin() + static_cast<ptrdiff_t>(from - compacted_idx_),
                               log_.end());
+  }
+
+  // Shared immutable view of log[from..): one snapshot is materialized and
+  // memoized; repeated calls while the log is unmutated — the leader building
+  // the same AcceptDecide/AcceptSync body for N followers at their individual
+  // offsets — return offset views into that single buffer instead of N
+  // copies. Any log mutation invalidates the memo (log_version_), so a
+  // handed-out segment is never aliased by later writes.
+  EntrySegment SharedSuffix(LogIndex from) const {
+    if (from >= log_len()) {
+      return {};
+    }
+    OPX_CHECK_GE(from, compacted_idx_) << "suffix reaches into compacted prefix";
+    if (suffix_cache_ == nullptr || suffix_cache_version_ != log_version_ ||
+        suffix_cache_from_ > from) {
+      suffix_cache_ = std::make_shared<const std::vector<Entry>>(
+          log_.begin() + static_cast<ptrdiff_t>(from - compacted_idx_), log_.end());
+      suffix_cache_from_ = from;
+      suffix_cache_version_ = log_version_;
+    }
+    return EntrySegment(suffix_cache_, from - suffix_cache_from_, log_len() - from);
   }
 
   // --- Compaction ----------------------------------------------------------
@@ -89,6 +130,7 @@ class Storage {
     if (idx <= compacted_idx_) {
       return;
     }
+    ++log_version_;
     log_.erase(log_.begin(), log_.begin() + static_cast<ptrdiff_t>(idx - compacted_idx_));
     compacted_idx_ = idx;
   }
@@ -97,11 +139,15 @@ class Storage {
   // entries below up_to are summarized away (the receiver installs the
   // corresponding application snapshot); the decided index advances to at
   // least up_to. Used when a leader has trimmed below a follower's sync point.
-  virtual void ResetToSnapshot(LogIndex up_to, const std::vector<Entry>& suffix) {
+  virtual void ResetToSnapshot(LogIndex up_to, std::span<const Entry> suffix) {
     OPX_CHECK_GE(up_to, decided_idx_) << "snapshot must cover the decided prefix";
+    ++log_version_;
     compacted_idx_ = up_to;
-    log_ = suffix;
+    log_.assign(suffix.begin(), suffix.end());
     decided_idx_ = up_to;
+  }
+  void ResetToSnapshot(LogIndex up_to, std::initializer_list<Entry> suffix) {
+    ResetToSnapshot(up_to, std::span<const Entry>(suffix.begin(), suffix.size()));
   }
 
   // --- Decided prefix ----------------------------------------------------
@@ -119,6 +165,7 @@ class Storage {
                           LogIndex decided) {
     promised_round_ = promised;
     accepted_round_ = accepted;
+    ++log_version_;
     log_ = std::move(log);
     OPX_CHECK_LE(decided, log_.size());
     decided_idx_ = decided;
@@ -130,6 +177,12 @@ class Storage {
   std::vector<Entry> log_;       // entries [compacted_idx_, log_len())
   LogIndex compacted_idx_ = 0;
   LogIndex decided_idx_ = 0;
+
+  // Bumped on every log mutation; guards the SharedSuffix memo.
+  uint64_t log_version_ = 0;
+  mutable std::shared_ptr<const std::vector<Entry>> suffix_cache_;
+  mutable LogIndex suffix_cache_from_ = 0;
+  mutable uint64_t suffix_cache_version_ = 0;
 };
 
 }  // namespace opx::omni

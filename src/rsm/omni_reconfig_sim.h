@@ -179,7 +179,7 @@ class OmniReconfigSim {
   void SetLink(NodeId a, NodeId b, bool up) { net_.SetLink(a, b, up); }
 
   // Schedules an arbitrary action at absolute simulated time `at`.
-  void At(Time at, std::function<void()> fn) { sim_.ScheduleAt(at, std::move(fn)); }
+  void At(Time at, sim::EventFn fn) { sim_.ScheduleAt(at, std::move(fn)); }
 
   // Proposes a further reconfiguration (rolling upgrades, §6.1): ends `cfg`
   // with a stop-sign whose next configuration is cfg+1 on `members`. Returns

@@ -15,7 +15,6 @@
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "src/util/check.h"
 #include "src/util/time.h"
 #include "src/util/types.h"
+#include "src/util/unique_function.h"
 
 namespace opx::sim {
 
@@ -40,8 +40,10 @@ struct NetworkParams {
 template <typename Msg>
 class Network {
  public:
-  using Handler = std::function<void(NodeId from, Msg msg)>;
-  using ReconnectHandler = std::function<void(NodeId peer)>;
+  // Move-only so handlers may own state; small-buffer storage keeps the
+  // usual {harness*, id} captures allocation-free.
+  using Handler = util::UniqueFunction<void(NodeId from, Msg msg), 48>;
+  using ReconnectHandler = util::UniqueFunction<void(NodeId peer), 48>;
 
   // Nodes are ids 1..num_nodes.
   Network(Simulator* sim, int num_nodes, NetworkParams params)

@@ -5,23 +5,38 @@
 // This is the substrate substituting for the paper's Google Cloud deployment
 // (see DESIGN.md §2): protocols never read wall-clock time and never spawn
 // threads, so a whole-cluster experiment replays identically from a seed.
+//
+// Hot-path design (DESIGN.md "Event-loop internals & performance"): events
+// live in a slab of move-only slots holding a small-buffer UniqueFunction
+// (zero mandatory heap allocations per event); a hand-rolled 4-ary min-heap
+// orders slot *indices* by (time, sequence), so sifts move 4-byte ints, never
+// closures, and firing moves the closure out of its slot exactly once.
+// EventIds carry a per-slot generation tag: Cancel() is an O(1) in-place
+// tombstone (no hash set), and cancelling an already-fired, stale, or unknown
+// id is a genuine no-op.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/util/check.h"
 #include "src/util/time.h"
+#include "src/util/unique_function.h"
 
 namespace opx::sim {
 
-// Identifies a scheduled event for cancellation.
+// Identifies a scheduled event for cancellation: slot index in the high
+// 32 bits, slot generation (always >= 1) in the low 32 bits. A slot bumps its
+// generation every time its event leaves the Armed state, so an id can never
+// accidentally cancel a later event reusing the same slot.
 using EventId = uint64_t;
 constexpr EventId kInvalidEvent = 0;
+
+// Sized for the Network send closure ({network*, from, to, session, message}
+// with a protocol-variant message): the largest routine capture stays inline.
+using EventFn = util::UniqueFunction<void(), 128>;
 
 class Simulator {
  public:
@@ -33,56 +48,62 @@ class Simulator {
   Time Now() const { return now_; }
 
   // Schedules `fn` to run at Now() + delay. delay >= 0.
-  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+  EventId ScheduleAfter(Time delay, EventFn fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
   // Schedules `fn` at absolute time `at` (>= Now()).
-  EventId ScheduleAt(Time at, std::function<void()> fn) {
+  EventId ScheduleAt(Time at, EventFn fn) {
     OPX_DCHECK_GE(at, now_);
-    const EventId id = next_id_++;
-    queue_.push(Event{at, id, std::move(fn)});
-    return id;
+    uint32_t si;
+    if (!free_.empty()) {
+      si = free_.back();
+      free_.pop_back();
+    } else {
+      si = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[si];
+    OPX_DCHECK(s.state == Slot::kFree);
+    s.at = at;
+    s.seq = next_seq_++;  // monotonic: doubles as the FIFO tie-breaker
+    s.state = Slot::kArmed;
+    s.fn = std::move(fn);
+    heap_.push_back(si);
+    SiftUp(heap_.size() - 1);
+    ++live_;
+    return (static_cast<uint64_t>(si) << 32) | s.gen;
   }
 
-  // Cancels a pending event. Cancelling an already-fired or unknown id is a
-  // no-op, which lets timer owners cancel unconditionally.
+  // Cancels a pending event in O(1) by tombstoning its slot in place; the
+  // heap node is discarded lazily when it surfaces (or at compaction).
+  // Cancelling an already-fired, already-cancelled, stale, or unknown id is a
+  // genuine no-op — timer owners may cancel unconditionally, and a fired id
+  // can never hit an event that reused the slot (generation mismatch).
   void Cancel(EventId id) {
-    if (id != kInvalidEvent) {
-      cancelled_.insert(id);
+    const uint32_t si = static_cast<uint32_t>(id >> 32);
+    const uint32_t gen = static_cast<uint32_t>(id);
+    if (si >= slots_.size()) {
+      return;
     }
+    Slot& s = slots_[si];
+    if (s.state != Slot::kArmed || s.gen != gen) {
+      return;
+    }
+    s.state = Slot::kTombstone;
+    ++s.gen;
+    s.fn = nullptr;  // release captured resources immediately
+    --live_;
+    ++tombstones_;
+    MaybeCompact();
   }
 
-  // Runs the earliest pending event; returns false if the queue is empty.
-  bool Step() {
-    while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;
-      }
-      OPX_DCHECK_GE(ev.at, now_);
-      now_ = ev.at;
-      ev.fn();
-      return true;
-    }
-    return false;
-  }
+  // Runs the earliest pending event; returns false if none are pending.
+  bool Step() { return RunOne(kTimeNever); }
 
   // Runs every event with time <= deadline, then advances Now() to deadline.
   void RunUntil(Time deadline) {
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (cancelled_.count(top.id) > 0) {
-        cancelled_.erase(top.id);
-        queue_.pop();
-        continue;
-      }
-      if (top.at > deadline) {
-        break;
-      }
-      Step();
+    while (RunOne(deadline)) {
     }
     OPX_CHECK_GE(deadline, now_);
     now_ = deadline;
@@ -94,28 +115,138 @@ class Simulator {
     }
   }
 
-  size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  size_t PendingEvents() const { return live_; }
 
  private:
-  struct Event {
-    Time at;
-    EventId id;  // doubles as the FIFO tie-breaker: ids increase monotonically
-    std::function<void()> fn;
+  struct Slot {
+    enum State : uint8_t { kFree, kArmed, kTombstone };
+    Time at = 0;
+    uint64_t seq = 0;
+    uint32_t gen = 1;  // >= 1 so no valid EventId equals kInvalidEvent
+    State state = kFree;
+    EventFn fn;
   };
 
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
+  // The single pop path shared by Step() and RunUntil(): discards surfaced
+  // tombstones, then fires the earliest live event iff its time <= deadline.
+  bool RunOne(Time deadline) {
+    while (!heap_.empty()) {
+      const uint32_t si = heap_.front();
+      Slot& s = slots_[si];
+      if (s.state == Slot::kTombstone) {
+        PopRoot();
+        Release(si);
+        --tombstones_;
+        continue;
       }
-      return a.id > b.id;
+      if (s.at > deadline) {
+        return false;
+      }
+      PopRoot();
+      OPX_DCHECK_GE(s.at, now_);
+      now_ = s.at;
+      EventFn fn = std::move(s.fn);
+      ++s.gen;  // fired: stale Cancel()s of this id become no-ops
+      Release(si);
+      --live_;
+      fn();  // may schedule/cancel freely; the slot is already reusable
+      return true;
     }
-  };
+    return false;
+  }
+
+  void Release(uint32_t si) {
+    Slot& s = slots_[si];
+    s.state = Slot::kFree;
+    s.fn = nullptr;
+    free_.push_back(si);
+  }
+
+  // Orders slots by (time, schedule order); seq is unique, so this is a
+  // strict total order and heap restructuring can never reorder equal keys.
+  bool EarlierThan(uint32_t a, uint32_t b) const {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    return x.at != y.at ? x.at < y.at : x.seq < y.seq;
+  }
+
+  // 4-ary min-heap over slot indices: children of i are 4i+1..4i+4. Shallower
+  // than a binary heap and sifts touch only 4-byte indices.
+  void SiftUp(size_t i) {
+    const uint32_t si = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / 4;
+      if (!EarlierThan(si, heap_[parent])) {
+        break;
+      }
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = si;
+  }
+
+  void SiftDown(size_t i) {
+    const uint32_t si = heap_[i];
+    const size_t n = heap_.size();
+    for (;;) {
+      const size_t first = 4 * i + 1;
+      if (first >= n) {
+        break;
+      }
+      size_t best = first;
+      const size_t last = std::min(first + 4, n);
+      for (size_t c = first + 1; c < last; ++c) {
+        if (EarlierThan(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+      if (!EarlierThan(heap_[best], si)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = si;
+  }
+
+  void PopRoot() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      SiftDown(0);
+    }
+  }
+
+  // Tombstones parked deep in the heap (cancelled long-distance timers) would
+  // otherwise pin their slots until their original deadline surfaces. When
+  // they outnumber live events, filter and rebuild in O(n) — the (at, seq)
+  // total order makes the rebuilt heap pop in the exact same sequence.
+  void MaybeCompact() {
+    if (tombstones_ < 64 || tombstones_ * 2 < heap_.size()) {
+      return;
+    }
+    size_t kept = 0;
+    for (const uint32_t si : heap_) {
+      if (slots_[si].state == Slot::kTombstone) {
+        Release(si);
+      } else {
+        heap_[kept++] = si;
+      }
+    }
+    heap_.resize(kept);
+    tombstones_ = 0;
+    for (size_t i = (kept + 2) / 4; i-- > 0;) {  // (kept+2)/4 parents exist
+      SiftDown(i);
+    }
+  }
 
   Time now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 1;
+  std::vector<Slot> slots_;     // slab; index = high half of EventId
+  std::vector<uint32_t> heap_;  // 4-ary min-heap of slot indices
+  std::vector<uint32_t> free_;  // recycled slot indices (LIFO)
+  size_t live_ = 0;             // armed events (excludes tombstones)
+  size_t tombstones_ = 0;       // cancelled events still parked in heap_
 };
 
 }  // namespace opx::sim

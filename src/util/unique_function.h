@@ -1,0 +1,145 @@
+// UniqueFunction — a move-only callable wrapper with inline small-buffer
+// storage, built for the simulator's hot event path.
+//
+// std::function is the wrong tool there twice over: it must be copyable (so
+// move-only captures are rejected and every queue copy deep-copies the
+// closure), and its small-buffer is ~16 bytes (a simulated message closure —
+// {network*, from, to, session, msg} — always spills to the heap). This type
+// is move-only and takes an InlineBytes parameter sized by the owner, so the
+// common closures of Simulator/Network cost zero mandatory heap allocations;
+// oversized or alignment-exotic callables transparently fall back to one
+// heap cell.
+//
+// Only callables with a noexcept move constructor are stored inline — that
+// makes UniqueFunction itself nothrow-movable, which containers (the
+// simulator's event slab) rely on to relocate slots without copies.
+#ifndef SRC_UTIL_UNIQUE_FUNCTION_H_
+#define SRC_UTIL_UNIQUE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace opx::util {
+
+template <typename Signature, size_t InlineBytes = 48>
+class UniqueFunction;  // primary template intentionally undefined
+
+template <typename R, typename... Args, size_t InlineBytes>
+class UniqueFunction<R(Args...), InlineBytes> {
+ public:
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (StoredInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &InvokeInline<D>;
+      manage_ = &ManageInline<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &InvokeHeap<D>;
+      manage_ = &ManageHeap<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { MoveFrom(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    OPX_DCHECK(invoke_ != nullptr) << "calling an empty UniqueFunction";
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+
+  template <typename D>
+  static constexpr bool StoredInline() {
+    return sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static R InvokeInline(void* buf, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(buf)))(std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void ManageInline(Op op, void* self, void* dst) noexcept {
+    D* fn = std::launder(reinterpret_cast<D*>(self));
+    if (op == Op::kMoveTo) {
+      ::new (dst) D(std::move(*fn));
+    }
+    fn->~D();
+  }
+
+  template <typename D>
+  static R InvokeHeap(void* buf, Args&&... args) {
+    return (**std::launder(reinterpret_cast<D**>(buf)))(std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void ManageHeap(Op op, void* self, void* dst) noexcept {
+    using Cell = D*;
+    Cell* cell = std::launder(reinterpret_cast<Cell*>(self));
+    if (op == Op::kMoveTo) {
+      ::new (dst) Cell(*cell);  // steal the heap cell; no deep move
+    } else {
+      delete *cell;
+    }
+    cell->~Cell();
+  }
+
+  void MoveFrom(UniqueFunction& other) noexcept {
+    if (other.invoke_ == nullptr) {
+      return;
+    }
+    other.manage_(Op::kMoveTo, other.buf_, buf_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(Op::kDestroy, buf_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes < sizeof(void*) ? sizeof(void*)
+                                                                           : InlineBytes];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*manage_)(Op, void*, void*) noexcept = nullptr;
+};
+
+}  // namespace opx::util
+
+#endif  // SRC_UTIL_UNIQUE_FUNCTION_H_

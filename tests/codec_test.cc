@@ -47,11 +47,10 @@ TEST(Codec, PromiseWithSuffixAndStopSign) {
   in.log_idx = 42;
   in.decided_idx = 40;
   in.snapshot_up_to = 30;
-  in.suffix.push_back(Entry::Command(100, 8));
   omni::StopSign ss;
   ss.next_config = 2;
   ss.next_nodes = {1, 2, 6};
-  in.suffix.push_back(Entry::Stop(ss));
+  in.suffix = {Entry::Command(100, 8), Entry::Stop(ss)};
   const auto out = PaxosAs<omni::Promise>(RoundTrip(omni::PaxosMessage(in)));
   EXPECT_EQ(out.snapshot_up_to, 30u);
   ASSERT_EQ(out.suffix.size(), 2u);

@@ -185,7 +185,7 @@ TEST(SpUnit, AcceptDecideDuplicateIsIdempotent) {
   (void)sp.TakeOutgoing();
   EXPECT_EQ(sp.log_len(), 2u);
   // Overlapping resend: only the unseen tail is appended.
-  ad.entries.push_back(Entry::Command(3, 8));
+  ad.entries = {Entry::Command(1, 8), Entry::Command(2, 8), Entry::Command(3, 8)};
   sp.Handle(1, ad);
   (void)sp.TakeOutgoing();
   EXPECT_EQ(sp.log_len(), 3u);

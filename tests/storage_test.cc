@@ -2,6 +2,9 @@
 // and the Entry/Ballot primitives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "src/omnipaxos/ballot.h"
 #include "src/omnipaxos/entry.h"
 #include "src/omnipaxos/storage.h"
@@ -109,6 +112,80 @@ TEST(Storage, TruncateBelowDecidedForbidden) {
   }
   storage.set_decided_idx(3);
   EXPECT_DEATH(storage.TruncateAndAppend(2, {}), "CHECK failed");  // SC3 guard
+}
+
+TEST(Storage, SharedSuffixMatchesSuffix) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  for (LogIndex from = 0; from <= 6; ++from) {
+    const auto copy = storage.Suffix(from);
+    const omni::EntrySegment shared = storage.SharedSuffix(from);
+    ASSERT_EQ(shared.size(), copy.size()) << "from=" << from;
+    EXPECT_TRUE(std::equal(shared.begin(), shared.end(), copy.begin())) << "from=" << from;
+  }
+  EXPECT_TRUE(storage.SharedSuffix(5).empty());
+  EXPECT_TRUE(storage.SharedSuffix(99).empty());
+}
+
+TEST(Storage, SharedSuffixSharesOneBufferAcrossOffsets) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 8; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  // The fan-out pattern: prewarm at the furthest-behind offset, then take
+  // per-follower views. All views must alias one buffer, not copy.
+  const omni::EntrySegment base = storage.SharedSuffix(2);
+  const omni::EntrySegment ahead = storage.SharedSuffix(5);
+  ASSERT_EQ(base.size(), 6u);
+  ASSERT_EQ(ahead.size(), 3u);
+  EXPECT_EQ(ahead.data(), base.data() + 3);  // same underlying snapshot
+  EXPECT_EQ(ahead[0].cmd_id, 6u);
+}
+
+TEST(Storage, SharedSuffixInvalidatedByMutation) {
+  Storage storage;
+  storage.Append(Entry::Command(1, 8));
+  const omni::EntrySegment before = storage.SharedSuffix(0);
+  ASSERT_EQ(before.size(), 1u);
+  storage.Append(Entry::Command(2, 8));
+  const omni::EntrySegment after = storage.SharedSuffix(0);
+  // The old segment is an immutable snapshot: unchanged by the append.
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before[0].cmd_id, 1u);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1].cmd_id, 2u);
+  EXPECT_NE(after.data(), before.data());
+}
+
+TEST(Storage, SharedSuffixAfterTrimRespectsCompaction) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  storage.set_decided_idx(4);
+  storage.Trim(3);
+  const omni::EntrySegment seg = storage.SharedSuffix(3);
+  ASSERT_EQ(seg.size(), 3u);
+  EXPECT_EQ(seg[0].cmd_id, 4u);
+  EXPECT_DEATH((void)storage.SharedSuffix(2), "compacted");
+}
+
+TEST(EntrySegment, OwningAndViewSemantics) {
+  const omni::EntrySegment empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+
+  const omni::EntrySegment owned = {Entry::Command(1, 8), Entry::Command(2, 8)};
+  ASSERT_EQ(owned.size(), 2u);
+  EXPECT_EQ(owned[1].cmd_id, 2u);
+  EXPECT_EQ(owned, (omni::EntrySegment{Entry::Command(1, 8), Entry::Command(2, 8)}));
+  EXPECT_NE(owned, empty);
+
+  const std::span<const Entry> span = owned;  // implicit, zero-copy
+  EXPECT_EQ(span.data(), owned.data());
+  EXPECT_EQ(span.size(), 2u);
 }
 
 TEST(Storage, RoundsMonotonic) {

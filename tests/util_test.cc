@@ -1,11 +1,16 @@
-// Unit tests for utilities: deterministic RNG, statistics, time helpers.
+// Unit tests for utilities: deterministic RNG, statistics, time helpers, and
+// the move-only callable wrapper.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/time.h"
+#include "src/util/unique_function.h"
 
 namespace opx {
 namespace {
@@ -134,6 +139,77 @@ TEST(TimeHelpers, UnitConversions) {
   EXPECT_EQ(Minutes(2), Seconds(120));
   EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
   EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(UniqueFunction, EmptyByDefaultAndAfterNullAssign) {
+  util::UniqueFunction<int()> fn;
+  EXPECT_FALSE(fn);
+  fn = []() { return 7; };
+  EXPECT_TRUE(fn);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(UniqueFunction, InvokesAndForwardsArguments) {
+  util::UniqueFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  // Rvalue arguments are forwarded, not copied.
+  util::UniqueFunction<size_t(std::vector<int>)> takes =
+      [](std::vector<int> v) { return v.size(); };
+  EXPECT_EQ(takes(std::vector<int>{1, 2, 3}), 3u);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(41);
+  util::UniqueFunction<int()> fn = [p = std::move(owned)]() { return *p + 1; };
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnershipAndEmptiesSource) {
+  int calls = 0;
+  util::UniqueFunction<void()> a = [&calls]() { ++calls; };
+  util::UniqueFunction<void()> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): emptiness is specified
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(calls, 1);
+  a = std::move(b);
+  a();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, DestroysCaptureExactlyOnce) {
+  auto tracker = std::make_shared<int>(0);
+  EXPECT_EQ(tracker.use_count(), 1);
+  {
+    util::UniqueFunction<void()> fn = [tracker]() {};
+    EXPECT_EQ(tracker.use_count(), 2);
+    util::UniqueFunction<void()> moved = std::move(fn);
+    EXPECT_EQ(tracker.use_count(), 2);  // moved, not copied
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(UniqueFunction, OversizedCaptureFallsBackToHeapCell) {
+  // 256 bytes of capture cannot fit the default 48-byte inline buffer; the
+  // callable must still work (one heap cell) and moves must steal the cell.
+  struct Big {
+    unsigned char bytes[256];
+  };
+  Big big{};
+  big.bytes[255] = 9;
+  util::UniqueFunction<int()> fn = [big]() { return int{big.bytes[255]}; };
+  util::UniqueFunction<int()> moved = std::move(fn);
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved(), 9);
+}
+
+TEST(UniqueFunction, TinyInlineBufferStillWorks) {
+  // InlineBytes below pointer size is clamped to hold the heap-cell pointer.
+  util::UniqueFunction<int(), 1> fn = []() { return 3; };
+  EXPECT_EQ(fn(), 3);
 }
 
 }  // namespace

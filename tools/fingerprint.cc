@@ -1,0 +1,77 @@
+// Dumps ClusterSim determinism fingerprints for fixed seeds/scenarios.
+//
+// The fingerprint is the rolling hash ClusterSim folds over every audited
+// event (virtual time + node id), so it pins the exact event sequence of a
+// run. Use this tool to (re)generate the golden values asserted by the
+// DeterminismLock tests in tests/sim_test.cc whenever a change is *supposed*
+// to alter event ordering; a core rewrite that claims to preserve semantics
+// must reproduce these values bit-for-bit.
+//
+// Usage: fingerprint [--json]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/rsm/adapters.h"
+#include "src/rsm/cluster_sim.h"
+
+namespace opx {
+namespace {
+
+// Mirrors RunFingerprint in tests/sim_test.cc: 3 servers, 3 virtual seconds,
+// optionally isolating server 1 for second 1..2.
+template <typename Node>
+uint64_t RunFingerprint(uint64_t seed, bool partition) {
+  rsm::ClusterParams params;
+  params.num_servers = 3;
+  params.election_timeout = Millis(50);
+  params.seed = seed;
+  rsm::ClusterSim<Node> sim(params);
+  sim.RunUntil(Seconds(1));
+  if (partition) {
+    sim.network().Isolate(1);
+    sim.RunUntil(Seconds(2));
+    sim.network().HealAll();
+  }
+  sim.RunUntil(Seconds(3));
+  return sim.EventHash();
+}
+
+struct Row {
+  const char* protocol;
+  uint64_t seed;
+  bool partition;
+  uint64_t hash;
+};
+
+}  // namespace
+}  // namespace opx
+
+int main(int argc, char** argv) {
+  using namespace opx;
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
+  const Row rows[] = {
+      {"omni", 11, false, RunFingerprint<rsm::OmniNode>(11, false)},
+      {"omni", 23, true, RunFingerprint<rsm::OmniNode>(23, true)},
+      {"raft", 11, false, RunFingerprint<rsm::RaftNode>(11, false)},
+      {"vr", 23, true, RunFingerprint<rsm::VrNode>(23, true)},
+  };
+
+  if (json) {
+    std::printf("[\n");
+    for (size_t i = 0; i < sizeof(rows) / sizeof(rows[0]); ++i) {
+      std::printf("  {\"protocol\": \"%s\", \"seed\": %" PRIu64
+                  ", \"partition\": %s, \"fingerprint\": \"0x%016" PRIx64 "\"}%s\n",
+                  rows[i].protocol, rows[i].seed, rows[i].partition ? "true" : "false",
+                  rows[i].hash, i + 1 < sizeof(rows) / sizeof(rows[0]) ? "," : "");
+    }
+    std::printf("]\n");
+  } else {
+    for (const Row& r : rows) {
+      std::printf("%-6s seed=%-3" PRIu64 " partition=%d  0x%016" PRIx64 "\n", r.protocol,
+                  r.seed, r.partition, r.hash);
+    }
+  }
+  return 0;
+}

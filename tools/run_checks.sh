@@ -8,14 +8,35 @@
 #      note when clang-tidy is not installed).
 #
 # Usage: tools/run_checks.sh [build-dir]      (default: build-asan)
+#        tools/run_checks.sh --bench-smoke [build-dir]
+#
+# --bench-smoke instead does a Release build (default dir: build-bench), runs
+# the sim_throughput quick benchmark, and refreshes BENCH_core.json at the
+# repo root — the tracked perf baseline DESIGN.md's before/after table cites.
 set -u -o pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAILED=0
 
 step() { printf '\n== %s ==\n' "$*"; }
+
+if [ "${1:-}" = "--bench-smoke" ]; then
+  BUILD="${2:-$ROOT/build-bench}"
+  step "release build -> $BUILD"
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    >"$BUILD.configure.log" 2>&1 ||
+    { echo "configure FAILED (see $BUILD.configure.log)"; exit 1; }
+  cmake --build "$BUILD" -j "$JOBS" --target sim_throughput >"$BUILD.build.log" 2>&1 ||
+    { echo "build FAILED (see $BUILD.build.log)"; exit 1; }
+  echo "ok"
+  step "sim_throughput quick -> BENCH_core.json"
+  "$BUILD/bench/sim_throughput" --out="$ROOT/BENCH_core.json" || exit 1
+  echo "ok"
+  exit 0
+fi
+
+BUILD="${1:-$ROOT/build-asan}"
 
 step "sanitized build (ASan+UBSan) -> $BUILD"
 cmake -B "$BUILD" -S "$ROOT" -DOPX_SANITIZE=ON >"$BUILD.configure.log" 2>&1 ||
