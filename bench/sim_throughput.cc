@@ -18,8 +18,11 @@
 // machines jitter ±20%, and the minimum wall clock is the standard
 // noise-robust estimator of a workload's true cost.
 //
-// Usage: sim_throughput [--out=PATH] [--scale=N]
+// Usage: sim_throughput [--out=PATH] [--scale=N] [--chaos]
 //   --scale multiplies work sizes (default 1; CI smoke uses the default).
+//   --chaos runs seeded chaos schedules (DESIGN.md §10) instead of the perf
+//   layers and reports schedules/sec — the harness-overhead smoke; exits
+//   nonzero if any schedule trips an oracle.
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/rsm/chaos.h"
 #include "src/rsm/experiments.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -148,6 +152,33 @@ void PrintJsonNumbers(std::FILE* f, const char* key, const Numbers& n, bool last
                n.fig7_wall_s_raw, n.fig7_throughput, last ? "" : ",");
 }
 
+// --- Chaos smoke: seeded fault schedules through the full oracle stack. ----
+// Not a baseline-tracked number (schedules differ per seed); the value is the
+// wall-clock footprint of the chaos harness plus a zero-violation check.
+int RunChaosSmoke(int64_t scale, uint64_t seed) {
+  const int schedules = static_cast<int>(4 * scale);
+  sim::ChaosGenParams gen;
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t faults = 0;
+  for (int k = 0; k < schedules; ++k) {
+    sim::ChaosPlan plan = sim::GenerateChaosPlan(gen, seed + static_cast<uint64_t>(k));
+    faults += plan.faults.size();
+    rsm::ChaosConfig cfg;
+    cfg.plan = plan;
+    const rsm::ChaosOutcome outcome = rsm::RunChaos<rsm::OmniNode>(cfg);
+    if (!outcome.ok()) {
+      std::printf("chaos smoke: seed %" PRIu64 " VIOLATION (%s): %s\n",
+                  plan.seed, rsm::ChaosOracleName(outcome.violated),
+                  outcome.detail.c_str());
+      return 1;
+    }
+  }
+  const double wall = WallSeconds(t0);
+  std::printf("chaos smoke: %d schedules (%" PRIu64 " faults) clean in %.2fs (%.2f sched/s)\n",
+              schedules, faults, wall, static_cast<double>(schedules) / wall);
+  return 0;
+}
+
 }  // namespace
 }  // namespace opx
 
@@ -156,6 +187,11 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const int64_t scale = flags.GetInt("scale", 1);
   const std::string out_path = flags.GetString("out", "");
+
+  if (flags.Has("chaos")) {
+    bench::PrintHeader("Chaos schedule smoke", "fault-schedule harness footprint");
+    return RunChaosSmoke(scale, static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  }
 
   bench::PrintHeader("Core simulator throughput", "event-loop perf trajectory");
 

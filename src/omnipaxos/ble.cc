@@ -19,7 +19,7 @@ void BallotLeaderElection::Tick() {
     // ourselves) answer this round? (Fig. 4 ②)
     const bool connected = replies_.size() + 1 >= Majority();
     qc_ = connected;
-    replies_.push_back(Candidate{ballot_, qc_ && candidacy_});  // our own entry
+    replies_.push_back(Candidate{config_.pid, ballot_, qc_ && candidacy_});  // our own entry
     if (connected) {
       CheckLeader();
     }
@@ -62,7 +62,16 @@ void BallotLeaderElection::Handle(NodeId from, const BleMessage& msg) {
         BleOut{from, HeartbeatReply{req->round, ballot_, qc_ && candidacy_}});
   } else if (const auto* rep = std::get_if<HeartbeatReply>(&msg)) {
     if (rep->round == round_) {
-      replies_.push_back(Candidate{rep->ballot, rep->quorum_connected});
+      // A retransmitted/duplicated reply must not count twice: connectivity is
+      // |distinct responders| >= majority, so one chatty peer cannot fake
+      // quorum-connectivity (LE1 would otherwise break under message
+      // duplication, which session re-establishment can produce).
+      for (const Candidate& c : replies_) {
+        if (c.pid == from) {
+          return;
+        }
+      }
+      replies_.push_back(Candidate{from, rep->ballot, rep->quorum_connected});
     }
     // Late replies are simply ignored (§5.2 correctness discussion).
   }

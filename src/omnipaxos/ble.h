@@ -65,6 +65,7 @@ class BallotLeaderElection {
 
  private:
   struct Candidate {
+    NodeId pid = kNoNode;  // sender, for per-round reply deduplication
     Ballot ballot;
     bool quorum_connected = false;
   };

@@ -26,6 +26,7 @@
 #include "src/omnipaxos/omni_paxos.h"
 #include "src/raft/raft.h"
 #include "src/rsm/node_options.h"
+#include "src/util/check.h"
 #include "src/util/time.h"
 #include "src/util/types.h"
 #include "src/vr/vr_replica.h"
@@ -41,12 +42,21 @@ class OmniNode {
   using Message = omni::OmniMessage;
 
   OmniNode(NodeId id, std::vector<NodeId> peers, const NodeOptions& opts) {
-    omni::OmniConfig cfg;
-    cfg.pid = id;
-    cfg.peers = std::move(peers);
-    cfg.ble_priority = opts.ble_priority;
+    cfg_.pid = id;
+    cfg_.peers = std::move(peers);
+    cfg_.ble_priority = opts.ble_priority;
     storage_ = std::make_unique<omni::Storage>();
-    node_ = std::make_unique<omni::OmniPaxos>(cfg, storage_.get());
+    node_ = std::make_unique<omni::OmniPaxos>(cfg_, storage_.get());
+  }
+
+  // Fail-recovery (§4.1.3): the in-memory Storage stands in for the durable
+  // log — it survives the protocol instance, and the rebuilt node resumes
+  // from its persisted promise/decided state with recovered=true (renounced
+  // candidacy + <PrepareReq> to every peer).
+  static constexpr bool kSupportsRestart = true;
+  void Restart(const NodeOptions&) {
+    node_ = std::make_unique<omni::OmniPaxos>(cfg_, storage_.get(), /*recovered=*/true);
+    polled_ = std::max(polled_, storage_->compacted_idx());
   }
 
   void Tick() { node_->TickElection(); }
@@ -92,6 +102,7 @@ class OmniNode {
   omni::OmniPaxos& impl() { return *node_; }
 
  private:
+  omni::OmniConfig cfg_;
   std::unique_ptr<omni::Storage> storage_;
   std::unique_ptr<omni::OmniPaxos> node_;
   LogIndex polled_ = 0;
@@ -122,6 +133,11 @@ class RaftNodeT {
   void Tick() { node_->Tick(); }
   void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
   void Reconnected(NodeId) {}  // Raft recovers via AppendEntries consistency checks
+
+  // This Raft keeps term/vote/log in memory only; a restart would forget its
+  // vote and could double-vote, so the chaos layer never crash-faults it.
+  static constexpr bool kSupportsRestart = false;
+  void Restart(const NodeOptions&) { OPX_CHECK(false) << "raft adapter has no restart path"; }
 
   std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
     std::vector<std::pair<NodeId, Message>> out;
@@ -189,6 +205,11 @@ class MultiPaxosNode {
   void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
   void Reconnected(NodeId peer) { node_->Reconnected(peer); }
 
+  // Promised/accepted rounds live in the MultiPaxos object, not a storage
+  // backend, so there is no state to restart from.
+  static constexpr bool kSupportsRestart = false;
+  void Restart(const NodeOptions&) { OPX_CHECK(false) << "multipaxos adapter has no restart path"; }
+
   std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
     std::vector<std::pair<NodeId, Message>> out;
     for (mpx::MpxOut& o : node_->TakeOutgoing()) {
@@ -250,6 +271,11 @@ class VrNode {
   void Tick() { node_->Tick(); }
   void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
   void Reconnected(NodeId peer) { node_->Reconnected(peer); }
+
+  // VrReplica persists its log in omni::Storage but keeps view/election state
+  // in memory with no recovered-rejoin protocol, so crash faults are omitted.
+  static constexpr bool kSupportsRestart = false;
+  void Restart(const NodeOptions&) { OPX_CHECK(false) << "vr adapter has no restart path"; }
 
   std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
     std::vector<std::pair<NodeId, Message>> out;

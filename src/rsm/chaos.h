@@ -1,0 +1,530 @@
+// Chaos harness — runs a sim::ChaosPlan against a protocol cluster under the
+// cross-replica safety auditor plus liveness oracles, shrinks violating
+// schedules to minimal repros, and (de)serializes replayable artifacts.
+//
+// Oracles, checked on every run:
+//   safety             — any SafetyAuditor violation (Appendix A invariants),
+//                        collected instead of aborting so a violating seed
+//                        becomes a shrinkable artifact;
+//   leader-convergence — some server claims leadership within a bounded
+//                        window after the last fault clears (plan horizon);
+//   client-progress    — the closed-loop client completes new commands within
+//                        that window (the paper's §7.2 liveness claim).
+//
+// Determinism contract: a (plan, config, protocol) triple fully determines
+// the run; ClusterSim::EventHash() is the replay fingerprint artifacts carry.
+#ifndef SRC_RSM_CHAOS_H_
+#define SRC_RSM_CHAOS_H_
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/rsm/adapters.h"
+#include "src/rsm/cluster_sim.h"
+#include "src/sim/chaos_plan.h"
+#include "src/util/check.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::rsm {
+
+enum class ChaosOracle {
+  kNone,
+  kSafety,
+  kLeaderConvergence,
+  kClientProgress,
+};
+
+inline const char* ChaosOracleName(ChaosOracle o) {
+  switch (o) {
+    case ChaosOracle::kNone:
+      return "none";
+    case ChaosOracle::kSafety:
+      return "safety";
+    case ChaosOracle::kLeaderConvergence:
+      return "leader-convergence";
+    case ChaosOracle::kClientProgress:
+      return "client-progress";
+  }
+  return "?";
+}
+
+inline std::optional<ChaosOracle> ParseChaosOracle(const std::string& name) {
+  for (ChaosOracle o : {ChaosOracle::kNone, ChaosOracle::kSafety,
+                        ChaosOracle::kLeaderConvergence, ChaosOracle::kClientProgress}) {
+    if (name == ChaosOracleName(o)) {
+      return o;
+    }
+  }
+  return std::nullopt;
+}
+
+struct ChaosConfig {
+  sim::ChaosPlan plan;
+  Time election_timeout = Millis(50);
+  size_t concurrent_proposals = 100;
+  double proposal_rate = 20'000.0;
+  // Oracle bound: how long after the plan horizon leader election and client
+  // progress must have happened. 0 = auto: max(5 s, 60 * election timeout) —
+  // generous against the paper's ~4-timeout recovery so a violation means a
+  // real liveness failure, not a tight-constant flake.
+  Time liveness_window = 0;
+  bool audit = true;
+
+  Time EffectiveWindow() const {
+    return liveness_window != 0 ? liveness_window
+                                : std::max<Time>(Seconds(5), 60 * election_timeout);
+  }
+};
+
+struct ChaosOutcome {
+  ChaosOracle violated = ChaosOracle::kNone;
+  std::string detail;
+  uint64_t fingerprint = 0;  // ClusterSim::EventHash() at run end
+  uint64_t completed = 0;    // client completions over the whole run
+  NodeId final_leader = kNoNode;
+
+  bool ok() const { return violated == ChaosOracle::kNone; }
+};
+
+// ---------------------------------------------------------------------------
+// Plan execution.
+// ---------------------------------------------------------------------------
+
+// Expands the active-fault set at each fault boundary into concrete network
+// and crash operations. Recomputing the whole desired state from the active
+// set (instead of applying per-fault deltas) makes overlapping faults
+// well-defined, which in turn makes any fault subset a valid plan — the
+// shrinker's soundness condition.
+template <typename Node>
+class ChaosScheduleApplier {
+ public:
+  ChaosScheduleApplier(ClusterSim<Node>* sim, const sim::ChaosPlan* plan)
+      : sim_(sim), plan_(plan), n_(plan->num_servers) {
+    const size_t slots = static_cast<size_t>(n_ + 1) * static_cast<size_t>(n_ + 1);
+    cur_cut_.assign(slots, 0);
+    want_cut_.assign(slots, 0);
+    cur_latency_.assign(slots, sim->params().net.default_latency);
+    want_latency_.assign(slots, 0);
+    for (const sim::ChaosFault& f : plan->faults) {
+      boundaries_.push_back(f.at);
+      boundaries_.push_back(f.end());
+    }
+    std::sort(boundaries_.begin(), boundaries_.end());
+    boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                      boundaries_.end());
+  }
+
+  // Advances the simulation to `deadline`, applying every fault boundary on
+  // the way.
+  void RunUntil(Time deadline) {
+    while (next_boundary_ < boundaries_.size() && boundaries_[next_boundary_] <= deadline) {
+      const Time t = boundaries_[next_boundary_++];
+      sim_->RunUntil(t);
+      ApplyStateAt(t);
+    }
+    sim_->RunUntil(deadline);
+  }
+
+ private:
+  size_t Dir(NodeId from, NodeId to) const {
+    return static_cast<size_t>(from) * static_cast<size_t>(n_ + 1) +
+           static_cast<size_t>(to);
+  }
+
+  void ApplyStateAt(Time t) {
+    using Kind = sim::ChaosFault::Kind;
+    std::fill(want_cut_.begin(), want_cut_.end(), 0);
+    std::fill(want_latency_.begin(), want_latency_.end(),
+              sim_->params().net.default_latency);
+    std::vector<char> want_crashed(static_cast<size_t>(n_) + 1, 0);
+
+    auto cut2 = [&](NodeId a, NodeId b) {
+      want_cut_[Dir(a, b)] = 1;
+      want_cut_[Dir(b, a)] = 1;
+    };
+    for (const sim::ChaosFault& f : plan_->faults) {
+      if (t < f.at || t >= f.end()) {
+        continue;
+      }
+      switch (f.kind) {
+        case Kind::kLinkCut:
+          cut2(f.a, f.b);
+          break;
+        case Kind::kOneWayCut:
+          want_cut_[Dir(f.a, f.b)] = 1;
+          break;
+        case Kind::kLatencySpike: {
+          Time& lat = want_latency_[Dir(std::min(f.a, f.b), std::max(f.a, f.b))];
+          lat = std::max(lat, f.latency);
+          break;
+        }
+        case Kind::kCrash:
+          want_crashed[f.a] = 1;
+          break;
+        case Kind::kSplit:
+          for (NodeId i = 1; i <= n_; ++i) {
+            for (NodeId j = static_cast<NodeId>(i + 1); j <= n_; ++j) {
+              if (((f.mask >> (i - 1)) & 1) != ((f.mask >> (j - 1)) & 1)) {
+                cut2(i, j);
+              }
+            }
+          }
+          break;
+        case Kind::kDeaf:
+          for (NodeId j = 1; j <= n_; ++j) {
+            if (j != f.a) {
+              want_cut_[Dir(j, f.a)] = 1;
+            }
+          }
+          break;
+        case Kind::kMute:
+          for (NodeId j = 1; j <= n_; ++j) {
+            if (j != f.a) {
+              want_cut_[Dir(f.a, j)] = 1;
+            }
+          }
+          break;
+        case Kind::kHub:
+          for (NodeId i = 1; i <= n_; ++i) {
+            for (NodeId j = static_cast<NodeId>(i + 1); j <= n_; ++j) {
+              if (i != f.a && j != f.a) {
+                cut2(i, j);
+              }
+            }
+          }
+          break;
+        case Kind::kChain:
+          for (NodeId i = 1; i <= n_; ++i) {
+            for (NodeId j = static_cast<NodeId>(i + 1); j <= n_; ++j) {
+              if (j != i + 1) {
+                cut2(i, j);
+              }
+            }
+          }
+          break;
+      }
+    }
+
+    // Links and latencies first so a restarting server's <PrepareReq> burst
+    // travels the post-boundary topology.
+    auto& net = sim_->network();
+    for (NodeId i = 1; i <= n_; ++i) {
+      for (NodeId j = 1; j <= n_; ++j) {
+        if (i == j) {
+          continue;
+        }
+        if (want_cut_[Dir(i, j)] != cur_cut_[Dir(i, j)]) {
+          net.SetLinkOneWay(i, j, want_cut_[Dir(i, j)] == 0);
+          cur_cut_[Dir(i, j)] = want_cut_[Dir(i, j)];
+        }
+        if (i < j && want_latency_[Dir(i, j)] != cur_latency_[Dir(i, j)]) {
+          net.SetLatency(i, j, want_latency_[Dir(i, j)]);
+          cur_latency_[Dir(i, j)] = want_latency_[Dir(i, j)];
+        }
+      }
+    }
+    for (NodeId id = 1; id <= n_; ++id) {
+      if (want_crashed[id] && !sim_->IsCrashed(id)) {
+        sim_->Crash(id);
+      } else if (!want_crashed[id] && sim_->IsCrashed(id)) {
+        sim_->Restart(id);
+      }
+    }
+  }
+
+  ClusterSim<Node>* sim_;
+  const sim::ChaosPlan* plan_;
+  int n_;
+  std::vector<Time> boundaries_;
+  size_t next_boundary_ = 0;
+  std::vector<char> cur_cut_, want_cut_;
+  std::vector<Time> cur_latency_, want_latency_;
+};
+
+template <typename Node>
+ChaosOutcome RunChaos(const ChaosConfig& cfg) {
+  const sim::ChaosPlan& plan = cfg.plan;
+  OPX_CHECK_GE(plan.num_servers, 2);
+  OPX_CHECK(Node::kSupportsRestart || !plan.HasCrash())
+      << "plan contains crash faults but the protocol has no restart path";
+
+  ClusterParams params;
+  params.num_servers = plan.num_servers;
+  params.election_timeout = cfg.election_timeout;
+  params.concurrent_proposals = cfg.concurrent_proposals;
+  params.proposal_rate = cfg.proposal_rate;
+  params.seed = plan.seed;
+  params.preferred_leader = 1;
+  params.audit = cfg.audit;
+  params.audit_abort = false;  // collect violations; never kill the fuzzer
+  ClusterSim<Node> sim(params);
+  ChaosScheduleApplier<Node> applier(&sim, &plan);
+
+  const Time end = plan.horizon + cfg.EffectiveWindow();
+  applier.RunUntil(plan.horizon);
+  const uint64_t completed_at_horizon = sim.client().completed();
+  applier.RunUntil(end);
+
+  ChaosOutcome out;
+  out.fingerprint = sim.EventHash();
+  out.completed = sim.client().completed();
+  out.final_leader = sim.CurrentLeader();
+
+  if (!sim.auditor().violations().empty()) {
+    const audit::Violation& v = sim.auditor().violations().front();
+    std::ostringstream d;
+    d << audit::InvariantName(v.invariant) << " on node " << v.pid << " at t="
+      << v.ctx.now << " event=" << v.ctx.event_id << " [" << v.ctx.label
+      << "]: " << v.detail << " (+" << (sim.auditor().violations().size() - 1)
+      << " more)";
+    out.violated = ChaosOracle::kSafety;
+    out.detail = d.str();
+    return out;
+  }
+  if (out.final_leader == kNoNode) {
+    std::ostringstream d;
+    d << "no leader " << ToMillis(end - plan.horizon) << " ms after the last heal";
+    out.violated = ChaosOracle::kLeaderConvergence;
+    out.detail = d.str();
+    return out;
+  }
+  if (sim.client().completed() <= completed_at_horizon) {
+    std::ostringstream d;
+    d << "client made no progress in " << ToMillis(end - plan.horizon)
+      << " ms after the last heal (stuck at " << completed_at_horizon
+      << " completions)";
+    out.violated = ChaosOracle::kClientProgress;
+    out.detail = d.str();
+    return out;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Delta-debugging shrink (ddmin over the fault list).
+// ---------------------------------------------------------------------------
+
+struct ChaosShrinkResult {
+  sim::ChaosPlan plan;     // minimized plan (horizon preserved)
+  ChaosOutcome outcome;    // outcome of the minimized plan
+  size_t runs = 0;         // simulations spent shrinking
+};
+
+// Minimizes cfg.plan to a 1-minimal fault set that still trips `target`
+// (removing any single remaining fault loses the violation). The plan horizon
+// is pinned so every candidate measures liveness at the same instant as the
+// original run.
+template <typename Node>
+ChaosShrinkResult ShrinkChaos(const ChaosConfig& cfg, ChaosOracle target) {
+  OPX_CHECK(target != ChaosOracle::kNone);
+  ChaosShrinkResult result;
+  result.plan = cfg.plan;
+
+  auto reproduces = [&](const std::vector<sim::ChaosFault>& faults, ChaosOutcome* out) {
+    ChaosConfig candidate = cfg;
+    candidate.plan.faults = faults;
+    ++result.runs;
+    *out = RunChaos<Node>(candidate);
+    return out->violated == target;
+  };
+
+  std::vector<sim::ChaosFault> cur = cfg.plan.faults;
+  ChaosOutcome cur_outcome;
+  OPX_CHECK(reproduces(cur, &cur_outcome)) << "shrink target does not reproduce";
+
+  size_t chunks = 2;
+  while (!cur.empty() && chunks <= cur.size() * 2) {
+    bool reduced = false;
+    const size_t effective = std::min(chunks, cur.size());
+    for (size_t i = 0; i < effective; ++i) {
+      const size_t lo = cur.size() * i / effective;
+      const size_t hi = cur.size() * (i + 1) / effective;
+      if (lo == hi) {
+        continue;
+      }
+      std::vector<sim::ChaosFault> candidate;
+      candidate.reserve(cur.size() - (hi - lo));
+      for (size_t k = 0; k < cur.size(); ++k) {
+        if (k < lo || k >= hi) {
+          candidate.push_back(cur[k]);
+        }
+      }
+      ChaosOutcome out;
+      if (reproduces(candidate, &out)) {
+        cur = std::move(candidate);
+        cur_outcome = out;
+        chunks = std::max<size_t>(2, effective - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (effective >= cur.size()) {
+        break;  // 1-minimal: no single fault can be dropped
+      }
+      chunks = effective * 2;
+    }
+  }
+
+  result.plan.faults = std::move(cur);
+  result.outcome = cur_outcome;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Replayable artifacts.
+// ---------------------------------------------------------------------------
+
+// Everything needed to re-run a schedule bit-for-bit: protocol, harness
+// knobs, the plan, the oracle it tripped (or "none" for corpus entries), and
+// the expected fingerprint.
+struct ChaosArtifact {
+  std::string protocol;  // see DispatchChaosProtocol
+  ChaosConfig config;
+  ChaosOracle violated = ChaosOracle::kNone;
+  uint64_t fingerprint = 0;
+  std::string note;  // free-form provenance, single line
+
+  std::string Serialize() const {
+    std::ostringstream out;
+    out << "opx-chaos-artifact v1\n";
+    if (!note.empty()) {
+      out << "# " << note << "\n";
+    }
+    out << "protocol " << protocol << "\n";
+    out << "election-timeout " << config.election_timeout << "\n";
+    out << "concurrent-proposals " << config.concurrent_proposals << "\n";
+    out << "proposal-rate " << config.proposal_rate << "\n";
+    out << "liveness-window " << config.liveness_window << "\n";
+    out << "violated " << ChaosOracleName(violated) << "\n";
+    out << "fingerprint " << fingerprint << "\n";
+    out << "plan\n";
+    out << config.plan.Serialize();
+    return out.str();
+  }
+
+  static std::optional<ChaosArtifact> Parse(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "opx-chaos-artifact v1") {
+      return std::nullopt;
+    }
+    ChaosArtifact art;
+    bool have_plan = false;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+      if (line == "plan") {
+        std::optional<sim::ChaosPlan> plan = sim::ChaosPlan::Parse(in);
+        if (!plan) {
+          return std::nullopt;
+        }
+        art.config.plan = std::move(*plan);
+        have_plan = true;
+        continue;
+      }
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key;
+      if (key == "protocol") {
+        ls >> art.protocol;
+      } else if (key == "election-timeout") {
+        ls >> art.config.election_timeout;
+      } else if (key == "concurrent-proposals") {
+        ls >> art.config.concurrent_proposals;
+      } else if (key == "proposal-rate") {
+        ls >> art.config.proposal_rate;
+      } else if (key == "liveness-window") {
+        ls >> art.config.liveness_window;
+      } else if (key == "violated") {
+        std::string name;
+        ls >> name;
+        const std::optional<ChaosOracle> o = ParseChaosOracle(name);
+        if (!o) {
+          return std::nullopt;
+        }
+        art.violated = *o;
+      } else if (key == "fingerprint") {
+        ls >> art.fingerprint;
+      } else {
+        return std::nullopt;
+      }
+      if (ls.fail()) {
+        return std::nullopt;
+      }
+    }
+    if (!have_plan || art.protocol.empty()) {
+      return std::nullopt;
+    }
+    return art;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Protocol dispatch by name (the tool's --protocol flag and artifact files).
+// ---------------------------------------------------------------------------
+
+inline const std::vector<std::string>& ChaosProtocolNames() {
+  static const std::vector<std::string> names = {"omni", "raft", "raft-pvcq", "multipaxos",
+                                                 "vr"};
+  return names;
+}
+
+// Invokes fn(std::type_identity<NodeType>{}) for the named protocol; returns
+// false for an unknown name.
+template <typename Fn>
+bool DispatchChaosProtocol(const std::string& name, Fn&& fn) {
+  if (name == "omni") {
+    fn(std::type_identity<OmniNode>{});
+  } else if (name == "raft") {
+    fn(std::type_identity<RaftNode>{});
+  } else if (name == "raft-pvcq") {
+    fn(std::type_identity<RaftPvCqNode>{});
+  } else if (name == "multipaxos") {
+    fn(std::type_identity<MultiPaxosNode>{});
+  } else if (name == "vr") {
+    fn(std::type_identity<VrNode>{});
+  } else {
+    return false;
+  }
+  return true;
+}
+
+inline bool ChaosProtocolSupportsRestart(const std::string& name) {
+  bool supports = false;
+  const bool known = DispatchChaosProtocol(name, [&](auto tag) {
+    using Node = typename decltype(tag)::type;
+    supports = Node::kSupportsRestart;
+  });
+  return known && supports;
+}
+
+// Replays an artifact with its recorded protocol. Returns the outcome plus a
+// determinism verdict: `matches` is false when the artifact carries a
+// non-zero fingerprint that the re-run did not reproduce.
+struct ChaosReplayResult {
+  ChaosOutcome outcome;
+  bool matches = true;
+};
+
+inline ChaosReplayResult ReplayChaosArtifact(const ChaosArtifact& art) {
+  ChaosReplayResult r;
+  const bool known = DispatchChaosProtocol(art.protocol, [&](auto tag) {
+    using Node = typename decltype(tag)::type;
+    r.outcome = RunChaos<Node>(art.config);
+  });
+  OPX_CHECK(known) << "unknown protocol in artifact: " << art.protocol;
+  r.matches = art.fingerprint == 0 || r.outcome.fingerprint == art.fingerprint;
+  return r;
+}
+
+}  // namespace opx::rsm
+
+#endif  // SRC_RSM_CHAOS_H_

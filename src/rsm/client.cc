@@ -21,6 +21,7 @@ std::vector<Client::Send> Client::Tick(Time now) {
   // leader; the log tolerates duplicates, the client counts unique ids).
   if (!outstanding_.empty() && now - std::max(last_response_, last_completion_) >
                                    params_.retry_timeout) {
+    suspect_ = target_;
     target_ = target_ % params_.num_servers + 1;
     last_response_ = now;  // back off one retry period before rotating again
     need_reproposal_ = true;
@@ -52,14 +53,29 @@ void Client::OnResponse(Time now, NodeId from, const ResponseBatch& batch) {
     // rotation that eventually finds a serving leader.
     return;
   }
+  if (batch.cmd_ids.empty() && batch.leader_hint == suspect_) {
+    // Redirect back to the server we just timed out on. Following it would
+    // trap the client between two stale minority nodes that hint each other.
+    // Keep re-proposing to the current target instead (it may be mid-election
+    // and about to serve) without refreshing the retry timer, so rotation
+    // still walks past both stale nodes if nothing completes.
+    need_reproposal_ = true;
+    return;
+  }
   last_response_ = now;
   if (batch.leader_hint != kNoNode && batch.leader_hint != target_) {
     // Redirected: move to the hinted leader and re-propose what is in flight.
     target_ = batch.leader_hint;
     need_reproposal_ = true;
   } else if (batch.leader_hint == kNoNode && !batch.cmd_ids.empty()) {
-    // Responses prove `from` decides entries; stick with it.
-    target_ = from;
+    // Responses prove `from` decides entries; stick with it. Switching
+    // targets must re-propose: everything outstanding was sent to the old
+    // target (a fresh leader replaying in-flight duplicates would otherwise
+    // strand the client idle until the retry timer marks it suspect).
+    if (target_ != from) {
+      target_ = from;
+      need_reproposal_ = true;
+    }
   }
   for (uint64_t cmd : batch.cmd_ids) {
     RecordCompletion(now, cmd);
@@ -73,6 +89,7 @@ void Client::RecordCompletion(Time now, uint64_t cmd_id) {
   }
   latency_sum_seconds_ += ToSeconds(now - it->second);
   outstanding_.erase(it);
+  suspect_ = kNoNode;  // progress resumed; hints are trustworthy again
   ++completed_;
   if (completed_ > 1 && now - last_completion_ >= kGapThreshold) {
     gaps_.emplace_back(last_completion_, now);

@@ -70,6 +70,12 @@ class Client {
   ClientParams params_;
   uint64_t next_cmd_ = 1;
   NodeId target_;
+  // Server the client last rotated away from after a silent retry period.
+  // Leader hints pointing back at it are ignored until a command completes:
+  // under a minority partition the stale nodes hint each other, and blindly
+  // following those hints ping-pongs the client inside the partition forever
+  // while a healthy majority serves elsewhere.
+  NodeId suspect_ = kNoNode;
   bool need_reproposal_ = false;
   Time last_response_ = 0;
   std::unordered_map<uint64_t, Time> outstanding_;  // cmd -> first propose time

@@ -48,6 +48,11 @@ struct ClusterParams {
   // Run the cross-replica safety auditor after every delivered event.
   // Default on; benches pass --audit=false to take it off the hot path.
   bool audit = true;
+  // Abort the process on the first auditor violation (the default, so a
+  // failing seed is never papered over). The chaos fuzzer sets this false and
+  // reads auditor().violations() instead, turning violations into shrinkable,
+  // replayable artifacts rather than a dead process.
+  bool audit_abort = true;
 };
 
 template <typename Node>
@@ -60,7 +65,8 @@ class ClusterSim {
       : params_(params),
         net_(&sim_, params.num_servers + 1, params.net),
         client_(MakeClientParams(params)),
-        rng_(params.seed) {
+        rng_(params.seed),
+        auditor_(audit::SafetyAuditor::Options{params.audit_abort}) {
     if (params_.retry_timeout == 0) {
       params_.retry_timeout = std::max<Time>(4 * params_.election_timeout, Millis(200));
     }
@@ -68,6 +74,8 @@ class ClusterSim {
 
     const int n = params_.num_servers;
     nodes_.resize(static_cast<size_t>(n) + 1);
+    node_opts_.resize(static_cast<size_t>(n) + 1);
+    crashed_.resize(static_cast<size_t>(n) + 1, 0);
     was_leader_.resize(static_cast<size_t>(n) + 1, false);
     admission_.resize(static_cast<size_t>(n) + 1);
     election_bytes_.resize(static_cast<size_t>(n) + 1, 0);
@@ -81,11 +89,12 @@ class ClusterSim {
       NodeOptions opts;
       opts.seed = rng_.Next();
       opts.ble_priority = (id == params_.preferred_leader) ? 1u : 0u;
+      node_opts_[static_cast<size_t>(id)] = opts;
       nodes_[static_cast<size_t>(id)] = std::make_unique<Node>(id, std::move(peers), opts);
 
       net_.SetHandler(id, [this, id](NodeId from, Wire w) { OnServerWire(id, from, std::move(w)); });
       net_.SetReconnectHandler(id, [this, id](NodeId peer) {
-        if (peer >= 1 && peer <= params_.num_servers) {
+        if (peer >= 1 && peer <= params_.num_servers && !IsCrashed(id)) {
           nodes_[static_cast<size_t>(id)]->Reconnected(peer);
           PumpServer(id);
           AuditNow("reconnect", id);
@@ -131,7 +140,7 @@ class ClusterSim {
     NodeId best = kNoNode;
     uint64_t best_epoch = 0;
     for (NodeId id = 1; id <= params_.num_servers; ++id) {
-      if (node(id).IsLeader() && node(id).Epoch() + 1 > best_epoch) {
+      if (!IsCrashed(id) && node(id).IsLeader() && node(id).Epoch() + 1 > best_epoch) {
         best = id;
         best_epoch = node(id).Epoch() + 1;
       }
@@ -139,13 +148,43 @@ class ClusterSim {
     return best;
   }
 
+  // --- Fault injection: fail-stop crash + restart from durable state --------
+  //
+  // Crash() makes the server inert: its timers keep firing but do nothing, it
+  // stops receiving messages, and all of its network sessions are torn down
+  // (in-flight messages in both directions drop, as with a real process
+  // death). Restart() rebuilds the protocol node from whatever the adapter
+  // persists (Node::Restart — Omni-Paxos recovers from its storage with the
+  // recovered=true PrepareReq path, §4.1.3) and tears sessions down again so
+  // the revived server starts on fresh sessions.
+  void Crash(NodeId id) {
+    OPX_CHECK(!IsCrashed(id));
+    crashed_[static_cast<size_t>(id)] = 1;
+    was_leader_[static_cast<size_t>(id)] = false;
+    admission_[static_cast<size_t>(id)].pending.clear();
+    net_.ResetNode(id);
+  }
+
+  void Restart(NodeId id) {
+    OPX_CHECK(IsCrashed(id));
+    crashed_[static_cast<size_t>(id)] = 0;
+    net_.ResetNode(id);
+    nodes_[static_cast<size_t>(id)]->Restart(node_opts_[static_cast<size_t>(id)]);
+    PumpServer(id);  // a recovering server emits <PrepareReq> immediately
+    AuditNow("restart", id);
+  }
+
+  bool IsCrashed(NodeId id) const { return crashed_[static_cast<size_t>(id)] != 0; }
+
   // --- Metrics ----------------------------------------------------------------
 
   uint64_t leader_elevations() const { return leader_elevations_; }
   uint64_t MaxEpoch() {
     uint64_t max_epoch = 0;
     for (NodeId id = 1; id <= params_.num_servers; ++id) {
-      max_epoch = std::max(max_epoch, node(id).Epoch());
+      if (!IsCrashed(id)) {
+        max_epoch = std::max(max_epoch, node(id).Epoch());
+      }
     }
     return max_epoch;
   }
@@ -189,9 +228,13 @@ class ClusterSim {
   }
 
   void TickServer(NodeId id, Time period) {
-    node(id).Tick();
-    PumpServer(id);
-    AuditNow("tick", id);
+    // A crashed server's timer keeps firing (so the schedule stays identical
+    // across crash windows) but drives nothing until restart.
+    if (!IsCrashed(id)) {
+      node(id).Tick();
+      PumpServer(id);
+      AuditNow("tick", id);
+    }
     sim_.ScheduleAfter(period, [this, id, period]() { TickServer(id, period); });
   }
 
@@ -204,6 +247,9 @@ class ClusterSim {
   }
 
   void OnServerWire(NodeId id, NodeId from, Wire w) {
+    if (IsCrashed(id)) {
+      return;  // message raced the crash's session teardown
+    }
     if (auto* proposals = std::get_if<ProposeBatch>(&w)) {
       OnProposals(id, std::move(*proposals));
     } else if (auto* msg = std::get_if<Message>(&w)) {
@@ -270,6 +316,9 @@ class ClusterSim {
           Micros(50), static_cast<Time>(deficit / params_.proposal_rate * 1e9));
       sim_.ScheduleAfter(wait, [this, id]() {
         admission_[static_cast<size_t>(id)].drain_scheduled = false;
+        if (IsCrashed(id)) {
+          return;
+        }
         DrainAdmission(id);
         PumpServer(id);
         AuditNow("admission", id);
@@ -288,7 +337,9 @@ class ClusterSim {
     }
     views_scratch_.clear();
     for (NodeId s = 1; s <= params_.num_servers; ++s) {
-      views_scratch_.push_back(node(s).Audit());
+      if (!IsCrashed(s)) {  // crashed nodes are omitted; see SafetyAuditor
+        views_scratch_.push_back(node(s).Audit());
+      }
     }
     audit::AuditContext ctx;
     ctx.seed = params_.seed;
@@ -342,6 +393,8 @@ class ClusterSim {
   Client client_;
   Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<NodeOptions> node_opts_;
+  std::vector<char> crashed_;
 
   std::vector<bool> was_leader_;
   uint64_t leader_elevations_ = 0;

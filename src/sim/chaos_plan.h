@@ -1,0 +1,320 @@
+// Chaos schedules — randomized fault plans for the deterministic simulator.
+//
+// A ChaosPlan is a set of timed, self-healing faults (link flaps, one-way
+// cuts, latency spikes, partition patterns, node crashes) generated from a
+// single 64-bit seed. Plans are protocol-agnostic: src/rsm/chaos.h expands
+// the active-fault set into concrete Network/cluster operations at each fault
+// boundary. Every fault is an independent interval [at, at+duration), so any
+// subset of a plan's faults is itself a well-formed plan — the property the
+// delta-debugging shrinker relies on.
+//
+// Plans serialize to a line-oriented text format (one fault per line) so a
+// violating schedule can be committed as a replayable regression artifact.
+#ifndef SRC_SIM_CHAOS_PLAN_H_
+#define SRC_SIM_CHAOS_PLAN_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::sim {
+
+// One fault interval. Which fields matter depends on the kind; unused fields
+// serialize as 0 so the text format stays fixed-width and diffable.
+struct ChaosFault {
+  enum class Kind : uint8_t {
+    kLinkCut,       // bidirectional cut of a<->b
+    kOneWayCut,     // deaf/mute at link granularity: only a->b cut (§8)
+    kLatencySpike,  // a<->b latency set to `latency`, restored at the end
+    kCrash,         // node a crashes, restarts from durable storage at the end
+    kSplit,         // nodes in `mask` partitioned from the complement
+    kDeaf,          // node a hears nothing: every in-link of a cut (Fig. 1)
+    kMute,          // node a reaches nobody: every out-link of a cut
+    kHub,           // quorum-loss shape: only links incident to hub a survive
+    kChain,         // only links i <-> i+1 (id order) survive (Fig. 1c shape)
+  };
+
+  Kind kind = Kind::kLinkCut;
+  Time at = 0;        // fault start (absolute virtual time)
+  Time duration = 0;  // fault clears at `at + duration`
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  Time latency = 0;     // kLatencySpike only
+  uint64_t mask = 0;    // kSplit only: bit i set = server i on side 1
+
+  Time end() const { return at + duration; }
+};
+
+inline const char* ChaosKindName(ChaosFault::Kind k) {
+  switch (k) {
+    case ChaosFault::Kind::kLinkCut:
+      return "link-cut";
+    case ChaosFault::Kind::kOneWayCut:
+      return "oneway-cut";
+    case ChaosFault::Kind::kLatencySpike:
+      return "latency-spike";
+    case ChaosFault::Kind::kCrash:
+      return "crash";
+    case ChaosFault::Kind::kSplit:
+      return "split";
+    case ChaosFault::Kind::kDeaf:
+      return "deaf";
+    case ChaosFault::Kind::kMute:
+      return "mute";
+    case ChaosFault::Kind::kHub:
+      return "hub";
+    case ChaosFault::Kind::kChain:
+      return "chain";
+  }
+  return "?";
+}
+
+inline std::optional<ChaosFault::Kind> ParseChaosKind(const std::string& name) {
+  using Kind = ChaosFault::Kind;
+  for (Kind k : {Kind::kLinkCut, Kind::kOneWayCut, Kind::kLatencySpike, Kind::kCrash,
+                 Kind::kSplit, Kind::kDeaf, Kind::kMute, Kind::kHub, Kind::kChain}) {
+    if (name == ChaosKindName(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+struct ChaosPlan {
+  uint64_t seed = 0;  // provenance: the seed the generator was run with
+  int num_servers = 0;
+  // All generated faults end at or before the horizon; liveness oracles
+  // measure convergence in a bounded window after it. (A hand-written or
+  // mutant plan may keep faults active past the horizon — that is exactly
+  // what the liveness oracles are meant to catch.)
+  Time horizon = 0;
+  std::vector<ChaosFault> faults;
+
+  bool HasCrash() const {
+    for (const ChaosFault& f : faults) {
+      if (f.kind == ChaosFault::Kind::kCrash) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Time LastFaultEnd() const {
+    Time last = 0;
+    for (const ChaosFault& f : faults) {
+      last = std::max(last, f.end());
+    }
+    return last;
+  }
+
+  std::string Serialize() const {
+    std::ostringstream out;
+    out << "opx-chaos-plan v1\n";
+    out << "seed " << seed << "\n";
+    out << "servers " << num_servers << "\n";
+    out << "horizon " << horizon << "\n";
+    for (const ChaosFault& f : faults) {
+      out << "fault " << ChaosKindName(f.kind) << " " << f.at << " " << f.duration << " "
+          << f.a << " " << f.b << " " << f.latency << " " << f.mask << "\n";
+    }
+    out << "end\n";
+    return out.str();
+  }
+
+  // Parses a plan from `text` starting at stream position of `in`. Returns
+  // nullopt on any malformed line. Consumes through the "end" terminator so
+  // a plan can be embedded inside a larger artifact file.
+  static std::optional<ChaosPlan> Parse(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line) || line != "opx-chaos-plan v1") {
+      return std::nullopt;
+    }
+    ChaosPlan plan;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+      if (line == "end") {
+        return plan;
+      }
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key;
+      if (key == "seed") {
+        ls >> plan.seed;
+      } else if (key == "servers") {
+        ls >> plan.num_servers;
+      } else if (key == "horizon") {
+        ls >> plan.horizon;
+      } else if (key == "fault") {
+        std::string kind_name;
+        ChaosFault f;
+        int64_t a = 0, b = 0;
+        ls >> kind_name >> f.at >> f.duration >> a >> b >> f.latency >> f.mask;
+        const std::optional<ChaosFault::Kind> kind = ParseChaosKind(kind_name);
+        if (!kind || ls.fail()) {
+          return std::nullopt;
+        }
+        f.kind = *kind;
+        f.a = static_cast<NodeId>(a);
+        f.b = static_cast<NodeId>(b);
+        plan.faults.push_back(f);
+      } else {
+        return std::nullopt;
+      }
+      if (ls.fail()) {
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;  // missing "end"
+  }
+
+  static std::optional<ChaosPlan> Parse(const std::string& text) {
+    std::istringstream in(text);
+    return Parse(in);
+  }
+};
+
+// Knobs for the seeded generator. Defaults give a dense 10-second fault
+// window after a 2-second warmup — enough for several overlapping partitions,
+// flaps, and crash/recover cycles at the default 50 ms election timeout.
+struct ChaosGenParams {
+  int num_servers = 5;
+  Time warmup = Seconds(2);        // no faults before this (leader settles)
+  Time fault_window = Seconds(10);  // faults *start* within [warmup, warmup+window)
+  int min_faults = 4;
+  int max_faults = 14;
+  // Long-fault duration range (partitions, crashes, spikes).
+  Time min_duration = Millis(50);
+  Time max_duration = Seconds(2);
+  // Probability that a link fault is a rapid flap instead (duration below or
+  // near one propagation delay — the regime that exposed the stale-reconnect
+  // and FIFO-floor bugs).
+  double flap_probability = 0.3;
+  Time min_flap = Micros(10);
+  Time max_flap = Millis(2);
+  Time max_latency_spike = Millis(50);
+  // Crash+recover requires the protocol to support restart from durable
+  // storage; the driver clears this for protocols that do not.
+  bool allow_crash = true;
+};
+
+// Deterministically generates a plan from (params, seed). Two calls with the
+// same arguments yield the identical plan — the replay contract.
+inline ChaosPlan GenerateChaosPlan(const ChaosGenParams& params, uint64_t seed) {
+  OPX_CHECK_GE(params.num_servers, 2);
+  OPX_CHECK_LE(params.num_servers, 63);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.num_servers = params.num_servers;
+
+  const int n = params.num_servers;
+  const int num_faults =
+      static_cast<int>(rng.NextInRange(params.min_faults, params.max_faults));
+  // Per-node crash busy-until: crash intervals of one node must not overlap
+  // (a crashed node cannot crash again), unlike every other fault kind.
+  std::vector<Time> crash_free_at(static_cast<size_t>(n) + 1, 0);
+
+  for (int i = 0; i < num_faults; ++i) {
+    ChaosFault f;
+    f.at = params.warmup + static_cast<Time>(rng.NextBounded(
+                               static_cast<uint64_t>(params.fault_window)));
+    f.duration = params.min_duration +
+                 static_cast<Time>(rng.NextBounded(static_cast<uint64_t>(
+                     params.max_duration - params.min_duration + 1)));
+    // 9 kinds; weight plain link faults (the most local, least catastrophic
+    // shape) double so most schedules are mixes of flaps with one or two
+    // pattern faults, like the paper's chained/deaf-mute compositions.
+    const uint64_t die = rng.NextBounded(10);
+    switch (die) {
+      case 0:
+      case 1:
+        f.kind = ChaosFault::Kind::kLinkCut;
+        break;
+      case 2:
+      case 3:
+        f.kind = ChaosFault::Kind::kOneWayCut;
+        break;
+      case 4:
+        f.kind = ChaosFault::Kind::kLatencySpike;
+        break;
+      case 5:
+        f.kind = ChaosFault::Kind::kCrash;
+        break;
+      case 6:
+        f.kind = ChaosFault::Kind::kSplit;
+        break;
+      case 7:
+        f.kind = rng.NextBool(0.5) ? ChaosFault::Kind::kDeaf : ChaosFault::Kind::kMute;
+        break;
+      case 8:
+        f.kind = ChaosFault::Kind::kHub;
+        break;
+      default:
+        f.kind = ChaosFault::Kind::kChain;
+        break;
+    }
+    if (f.kind == ChaosFault::Kind::kCrash && !params.allow_crash) {
+      f.kind = ChaosFault::Kind::kLinkCut;
+    }
+
+    switch (f.kind) {
+      case ChaosFault::Kind::kLinkCut:
+      case ChaosFault::Kind::kOneWayCut:
+      case ChaosFault::Kind::kLatencySpike: {
+        f.a = static_cast<NodeId>(rng.NextInRange(1, n));
+        f.b = static_cast<NodeId>(rng.NextInRange(1, n - 1));
+        if (f.b >= f.a) {
+          ++f.b;  // uniform over peers != a
+        }
+        if (f.kind == ChaosFault::Kind::kLatencySpike) {
+          f.latency = Micros(500) + static_cast<Time>(rng.NextBounded(
+                                        static_cast<uint64_t>(params.max_latency_spike)));
+        } else if (rng.NextBool(params.flap_probability)) {
+          f.duration = params.min_flap +
+                       static_cast<Time>(rng.NextBounded(static_cast<uint64_t>(
+                           params.max_flap - params.min_flap + 1)));
+        }
+        break;
+      }
+      case ChaosFault::Kind::kCrash: {
+        f.a = static_cast<NodeId>(rng.NextInRange(1, n));
+        if (f.at < crash_free_at[f.a]) {
+          f.at = crash_free_at[f.a];
+        }
+        crash_free_at[f.a] = f.end() + Millis(1);
+        break;
+      }
+      case ChaosFault::Kind::kSplit: {
+        // Non-empty proper subset of the servers.
+        f.mask = rng.NextInRange(1, (1LL << n) - 2);
+        break;
+      }
+      case ChaosFault::Kind::kDeaf:
+      case ChaosFault::Kind::kMute:
+      case ChaosFault::Kind::kHub: {
+        f.a = static_cast<NodeId>(rng.NextInRange(1, n));
+        break;
+      }
+      case ChaosFault::Kind::kChain:
+        break;
+    }
+    plan.faults.push_back(f);
+  }
+
+  plan.horizon = plan.LastFaultEnd();
+  return plan;
+}
+
+}  // namespace opx::sim
+
+#endif  // SRC_SIM_CHAOS_PLAN_H_

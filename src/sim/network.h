@@ -141,14 +141,45 @@ class Network {
     }
     link.up = up;
     link.epoch += 1;
+    // A new session starts with a fresh FIFO floor: the old session's queued
+    // deliveries are discarded by the epoch check, so inheriting their
+    // delivery-time clamp would delay the first post-heal message by however
+    // far the dead session had run ahead (e.g. after a latency spike).
+    link.last_delivery = -1;
+    link.last_control_delivery = -1;
     if (up) {
-      sim_->ScheduleAfter(link.latency, [this, a, b]() {
+      const uint64_t session = link.epoch;
+      sim_->ScheduleAfter(link.latency, [this, a, b, session]() {
         // Notify the *receiver* side (b) that its session with a is fresh.
+        // The session capture drops stale notifications: a heal→cut→heal flap
+        // inside one propagation delay must deliver exactly one reconnect
+        // event — for the live session, not the dead one.
+        const Link& l = LinkRef(a, b);
+        if (!l.up || l.epoch != session) {
+          return;
+        }
         ReconnectHandler& h = reconnect_handlers_[CheckedIndex(b)];
-        if (h && LinkRef(a, b).up) {
+        if (h) {
           h(a);
         }
       });
+    }
+  }
+
+  // Tears down every session of `node` (both directions) without changing
+  // link up/down state: in-flight messages to and from the node are dropped
+  // and FIFO floors reset. Models a process crash killing its TCP sessions;
+  // the cluster harness calls this when it crashes a simulated server.
+  void ResetNode(NodeId node) {
+    for (NodeId other = 1; other <= n_; ++other) {
+      if (other == node) {
+        continue;
+      }
+      for (Link* link : {&LinkRef(node, other), &LinkRef(other, node)}) {
+        link->epoch += 1;
+        link->last_delivery = -1;
+        link->last_control_delivery = -1;
+      }
     }
   }
 

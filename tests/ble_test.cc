@@ -93,6 +93,32 @@ TEST(Ble, NoMajorityNoElectionAndNotQc) {
   EXPECT_FALSE(ble.quorum_connected());
 }
 
+TEST(Ble, DuplicateRepliesFromOnePeerCannotFakeQuorum) {
+  // 5 servers, majority = 3. One peer retransmitting its reply must count
+  // once: two distinct responders + self = 2 < 3, so no QC and no election.
+  BallotLeaderElection ble(Config(1, {2, 3, 4, 5}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 2}, true},
+              {0, Ballot{0, 0, 2}, true}},
+        {2, 2, 2});
+  ble.Tick();
+  EXPECT_FALSE(ble.quorum_connected());
+  EXPECT_FALSE(ble.TakeLeaderEvent().has_value());
+}
+
+TEST(Ble, DuplicateRepliesDoNotMaskDistinctResponders) {
+  // Duplicates are dropped but genuinely distinct responders still count:
+  // peers 2 and 3 (one duplicated) + self = 3 = majority.
+  BallotLeaderElection ble(Config(1, {2, 3, 4, 5}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}, {0, Ballot{0, 0, 2}, true},
+              {0, Ballot{0, 0, 3}, true}},
+        {2, 2, 3});
+  ble.Tick();
+  EXPECT_TRUE(ble.quorum_connected());
+  const auto elected = ble.TakeLeaderEvent();
+  ASSERT_TRUE(elected.has_value());
+  EXPECT_EQ(elected->pid, 3);
+}
+
 TEST(Ble, LateRepliesAreIgnored) {
   BallotLeaderElection ble(Config(1, {2, 3, 4, 5}));
   ble.Tick();

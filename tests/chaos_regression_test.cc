@@ -1,0 +1,145 @@
+// Chaos regression corpus + fuzzer pipeline tests (DESIGN.md §10).
+//
+// Every artifact committed under tests/chaos_corpus/ replays bit-for-bit:
+// same oracle verdict and same event-hash fingerprint as when it was dumped.
+// A drift in either means a behavioral change in the protocol, the harness,
+// or the scheduler — deliberate changes must regenerate the corpus with
+// tools/chaos_fuzz --dump and call it out in review.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/rsm/chaos.h"
+#include "src/sim/chaos_plan.h"
+
+namespace opx {
+namespace {
+
+using rsm::ChaosArtifact;
+using rsm::ChaosConfig;
+using rsm::ChaosOracle;
+using rsm::ChaosOutcome;
+using rsm::OmniNode;
+
+std::string CorpusDir() { return std::string(OPX_SOURCE_DIR) + "/tests/chaos_corpus"; }
+
+ChaosArtifact LoadArtifact(const std::string& name) {
+  const std::string path = CorpusDir() + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus artifact " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::optional<ChaosArtifact> art = ChaosArtifact::Parse(buf.str());
+  EXPECT_TRUE(art.has_value()) << "malformed corpus artifact " << path;
+  return *art;
+}
+
+void ReplayBitForBit(const std::string& name) {
+  const ChaosArtifact art = LoadArtifact(name);
+  const rsm::ChaosReplayResult r = rsm::ReplayChaosArtifact(art);
+  EXPECT_EQ(r.outcome.violated, art.violated) << r.outcome.detail;
+  EXPECT_TRUE(r.matches) << "fingerprint drift on " << name << ": recorded "
+                         << art.fingerprint << ", replayed " << r.outcome.fingerprint;
+}
+
+// --- Corpus replay, one test per artifact so failures name the schedule. ---
+
+TEST(ChaosCorpus, OmniCrashRecoverSchedule) {
+  // Contains kCrash faults: a server restarts from durable storage with
+  // recovered=true and re-syncs via <PrepareReq> (§4.1.3) mid-schedule.
+  const ChaosArtifact art = LoadArtifact("chaos-omni-seed104.chaos");
+  EXPECT_TRUE(art.config.plan.HasCrash());
+  ReplayBitForBit("chaos-omni-seed104.chaos");
+}
+
+TEST(ChaosCorpus, OmniMutantStuckLink) {
+  // Shrunk output of the --mutant=stuck-link sanity check: a minimal set of
+  // never-healing cuts that denies every node a quorum after the horizon.
+  // Must still be caught by the client-progress oracle, deterministically.
+  const ChaosArtifact art = LoadArtifact("chaos-omni-mutant-stuck-link.chaos");
+  EXPECT_NE(art.violated, ChaosOracle::kNone);
+  ReplayBitForBit("chaos-omni-mutant-stuck-link.chaos");
+}
+
+TEST(ChaosCorpus, RaftSchedule) { ReplayBitForBit("chaos-raft-seed300.chaos"); }
+
+TEST(ChaosCorpus, MultiPaxosSchedule) { ReplayBitForBit("chaos-multipaxos-seed800.chaos"); }
+
+TEST(ChaosCorpus, VrSchedule) { ReplayBitForBit("chaos-vr-seed500.chaos"); }
+
+// --- Plan layer --------------------------------------------------------------
+
+TEST(ChaosPlan, SerializeParseRoundTrip) {
+  sim::ChaosGenParams gen;
+  const sim::ChaosPlan plan = sim::GenerateChaosPlan(gen, 42);
+  const std::optional<sim::ChaosPlan> back = sim::ChaosPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->Serialize(), plan.Serialize());
+  EXPECT_EQ(back->faults.size(), plan.faults.size());
+  EXPECT_EQ(back->horizon, plan.horizon);
+}
+
+TEST(ChaosPlan, GeneratorIsDeterministic) {
+  sim::ChaosGenParams gen;
+  EXPECT_EQ(sim::GenerateChaosPlan(gen, 9).Serialize(),
+            sim::GenerateChaosPlan(gen, 9).Serialize());
+  EXPECT_NE(sim::GenerateChaosPlan(gen, 9).Serialize(),
+            sim::GenerateChaosPlan(gen, 10).Serialize());
+}
+
+TEST(ChaosPlan, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(sim::ChaosPlan::Parse("not a plan").has_value());
+  EXPECT_FALSE(sim::ChaosPlan::Parse("opx-chaos-plan v1\nseed 1\n").has_value());
+  EXPECT_FALSE(
+      sim::ChaosPlan::Parse("opx-chaos-plan v1\nfault bogus 0 0 0 0 0 0\nend\n")
+          .has_value());
+}
+
+// --- Shrink pipeline: inject a violation, catch it, shrink it, replay it. --
+
+TEST(ChaosShrink, MutantIsCaughtShrunkAndReplays) {
+  sim::ChaosGenParams gen;
+  gen.allow_crash = false;  // keep the pipeline test fast
+  sim::ChaosPlan plan = sim::GenerateChaosPlan(gen, 3);
+  // Inject the bug: every server pair cut from the horizon onwards, far past
+  // the liveness window, so no quorum can form after the "last heal".
+  for (NodeId a = 1; a <= plan.num_servers; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b <= plan.num_servers; ++b) {
+      sim::ChaosFault f;
+      f.kind = sim::ChaosFault::Kind::kLinkCut;
+      f.at = plan.horizon;
+      f.duration = Minutes(30);
+      f.a = a;
+      f.b = b;
+      plan.faults.push_back(f);
+    }
+  }
+
+  ChaosConfig cfg;
+  cfg.plan = plan;
+  const ChaosOutcome outcome = rsm::RunChaos<OmniNode>(cfg);
+  ASSERT_NE(outcome.violated, ChaosOracle::kNone);
+
+  const rsm::ChaosShrinkResult shrunk = rsm::ShrinkChaos<OmniNode>(cfg, outcome.violated);
+  EXPECT_LT(shrunk.plan.faults.size(), plan.faults.size());
+  EXPECT_EQ(shrunk.outcome.violated, outcome.violated);
+
+  // The shrunk schedule round-trips through the artifact format and replays
+  // with the identical verdict and fingerprint.
+  ChaosArtifact art;
+  art.protocol = "omni";
+  art.config = cfg;
+  art.config.plan = shrunk.plan;
+  art.violated = shrunk.outcome.violated;
+  art.fingerprint = shrunk.outcome.fingerprint;
+  const std::optional<ChaosArtifact> back = ChaosArtifact::Parse(art.Serialize());
+  ASSERT_TRUE(back.has_value());
+  const rsm::ChaosReplayResult r = rsm::ReplayChaosArtifact(*back);
+  EXPECT_EQ(r.outcome.violated, shrunk.outcome.violated);
+  EXPECT_TRUE(r.matches);
+}
+
+}  // namespace
+}  // namespace opx

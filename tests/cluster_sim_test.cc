@@ -155,5 +155,32 @@ TEST(ClusterChained, VrRecovers) {
   EXPECT_TRUE(r.recovered);
 }
 
+// --- Minority split: client must escape stale leader hints. ----------------
+//
+// Found by the chaos fuzzer: cut {1,2} (the leader and one follower) away
+// from {3,4,5}. Nodes 1 and 2 keep hinting each other as leader, so a client
+// that blindly follows redirects ping-pongs inside the minority partition
+// forever and never reaches the healthy majority.
+TEST(ClusterMinoritySplit, ClientEscapesStaleHintLoop) {
+  rsm::ClusterParams params;
+  params.num_servers = 5;
+  params.election_timeout = Millis(50);
+  params.preferred_leader = 1;
+  params.seed = 7;
+  rsm::ClusterSim<OmniNode> sim(params);
+  sim.RunUntil(Seconds(2));
+  for (NodeId a : {1, 2}) {
+    for (NodeId b : {3, 4, 5}) {
+      sim.network().SetLink(static_cast<NodeId>(a), static_cast<NodeId>(b), false);
+    }
+  }
+  const uint64_t before = sim.client().completed();
+  sim.RunUntil(Seconds(6));
+  // The majority {3,4,5} elects a leader and the client finds it well within
+  // the window (one retry period to leave node 1, one more to skip node 2).
+  EXPECT_EQ(sim.CurrentLeader(), 5);
+  EXPECT_GT(sim.client().completed(), before + 1000);
+}
+
 }  // namespace
 }  // namespace opx

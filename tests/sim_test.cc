@@ -266,6 +266,69 @@ TEST(Network, ReconnectNotifiesBothEnds) {
   EXPECT_EQ(reconnects_at_2, (std::vector<NodeId>{1}));
 }
 
+TEST(Network, RapidFlapDeliversOneReconnectForLiveSession) {
+  // heal -> cut -> heal inside one propagation delay: the first heal's
+  // notification belongs to a dead session and must be dropped; exactly one
+  // reconnect event fires, for the surviving session.
+  NetFixture fx(0.0, Millis(1));
+  std::vector<NodeId> reconnects_at_2;
+  fx.net->SetReconnectHandler(2, [&](NodeId peer) { reconnects_at_2.push_back(peer); });
+  fx.net->SetLink(1, 2, false);
+  fx.simulator.RunUntil(Millis(10));
+  fx.net->SetLink(1, 2, true);   // schedules notify at t=11ms (session A)
+  fx.simulator.RunUntil(Millis(10) + Micros(200));
+  fx.net->SetLink(1, 2, false);  // session A dead before its notify fires
+  fx.net->SetLink(1, 2, true);   // session B, notify at ~11.2ms
+  fx.simulator.RunToCompletion();
+  EXPECT_EQ(reconnects_at_2, (std::vector<NodeId>{1}));
+}
+
+TEST(Network, FlapWhileDownLeavesNoReconnect) {
+  // cut -> heal -> cut before the heal's notification propagates: the link
+  // ends down, so no reconnect event may fire at all.
+  NetFixture fx(0.0, Millis(1));
+  std::vector<NodeId> reconnects_at_2;
+  fx.net->SetReconnectHandler(2, [&](NodeId peer) { reconnects_at_2.push_back(peer); });
+  fx.net->SetLink(1, 2, false);
+  fx.simulator.RunUntil(Millis(10));
+  fx.net->SetLink(1, 2, true);
+  fx.net->SetLink(1, 2, false);
+  fx.simulator.RunToCompletion();
+  EXPECT_TRUE(reconnects_at_2.empty());
+}
+
+TEST(Network, HealedLinkDoesNotInheritOldFifoFloor) {
+  // A message sent during a 50 ms latency spike pins last_delivery far in the
+  // future; after the spike ends and the link flaps, the fresh session must
+  // deliver at the new latency, not behind the dead session's FIFO floor.
+  NetFixture fx(0.0, Millis(50));
+  fx.net->Send(1, 2, "spike", 8);  // would deliver at t=50ms
+  fx.net->SetLatency(1, 2, Micros(100));
+  fx.net->SetLink(1, 2, false);  // drops the in-flight message
+  fx.net->SetLink(1, 2, true);
+  fx.net->Send(1, 2, "fresh", 8);
+  fx.simulator.RunUntil(Millis(1));
+  ASSERT_EQ(fx.received.size(), 1u);
+  EXPECT_EQ(fx.received[0].second, "fresh");
+}
+
+TEST(Network, ResetNodeDropsInFlightBothDirections) {
+  NetFixture fx(0.0, Millis(10));
+  std::vector<std::string> at_1;
+  fx.net->SetHandler(1, [&](NodeId, std::string m) { at_1.push_back(std::move(m)); });
+  fx.net->Send(1, 2, "to-crashed", 8);
+  fx.net->Send(2, 1, "from-crashed", 8);
+  fx.simulator.RunUntil(Millis(5));
+  fx.net->ResetNode(2);  // crash: both sessions torn down mid-flight
+  fx.simulator.RunToCompletion();
+  EXPECT_TRUE(fx.received.empty());
+  EXPECT_TRUE(at_1.empty());
+  // Links are still up; post-crash traffic flows normally.
+  fx.net->Send(1, 2, "after", 8);
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(fx.received.size(), 1u);
+}
+
 TEST(Network, HalfDuplexCutOnlyAffectsOneDirection) {
   NetFixture fx;
   std::vector<std::string> at_1;

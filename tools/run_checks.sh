@@ -9,10 +9,17 @@
 #
 # Usage: tools/run_checks.sh [build-dir]      (default: build-asan)
 #        tools/run_checks.sh --bench-smoke [build-dir]
+#        tools/run_checks.sh --chaos-smoke [schedules-per-protocol]
 #
 # --bench-smoke instead does a Release build (default dir: build-bench), runs
 # the sim_throughput quick benchmark, and refreshes BENCH_core.json at the
 # repo root — the tracked perf baseline DESIGN.md's before/after table cites.
+#
+# --chaos-smoke runs the chaos fuzzer (DESIGN.md §10) end to end: N seeded
+# schedules per protocol with replay-determinism checking, in both a plain
+# Release build and the ASan+UBSan build; then verifies the oracle pipeline
+# actually fires by expecting the --mutant=stuck-link sanity schedule to be
+# caught, shrunk, and replayed from its dumped artifact.
 set -u -o pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,6 +41,68 @@ if [ "${1:-}" = "--bench-smoke" ]; then
   "$BUILD/bench/sim_throughput" --out="$ROOT/BENCH_core.json" || exit 1
   echo "ok"
   exit 0
+fi
+
+if [ "${1:-}" = "--chaos-smoke" ]; then
+  SCHEDULES="${2:-10}"
+  PLAIN="$ROOT/build-bench"
+  ASAN="$ROOT/build-asan"
+
+  step "release build -> $PLAIN"
+  cmake -B "$PLAIN" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    >"$PLAIN.configure.log" 2>&1 ||
+    { echo "configure FAILED (see $PLAIN.configure.log)"; exit 1; }
+  cmake --build "$PLAIN" -j "$JOBS" --target chaos_fuzz >"$PLAIN.build.log" 2>&1 ||
+    { echo "build FAILED (see $PLAIN.build.log)"; exit 1; }
+  echo "ok"
+
+  step "sanitized build (ASan+UBSan) -> $ASAN"
+  cmake -B "$ASAN" -S "$ROOT" -DOPX_SANITIZE=ON >"$ASAN.configure.log" 2>&1 ||
+    { echo "configure FAILED (see $ASAN.configure.log)"; exit 1; }
+  cmake --build "$ASAN" -j "$JOBS" --target chaos_fuzz >"$ASAN.build.log" 2>&1 ||
+    { echo "build FAILED (see $ASAN.build.log)"; exit 1; }
+  echo "ok"
+
+  ARTDIR="$(mktemp -d)"
+  trap 'rm -rf "$ARTDIR"' EXIT
+
+  step "chaos fuzz: $SCHEDULES schedules/protocol, deterministic replay (release)"
+  if "$PLAIN/tools/chaos_fuzz" --protocol=all --schedules="$SCHEDULES" --seed=1 \
+      --check-determinism --out-dir="$ARTDIR"; then
+    echo "ok"
+  else
+    echo "chaos fuzz FAILED (artifact in $ARTDIR; repro command above)"
+    FAILED=1
+  fi
+
+  step "chaos fuzz: $SCHEDULES schedules/protocol (ASan+UBSan)"
+  if "$ASAN/tools/chaos_fuzz" --protocol=all --schedules="$SCHEDULES" --seed=1 \
+      --out-dir="$ARTDIR"; then
+    echo "ok"
+  else
+    echo "chaos fuzz under sanitizers FAILED"
+    FAILED=1
+  fi
+
+  step "oracle sanity: --mutant=stuck-link must be caught, shrunk, and replay"
+  if "$PLAIN/tools/chaos_fuzz" --protocol=omni --schedules=1 --seed=7 \
+      --mutant=stuck-link --out-dir="$ARTDIR"; then
+    echo "mutant NOT caught — oracle pipeline is broken"
+    FAILED=1
+  elif "$PLAIN/tools/chaos_fuzz" --replay="$ARTDIR/chaos-omni-seed7.chaos"; then
+    echo "ok"
+  else
+    echo "mutant artifact did not replay deterministically"
+    FAILED=1
+  fi
+
+  step "summary"
+  if [ "$FAILED" -eq 0 ]; then
+    echo "chaos smoke passed"
+  else
+    echo "CHAOS SMOKE FAILED"
+  fi
+  exit "$FAILED"
 fi
 
 BUILD="${1:-$ROOT/build-asan}"
