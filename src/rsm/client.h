@@ -13,7 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -78,7 +78,11 @@ class Client {
   NodeId suspect_ = kNoNode;
   bool need_reproposal_ = false;
   Time last_response_ = 0;
-  std::unordered_map<uint64_t, Time> outstanding_;  // cmd -> first propose time
+  // Ordered by cmd id: Tick() iterates this to build re-proposal batches, so
+  // the container's iteration order reaches the wire — a hash-ordered map
+  // would tie message contents to the standard library's bucket layout
+  // (flagged by opx_analyze's determinism check).
+  std::map<uint64_t, Time> outstanding_;  // cmd -> first propose time
 
   uint64_t completed_ = 0;
   Time last_completion_ = 0;

@@ -23,7 +23,10 @@ namespace opx::rsm {
 class LocalCluster {
  public:
   // Called for every newly decided entry, on every live server, in log order.
-  using ApplyFn = std::function<void(NodeId server, LogIndex idx, const omni::Entry& entry)>;
+  // Real-TCP harness callback (not under the deterministic simulator), set
+  // once at startup; the PR 2 std::function ban targets the sim hot paths.
+  using ApplyFn = std::function<void(NodeId server, LogIndex idx,  // NOLINT(opx-determinism)
+                                     const omni::Entry& entry)>;
 
   explicit LocalCluster(int num_servers, uint32_t leader_priority_node = 1)
       : n_(num_servers) {

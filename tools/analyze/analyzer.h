@@ -1,0 +1,203 @@
+// opx_analyze — protocol-aware static analysis for the Omni-Paxos tree.
+//
+// A dependency-free C++ tokenizer plus five lexical/flow checks that encode
+// the implementation invariants the safety proof (PAPER.md Appendix A)
+// assumes but the compiler never verifies:
+//
+//   opx-determinism    deterministic code must not depend on unordered
+//                      container iteration order, wall clocks, or ambient
+//                      randomness; std::function stays banned from the sim
+//                      and protocol hot paths (PR 2 convention).
+//   opx-persist-order  a reply that advertises durable state (Promise,
+//                      Accepted, ...) must be emitted only after the
+//                      Storage mutation it acknowledges.
+//   opx-dispatch       every std::variant wire alternative has a dispatch
+//                      case in its handler (is_same_v chain / get_if ladder).
+//   opx-msg-init       every scalar field of a wire-message struct carries a
+//                      default initializer (uninitialized POD on the wire is
+//                      a determinism and MSan-class hazard).
+//   opx-audit-hook     protocol implementations expose the PR 1 auditor
+//                      surface (AuditView snapshot) and keep OPX_CHECK /
+//                      OPX_DCHECK assertions live.
+//
+// Findings can be suppressed inline with `// NOLINT(opx-<check>)` on the
+// flagged line (bare `// NOLINT` suppresses all checks), or via a committed
+// baseline file of `check file key` lines. The analyzer exits non-zero on
+// any non-baselined finding. See DESIGN.md §11.
+#ifndef TOOLS_ANALYZE_ANALYZER_H_
+#define TOOLS_ANALYZE_ANALYZER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opx::analyze {
+
+// --------------------------------------------------------------------------
+// Tokenizer.
+// --------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Tok {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+
+  bool Is(std::string_view t) const { return text == t; }
+  bool IsIdent(std::string_view t) const { return kind == TokKind::kIdent && text == t; }
+};
+
+// One tokenized source file. Comments and preprocessor lines are stripped
+// from the token stream; comment text is kept per line for NOLINT handling.
+struct SourceFile {
+  std::string path;  // root-relative, forward slashes
+  std::vector<Tok> toks;
+  std::map<int, std::string> line_comments;
+
+  // True when `line` carries a NOLINT comment covering `check`.
+  bool Suppressed(int line, std::string_view check) const;
+};
+
+// Tokenizes `text`; fills `toks` and `line_comments` of `out`.
+void Tokenize(std::string_view text, SourceFile* out);
+
+// Loads and tokenizes files on demand; every check shares one cache.
+class FileSet {
+ public:
+  explicit FileSet(std::string root) : root_(std::move(root)) {}
+
+  // nullptr when the file does not exist or cannot be read.
+  const SourceFile* Get(const std::string& rel_path);
+
+  // Recursively lists .h/.cc/.cpp/.hpp files under root/rel_dir, sorted,
+  // as root-relative paths. Missing directories yield an empty list.
+  std::vector<std::string> ListDir(const std::string& rel_dir) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+  std::map<std::string, std::unique_ptr<SourceFile>> cache_;
+};
+
+// --------------------------------------------------------------------------
+// Findings.
+// --------------------------------------------------------------------------
+
+struct Finding {
+  std::string check;    // e.g. "opx-determinism"
+  std::string file;     // root-relative path
+  int line = 0;
+  std::string key;      // stable, line-independent baseline key (no spaces)
+  std::string message;
+
+  // "check file key" — the baseline line format.
+  std::string BaselineKey() const { return check + " " + file + " " + key; }
+};
+
+// --------------------------------------------------------------------------
+// Configuration.
+// --------------------------------------------------------------------------
+
+struct DeterminismConfig {
+  // Directories holding deterministic code (unordered containers, wall
+  // clocks, and ambient randomness are banned here).
+  std::vector<std::string> dirs;
+  // Directories where std::function is additionally banned (PR 2).
+  std::vector<std::string> function_dirs;
+};
+
+// One `using Name = std::variant<...>;` wire format and the files that must
+// dispatch on every alternative.
+struct VariantRule {
+  std::string name;
+  std::string header;
+  std::vector<std::string> dispatch_files;
+};
+
+// Persistence-before-send: in `function` (defined in `file`), the first send
+// of an acknowledging message type must be preceded by one of `mutators`.
+struct HandlerRule {
+  std::string file;
+  std::string function;
+  std::vector<std::string> mutators;   // durable-state mutator method names
+  std::vector<std::string> ack_types;  // message types that advertise it
+  std::vector<std::string> sends = {"Emit"};  // send-function names
+};
+
+// Audit-hook coverage: `file` must contain every identifier in `required`;
+// with `require_check_macro`, at least one OPX_CHECK*/OPX_DCHECK* use.
+struct AuditRule {
+  std::string file;
+  std::vector<std::string> required;
+  bool require_check_macro = false;
+};
+
+struct AnalyzerConfig {
+  std::string root;  // absolute path of the tree to analyze
+  DeterminismConfig determinism;
+  std::vector<VariantRule> variants;
+  std::vector<HandlerRule> handlers;
+  std::vector<std::string> wire_headers;  // opx-msg-init scope
+  std::vector<AuditRule> audit;
+};
+
+// The repo's own configuration (scans `root` for the wire headers).
+AnalyzerConfig DefaultConfig(const std::string& root);
+
+// --------------------------------------------------------------------------
+// Running.
+// --------------------------------------------------------------------------
+
+inline constexpr const char* kCheckIds[] = {
+    "opx-determinism", "opx-persist-order", "opx-dispatch",
+    "opx-msg-init", "opx-audit-hook",
+};
+
+struct CheckStats {
+  std::string check;
+  int files = 0;     // files examined
+  int findings = 0;  // before baseline filtering
+  double ms = 0.0;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  // sorted by (file, line, check)
+  std::vector<CheckStats> stats;  // one per check, in kCheckIds order
+  std::vector<std::string> errors;  // configured files that failed to load
+};
+
+AnalysisResult RunAnalysis(const AnalyzerConfig& config);
+
+// Individual checks (exposed for the fixture self-tests).
+void CheckDeterminism(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files);
+void CheckPersistOrder(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                       std::vector<std::string>* errors);
+void CheckDispatch(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                   std::vector<std::string>* errors);
+void CheckMsgInit(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                  std::vector<std::string>* errors);
+void CheckAuditHook(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                    std::vector<std::string>* errors);
+
+// --------------------------------------------------------------------------
+// Baseline.
+// --------------------------------------------------------------------------
+
+// Parses a baseline file: one `check file key` triple per line, `#` comments
+// and blank lines ignored. Returns false when the file cannot be read.
+bool LoadBaselineFile(const std::string& path, std::set<std::string>* out);
+
+// Splits findings into non-baselined (returned) and baselined (counted);
+// `stale` receives baseline entries that matched nothing.
+std::vector<Finding> FilterBaseline(const std::vector<Finding>& findings,
+                                    const std::set<std::string>& baseline,
+                                    int* baselined, std::vector<std::string>* stale);
+
+}  // namespace opx::analyze
+
+#endif  // TOOLS_ANALYZE_ANALYZER_H_

@@ -1,0 +1,63 @@
+// Baseline support: a committed file of `check file key` lines that
+// grandfathers known findings. The analyzer exits non-zero only on findings
+// absent from the baseline, and reports stale entries so the file shrinks
+// monotonically. Regenerate with `opx_analyze --write-baseline`.
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/analyzer.h"
+
+namespace opx::analyze {
+
+bool LoadBaselineFile(const std::string& path, std::set<std::string>* out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') {
+      continue;
+    }
+    const size_t e = line.find_last_not_of(" \t\r");
+    std::string entry = line.substr(b, e - b + 1);
+    // Normalize interior whitespace to single spaces.
+    std::istringstream ss(entry);
+    std::string word;
+    std::string norm;
+    while (ss >> word) {
+      norm += (norm.empty() ? "" : " ") + word;
+    }
+    if (!norm.empty()) {
+      out->insert(norm);
+    }
+  }
+  return true;
+}
+
+std::vector<Finding> FilterBaseline(const std::vector<Finding>& findings,
+                                    const std::set<std::string>& baseline,
+                                    int* baselined, std::vector<std::string>* stale) {
+  std::vector<Finding> fresh;
+  std::set<std::string> used;
+  for (const Finding& f : findings) {
+    const std::string key = f.BaselineKey();
+    if (baseline.count(key) > 0) {
+      ++*baselined;
+      used.insert(key);
+    } else {
+      fresh.push_back(f);
+    }
+  }
+  if (stale != nullptr) {
+    for (const std::string& entry : baseline) {
+      if (used.count(entry) == 0) {
+        stale->push_back(entry);
+      }
+    }
+  }
+  return fresh;
+}
+
+}  // namespace opx::analyze

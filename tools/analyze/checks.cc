@@ -1,0 +1,665 @@
+// The five protocol-aware checks of opx_analyze. All of them operate on the
+// token stream of SourceFile — a deliberately lightweight parse (no libclang
+// in this toolchain): declarations, call sites, and brace/angle matching are
+// recognized lexically, which is exact enough for the conventions this tree
+// follows and is what keeps the analyzer dependency-free and fast.
+#include <chrono>
+#include <algorithm>
+
+#include "tools/analyze/analyzer.h"
+
+namespace opx::analyze {
+
+namespace {
+
+bool UnderAnyDir(const std::string& path, const std::vector<std::string>& dirs) {
+  for (const std::string& d : dirs) {
+    if (path.size() > d.size() && path.compare(0, d.size(), d) == 0 &&
+        path[d.size()] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Appends a finding unless the line carries a covering NOLINT.
+void Add(const SourceFile& sf, int line, const char* check, std::string key,
+         std::string message, std::vector<Finding>* out) {
+  if (sf.Suppressed(line, check)) {
+    return;
+  }
+  Finding f;
+  f.check = check;
+  f.file = sf.path;
+  f.line = line;
+  f.key = std::move(key);
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+// Ordinal-suffixed key: stable across line drift, distinguishes repeated
+// occurrences of the same symbol within one file.
+std::string OrdinalKey(const std::string& base, int ordinal) {
+  return ordinal == 0 ? base : base + "#" + std::to_string(ordinal);
+}
+
+// Index of the matching closer for the opener at `open` ('(' / '{' / '<').
+// Returns toks.size() when unbalanced.
+size_t MatchForward(const std::vector<Tok>& toks, size_t open, const char* opener,
+                    const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].Is(opener)) {
+      ++depth;
+    } else if (toks[i].Is(closer)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// opx-determinism
+// --------------------------------------------------------------------------
+
+void CheckDeterminism(const AnalyzerConfig& cfg, FileSet& files,
+                      std::vector<Finding>* out, int* nfiles) {
+  static const char* kCheck = "opx-determinism";
+  // Banned outright in deterministic code: hash-ordered containers (their
+  // iteration order is implementation-defined) and every ambient source of
+  // nondeterminism. util::Rng (seeded, replayable) is the sanctioned one.
+  static const std::vector<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  static const std::vector<std::string> kRandomClock = {
+      "random_device", "system_clock", "steady_clock", "high_resolution_clock"};
+  static const std::vector<std::string> kBannedCalls = {"rand", "srand", "time", "clock"};
+
+  std::set<std::string> seen;  // de-duplicate dirs listed twice
+  std::vector<std::string> paths;
+  for (const std::string& d : cfg.determinism.dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (seen.insert(p).second) {
+        paths.push_back(std::move(p));
+      }
+    }
+  }
+  for (const std::string& d : cfg.determinism.function_dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (seen.insert(p).second) {
+        paths.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const std::string& path : paths) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    ++*nfiles;
+    const bool det_dir = UnderAnyDir(path, cfg.determinism.dirs);
+    const bool fn_dir = UnderAnyDir(path, cfg.determinism.function_dirs);
+    std::map<std::string, int> ordinals;
+    const std::vector<Tok>& t = sf->toks;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string& id = t[i].text;
+      const bool qualified_std =
+          i >= 2 && t[i - 1].Is("::") && t[i - 2].IsIdent("std");
+      const bool member_access = i >= 1 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+
+      if (det_dir && Contains(kUnordered, id)) {
+        Add(*sf, t[i].line, kCheck, OrdinalKey(id, ordinals[id]++),
+            "std::" + id + " in deterministic code: iteration order is "
+            "implementation-defined; use std::map/std::set (or justify with NOLINT)",
+            out);
+      } else if (det_dir && Contains(kRandomClock, id) && !member_access) {
+        Add(*sf, t[i].line, kCheck, OrdinalKey(id, ordinals[id]++),
+            "std::" + id + " in deterministic code: replay requires virtual time "
+            "and the seeded util::Rng",
+            out);
+      } else if (det_dir && Contains(kBannedCalls, id) && !member_access &&
+                 i + 1 < t.size() && t[i + 1].Is("(") &&
+                 (i == 0 || !t[i - 1].Is("::") || qualified_std)) {
+        // `time(...)`/`rand(...)` as a free or std:: call; member calls like
+        // `sim.time()` and foreign qualifications are fine.
+        Add(*sf, t[i].line, kCheck, OrdinalKey(id, ordinals[id]++),
+            id + "() call in deterministic code: ambient randomness/clocks break replay",
+            out);
+      } else if (fn_dir && id == "function" && qualified_std) {
+        Add(*sf, t[i].line, kCheck, OrdinalKey("std-function", ordinals["std-function"]++),
+            "std::function regression: PR 2 banned it from sim/protocol paths "
+            "(copyable type-erasure forces allocations; use util::UniqueFunction)",
+            out);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-persist-order
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Locates the *definition* of `name` (skipping declarations, which end in
+// ';' before any '{'). Returns the [body_open, body_close] token range, or
+// false when no definition exists in this file.
+bool FindFunctionBody(const std::vector<Tok>& toks, const std::string& name,
+                      size_t* body_open, size_t* body_close) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdent(name) || !toks[i + 1].Is("(")) {
+      continue;
+    }
+    const size_t close_paren = MatchForward(toks, i + 1, "(", ")");
+    if (close_paren >= toks.size()) {
+      continue;
+    }
+    // Skip trailing `const` / `noexcept` / `override`; a `;` first means this
+    // was only a declaration (or a call site used as a statement).
+    size_t j = close_paren + 1;
+    while (j < toks.size() &&
+           (toks[j].IsIdent("const") || toks[j].IsIdent("noexcept") ||
+            toks[j].IsIdent("override") || toks[j].IsIdent("final"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].Is("{")) {
+      *body_open = j;
+      *body_close = MatchForward(toks, j, "{", "}");
+      return *body_close < toks.size();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckPersistOrder(const AnalyzerConfig& cfg, FileSet& files,
+                       std::vector<Finding>* out, int* nfiles,
+                       std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-persist-order";
+  std::set<std::string> counted;
+  for (const HandlerRule& rule : cfg.handlers) {
+    const SourceFile* sf = files.Get(rule.file);
+    if (sf == nullptr) {
+      errors->push_back("opx-persist-order: cannot read " + rule.file);
+      continue;
+    }
+    if (counted.insert(rule.file).second) {
+      ++*nfiles;
+    }
+    size_t open = 0;
+    size_t close = 0;
+    if (!FindFunctionBody(sf->toks, rule.function, &open, &close)) {
+      errors->push_back("opx-persist-order: no definition of " + rule.function +
+                        " in " + rule.file + " (stale rule?)");
+      continue;
+    }
+    const std::vector<Tok>& t = sf->toks;
+
+    // Walk the body once: track locals declared with an ack message type,
+    // the first durable mutation, and the first send whose argument list
+    // names an ack type (directly or through such a local).
+    std::set<std::string> ack_locals;
+    size_t first_mutation = 0;
+    size_t first_ack_send = 0;
+    int ack_send_line = 0;
+    std::string ack_send_what;
+    for (size_t i = open + 1; i < close; ++i) {
+      if (t[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      if (Contains(rule.ack_types, t[i].text) && i + 1 < close &&
+          t[i + 1].kind == TokKind::kIdent) {
+        ack_locals.insert(t[i + 1].text);  // `Promise promise;`-style local
+        continue;
+      }
+      const bool is_call = i + 1 < close && t[i + 1].Is("(");
+      if (is_call && Contains(rule.mutators, t[i].text)) {
+        if (first_mutation == 0) {
+          first_mutation = i;
+        }
+        continue;
+      }
+      if (is_call && Contains(rule.sends, t[i].text) && first_ack_send == 0) {
+        const size_t args_end = MatchForward(t, i + 1, "(", ")");
+        for (size_t a = i + 2; a < args_end; ++a) {
+          if (t[a].kind == TokKind::kIdent &&
+              (Contains(rule.ack_types, t[a].text) || ack_locals.count(t[a].text) > 0)) {
+            first_ack_send = i;
+            ack_send_line = t[i].line;
+            ack_send_what = t[a].text;
+            break;
+          }
+        }
+      }
+    }
+
+    if (first_ack_send != 0 && (first_mutation == 0 || first_mutation > first_ack_send)) {
+      std::string muts;
+      for (const std::string& m : rule.mutators) {
+        muts += (muts.empty() ? "" : "/") + m;
+      }
+      Add(*sf, ack_send_line, kCheck, rule.function,
+          rule.function + " sends `" + ack_send_what + "` before the durable write (" +
+              muts + ") it acknowledges — a crash between send and write breaks "
+              "the promise the reply advertises (Appendix A, Lemma A.1)",
+          out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-dispatch
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Splits the top-level comma-separated alternatives of `std::variant<...>`
+// starting at the '<' token; each alternative is the joined identifier chain
+// (e.g. "omni::PaxosMessage").
+std::vector<std::string> VariantAlternatives(const std::vector<Tok>& toks, size_t lt) {
+  std::vector<std::string> alts;
+  std::string cur;
+  int depth = 0;
+  for (size_t i = lt; i < toks.size(); ++i) {
+    const Tok& tok = toks[i];
+    if (tok.Is("<")) {
+      ++depth;
+      if (depth == 1) {
+        continue;
+      }
+    } else if (tok.Is(">")) {
+      --depth;
+      if (depth == 0) {
+        break;
+      }
+    } else if (tok.Is(",") && depth == 1) {
+      if (!cur.empty()) {
+        alts.push_back(cur);
+      }
+      cur.clear();
+      continue;
+    }
+    cur += tok.text;
+  }
+  if (!cur.empty()) {
+    alts.push_back(cur);
+  }
+  return alts;
+}
+
+std::string LastComponent(const std::string& qualified) {
+  const size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+// Collects the type names this file dispatches on: the (unqualified) final
+// template argument of is_same_v<T, X>, get_if<X>, holds_alternative<X>, and
+// std::get<X>.
+void CollectDispatchedTypes(const std::vector<Tok>& toks, std::set<std::string>* out) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !toks[i + 1].Is("<")) {
+      continue;
+    }
+    const std::string& id = toks[i].text;
+    const bool std_qualified = i >= 2 && toks[i - 1].Is("::") && toks[i - 2].IsIdent("std");
+    const bool eligible = id == "is_same_v" || id == "get_if" ||
+                          id == "holds_alternative" || (id == "get" && std_qualified);
+    if (!eligible) {
+      continue;
+    }
+    const size_t gt = MatchForward(toks, i + 1, "<", ">");
+    if (gt >= toks.size()) {
+      continue;
+    }
+    // Last identifier of the template-argument list, unqualified.
+    for (size_t j = gt; j > i + 1; --j) {
+      if (toks[j - 1].kind == TokKind::kIdent) {
+        out->insert(toks[j - 1].text);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckDispatch(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                   int* nfiles, std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-dispatch";
+  std::set<std::string> counted;
+  for (const VariantRule& rule : cfg.variants) {
+    const SourceFile* header = files.Get(rule.header);
+    if (header == nullptr) {
+      errors->push_back("opx-dispatch: cannot read " + rule.header);
+      continue;
+    }
+    if (counted.insert(rule.header).second) {
+      ++*nfiles;
+    }
+    // `using Name = std::variant<...>;`
+    std::vector<std::string> alts;
+    int using_line = 0;
+    const std::vector<Tok>& t = header->toks;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].IsIdent("using") && t[i + 1].IsIdent(rule.name) && t[i + 2].Is("=")) {
+        for (size_t j = i + 3; j < t.size() && !t[j].Is(";"); ++j) {
+          if (t[j].IsIdent("variant") && j + 1 < t.size() && t[j + 1].Is("<")) {
+            alts = VariantAlternatives(t, j + 1);
+            using_line = t[i].line;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (alts.empty()) {
+      errors->push_back("opx-dispatch: no `using " + rule.name +
+                        " = std::variant<...>;` in " + rule.header);
+      continue;
+    }
+
+    std::set<std::string> dispatched;
+    bool ok = true;
+    for (const std::string& df : rule.dispatch_files) {
+      const SourceFile* dsf = files.Get(df);
+      if (dsf == nullptr) {
+        errors->push_back("opx-dispatch: cannot read " + df);
+        ok = false;
+        break;
+      }
+      if (counted.insert(df).second) {
+        ++*nfiles;
+      }
+      CollectDispatchedTypes(dsf->toks, &dispatched);
+    }
+    if (!ok) {
+      continue;
+    }
+    for (const std::string& alt : alts) {
+      if (dispatched.count(LastComponent(alt)) > 0) {
+        continue;
+      }
+      std::string where;
+      for (const std::string& df : rule.dispatch_files) {
+        where += (where.empty() ? "" : ", ") + df;
+      }
+      Add(*header, using_line, kCheck, rule.name + "::" + LastComponent(alt),
+          rule.name + " alternative `" + alt + "` has no dispatch case in " + where +
+              " — a get_if ladder silently drops unhandled wire messages",
+          out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-msg-init
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Scalar types whose uninitialized bytes would leak onto the wire.
+bool IsScalarTypeName(const std::string& t) {
+  static const std::set<std::string> kScalar = {
+      "bool", "char", "short", "int", "long", "unsigned", "signed", "float",
+      "double", "size_t", "ptrdiff_t", "int8_t", "int16_t", "int32_t", "int64_t",
+      "uint8_t", "uint16_t", "uint32_t", "uint64_t", "uintptr_t", "intptr_t",
+      // Repo-local scalar aliases (src/util/types.h).
+      "LogIndex", "NodeId", "ConfigId", "Time"};
+  return kScalar.count(t) > 0;
+}
+
+// Scans one struct body [open+1, close) for scalar fields without a default
+// initializer; recurses into nested structs.
+void ScanStructBody(const SourceFile& sf, const std::vector<Tok>& t, size_t open,
+                    size_t close, const std::string& struct_name,
+                    std::vector<Finding>* out) {
+  size_t i = open + 1;
+  while (i < close) {
+    // Nested struct/class definition.
+    if ((t[i].IsIdent("struct") || t[i].IsIdent("class")) && i + 2 < close &&
+        t[i + 1].kind == TokKind::kIdent) {
+      size_t j = i + 2;
+      while (j < close && !t[j].Is("{") && !t[j].Is(";")) {
+        ++j;
+      }
+      if (j < close && t[j].Is("{")) {
+        const size_t nested_close = MatchForward(t, j, "{", "}");
+        ScanStructBody(sf, t, j, nested_close, struct_name + "::" + t[i + 1].text, out);
+        i = std::min(close, nested_close + 1);
+        continue;
+      }
+      i = j + 1;
+      continue;
+    }
+    // One member statement: walk to its ';', classifying on the way.
+    const size_t stmt_begin = i;
+    bool saw_eq = false;
+    bool saw_brace_init = false;
+    bool is_function = false;
+    bool skip = t[i].IsIdent("friend") || t[i].IsIdent("using") ||
+                t[i].IsIdent("typedef") || t[i].IsIdent("template") ||
+                t[i].IsIdent("public") || t[i].IsIdent("private") ||
+                t[i].IsIdent("protected") || t[i].IsIdent("operator") ||
+                t[i].IsIdent("static") || t[i].IsIdent("enum");
+    size_t last_ident_before_mark = 0;  // field-name candidate
+    while (i < close) {
+      if (t[i].Is(";")) {
+        ++i;
+        break;
+      }
+      if (t[i].Is("=") && !saw_eq && !is_function) {
+        saw_eq = true;
+      } else if (t[i].Is("(") && !saw_eq) {
+        // Parentheses before '=': a member function / constructor.
+        is_function = true;
+        i = MatchForward(t, i, "(", ")");
+      } else if (t[i].Is("{")) {
+        if (is_function || skip) {
+          // Function body: consume it; the statement ends here (no ';').
+          i = MatchForward(t, i, "{", "}") + 1;
+          break;
+        }
+        if (!saw_eq) {
+          saw_brace_init = true;  // brace initializer `T x{...};`
+        }
+        i = MatchForward(t, i, "{", "}");
+      } else if (t[i].Is("<")) {
+        // Template arguments of the member type (e.g. std::vector<NodeId>).
+        const size_t gt = MatchForward(t, i, "<", ">");
+        if (gt < close) {
+          i = gt;
+        }
+      } else if (t[i].kind == TokKind::kIdent && !saw_eq && !is_function) {
+        last_ident_before_mark = i;
+      }
+      ++i;
+    }
+    if (skip || is_function || saw_eq || saw_brace_init ||
+        last_ident_before_mark == 0) {
+      continue;
+    }
+    // Uninitialized member: field name is the last identifier; its type is
+    // everything before it. Only scalar (or pointer) types are hazards —
+    // class types run their own default constructors.
+    const size_t name_idx = last_ident_before_mark;
+    if (name_idx == stmt_begin) {
+      continue;  // lone identifier (macro invocation etc.)
+    }
+    // Classify the type from its tokens outside any template-argument list:
+    // scalar iff every non-qualifier identifier there is a scalar name (so
+    // `std::vector<uint64_t>` is a class type, `const uint64_t` a scalar).
+    bool scalar = false;
+    bool nonscalar = false;
+    bool pointer = false;
+    for (size_t j = stmt_begin; j < name_idx; ++j) {
+      if (t[j].Is("<")) {
+        const size_t gt = MatchForward(t, j, "<", ">");
+        if (gt < name_idx) {
+          j = gt;
+          continue;
+        }
+      }
+      if (t[j].Is("*")) {
+        pointer = true;
+      }
+      if (t[j].kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string& id = t[j].text;
+      if (id == "const" || id == "volatile" || id == "mutable" ||
+          (j + 1 < name_idx && t[j + 1].Is("::"))) {
+        continue;  // qualifier or namespace component
+      }
+      (IsScalarTypeName(id) ? scalar : nonscalar) = true;
+    }
+    scalar = scalar && !nonscalar;
+    if (scalar || pointer) {
+      Add(sf, t[name_idx].line, "opx-msg-init",
+          struct_name + "::" + t[name_idx].text,
+          "wire-message field `" + struct_name + "::" + t[name_idx].text +
+              "` has no default initializer — uninitialized " +
+              (pointer ? "pointer" : "POD") +
+              " bytes on the wire are a determinism and MSan-class hazard",
+          out);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckMsgInit(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                  int* nfiles, std::vector<std::string>* errors) {
+  for (const std::string& path : cfg.wire_headers) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      errors->push_back("opx-msg-init: cannot read " + path);
+      continue;
+    }
+    ++*nfiles;
+    const std::vector<Tok>& t = sf->toks;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!t[i].IsIdent("struct") || t[i + 1].kind != TokKind::kIdent) {
+        continue;
+      }
+      // Top-level definitions only (forward declarations have ';' first).
+      size_t j = i + 2;
+      while (j < t.size() && !t[j].Is("{") && !t[j].Is(";")) {
+        ++j;
+      }
+      if (j >= t.size() || t[j].Is(";")) {
+        continue;
+      }
+      const size_t close = MatchForward(t, j, "{", "}");
+      if (close >= t.size()) {
+        continue;
+      }
+      ScanStructBody(*sf, t, j, close, t[i + 1].text, out);
+      i = close;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-audit-hook
+// --------------------------------------------------------------------------
+
+void CheckAuditHook(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                    int* nfiles, std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-audit-hook";
+  for (const AuditRule& rule : cfg.audit) {
+    const SourceFile* sf = files.Get(rule.file);
+    if (sf == nullptr) {
+      errors->push_back("opx-audit-hook: cannot read " + rule.file);
+      continue;
+    }
+    ++*nfiles;
+    std::set<std::string> idents;
+    bool has_check_macro = false;
+    for (const Tok& tok : sf->toks) {
+      if (tok.kind != TokKind::kIdent) {
+        continue;
+      }
+      idents.insert(tok.text);
+      if (tok.text.rfind("OPX_CHECK", 0) == 0 || tok.text.rfind("OPX_DCHECK", 0) == 0) {
+        has_check_macro = true;
+      }
+    }
+    for (const std::string& req : rule.required) {
+      if (idents.count(req) == 0) {
+        Add(*sf, 1, kCheck, req,
+            rule.file + " does not reference `" + req +
+                "` — protocol state must stay visible to the PR 1 cross-replica "
+                "auditor (AuditView snapshot per event)",
+            out);
+      }
+    }
+    if (rule.require_check_macro && !has_check_macro) {
+      Add(*sf, 1, kCheck, "OPX_CHECK",
+          rule.file + " contains no OPX_CHECK/OPX_DCHECK assertion — protocol "
+          "entry points must keep the invariant-assertion layer live",
+          out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Driver.
+// --------------------------------------------------------------------------
+
+AnalysisResult RunAnalysis(const AnalyzerConfig& config) {
+  AnalysisResult result;
+  FileSet files(config.root);
+
+  struct Entry {
+    const char* id;
+    void (*run)(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int*,
+                std::vector<std::string>*);
+  };
+  // CheckDeterminism has no error channel; adapt it.
+  static const auto det = [](const AnalyzerConfig& c, FileSet& f, std::vector<Finding>* o,
+                             int* n, std::vector<std::string>*) {
+    CheckDeterminism(c, f, o, n);
+  };
+  const Entry entries[] = {
+      {"opx-determinism", det},
+      {"opx-persist-order", CheckPersistOrder},
+      {"opx-dispatch", CheckDispatch},
+      {"opx-msg-init", CheckMsgInit},
+      {"opx-audit-hook", CheckAuditHook},
+  };
+
+  for (const Entry& e : entries) {
+    CheckStats stats;
+    stats.check = e.id;
+    std::vector<Finding> found;
+    const auto t0 = std::chrono::steady_clock::now();
+    e.run(config, files, &found, &stats.files, &result.errors);
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats.findings = static_cast<int>(found.size());
+    result.stats.push_back(std::move(stats));
+    result.findings.insert(result.findings.end(), std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.key) <
+                     std::tie(b.file, b.line, b.check, b.key);
+            });
+  return result;
+}
+
+}  // namespace opx::analyze

@@ -1,0 +1,87 @@
+// The repo's own analyzer configuration: which directories are deterministic,
+// which variants are wire formats, which handler functions must persist
+// before replying, and which files must stay wired to the auditor.
+//
+// DESIGN.md §11 documents every rule and how to extend the tables.
+#include <algorithm>
+#include <filesystem>
+
+#include "tools/analyze/analyzer.h"
+
+namespace opx::analyze {
+
+AnalyzerConfig DefaultConfig(const std::string& root) {
+  AnalyzerConfig cfg;
+  cfg.root = root;
+
+  // --- opx-determinism ----------------------------------------------------
+  // Everything replayed by the simulator or fingerprinted by the determinism
+  // tests. src/util is exempt (it *implements* the sanctioned Rng/clock) and
+  // src/net is the real-I/O boundary where wall clocks are legitimate.
+  cfg.determinism.dirs = {"src/sim", "src/omnipaxos", "src/raft",
+                          "src/multipaxos", "src/vr", "src/rsm"};
+  cfg.determinism.function_dirs = cfg.determinism.dirs;
+
+  // --- opx-dispatch (ported from the retired tools/lint_handlers.py) ------
+  cfg.variants = {
+      {"PaxosMessage", "src/omnipaxos/messages.h", {"src/omnipaxos/sequence_paxos.cc"}},
+      {"BleMessage", "src/omnipaxos/messages.h", {"src/omnipaxos/ble.cc"}},
+      {"OmniMessage", "src/omnipaxos/omni_paxos.h", {"src/omnipaxos/omni_paxos.cc"}},
+      {"RaftMessage", "src/raft/messages.h", {"src/raft/raft.cc"}},
+      {"MpxMessage", "src/multipaxos/messages.h", {"src/multipaxos/multipaxos.cc"}},
+      {"VrMessage", "src/vr/vr_election.h", {"src/vr/vr_election.cc"}},
+      {"VrWire", "src/vr/vr_replica.h", {"src/vr/vr_replica.h"}},
+  };
+
+  // --- opx-persist-order --------------------------------------------------
+  // Sequence Paxos is the protocol whose Appendix-A proof this repo tracks;
+  // each rule names the reply that advertises durable state and the Storage
+  // mutators that must land first. (Raft's rejection replies reuse the
+  // success message type, which makes a lexical before/after rule unsound
+  // there — see DESIGN.md §11.)
+  const std::string sp = "src/omnipaxos/sequence_paxos.cc";
+  cfg.handlers = {
+      {sp, "BecomeLeader", {"set_promised_round"}, {"Prepare"}, {"Emit"}},
+      {sp, "HandlePrepare", {"set_promised_round"}, {"Promise"}, {"Emit"}},
+      {sp,
+       "HandleAcceptSync",
+       {"set_accepted_round", "TruncateAndAppend", "ResetToSnapshot"},
+       {"Accepted"},
+       {"Emit"}},
+      {sp, "HandleAcceptDecide", {"AppendAll"}, {"Accepted"}, {"Emit"}},
+  };
+
+  // --- opx-msg-init -------------------------------------------------------
+  // Every wire header: any file named messages.h / client_messages.h under
+  // src/, discovered so new protocols are covered automatically.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(fs::path(root) / "src", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    const std::string base = it->path().filename().string();
+    if (base == "messages.h" || base == "client_messages.h") {
+      cfg.wire_headers.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(cfg.wire_headers.begin(), cfg.wire_headers.end());
+
+  // --- opx-audit-hook -----------------------------------------------------
+  // Each protocol implementation must expose the AuditView snapshot the
+  // cross-replica auditor consumes and keep OPX_CHECK-layer assertions live;
+  // the simulated harness must actually run the auditor.
+  cfg.audit = {
+      {"src/omnipaxos/omni_paxos.cc", {"Audit", "AuditView"}, false},
+      {"src/omnipaxos/sequence_paxos.cc", {}, true},
+      {"src/raft/raft.cc", {"Audit", "AuditView"}, true},
+      {"src/multipaxos/multipaxos.cc", {"Audit", "AuditView"}, true},
+      {"src/vr/vr_replica.h", {"Audit", "AuditView"}, false},
+      {"src/rsm/cluster_sim.h", {"SafetyAuditor", "Audit"}, false},
+  };
+
+  return cfg;
+}
+
+}  // namespace opx::analyze

@@ -1,0 +1,61 @@
+// Known-bad handler fixture. Seeded defects (golden, asserted by
+// tests/analyze_test.cc):
+//   opx-determinism:   unordered_map member, std::function member, rand()
+//                      call, std::random_device use
+//   opx-dispatch:      Accepted has no is_same_v/get_if case below
+//   opx-persist-order: HandlePrepare replies <Promise> before the
+//                      set_promised_round write it advertises
+//   opx-audit-hook:    no Audit()/AuditView surface, no OPX_CHECK anywhere
+#include <functional>
+#include <random>
+#include <unordered_map>
+#include <variant>
+
+#include "src/proto/messages.h"
+
+namespace fix {
+
+class Storage {
+ public:
+  void set_promised_round(const Ballot& b) { promised_ = b; }
+
+ private:
+  Ballot promised_;
+};
+
+class Handler {
+ public:
+  void Handle(NodeId from, FixMessage msg) {
+    std::visit(
+        [&](auto&& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, Prepare>) {
+            HandlePrepare(from, m);
+          } else if constexpr (std::is_same_v<T, Promise>) {
+            // BAD: the Accepted alternative silently falls through.
+          }
+        },
+        msg);
+  }
+
+  // BAD: the reply advertising the promise leaves before the durable write —
+  // a crash in between breaks the invariant the reply claims.
+  void HandlePrepare(NodeId from, const Prepare& p) {
+    Promise promise;
+    promise.n = p.n;
+    Emit(from, promise);
+    storage_.set_promised_round(p.n);
+  }
+
+ private:
+  void Emit(NodeId, FixMessage) {}
+
+  uint64_t Jitter() { return static_cast<uint64_t>(rand()); }  // BAD: ambient rng
+  std::random_device entropy_;                                 // BAD: ambient rng
+
+  Storage storage_;
+  std::unordered_map<uint64_t, uint64_t> outstanding_;  // BAD: hash order
+  std::function<void(NodeId)> on_drop_;                 // BAD: PR 2 ban
+};
+
+}  // namespace fix

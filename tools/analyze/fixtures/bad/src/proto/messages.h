@@ -1,0 +1,47 @@
+// Known-bad wire header fixture. Seeded defects (golden, asserted by
+// tests/analyze_test.cc):
+//   opx-msg-init:  Prepare::log_idx (no initializer), Promise::from (raw
+//                  pointer, no initializer), Inner::flag (nested struct)
+//   opx-dispatch:  FixMessage::Accepted is never dispatched in handler.cc
+#ifndef TOOLS_ANALYZE_FIXTURES_BAD_SRC_PROTO_MESSAGES_H_
+#define TOOLS_ANALYZE_FIXTURES_BAD_SRC_PROTO_MESSAGES_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace fix {
+
+using LogIndex = uint64_t;
+using NodeId = uint32_t;
+
+struct Ballot {
+  uint64_t n = 0;
+  NodeId pid = 0;
+};
+
+struct Prepare {
+  Ballot n;
+  LogIndex log_idx;  // BAD: uninitialized scalar on the wire
+};
+
+struct Promise {
+  Ballot n;
+  std::vector<uint64_t> suffix;  // fine: class type, self-initializing
+  const char* from;              // BAD: uninitialized pointer
+
+  struct Inner {
+    bool flag;  // BAD: nested struct field, uninitialized
+  };
+};
+
+struct Accepted {
+  Ballot n;
+  LogIndex log_idx = 0;
+};
+
+using FixMessage = std::variant<Prepare, Promise, Accepted>;
+
+}  // namespace fix
+
+#endif  // TOOLS_ANALYZE_FIXTURES_BAD_SRC_PROTO_MESSAGES_H_

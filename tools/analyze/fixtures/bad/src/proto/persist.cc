@@ -1,0 +1,35 @@
+// Acceptance-criterion fixture: HandleAcceptSync mirrors the shape of
+// src/omnipaxos/sequence_paxos.cc, but with the Emit hoisted above the
+// storage writes — the exact reordering the persistence-ordering check
+// exists to catch. A crash between the ack and the write would leave the
+// leader believing state this acceptor never made durable (Lemma A.1).
+#include "src/proto/messages.h"
+
+namespace fix {
+
+class SyncStorage {
+ public:
+  void set_accepted_round(const Ballot& b) { accepted_ = b; }
+  void TruncateAndAppend(LogIndex, const std::vector<uint64_t>&) {}
+  LogIndex log_len() const { return 0; }
+
+ private:
+  Ballot accepted_;
+};
+
+class SequencePaxos {
+ public:
+  // BAD: the Accepted ack leaves before the log write lands.
+  void HandleAcceptSync(NodeId from, const Prepare& as) {
+    Emit(from, Accepted{as.n, storage_.log_len()});
+    storage_.set_accepted_round(as.n);
+    storage_.TruncateAndAppend(as.log_idx, {});
+  }
+
+ private:
+  void Emit(NodeId, FixMessage) {}
+
+  SyncStorage storage_;
+};
+
+}  // namespace fix

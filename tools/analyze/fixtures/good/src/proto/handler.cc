@@ -1,0 +1,75 @@
+// Known-good handler fixture: every FixMessage alternative has a dispatch
+// case, durable writes precede the replies that acknowledge them, only
+// ordered containers appear, and the auditor surface is present.
+#include <map>
+#include <variant>
+
+#include "src/proto/messages.h"
+
+namespace fix {
+
+struct AuditView {
+  uint64_t promised = 0;
+};
+
+class Storage {
+ public:
+  void set_promised_round(const Ballot& b) { promised_ = b; }
+  void set_accepted_round(const Ballot& b) { accepted_ = b; }
+  void TruncateAndAppend(LogIndex, const std::vector<uint64_t>&) {}
+
+ private:
+  Ballot promised_;
+  Ballot accepted_;
+};
+
+class Handler {
+ public:
+  void Handle(NodeId from, FixMessage msg) {
+    std::visit(
+        [&](auto&& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, Prepare>) {
+            HandlePrepare(from, m);
+          } else if constexpr (std::is_same_v<T, Promise>) {
+            HandlePromise(from, m);
+          } else if constexpr (std::is_same_v<T, Accepted>) {
+            HandleAccepted(from, m);
+          } else if constexpr (std::is_same_v<T, Heartbeat>) {
+            // no-op
+          }
+        },
+        msg);
+  }
+
+  // The persist-before-send shape the analyzer demands: the durable write
+  // lands, then the reply that advertises it goes out.
+  void HandlePrepare(NodeId from, const Prepare& p) {
+    storage_.set_promised_round(p.n);
+    Promise promise;
+    promise.n = p.n;
+    Emit(from, promise);
+  }
+
+  void HandleAcceptSync(NodeId from, const Prepare& p) {
+    storage_.set_accepted_round(p.n);
+    storage_.TruncateAndAppend(p.log_idx, {});
+    Emit(from, Accepted{p.n, p.log_idx});
+  }
+
+  void HandlePromise(NodeId, const Promise&) {}
+  void HandleAccepted(NodeId, const Accepted&) {}
+
+  AuditView Audit() const { return AuditView{}; }
+
+ private:
+  void Emit(NodeId to, FixMessage msg) {
+    OPX_CHECK(to != 0);
+    (void)msg;
+  }
+
+  Storage storage_;
+  std::map<uint64_t, uint64_t> outstanding_;
+};
+
+}  // namespace fix

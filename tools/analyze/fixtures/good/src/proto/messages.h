@@ -1,0 +1,46 @@
+// Known-good wire header fixture: every scalar field carries a default
+// initializer, and the variant below is fully dispatched by handler.cc.
+#ifndef TOOLS_ANALYZE_FIXTURES_GOOD_SRC_PROTO_MESSAGES_H_
+#define TOOLS_ANALYZE_FIXTURES_GOOD_SRC_PROTO_MESSAGES_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace fix {
+
+using LogIndex = uint64_t;
+using NodeId = uint32_t;
+
+struct Ballot {
+  uint64_t n = 0;
+  NodeId pid = 0;
+};
+
+struct Prepare {
+  Ballot n;
+  LogIndex log_idx = 0;
+};
+
+struct Promise {
+  Ballot n;
+  std::vector<uint64_t> suffix;
+  LogIndex log_idx = 0;
+
+  friend bool operator==(const Promise& a, const Promise& b) {
+    return a.log_idx == b.log_idx;
+  }
+};
+
+struct Accepted {
+  Ballot n;
+  LogIndex log_idx{0};
+};
+
+struct Heartbeat {};
+
+using FixMessage = std::variant<Prepare, Promise, Accepted, Heartbeat>;
+
+}  // namespace fix
+
+#endif  // TOOLS_ANALYZE_FIXTURES_GOOD_SRC_PROTO_MESSAGES_H_

@@ -1,0 +1,15 @@
+// Suppression fixture: four determinism hits, three silenced by the three
+// NOLINT spellings, the fourth left visible and covered by the fixture
+// baseline file (tools/analyze/fixtures/nolint/baseline.txt).
+#include <unordered_map>
+
+namespace fix {
+
+struct Table {
+  std::unordered_map<int, int> exact;     // NOLINT(opx-determinism)
+  std::unordered_map<int, int> bare;      // NOLINT
+  std::unordered_map<int, int> wildcard;  // NOLINT(opx-*)
+  std::unordered_map<int, int> baselined;
+};
+
+}  // namespace fix

@@ -1,0 +1,147 @@
+// opx_analyze CLI.
+//
+//   opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]
+//               [--check=opx-...] [--no-summary] [--list-checks]
+//
+// Runs the five protocol-aware checks (see analyzer.h / DESIGN.md §11) over
+// the tree at --root (default: the current directory). Exit status:
+//   0  no non-baselined findings
+//   1  findings (or stale baseline entries with --write-baseline unset? no —
+//      stale entries only warn; they never fail the run)
+//   2  configuration error (missing configured file, unreadable baseline)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "tools/analyze/analyzer.h"
+
+namespace {
+
+// --flag=value / --flag parsing without any dependency.
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool FlagSet(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opx::analyze;
+
+  if (FlagSet(argc, argv, "help")) {
+    std::printf(
+        "usage: opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]\n"
+        "                   [--check=ID] [--no-summary] [--list-checks]\n");
+    return 0;
+  }
+  if (FlagSet(argc, argv, "list-checks")) {
+    for (const char* id : kCheckIds) {
+      std::printf("%s\n", id);
+    }
+    return 0;
+  }
+
+  const char* root_flag = FlagValue(argc, argv, "root");
+  const std::string root = root_flag != nullptr ? root_flag : ".";
+  const char* check_filter = FlagValue(argc, argv, "check");
+
+  const AnalyzerConfig config = DefaultConfig(root);
+  AnalysisResult result = RunAnalysis(config);
+
+  for (const std::string& err : result.errors) {
+    std::fprintf(stderr, "opx_analyze: error: %s\n", err.c_str());
+  }
+  if (!result.errors.empty()) {
+    return 2;
+  }
+
+  if (check_filter != nullptr) {
+    std::vector<Finding> kept;
+    for (Finding& f : result.findings) {
+      if (f.check == check_filter) {
+        kept.push_back(std::move(f));
+      }
+    }
+    result.findings = std::move(kept);
+  }
+
+  // Baseline: explicit flag, else the committed default (its absence is fine
+  // — that simply means nothing is grandfathered).
+  const char* baseline_flag = FlagValue(argc, argv, "baseline");
+  const std::string baseline_path =
+      baseline_flag != nullptr ? baseline_flag : root + "/tools/analyze/baseline.txt";
+
+  if (FlagSet(argc, argv, "write-baseline")) {
+    std::ofstream out(baseline_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "opx_analyze: cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    out << "# opx_analyze baseline — grandfathered findings (`check file key`).\n"
+           "# Regenerate with: opx_analyze --write-baseline. Keep this empty;\n"
+           "# every entry needs a justification in DESIGN.md §11.\n";
+    for (const Finding& f : result.findings) {
+      out << f.BaselineKey() << "\n";
+    }
+    std::printf("opx_analyze: wrote %zu baseline entr%s to %s\n", result.findings.size(),
+                result.findings.size() == 1 ? "y" : "ies", baseline_path.c_str());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (baseline_flag != nullptr && !LoadBaselineFile(baseline_path, &baseline)) {
+    std::fprintf(stderr, "opx_analyze: cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  if (baseline_flag == nullptr) {
+    LoadBaselineFile(baseline_path, &baseline);  // optional default
+  }
+
+  int baselined = 0;
+  std::vector<std::string> stale;
+  const std::vector<Finding> fresh =
+      FilterBaseline(result.findings, baseline, &baselined, &stale);
+
+  for (const Finding& f : fresh) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                f.message.c_str());
+  }
+  for (const std::string& entry : stale) {
+    std::fprintf(stderr, "opx_analyze: stale baseline entry (fixed? remove it): %s\n",
+                 entry.c_str());
+  }
+
+  if (!FlagSet(argc, argv, "no-summary")) {
+    double total_ms = 0.0;
+    std::printf("\nopx_analyze summary (%s):\n", root.c_str());
+    for (const CheckStats& s : result.stats) {
+      if (check_filter != nullptr && s.check != check_filter) {
+        continue;
+      }
+      std::printf("  %-18s %3d finding%s  %3d file%s  %7.1f ms\n", s.check.c_str(),
+                  s.findings, s.findings == 1 ? " " : "s", s.files,
+                  s.files == 1 ? " " : "s", s.ms);
+      total_ms += s.ms;
+    }
+    std::printf("  %zu new finding%s, %d baselined, %.1f ms total\n", fresh.size(),
+                fresh.size() == 1 ? "" : "s", baselined, total_ms);
+  }
+
+  return fresh.empty() ? 0 : 1;
+}

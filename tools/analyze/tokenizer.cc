@@ -1,0 +1,234 @@
+// C++ tokenizer for opx_analyze: identifiers, numbers, string/char literals
+// (including raw strings), and punctuation. Comments are stripped but their
+// text is recorded per line for NOLINT handling; preprocessor directives are
+// skipped entirely (so `#include <unordered_map>` is not a determinism hit —
+// the declaration site is what gets flagged).
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/analyzer.h"
+
+namespace opx::analyze {
+
+namespace {
+
+bool IdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+void Tokenize(std::string_view text, SourceFile* out) {
+  out->toks.clear();
+  out->line_comments.clear();
+  size_t i = 0;
+  const size_t n = text.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto record_comment = [&](int at_line, std::string_view body) {
+    std::string& slot = out->line_comments[at_line];
+    if (!slot.empty()) {
+      slot += ' ';
+    }
+    slot.append(body);
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      record_comment(line, text.substr(start, i - start));
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      const size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      record_comment(start_line, text.substr(start, std::min(i, n) - start));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') {
+        delim += text[j++];
+      }
+      const std::string close = ")" + delim + "\"";
+      const size_t end = text.find(close, j);
+      const size_t stop = end == std::string_view::npos ? n : end + close.size();
+      out->toks.push_back({TokKind::kString, std::string(text.substr(i, stop - i)), line});
+      line += static_cast<int>(std::count(text.begin() + static_cast<ptrdiff_t>(i),
+                                          text.begin() + static_cast<ptrdiff_t>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const size_t start = i;
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = std::min(n, i + 1);
+      out->toks.push_back({TokKind::kString, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    // Identifier / keyword.
+    if (IdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IdentChar(text[i])) {
+        ++i;
+      }
+      out->toks.push_back({TokKind::kIdent, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    // Number (digit-separators and suffixes folded in; good enough here).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IdentChar(text[i]) || text[i] == '.' || text[i] == '\'')) {
+        ++i;
+      }
+      out->toks.push_back({TokKind::kNumber, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation; "::" and "->" kept as single tokens (the checks match on
+    // qualification and member access).
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out->toks.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      out->toks.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out->toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+}
+
+bool SourceFile::Suppressed(int line, std::string_view check) const {
+  const auto it = line_comments.find(line);
+  if (it == line_comments.end()) {
+    return false;
+  }
+  const std::string& comment = it->second;
+  const size_t pos = comment.find("NOLINT");
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const size_t open = pos + 6;  // strlen("NOLINT")
+  if (open >= comment.size() || comment[open] != '(') {
+    return true;  // bare NOLINT: suppress every check
+  }
+  const size_t close = comment.find(')', open);
+  const std::string list =
+      comment.substr(open + 1, (close == std::string::npos ? comment.size() : close) - open - 1);
+  // Comma-separated check ids; "opx-*" covers the whole family.
+  std::stringstream ss(list);
+  std::string id;
+  while (std::getline(ss, id, ',')) {
+    const size_t b = id.find_first_not_of(" \t");
+    const size_t e = id.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      continue;
+    }
+    const std::string trimmed = id.substr(b, e - b + 1);
+    if (trimmed == check || trimmed == "opx-*") {
+      return true;
+    }
+  }
+  return false;
+}
+
+const SourceFile* FileSet::Get(const std::string& rel_path) {
+  const auto it = cache_.find(rel_path);
+  if (it != cache_.end()) {
+    return it->second.get();
+  }
+  std::ifstream in(root_ + "/" + rel_path, std::ios::binary);
+  if (!in.good()) {
+    cache_[rel_path] = nullptr;
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto sf = std::make_unique<SourceFile>();
+  sf->path = rel_path;
+  Tokenize(buf.str(), sf.get());
+  const SourceFile* out = sf.get();
+  cache_[rel_path] = std::move(sf);
+  return out;
+}
+
+std::vector<std::string> FileSet::ListDir(const std::string& rel_dir) const {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  const fs::path base = fs::path(root_) / rel_dir;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(base, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp" && ext != ".hpp") {
+      continue;
+    }
+    out.push_back(fs::relative(it->path(), root_).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace opx::analyze

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Full static+dynamic check pipeline, as run before merging:
 #   1. sanitized build (ASan+UBSan, assertions live) of everything;
-#   2. the complete CTest suite under sanitizers — every scenario/chaos test
+#   2. opx_analyze (DESIGN.md §11): determinism, persistence-ordering,
+#      dispatch-exhaustiveness, message-hygiene, and audit-hook checks over
+#      src/ — fails on any finding not in tools/analyze/baseline.txt;
+#   3. the complete CTest suite under sanitizers — every scenario/chaos test
 #      runs with the cross-replica safety auditor enabled (the default);
-#   3. dispatch-exhaustiveness lint over the message variants;
 #   4. clang-tidy over files changed relative to origin/main (skipped with a
 #      note when clang-tidy is not installed).
 #
 # Usage: tools/run_checks.sh [build-dir]      (default: build-asan)
+#        tools/run_checks.sh --static [build-dir]
 #        tools/run_checks.sh --bench-smoke [build-dir]
 #        tools/run_checks.sh --chaos-smoke [schedules-per-protocol]
+#
+# --static is the fast pre-commit path: build only the opx_analyze target
+# (plain build, default dir: build-static) and run the five static checks —
+# a few seconds warm, well under ten cold.
 #
 # --bench-smoke instead does a Release build (default dir: build-bench), runs
 # the sim_throughput quick benchmark, and refreshes BENCH_core.json at the
@@ -27,6 +34,41 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAILED=0
 
 step() { printf '\n== %s ==\n' "$*"; }
+
+if [ "${1:-}" = "--static" ]; then
+  # No cmake here: the analyzer is dependency-free, so a direct parallel
+  # compile keeps the cold path under ten seconds and warm reruns instant
+  # (the binary is reused until an analyzer source changes).
+  OUT="${2:-$ROOT/build-static}"
+  BIN="$OUT/opx_analyze"
+  mkdir -p "$OUT"
+  STALE=0
+  if [ ! -x "$BIN" ]; then
+    STALE=1
+  else
+    for f in "$ROOT"/tools/analyze/*.cc "$ROOT"/tools/analyze/analyzer.h; do
+      if [ "$f" -nt "$BIN" ]; then STALE=1; fi
+    done
+  fi
+  if [ "$STALE" -eq 1 ]; then
+    step "compile opx_analyze (direct, no cmake) -> $BIN"
+    PIDS=""
+    for f in tokenizer checks default_config baseline main; do
+      "${CXX:-c++}" -O0 -std=c++20 -I"$ROOT" -c "$ROOT/tools/analyze/$f.cc" \
+        -o "$OUT/$f.o" &
+      PIDS="$PIDS $!"
+    done
+    CFAIL=0
+    for p in $PIDS; do wait "$p" || CFAIL=1; done
+    [ "$CFAIL" -eq 0 ] || { echo "compile FAILED"; exit 1; }
+    "${CXX:-c++}" "$OUT/tokenizer.o" "$OUT/checks.o" "$OUT/default_config.o" \
+      "$OUT/baseline.o" "$OUT/main.o" -o "$BIN" ||
+      { echo "link FAILED"; exit 1; }
+    echo "ok"
+  fi
+  step "opx_analyze over src/ (five checks, baseline-filtered)"
+  exec "$BIN" --root="$ROOT"
+fi
 
 if [ "${1:-}" = "--bench-smoke" ]; then
   BUILD="${2:-$ROOT/build-bench}"
@@ -114,19 +156,19 @@ cmake --build "$BUILD" -j "$JOBS" >"$BUILD.build.log" 2>&1 ||
   { echo "build FAILED (see $BUILD.build.log)"; exit 1; }
 echo "ok"
 
+step "opx_analyze: protocol-aware static checks (DESIGN.md §11)"
+if "$BUILD/tools/analyze/opx_analyze" --root="$ROOT"; then
+  echo "ok"
+else
+  echo "opx_analyze FAILED"
+  FAILED=1
+fi
+
 step "ctest under sanitizers (auditor on)"
 if (cd "$BUILD" && ctest --output-on-failure -j "$JOBS"); then
   echo "ok"
 else
   echo "ctest FAILED"
-  FAILED=1
-fi
-
-step "message-variant dispatch lint"
-if python3 "$ROOT/tools/lint_handlers.py"; then
-  echo "ok"
-else
-  echo "lint_handlers FAILED"
   FAILED=1
 fi
 
