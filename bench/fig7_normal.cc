@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace.h"
 #include "src/rsm/experiments.h"
 #include "src/util/stats.h"
 
@@ -19,12 +20,16 @@ using rsm::NormalResult;
 struct Cell {
   Summary throughput;
   double election_io_share = 0.0;
+  // From the fig7/* gauges RunNormal publishes into the attached ObsSink on
+  // the final repetition (DESIGN.md §12); zero when OPX_OBS=OFF.
+  double mean_latency_s = 0.0;
+  double leader_elevations = 0.0;
 };
 
 template <typename Node>
 Cell RunCell(int servers, bool wan, size_t cp) {
   std::vector<double> tputs;
-  double io_share = 0.0;
+  Cell cell;
   for (int rep = 0; rep < bench::Repetitions(); ++rep) {
     NormalConfig cfg;
     cfg.num_servers = servers;
@@ -35,11 +40,28 @@ Cell RunCell(int servers, bool wan, size_t cp) {
     cfg.duration = FullMode() ? Minutes(5) : Seconds(15);
     cfg.seed = 42 + static_cast<uint64_t>(rep);
     cfg.audit = bench::AuditEnabled();
+#if defined(OPX_OBS_ENABLED)
+    obs::ObsSink sink(1u << 10);
+    if (rep == bench::Repetitions() - 1) {
+      cfg.obs = &sink;
+    }
+#endif
     const NormalResult r = rsm::RunNormal<Node>(cfg);
     tputs.push_back(r.throughput);
-    io_share = std::max(io_share, r.election_io_share);
+    cell.election_io_share = std::max(cell.election_io_share, r.election_io_share);
+#if defined(OPX_OBS_ENABLED)
+    if (cfg.obs != nullptr) {
+      if (const obs::Gauge* g = sink.metrics().FindGauge("fig7/mean_latency_s")) {
+        cell.mean_latency_s = g->value();
+      }
+      if (const obs::Gauge* g = sink.metrics().FindGauge("fig7/leader_elevations")) {
+        cell.leader_elevations = g->value();
+      }
+    }
+#endif
   }
-  return Cell{Summarize(tputs), io_share};
+  cell.throughput = Summarize(tputs);
+  return cell;
 }
 
 void RunSetting(int servers, bool wan) {
@@ -59,6 +81,13 @@ void RunSetting(int servers, bool wan) {
                 (bench::HumanRate(mpx.throughput.mean) + " ±" +
                  bench::HumanRate(mpx.throughput.ci95_half))
                     .c_str());
+#if defined(OPX_OBS_ENABLED)
+    std::printf("          (metrics: mean latency %.1f / %.1f / %.1f ms; "
+                "leader elevations %.0f / %.0f / %.0f)\n",
+                omni.mean_latency_s * 1e3, raft.mean_latency_s * 1e3,
+                mpx.mean_latency_s * 1e3, omni.leader_elevations,
+                raft.leader_elevations, mpx.leader_elevations);
+#endif
     if (cp == 50'000) {
       std::printf("          (Omni-Paxos BLE share of total I/O at CP=50k: %.4f%%)\n",
                   omni.election_io_share * 100.0);

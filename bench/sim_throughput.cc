@@ -18,19 +18,27 @@
 // machines jitter ±20%, and the minimum wall clock is the standard
 // noise-robust estimator of a workload's true cost.
 //
-// Usage: sim_throughput [--out=PATH] [--scale=N] [--chaos]
+// Usage: sim_throughput [--out=PATH] [--scale=N] [--chaos] [--trace=PATH]
 //   --scale multiplies work sizes (default 1; CI smoke uses the default).
 //   --chaos runs seeded chaos schedules (DESIGN.md §10) instead of the perf
 //   layers and reports schedules/sec — the harness-overhead smoke; exits
 //   nonzero if any schedule trips an oracle.
+//   --trace runs one fig7-quick with an obs::ObsSink attached and dumps the
+//   retained trace tail as JSONL plus the metrics snapshot (DESIGN.md §12),
+//   instead of the perf layers. The perf layers themselves always run
+//   untraced, so the tracked numbers never include recording overhead.
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_view.h"
 #include "src/rsm/chaos.h"
 #include "src/rsm/experiments.h"
 #include "src/sim/network.h"
@@ -179,6 +187,40 @@ int RunChaosSmoke(int64_t scale, uint64_t seed) {
   return 0;
 }
 
+// --- Trace dump: one traced fig7-quick run, JSONL out. ---------------------
+int RunTraceDump(const std::string& path, int64_t scale) {
+#if defined(OPX_OBS_ENABLED)
+  obs::ObsSink sink;
+  rsm::NormalConfig cfg;
+  cfg.num_servers = 3;
+  cfg.concurrent_proposals = 500;
+  cfg.warmup = Seconds(1);
+  cfg.duration = Seconds(4 * scale);
+  cfg.seed = 42;
+  cfg.obs = &sink;
+  const rsm::NormalResult r = rsm::RunNormal<rsm::OmniNode>(cfg);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  obs::WriteJsonl(out, obs::TraceView::FromSink(sink));
+  std::printf("wrote %zu events to %s (%" PRIu64 " recorded, %" PRIu64
+              " overwritten by ring wrap); throughput %s\n",
+              sink.size(), path.c_str(), sink.total(), sink.dropped(),
+              bench::HumanRate(r.throughput).c_str());
+  std::ostringstream snapshot;
+  sink.metrics().Print(snapshot);
+  std::printf("metrics snapshot:\n%s", snapshot.str().c_str());
+  return 0;
+#else
+  (void)path;
+  (void)scale;
+  std::fprintf(stderr, "--trace requires an OPX_OBS=ON build\n");
+  return 1;
+#endif
+}
+
 }  // namespace
 }  // namespace opx
 
@@ -191,6 +233,12 @@ int main(int argc, char** argv) {
   if (flags.Has("chaos")) {
     bench::PrintHeader("Chaos schedule smoke", "fault-schedule harness footprint");
     return RunChaosSmoke(scale, static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  }
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    bench::PrintHeader("Traced fig7-quick run", "JSONL trace + metrics dump");
+    return RunTraceDump(trace_path, scale);
   }
 
   bench::PrintHeader("Core simulator throughput", "event-loop perf trajectory");

@@ -87,6 +87,8 @@ void MultiPaxos::SuspectAndTakeOver() {
 
 void MultiPaxos::StartPhase1() {
   role_ = MpxRole::kPhase1;
+  OPX_TRACE(config_.obs, obs::EventKind::kMpxPhase1Start, config_.pid, kNoNode,
+            omni::ObsBallotKey(ballot_), decided_);
   p1_promises_.clear();
   if (ballot_ > promised_) {
     promised_ = ballot_;
@@ -185,6 +187,8 @@ void MultiPaxos::CompletePhase1() {
   active_leader_ = ballot_;
   leader_confirmed_ = true;
   ++leader_changes_;
+  OPX_TRACE(config_.obs, obs::EventKind::kMpxLeader, config_.pid, config_.pid,
+            omni::ObsBallotKey(ballot_), decided_, p1_promises_.size());
   acked_.clear();
   sent_.clear();
   for (NodeId peer : config_.peers) {
@@ -296,6 +300,8 @@ void MultiPaxos::AdvanceCommit() {
   if (chosen > decided_) {
     decided_ = chosen;
     commit_dirty_ = true;
+    OPX_TRACE(config_.obs, obs::EventKind::kMpxDecide, config_.pid, kNoNode,
+              omni::ObsBallotKey(ballot_), decided_);
   }
 }
 

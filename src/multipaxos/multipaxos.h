@@ -25,6 +25,7 @@
 
 #include "src/audit/audit_view.h"
 #include "src/multipaxos/messages.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
 
@@ -41,6 +42,8 @@ struct MpxConfig {
   // Suspect the (non-existent) initial leader after a single tick — pins the
   // first leader to this server in benchmarks.
   bool fast_first_takeover = false;
+  // Optional trace/metrics sink (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 enum class MpxRole { kFollower, kPhase1, kLeader };

@@ -1,0 +1,188 @@
+// Metrics registry for the deterministic observability layer (DESIGN.md §12).
+//
+// Counters, gauges, and fixed-bucket histograms, owned by an obs::ObsSink and
+// looked up once by name at wiring time; every hot-path update is then a
+// plain arithmetic operation on a stable pointer — no map lookups, no
+// allocation. The registry iterates in name order (std::map) so printed and
+// exported snapshots are deterministic.
+//
+// These are simulation metrics over virtual time: election latency, heartbeat
+// rounds per election, decide latency, bytes per link, migration segment
+// throughput (the quantities behind Figures 3-9 and Table 1).
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace opx::obs {
+
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket counts the rest. Bounds are fixed at registration,
+// so Observe is a short linear scan with no allocation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void Observe(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (x <= bounds_[i]) {
+        ++counts_[i];
+        return;
+      }
+    }
+    ++counts_.back();
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  // Upper-bound estimate of the q-quantile (q in [0,1]) from bucket counts;
+  // observations past the last bound report the observed max.
+  double Quantile(double q) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        return bounds_[i];
+      }
+    }
+    return max_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponentially spaced histogram bounds: start, start*factor, ... (n bounds).
+inline std::vector<double> ExponentialBuckets(double start, double factor, int n) {
+  std::vector<double> bounds;
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+// Name-keyed registry. GetX registers on first use and always returns the
+// same stable pointer; instruments live as long as the registry.
+class Metrics {
+ public:
+  Counter* GetCounter(const std::string& name) {
+    std::unique_ptr<Counter>& slot = counters_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Counter>();
+    }
+    return slot.get();
+  }
+
+  Gauge* GetGauge(const std::string& name) {
+    std::unique_ptr<Gauge>& slot = gauges_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Gauge>();
+    }
+    return slot.get();
+  }
+
+  // `bounds` applies only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds) {
+    std::unique_ptr<Histogram>& slot = histograms_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return slot.get();
+  }
+
+  // nullptr when `name` was never registered.
+  const Counter* FindCounter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+  }
+  const Gauge* FindGauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+  }
+  const Histogram* FindHistogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+  }
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  // Human-readable snapshot, name-sorted (deterministic).
+  void Print(std::ostream& out) const {
+    for (const auto& [name, c] : counters_) {
+      out << name << " " << c->value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << name << " " << g->value() << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      out << name << " count=" << h->count() << " mean=" << h->mean()
+          << " min=" << h->min() << " max=" << h->max()
+          << " p99<=" << h->Quantile(0.99) << "\n";
+    }
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace opx::obs
+
+#endif  // SRC_OBS_METRICS_H_

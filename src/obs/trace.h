@@ -1,0 +1,229 @@
+// Deterministic trace recorder (DESIGN.md §12).
+//
+// ObsSink is a ring buffer of POD TraceEvents — ballot/round/slot/node/link
+// tagged, stamped with virtual time — plus the metrics registry. Protocol
+// code records through the OPX_TRACE macro, which
+//
+//   - compiles to nothing when the tree is built with -DOPX_OBS=OFF
+//     (no OPX_OBS_ENABLED definition), and
+//   - is a single null check when no sink is attached at runtime.
+//
+// Recording allocates nothing: the ring is sized at construction and events
+// are overwritten oldest-first. Tracing performs no simulator scheduling and
+// draws no randomness, so event-hash fingerprints are bit-identical with
+// tracing on, off, or compiled out (asserted by Determinism tests).
+//
+// The sink has no clock of its own. Harnesses stamp virtual time into it
+// (set_now) before dispatching protocol code; sim::Network stamps itself from
+// the simulator. JSONL export and the trace-query helpers live in
+// src/obs/trace_view.h.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::obs {
+
+enum class EventKind : uint8_t {
+  kNone = 0,
+  // sim::Network link-state transitions (one-way: node -> peer).
+  kLinkDown,
+  kLinkUp,
+  // Harness lifecycle.
+  kCrash,
+  kRestart,
+  kLeaderElevation,  // a server's IsLeader() flipped false -> true
+  // Ballot Leader Election (src/omnipaxos/ble.cc).
+  kBleQcGained,      // quorum-connected flipped on    (config = round)
+  kBleQcLost,        // quorum-connected flipped off   (config = round)
+  kBleBallotBump,    // increased own ballot           (ballot = new n)
+  kBleLeader,        // elected leader                 (ballot = n, peer = pid)
+  // Sequence Paxos (src/omnipaxos/sequence_paxos.cc).
+  kSpPrepareSent,        // leader broadcast Prepare          (ballot = n)
+  kSpPromiseSent,        // follower promised                 (ballot = n, peer = to)
+  kSpPromiseQuorum,      // leader completed the prepare phase (ballot = n)
+  kSpAcceptSyncApplied,  // follower adopted the leader log   (ballot = n, slot = sync_idx)
+  kSpAcceptDecideSent,   // leader sent AcceptDecide          (ballot = n, peer = to, slot = log_len)
+  kSpDecide,             // decided index advanced            (ballot = n, slot = decided)
+  kSpPrepareReq,         // follower asked for a Prepare      (peer = to)
+  // Raft (src/raft/raft.cc).
+  kRaftElectionStart,  // became (pre-)candidate  (ballot = term, aux = 1 if pre-vote)
+  kRaftLeader,         // won an election          (ballot = term, peer = pid)
+  kRaftStepDown,       // leader/candidate stepped down (ballot = new term)
+  kRaftCommit,         // commit index advanced    (ballot = term, slot = commit)
+  // Multi-Paxos (src/multipaxos/multipaxos.cc).
+  kMpxPhase1Start,  // started phase 1         (ballot = n)
+  kMpxLeader,       // completed phase 1       (ballot = n, peer = pid)
+  kMpxDecide,       // decided index advanced  (ballot = n, slot = decided)
+  // Viewstamped Replication (src/vr/vr_election.cc).
+  kVrViewChangeStart,  // entered view change       (ballot = attempted view)
+  kVrDoViewChange,     // EQC met, sent DoViewChange (ballot = view, peer = new leader)
+  kVrLeader,           // completed a view change    (ballot = view, peer = pid)
+  kVrStartView,        // follower installed a view  (ballot = view, peer = leader)
+  // Reconfiguration / log migration (src/rsm/omni_reconfig_sim.h).
+  kReconfigStopSign,  // stop-sign decided            (config = next config)
+  kMigSegment,        // segment chunk landed          (peer = donor, slot = start, aux = entries)
+  kMigDone,           // a fresh server finished fetching (config = target)
+  kMaxKind,  // sentinel, not recordable
+};
+
+inline const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kNone: return "none";
+    case EventKind::kLinkDown: return "link-down";
+    case EventKind::kLinkUp: return "link-up";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kLeaderElevation: return "leader-elevation";
+    case EventKind::kBleQcGained: return "ble-qc-gained";
+    case EventKind::kBleQcLost: return "ble-qc-lost";
+    case EventKind::kBleBallotBump: return "ble-ballot-bump";
+    case EventKind::kBleLeader: return "ble-leader";
+    case EventKind::kSpPrepareSent: return "sp-prepare-sent";
+    case EventKind::kSpPromiseSent: return "sp-promise-sent";
+    case EventKind::kSpPromiseQuorum: return "sp-promise-quorum";
+    case EventKind::kSpAcceptSyncApplied: return "sp-accept-sync";
+    case EventKind::kSpAcceptDecideSent: return "sp-accept-decide";
+    case EventKind::kSpDecide: return "sp-decide";
+    case EventKind::kSpPrepareReq: return "sp-prepare-req";
+    case EventKind::kRaftElectionStart: return "raft-election-start";
+    case EventKind::kRaftLeader: return "raft-leader";
+    case EventKind::kRaftStepDown: return "raft-step-down";
+    case EventKind::kRaftCommit: return "raft-commit";
+    case EventKind::kMpxPhase1Start: return "mpx-phase1-start";
+    case EventKind::kMpxLeader: return "mpx-leader";
+    case EventKind::kMpxDecide: return "mpx-decide";
+    case EventKind::kVrViewChangeStart: return "vr-view-change-start";
+    case EventKind::kVrDoViewChange: return "vr-do-view-change";
+    case EventKind::kVrLeader: return "vr-leader";
+    case EventKind::kVrStartView: return "vr-start-view";
+    case EventKind::kReconfigStopSign: return "reconfig-stop-sign";
+    case EventKind::kMigSegment: return "mig-segment";
+    case EventKind::kMigDone: return "mig-done";
+    case EventKind::kMaxKind: break;
+  }
+  return "unknown";
+}
+
+// One trace record. POD on purpose: the ring stores them by value, JSONL
+// export reads fields directly, and nothing owns heap state.
+struct TraceEvent {
+  Time at = 0;                       // virtual time of the event
+  EventKind kind = EventKind::kNone;
+  uint8_t pad0 = 0;
+  uint16_t pad1 = 0;
+  NodeId node = kNoNode;             // acting node
+  NodeId peer = kNoNode;             // counterpart: link peer, leader pid, donor, ...
+  uint32_t config = 0;               // configuration id / BLE round
+  uint64_t ballot = 0;               // ballot n / term / view
+  uint64_t slot = 0;                 // log index
+  uint64_t aux = 0;                  // kind-specific extra
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+// Ring-buffer recorder + metrics registry. Not thread-safe; the simulator is
+// single-threaded by construction.
+class ObsSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 16;
+
+  explicit ObsSink(size_t capacity = kDefaultCapacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  // Virtual-time stamp applied to subsequent Record calls. Harnesses set
+  // this before dispatching into protocol code.
+  void set_now(Time now) { now_ = now; }
+  Time now() const { return now_; }
+
+  void Record(EventKind kind, NodeId node, NodeId peer = kNoNode,
+              uint64_t ballot = 0, uint64_t slot = 0, uint64_t aux = 0,
+              uint32_t config = 0) {
+    TraceEvent& e = ring_[head_];
+    e.at = now_;
+    e.kind = kind;
+    e.node = node;
+    e.peer = peer;
+    e.config = config;
+    e.ballot = ballot;
+    e.slot = slot;
+    e.aux = aux;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+    ++total_;
+  }
+
+  // Retained events, oldest first (linearized copy; export/test side only).
+  std::vector<TraceEvent> Events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    const size_t start = size_ < ring_.size() ? 0 : head_;
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  uint64_t total() const { return total_; }      // recorded, including overwritten
+  uint64_t dropped() const { return dropped_; }  // overwritten by ring wrap
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    total_ = 0;
+  }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t total_ = 0;
+  Time now_ = 0;
+  Metrics metrics_;
+};
+
+}  // namespace opx::obs
+
+// Trace hooks. `sink` is an obs::ObsSink*; remaining arguments are the
+// Record(...) parameters. With OPX_OBS=OFF at configure time the macros
+// vanish entirely, which is what makes the "compiled out" fingerprint
+// equivalence trivial to audit.
+#if defined(OPX_OBS_ENABLED)
+#define OPX_TRACE(sink, ...)       \
+  do {                             \
+    if ((sink) != nullptr) {       \
+      (sink)->Record(__VA_ARGS__); \
+    }                              \
+  } while (0)
+#define OPX_TRACE_NOW(sink, t)   \
+  do {                           \
+    if ((sink) != nullptr) {     \
+      (sink)->set_now(t);        \
+    }                            \
+  } while (0)
+#else
+#define OPX_TRACE(sink, ...) \
+  do {                       \
+  } while (0)
+#define OPX_TRACE_NOW(sink, t) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // SRC_OBS_TRACE_H_

@@ -1,0 +1,136 @@
+// Trace querying and JSONL export (DESIGN.md §12).
+//
+// TraceView is a small value-semantics query layer over a linearized trace:
+// filter by kind/node, slice by virtual-time span, find the first event after
+// a point in time. Views copy the matching events — this is the test/export
+// side, never the recording hot path.
+#ifndef SRC_OBS_TRACE_VIEW_H_
+#define SRC_OBS_TRACE_VIEW_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::obs {
+
+class TraceView {
+ public:
+  TraceView() = default;
+  explicit TraceView(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+  static TraceView FromSink(const ObsSink& sink) { return TraceView(sink.Events()); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const TraceEvent& operator[](size_t i) const { return events_[i]; }
+
+  // Events of `kind`, in order.
+  TraceView Filter(EventKind kind) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.kind == kind) {
+        out.push_back(e);
+      }
+    }
+    return TraceView(std::move(out));
+  }
+
+  // Events of `kind` recorded by `node`.
+  TraceView Filter(EventKind kind, NodeId node) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.kind == kind && e.node == node) {
+        out.push_back(e);
+      }
+    }
+    return TraceView(std::move(out));
+  }
+
+  // Events of any kind in `kinds`.
+  TraceView FilterAny(const std::vector<EventKind>& kinds) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      for (EventKind k : kinds) {
+        if (e.kind == k) {
+          out.push_back(e);
+          break;
+        }
+      }
+    }
+    return TraceView(std::move(out));
+  }
+
+  // Events with begin <= at < end.
+  TraceView Span(Time begin, Time end) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.at >= begin && e.at < end) {
+        out.push_back(e);
+      }
+    }
+    return TraceView(std::move(out));
+  }
+
+  // First event strictly after `t` (any kind), or nullptr.
+  const TraceEvent* FirstAfter(Time t) const {
+    for (const TraceEvent& e : events_) {
+      if (e.at > t) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  // First event of `kind` strictly after `t`, or nullptr.
+  const TraceEvent* FirstAfter(Time t, EventKind kind) const {
+    for (const TraceEvent& e : events_) {
+      if (e.at > t && e.kind == kind) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  const TraceEvent* Last() const { return events_.empty() ? nullptr : &events_.back(); }
+
+  // Last `n` events (or all, when fewer).
+  TraceView Tail(size_t n) const {
+    const size_t start = events_.size() > n ? events_.size() - n : 0;
+    return TraceView(std::vector<TraceEvent>(events_.begin() + static_cast<ptrdiff_t>(start),
+                                             events_.end()));
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// One event as a single JSON line (no trailing newline).
+inline std::string ToJson(const TraceEvent& e) {
+  std::ostringstream o;
+  o << "{\"at\":" << e.at << ",\"kind\":\"" << EventKindName(e.kind) << "\""
+    << ",\"node\":" << e.node << ",\"peer\":" << e.peer
+    << ",\"config\":" << e.config << ",\"ballot\":" << e.ballot
+    << ",\"slot\":" << e.slot << ",\"aux\":" << e.aux << "}";
+  return o.str();
+}
+
+// JSONL export: one event per line, oldest first.
+inline void WriteJsonl(std::ostream& out, const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    out << ToJson(e) << "\n";
+  }
+}
+
+inline void WriteJsonl(std::ostream& out, const TraceView& view) {
+  WriteJsonl(out, view.events());
+}
+
+}  // namespace opx::obs
+
+#endif  // SRC_OBS_TRACE_VIEW_H_

@@ -40,6 +40,14 @@ struct Ballot {
 // The "no ballot yet" sentinel; smaller than every real ballot.
 inline constexpr Ballot kNullBallot{};
 
+// Packs a ballot into the 64-bit `ballot` field of a trace event. Two ballots
+// with equal n but different (priority, pid) map to distinct keys as long as
+// priority and pid fit in 8 bits each — always true in the simulated clusters.
+inline constexpr uint64_t ObsBallotKey(const Ballot& b) {
+  return (b.n << 16) | ((static_cast<uint64_t>(b.priority) & 0xFFu) << 8) |
+         (static_cast<uint64_t>(b.pid) & 0xFFu);
+}
+
 }  // namespace opx::omni
 
 #endif  // SRC_OMNIPAXOS_BALLOT_H_

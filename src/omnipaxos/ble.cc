@@ -18,6 +18,12 @@ void BallotLeaderElection::Tick() {
     // Round `round_` just ended. Connectivity = did a majority (including
     // ourselves) answer this round? (Fig. 4 ②)
     const bool connected = replies_.size() + 1 >= Majority();
+    if (connected != qc_) {
+      OPX_TRACE(config_.obs,
+                connected ? obs::EventKind::kBleQcGained : obs::EventKind::kBleQcLost,
+                config_.pid, kNoNode, ObsBallotKey(ballot_), 0, 0,
+                static_cast<uint32_t>(round_));
+    }
     qc_ = connected;
     replies_.push_back(Candidate{config_.pid, ballot_, qc_ && candidacy_});  // our own entry
     if (connected) {
@@ -48,11 +54,25 @@ void BallotLeaderElection::CheckLeader() {
     // higher concurrent bumper simply wins by LE3's total order.
     ballot_.n = std::max(max_seen_n, leader_.n) + 1;
     candidacy_ = true;  // a freshly-minted ballot may be elected
+    OPX_TRACE(config_.obs, obs::EventKind::kBleBallotBump, config_.pid, kNoNode,
+              ObsBallotKey(ballot_), 0, 0, static_cast<uint32_t>(round_));
     return;
   }
   if (top->ballot > leader_) {
     leader_ = top->ballot;
     leader_event_ = leader_;
+    OPX_TRACE(config_.obs, obs::EventKind::kBleLeader, config_.pid, leader_.pid,
+              ObsBallotKey(leader_), 0, 0, static_cast<uint32_t>(round_));
+#if defined(OPX_OBS_ENABLED)
+    if (config_.obs != nullptr) {
+      // Heartbeat rounds this election took, from the previous leader change
+      // (the paper's elections settle within a handful of rounds).
+      config_.obs->metrics()
+          .GetHistogram("ble/rounds_per_election", obs::ExponentialBuckets(1, 2, 10))
+          ->Observe(static_cast<double>(round_ - leader_round_));
+    }
+#endif
+    leader_round_ = round_;
   }
 }
 

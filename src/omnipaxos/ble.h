@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/omnipaxos/ballot.h"
 #include "src/omnipaxos/messages.h"
 #include "src/util/types.h"
@@ -26,6 +27,8 @@ namespace opx::omni {
 struct BleConfig {
   NodeId pid = kNoNode;
   std::vector<NodeId> peers;
+  // Optional trace/metrics sink (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
   // Custom tie-break field of the ballot (§5.2): higher priority wins among
   // equal rounds. Does not affect liveness — an elected candidate must still
   // be quorum-connected.
@@ -81,6 +84,7 @@ class BallotLeaderElection {
   bool qc_ = true;                    // optimistic until the first round ends
   Ballot leader_;                     // highest ballot ever elected (LE3)
   uint64_t round_ = 0;
+  uint64_t leader_round_ = 0;         // round of the last leader change (obs)
   std::vector<Candidate> replies_;    // heartbeat replies of the current round
   std::optional<Ballot> leader_event_;
   std::vector<BleOut> pending_out_;

@@ -13,6 +13,7 @@ SequencePaxosConfig MakePaxosConfig(const OmniConfig& c) {
   pc.peers = c.peers;
   pc.config_id = c.config_id;
   pc.batch_limit = c.batch_limit;
+  pc.obs = c.obs;
   return pc;
 }
 
@@ -23,6 +24,7 @@ BleConfig MakeBleConfig(const OmniConfig& c, const Storage& storage, bool recove
   bc.priority = c.ble_priority;
   bc.initial_n = storage.promised_round().n;
   bc.recovered = recovered;
+  bc.obs = c.obs;
   return bc;
 }
 
@@ -65,6 +67,8 @@ bool OmniPaxos::ProposeReconfiguration(StopSign ss) {
     return false;
   }
   stop_sign_proposed_ = true;
+  OPX_TRACE(config_.obs, obs::EventKind::kReconfigStopSign, config_.pid, kNoNode, 0,
+            paxos_.log_len(), 0, config_.config_id);
   return true;
 }
 

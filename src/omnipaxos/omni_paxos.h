@@ -39,6 +39,9 @@ struct OmniConfig {
   ConfigId config_id = 0;
   uint32_t ble_priority = 0;
   size_t batch_limit = 0;  // see SequencePaxosConfig::batch_limit
+  // Optional trace/metrics sink, forwarded to BLE and SequencePaxos
+  // (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 class OmniPaxos {

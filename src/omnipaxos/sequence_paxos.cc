@@ -23,6 +23,8 @@ SequencePaxos::SequencePaxos(SequencePaxosConfig config, Storage* storage, bool 
     for (NodeId peer : config_.peers) {
       Emit(peer, PrepareReq{});
     }
+    OPX_TRACE(config_.obs, obs::EventKind::kSpPrepareReq, config_.pid, kNoNode, 0, 0,
+              /*aux=*/1);  // 1 = crash recovery (§4.1.3)
   }
 }
 
@@ -65,6 +67,8 @@ void SequencePaxos::BecomeLeader(const Ballot& b) {
   for (NodeId peer : config_.peers) {
     Emit(peer, prep);
   }
+  OPX_TRACE(config_.obs, obs::EventKind::kSpPrepareSent, config_.pid, kNoNode,
+            ObsBallotKey(n_), storage_->log_len());
   if (promises_.size() >= Majority()) {  // single-server configuration
     CompletePreparePhase();
   }
@@ -150,6 +154,8 @@ void SequencePaxos::HandlePrepare(NodeId from, const Prepare& p) {
     promise.suffix = storage_->SharedSuffix(p.log_idx);
   }
   Emit(from, std::move(promise));
+  OPX_TRACE(config_.obs, obs::EventKind::kSpPromiseSent, config_.pid, from,
+            ObsBallotKey(p.n), storage_->log_len());
 }
 
 void SequencePaxos::HandlePromise(NodeId from, Promise pr) {
@@ -177,6 +183,8 @@ void SequencePaxos::HandlePromise(NodeId from, Promise pr) {
 
 void SequencePaxos::CompletePreparePhase() {
   OPX_CHECK(role_ == Role::kLeader && phase_ == Phase::kPrepare);
+  OPX_TRACE(config_.obs, obs::EventKind::kSpPromiseQuorum, config_.pid, kNoNode,
+            ObsBallotKey(n_), storage_->log_len(), promises_.size());
 
   // Adopt the most updated log among the majority: highest accepted round,
   // ties broken by log length (§4.1.1).
@@ -224,6 +232,8 @@ void SequencePaxos::CompletePreparePhase() {
   if (max_decided > storage_->decided_idx()) {
     storage_->set_decided_idx(max_decided);
     decided_dirty_ = true;
+    OPX_TRACE(config_.obs, obs::EventKind::kSpDecide, config_.pid, kNoNode,
+              ObsBallotKey(n_), max_decided);
   }
 
   phase_ = Phase::kAccept;
@@ -288,8 +298,12 @@ void SequencePaxos::HandleAcceptSync(NodeId from, const AcceptSync& as) {
   const LogIndex decided = std::min<LogIndex>(as.decided_idx, storage_->log_len());
   if (decided > storage_->decided_idx()) {
     storage_->set_decided_idx(decided);
+    OPX_TRACE(config_.obs, obs::EventKind::kSpDecide, config_.pid, from,
+              ObsBallotKey(as.n), decided);
   }
   Emit(from, Accepted{as.n, storage_->log_len()});
+  OPX_TRACE(config_.obs, obs::EventKind::kSpAcceptSyncApplied, config_.pid, from,
+            ObsBallotKey(as.n), storage_->log_len());
 }
 
 void SequencePaxos::HandleAcceptDecide(NodeId from, const AcceptDecide& ad) {
@@ -302,6 +316,8 @@ void SequencePaxos::HandleAcceptDecide(NodeId from, const AcceptDecide& ad) {
     // Entries were lost to a link cut that raced the reconnect notification;
     // ask the leader for a fresh synchronization instead of creating a gap.
     Emit(from, PrepareReq{});
+    OPX_TRACE(config_.obs, obs::EventKind::kSpPrepareReq, config_.pid, from,
+              ObsBallotKey(ad.n), ad.start_idx, /*aux=*/2);  // 2 = log gap
     return;
   }
   if (ad.start_idx + ad.entries.size() <= len) {
@@ -317,6 +333,8 @@ void SequencePaxos::HandleAcceptDecide(NodeId from, const AcceptDecide& ad) {
   const LogIndex decided = std::min<LogIndex>(ad.decided_idx, storage_->log_len());
   if (decided > storage_->decided_idx()) {
     storage_->set_decided_idx(decided);
+    OPX_TRACE(config_.obs, obs::EventKind::kSpDecide, config_.pid, from,
+              ObsBallotKey(ad.n), decided);
   }
   if (!ad.entries.empty()) {
     Emit(from, Accepted{ad.n, storage_->log_len()});
@@ -349,11 +367,12 @@ void SequencePaxos::UpdateDecidedAsLeader() {
   if (chosen > storage_->decided_idx()) {
     storage_->set_decided_idx(chosen);
     decided_dirty_ = true;
+    OPX_TRACE(config_.obs, obs::EventKind::kSpDecide, config_.pid, kNoNode,
+              ObsBallotKey(n_), chosen);
   }
 }
 
 void SequencePaxos::HandleDecide(NodeId from, const Decide& d) {
-  (void)from;
   if (d.n != storage_->promised_round() || role_ != Role::kFollower ||
       phase_ != Phase::kAccept) {
     return;
@@ -361,6 +380,8 @@ void SequencePaxos::HandleDecide(NodeId from, const Decide& d) {
   const LogIndex decided = std::min<LogIndex>(d.decided_idx, storage_->log_len());
   if (decided > storage_->decided_idx()) {
     storage_->set_decided_idx(decided);
+    OPX_TRACE(config_.obs, obs::EventKind::kSpDecide, config_.pid, from,
+              ObsBallotKey(d.n), decided);
   }
 }
 
@@ -387,6 +408,8 @@ void SequencePaxos::HandleForward(ProposalForward pf) {
 void SequencePaxos::Reconnected(NodeId peer) {
   if (phase_ == Phase::kRecover) {
     Emit(peer, PrepareReq{});
+    OPX_TRACE(config_.obs, obs::EventKind::kSpPrepareReq, config_.pid, peer, 0, 0,
+              /*aux=*/3);  // 3 = reconnect while recovering
     return;
   }
   if (role_ == Role::kLeader) {
@@ -397,6 +420,8 @@ void SequencePaxos::Reconnected(NodeId peer) {
                        storage_->decided_idx()});
   } else if (peer == leader_ballot_.pid || leader_ballot_ == kNullBallot) {
     Emit(peer, PrepareReq{});
+    OPX_TRACE(config_.obs, obs::EventKind::kSpPrepareReq, config_.pid, peer,
+              ObsBallotKey(leader_ballot_), 0, /*aux=*/4);  // 4 = link reconnect
   }
 }
 
@@ -477,6 +502,8 @@ void SequencePaxos::FlushAccepts() {
       ad.start_idx = next;
       ad.entries = storage_->SharedSuffix(next);
       ad.decided_idx = decided;
+      OPX_TRACE(config_.obs, obs::EventKind::kSpAcceptDecideSent, config_.pid, pid,
+                ObsBallotKey(n_), next, len - next);
       next = len;
       Emit(pid, std::move(ad));
     } else if (decided_dirty_) {

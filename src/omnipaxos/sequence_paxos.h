@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/omnipaxos/ballot.h"
 #include "src/omnipaxos/entry.h"
 #include "src/omnipaxos/messages.h"
@@ -42,6 +43,8 @@ struct SequencePaxosConfig {
   // Leader-side cap on entries moved from the proposal queue into the log per
   // TakeOutgoing() flush; models finite leader processing capacity. 0 = none.
   size_t batch_limit = 0;
+  // Optional trace/metrics sink (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 class SequencePaxos {

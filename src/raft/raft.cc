@@ -103,6 +103,8 @@ void Raft::StartElection(bool pre) {
   }
   votes_granted_.clear();
   votes_granted_.insert(config_.pid);
+  OPX_TRACE(config_.obs, obs::EventKind::kRaftElectionStart, config_.pid, kNoNode,
+            pre ? term_ + 1 : term_, log_.size(), /*aux=*/pre ? 1 : 0);
   if (votes_granted_.size() >= Majority()) {  // single-voter cluster
     if (pre) {
       StartElection(/*pre=*/false);
@@ -126,6 +128,8 @@ void Raft::StartElection(bool pre) {
 void Raft::BecomeLeader() {
   role_ = RaftRole::kLeader;
   leader_ = config_.pid;
+  OPX_TRACE(config_.obs, obs::EventKind::kRaftLeader, config_.pid, config_.pid, term_,
+            log_.size());
   next_send_.clear();
   match_.clear();
   inflight_.clear();
@@ -144,6 +148,10 @@ void Raft::BecomeLeader() {
 
 void Raft::StepDown(uint64_t new_term) {
   OPX_CHECK_GE(new_term, term_);
+  if (role_ == RaftRole::kLeader) {
+    OPX_TRACE(config_.obs, obs::EventKind::kRaftStepDown, config_.pid, kNoNode,
+              new_term, log_.size(), /*aux=*/term_);
+  }
   if (new_term > term_) {
     term_ = new_term;
     voted_for_ = kNoNode;
@@ -364,6 +372,8 @@ void Raft::MaybeCommit() {
   const LogIndex candidate = matches[Majority() - 1];
   if (candidate > commit_ && candidate <= log_.size() && log_[candidate - 1].term == term_) {
     commit_ = candidate;
+    OPX_TRACE(config_.obs, obs::EventKind::kRaftCommit, config_.pid, kNoNode, term_,
+              commit_);
     ApplyMembershipIfCommitted();
   }
 }

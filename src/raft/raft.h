@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/audit/audit_view.h"
+#include "src/obs/trace.h"
 #include "src/raft/messages.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
@@ -52,6 +53,8 @@ struct RaftConfig {
   // models a long-running cluster for the reconfiguration experiments (§7.3).
   LogIndex preload_entries = 0;
   uint32_t preload_payload_bytes = 8;
+  // Optional trace/metrics sink (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 class Raft {

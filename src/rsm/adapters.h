@@ -45,6 +45,7 @@ class OmniNode {
     cfg_.pid = id;
     cfg_.peers = std::move(peers);
     cfg_.ble_priority = opts.ble_priority;
+    cfg_.obs = opts.obs;
     storage_ = std::make_unique<omni::Storage>();
     node_ = std::make_unique<omni::OmniPaxos>(cfg_, storage_.get());
   }
@@ -127,6 +128,7 @@ class RaftNodeT {
     cfg.election_ticks = 5;
     cfg.seed = opts.seed;
     cfg.fast_first_election = opts.ble_priority > 0;
+    cfg.obs = opts.obs;
     node_ = std::make_unique<raft::Raft>(cfg);
   }
 
@@ -198,6 +200,7 @@ class MultiPaxosNode {
     cfg.ping_timeout_ticks = 3;
     cfg.seed = opts.seed;
     cfg.fast_first_takeover = opts.ble_priority > 0;
+    cfg.obs = opts.obs;
     node_ = std::make_unique<mpx::MultiPaxos>(cfg);
   }
 
@@ -264,6 +267,7 @@ class VrNode {
     cfg.peers = std::move(peers);
     cfg.timeout_ticks = 3;
     cfg.seed = opts.seed;
+    cfg.obs = opts.obs;
     storage_ = std::make_unique<omni::Storage>();
     node_ = std::make_unique<vr::VrReplica>(cfg, storage_.get());
   }

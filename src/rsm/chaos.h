@@ -75,6 +75,10 @@ struct ChaosConfig {
   // real liveness failure, not a tight-constant flake.
   Time liveness_window = 0;
   bool audit = true;
+  // Optional trace/metrics sink (DESIGN.md §12). Attaching a sink never
+  // perturbs the schedule, so the fingerprint contract holds either way.
+  // Not serialized into artifacts.
+  obs::ObsSink* obs = nullptr;
 
   Time EffectiveWindow() const {
     return liveness_window != 0 ? liveness_window
@@ -263,6 +267,7 @@ ChaosOutcome RunChaos(const ChaosConfig& cfg) {
   params.preferred_leader = 1;
   params.audit = cfg.audit;
   params.audit_abort = false;  // collect violations; never kill the fuzzer
+  params.obs = cfg.obs;
   ClusterSim<Node> sim(params);
   ChaosScheduleApplier<Node> applier(&sim, &plan);
 
@@ -390,12 +395,19 @@ struct ChaosArtifact {
   ChaosOracle violated = ChaosOracle::kNone;
   uint64_t fingerprint = 0;
   std::string note;  // free-form provenance, single line
+  // Optional trace slice from the violating run, one JSONL event per entry
+  // (DESIGN.md §12). Serialized as "# trace: ..." comment lines, which older
+  // parsers (and Parse below) skip — purely advisory provenance.
+  std::vector<std::string> trace_lines;
 
   std::string Serialize() const {
     std::ostringstream out;
     out << "opx-chaos-artifact v1\n";
     if (!note.empty()) {
       out << "# " << note << "\n";
+    }
+    for (const std::string& t : trace_lines) {
+      out << "# trace: " << t << "\n";
     }
     out << "protocol " << protocol << "\n";
     out << "election-timeout " << config.election_timeout << "\n";

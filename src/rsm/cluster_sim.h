@@ -53,6 +53,11 @@ struct ClusterParams {
   // reads auditor().violations() instead, turning violations into shrinkable,
   // replayable artifacts rather than a dead process.
   bool audit_abort = true;
+  // Optional trace/metrics sink (DESIGN.md §12). Forwarded to every protocol
+  // node and (unless net.obs is already set) to the network; the harness
+  // stamps virtual time into it before each dispatch. nullptr records
+  // nothing, and tracing never perturbs the event schedule or EventHash().
+  obs::ObsSink* obs = nullptr;
 };
 
 template <typename Node>
@@ -63,7 +68,7 @@ class ClusterSim {
 
   explicit ClusterSim(ClusterParams params)
       : params_(params),
-        net_(&sim_, params.num_servers + 1, params.net),
+        net_(&sim_, params.num_servers + 1, NetParamsWithObs(params)),
         client_(MakeClientParams(params)),
         rng_(params.seed),
         auditor_(audit::SafetyAuditor::Options{params.audit_abort}) {
@@ -89,12 +94,14 @@ class ClusterSim {
       NodeOptions opts;
       opts.seed = rng_.Next();
       opts.ble_priority = (id == params_.preferred_leader) ? 1u : 0u;
+      opts.obs = params_.obs;
       node_opts_[static_cast<size_t>(id)] = opts;
       nodes_[static_cast<size_t>(id)] = std::make_unique<Node>(id, std::move(peers), opts);
 
       net_.SetHandler(id, [this, id](NodeId from, Wire w) { OnServerWire(id, from, std::move(w)); });
       net_.SetReconnectHandler(id, [this, id](NodeId peer) {
         if (peer >= 1 && peer <= params_.num_servers && !IsCrashed(id)) {
+          OPX_TRACE_NOW(params_.obs, sim_.Now());
           nodes_[static_cast<size_t>(id)]->Reconnected(peer);
           PumpServer(id);
           AuditNow("reconnect", id);
@@ -112,6 +119,13 @@ class ClusterSim {
     sim_.ScheduleAfter(params_.client_tick, [this]() { TickClient(); });
     sim_.ScheduleAfter(params_.metrics_window, [this]() { SampleIo(); });
     io_samples_.push_back(SnapshotIo());
+#if defined(OPX_OBS_ENABLED)
+    if (params_.obs != nullptr) {
+      // Resolved once here; PumpServer only bumps stable pointers.
+      election_bytes_ctr_ = params_.obs->metrics().GetCounter("cluster/election_bytes");
+      elevations_ctr_ = params_.obs->metrics().GetCounter("cluster/leader_elevations");
+    }
+#endif
   }
 
   // --- Driving --------------------------------------------------------------
@@ -163,12 +177,16 @@ class ClusterSim {
     was_leader_[static_cast<size_t>(id)] = false;
     admission_[static_cast<size_t>(id)].pending.clear();
     net_.ResetNode(id);
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
+    OPX_TRACE(params_.obs, obs::EventKind::kCrash, id);
   }
 
   void Restart(NodeId id) {
     OPX_CHECK(IsCrashed(id));
     crashed_[static_cast<size_t>(id)] = 0;
     net_.ResetNode(id);
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
+    OPX_TRACE(params_.obs, obs::EventKind::kRestart, id);
     nodes_[static_cast<size_t>(id)]->Restart(node_opts_[static_cast<size_t>(id)]);
     PumpServer(id);  // a recovering server emits <PrepareReq> immediately
     AuditNow("restart", id);
@@ -217,6 +235,14 @@ class ClusterSim {
     bool drain_scheduled = false;
   };
 
+  static sim::NetworkParams NetParamsWithObs(const ClusterParams& p) {
+    sim::NetworkParams np = p.net;
+    if (np.obs == nullptr) {
+      np.obs = p.obs;
+    }
+    return np;
+  }
+
   static ClientParams MakeClientParams(const ClusterParams& p) {
     ClientParams cp;
     cp.num_servers = p.num_servers;
@@ -231,6 +257,7 @@ class ClusterSim {
     // A crashed server's timer keeps firing (so the schedule stays identical
     // across crash windows) but drives nothing until restart.
     if (!IsCrashed(id)) {
+      OPX_TRACE_NOW(params_.obs, sim_.Now());
       node(id).Tick();
       PumpServer(id);
       AuditNow("tick", id);
@@ -250,6 +277,7 @@ class ClusterSim {
     if (IsCrashed(id)) {
       return;  // message raced the crash's session teardown
     }
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
     if (auto* proposals = std::get_if<ProposeBatch>(&w)) {
       OnProposals(id, std::move(*proposals));
     } else if (auto* msg = std::get_if<Message>(&w)) {
@@ -319,6 +347,7 @@ class ClusterSim {
         if (IsCrashed(id)) {
           return;
         }
+        OPX_TRACE_NOW(params_.obs, sim_.Now());
         DrainAdmission(id);
         PumpServer(id);
         AuditNow("admission", id);
@@ -355,6 +384,11 @@ class ClusterSim {
       const uint64_t bytes = WireBytes(msg);
       if (Node::IsElectionMessage(msg)) {
         election_bytes_[static_cast<size_t>(id)] += bytes;
+#if defined(OPX_OBS_ENABLED)
+        if (election_bytes_ctr_ != nullptr) {
+          election_bytes_ctr_->Inc(bytes);
+        }
+#endif
       }
       net_.Send(id, to, Wire(std::move(msg)), static_cast<uint32_t>(bytes));
     }
@@ -370,6 +404,13 @@ class ClusterSim {
     const bool lead = n.IsLeader();
     if (lead && !was_leader_[static_cast<size_t>(id)]) {
       ++leader_elevations_;
+      OPX_TRACE_NOW(params_.obs, sim_.Now());
+      OPX_TRACE(params_.obs, obs::EventKind::kLeaderElevation, id, id, n.Epoch());
+#if defined(OPX_OBS_ENABLED)
+      if (elevations_ctr_ != nullptr) {
+        elevations_ctr_->Inc();
+      }
+#endif
     }
     was_leader_[static_cast<size_t>(id)] = lead;
   }
@@ -407,6 +448,10 @@ class ClusterSim {
   std::vector<audit::AuditView> views_scratch_;
   uint64_t audit_events_ = 0;
   uint64_t event_hash_ = audit::Hash64(params_.seed);
+#if defined(OPX_OBS_ENABLED)
+  obs::Counter* election_bytes_ctr_ = nullptr;
+  obs::Counter* elevations_ctr_ = nullptr;
+#endif
 };
 
 }  // namespace opx::rsm

@@ -31,6 +31,9 @@ struct NormalConfig {
   // Run the safety auditor during the experiment (benches pass --audit=false
   // when measuring raw protocol performance).
   bool audit = true;
+  // Optional trace/metrics sink (DESIGN.md §12). When set, the result figures
+  // are also published as gauges under "fig7/...".
+  obs::ObsSink* obs = nullptr;
 };
 
 struct NormalResult {
@@ -50,6 +53,7 @@ NormalResult RunNormal(const NormalConfig& cfg) {
   params.proposal_rate = cfg.proposal_rate;
   params.preferred_leader = 1;
   params.audit = cfg.audit;
+  params.obs = cfg.obs;
   params.net.default_latency = cfg.wan ? Millis(52) : Micros(100);
 
   ClusterSim<Node> sim(params);
@@ -84,6 +88,16 @@ NormalResult RunNormal(const NormalConfig& cfg) {
       total == 0 ? 0.0
                  : static_cast<double>(sim.TotalElectionBytes()) / static_cast<double>(total);
   result.leader_elevations = sim.leader_elevations() - elevations_at_warmup;
+#if defined(OPX_OBS_ENABLED)
+  if (cfg.obs != nullptr) {
+    auto& m = cfg.obs->metrics();
+    m.GetGauge("fig7/throughput")->Set(result.throughput);
+    m.GetGauge("fig7/mean_latency_s")->Set(result.mean_latency_s);
+    m.GetGauge("fig7/election_io_share")->Set(result.election_io_share);
+    m.GetGauge("fig7/leader_elevations")
+        ->Set(static_cast<double>(result.leader_elevations));
+  }
+#endif
   return result;
 }
 
@@ -104,6 +118,9 @@ struct PartitionConfig {
   Time warmup = 0;  // 0 = auto: max(10 s, 6 * election timeout)
   // Run the safety auditor during the experiment.
   bool audit = true;
+  // Optional trace/metrics sink (DESIGN.md §12). When set, downtime is also
+  // observed into the "fig8/downtime_ms" histogram.
+  obs::ObsSink* obs = nullptr;
 };
 
 struct PartitionResult {
@@ -126,6 +143,7 @@ PartitionResult RunPartition(const PartitionConfig& cfg) {
   params.proposal_rate = cfg.proposal_rate;
   params.preferred_leader = 1;
   params.audit = cfg.audit;
+  params.obs = cfg.obs;
   params.net.default_latency = Micros(100);
 
   ClusterSim<Node> sim(params);
@@ -197,6 +215,16 @@ PartitionResult RunPartition(const PartitionConfig& cfg) {
   result.leader_elevations = sim.leader_elevations() - elevations_at_cut;
   result.epoch_increments = sim.MaxEpoch() - epoch_at_cut;
   result.leader_after = sim.CurrentLeader();
+#if defined(OPX_OBS_ENABLED)
+  if (cfg.obs != nullptr) {
+    auto& m = cfg.obs->metrics();
+    m.GetHistogram("fig8/downtime_ms",
+                   obs::ExponentialBuckets(1.0, 2.0, 16))
+        ->Observe(static_cast<double>(result.downtime) / 1e6);
+    m.GetGauge("fig8/epoch_increments")
+        ->Set(static_cast<double>(result.epoch_increments));
+  }
+#endif
   return result;
 }
 

@@ -4,12 +4,17 @@
 
 #include <cstdint>
 
+#include "src/obs/trace.h"
+
 namespace opx::rsm {
 
 struct NodeOptions {
   uint64_t seed = 1;
   // Omni-Paxos only: BLE ballot priority (pins the initial leader).
   uint32_t ble_priority = 0;
+  // Optional trace/metrics sink forwarded into the protocol configs
+  // (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 }  // namespace opx::rsm

@@ -72,6 +72,9 @@ struct ReconfigParams {
   // NIC saturation these experiments deliberately create.
   Time client_retry = Seconds(1);
   uint64_t seed = 1;
+  // Optional trace/metrics sink (DESIGN.md §12): stop-sign decides, migration
+  // segments, and link events; nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 struct ReconfigResult {
@@ -290,6 +293,7 @@ class OmniReconfigSim {
     sim::NetworkParams np;
     np.default_latency = Micros(100);
     np.egress_bytes_per_sec = p.egress_bytes_per_sec;
+    np.obs = p.obs;
     return np;
   }
 
@@ -308,6 +312,7 @@ class OmniReconfigSim {
     config.pid = id;
     config.config_id = cfg;
     config.ble_priority = priority;
+    config.obs = params_.obs;
     for (NodeId m : members) {
       if (m != id) {
         config.peers.push_back(m);
@@ -327,6 +332,7 @@ class OmniReconfigSim {
   // --- Timers -----------------------------------------------------------------
 
   void TickServer(NodeId id) {
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
     for (auto& [cfg, inst] : ActorOf(id).instances) {
       inst.node->TickElection();
     }
@@ -358,6 +364,7 @@ class OmniReconfigSim {
   // --- Message handling -----------------------------------------------------
 
   void OnServerWire(NodeId id, NodeId from, Wire w) {
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
     Actor& actor = ActorOf(id);
     if (auto* tagged = std::get_if<Tagged>(&w)) {
       auto it = actor.instances.find(tagged->cfg);
@@ -382,6 +389,7 @@ class OmniReconfigSim {
     if (peer < 1 || peer > pool_) {
       return;
     }
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
     for (auto& [cfg, inst] : ActorOf(id).instances) {
       inst.node->Reconnected(peer);
     }
@@ -416,6 +424,8 @@ class OmniReconfigSim {
     const std::optional<omni::StopSign> ss = inst.node->DecidedStopSign();
     OPX_CHECK(ss.has_value());
     const ConfigId next_cfg = ss->next_config;
+    OPX_TRACE(params_.obs, obs::EventKind::kReconfigStopSign, id, kNoNode, 0,
+              inst.node->decided_idx(), 0, next_cfg);
     const std::vector<NodeId>& next_members = ss->next_nodes;
     const std::vector<NodeId>& current_members = MembersOf(cfg);
     const bool continuing =
@@ -595,6 +605,16 @@ class OmniReconfigSim {
               mig.fetched.begin() + static_cast<ptrdiff_t>(data.start));
     mig.chunk_state[chunk_idx] = 2;
     ++mig.done_count;
+    OPX_TRACE(params_.obs, obs::EventKind::kMigSegment, id, from, 0, data.start,
+              data.entries.size(), mig.target);
+#if defined(OPX_OBS_ENABLED)
+    if (params_.obs != nullptr) {
+      // Rare (one per migration chunk), so an inline name lookup is fine.
+      params_.obs->metrics()
+          .GetCounter("migration/segment_entries")
+          ->Inc(data.entries.size());
+    }
+#endif
     if (mig.done_count == mig.chunk_state.size()) {
       FinishMigration(id, mig.target);
       return;
@@ -608,6 +628,8 @@ class OmniReconfigSim {
     mig.active = false;
     mig.complete = true;
     result_.migration_done_at = sim_.Now();
+    OPX_TRACE(params_.obs, obs::EventKind::kMigDone, id, kNoNode, 0,
+              mig.fetched.size(), 0, target);
     // §6: the fresh server starts its components only after holding the
     // complete previous segment.
     if (actor.instances.count(target) == 0) {

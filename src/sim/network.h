@@ -15,9 +15,11 @@
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
 #include "src/util/time.h"
@@ -35,6 +37,10 @@ struct NetworkParams {
   // Fixed per-message framing overhead added to the payload size for both
   // serialization and I/O accounting (rough TCP/IP + header cost).
   uint32_t per_message_overhead_bytes = 64;
+  // Optional trace/metrics sink (DESIGN.md §12): link up/down transitions are
+  // recorded as events stamped with the simulator clock, and per-directed-link
+  // egress bytes as counters. nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 template <typename Msg>
@@ -58,6 +64,22 @@ class Network {
     egress_free_at_.resize(static_cast<size_t>(n_) + 1, 0);
     bytes_sent_.resize(static_cast<size_t>(n_) + 1, 0);
     messages_sent_.resize(static_cast<size_t>(n_) + 1, 0);
+#if defined(OPX_OBS_ENABLED)
+    if (params_.obs != nullptr) {
+      // Resolve every per-link byte counter once here, so Send() stays a
+      // pointer bump (the metrics hot-path rule; name lookups never happen
+      // on the message path).
+      link_bytes_.resize(links_.size(), nullptr);
+      for (NodeId from = 1; from <= n_; ++from) {
+        for (NodeId to = 1; to <= n_; ++to) {
+          if (from != to) {
+            link_bytes_[LinkIndex(from, to)] = params_.obs->metrics().GetCounter(
+                "net/link_bytes/" + std::to_string(from) + "->" + std::to_string(to));
+          }
+        }
+      }
+    }
+#endif
   }
 
   int num_nodes() const { return n_; }
@@ -91,6 +113,11 @@ class Network {
     const uint64_t wire_bytes = payload_bytes + params_.per_message_overhead_bytes;
     bytes_sent_[CheckedIndex(from)] += wire_bytes;
     messages_sent_[CheckedIndex(from)] += 1;
+#if defined(OPX_OBS_ENABLED)
+    if (!link_bytes_.empty()) {
+      link_bytes_[LinkIndex(from, to)]->Inc(wire_bytes);
+    }
+#endif
 
     Time start = sim_->Now();
     if (params_.egress_bytes_per_sec > 0.0 && !control_plane) {
@@ -141,6 +168,9 @@ class Network {
     }
     link.up = up;
     link.epoch += 1;
+    OPX_TRACE_NOW(params_.obs, sim_->Now());
+    OPX_TRACE(params_.obs, up ? obs::EventKind::kLinkUp : obs::EventKind::kLinkDown, a,
+              b, 0, 0, link.epoch);
     // A new session starts with a fresh FIFO floor: the old session's queued
     // deliveries are discarded by the epoch check, so inheriting their
     // delivery-time clamp would delay the first post-heal message by however
@@ -235,11 +265,12 @@ class Network {
     return static_cast<size_t>(node);
   }
 
-  Link& LinkRef(NodeId from, NodeId to) {
-    return links_[CheckedIndex(from) * static_cast<size_t>(n_ + 1) + CheckedIndex(to)];
+  size_t LinkIndex(NodeId from, NodeId to) const {
+    return CheckedIndex(from) * static_cast<size_t>(n_ + 1) + CheckedIndex(to);
   }
+  Link& LinkRef(NodeId from, NodeId to) { return links_[LinkIndex(from, to)]; }
   const Link& LinkConstRef(NodeId from, NodeId to) const {
-    return links_[CheckedIndex(from) * static_cast<size_t>(n_ + 1) + CheckedIndex(to)];
+    return links_[LinkIndex(from, to)];
   }
 
   Simulator* sim_;
@@ -251,6 +282,9 @@ class Network {
   std::vector<Time> egress_free_at_;
   std::vector<uint64_t> bytes_sent_;
   std::vector<uint64_t> messages_sent_;
+#if defined(OPX_OBS_ENABLED)
+  std::vector<obs::Counter*> link_bytes_;  // parallel to links_; empty when untraced
+#endif
 };
 
 }  // namespace opx::sim

@@ -61,6 +61,8 @@ void VrElection::AdvanceView(uint64_t view) {
   OPX_CHECK_GT(view, view_);
   view_ = view;
   status_ = VrStatus::kViewChange;
+  OPX_TRACE(config_.obs, obs::EventKind::kVrViewChangeStart, config_.pid,
+            LeaderOf(view_), view_);
   svc_received_.clear();
   svc_received_.insert(config_.pid);
   dvc_received_.clear();
@@ -82,6 +84,8 @@ void VrElection::MaybeSendDoViewChange() {
   }
   dvc_sent_ = true;
   const NodeId leader = current_leader();
+  OPX_TRACE(config_.obs, obs::EventKind::kVrDoViewChange, config_.pid, leader, view_,
+            0, svc_received_.size());
   if (leader == config_.pid) {
     dvc_received_.insert(config_.pid);
     if (dvc_received_.size() >= Majority()) {
@@ -100,6 +104,8 @@ void VrElection::CompleteViewChange() {
   last_normal_view_ = view_;
   ResetBudget();
   leader_event_ = Ballot{view_ + 1, 0, config_.pid};
+  OPX_TRACE(config_.obs, obs::EventKind::kVrLeader, config_.pid, config_.pid, view_, 0,
+            dvc_received_.size());
   for (NodeId peer : config_.peers) {
     Emit(peer, StartView{view_});
   }
@@ -139,6 +145,7 @@ void VrElection::Handle(NodeId from, const VrMessage& msg) {
       ResetBudget();
       alive_seen_ = true;
       leader_event_ = Ballot{view_ + 1, 0, from};
+      OPX_TRACE(config_.obs, obs::EventKind::kVrStartView, config_.pid, from, view_);
     }
     return;
   }

@@ -21,6 +21,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/omnipaxos/ballot.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
@@ -60,6 +61,8 @@ struct VrConfig {
   // view change (randomized up to 2x).
   int timeout_ticks = 3;
   uint64_t seed = 1;
+  // Optional trace/metrics sink (DESIGN.md §12); nullptr records nothing.
+  obs::ObsSink* obs = nullptr;
 };
 
 enum class VrStatus { kNormal, kViewChange };

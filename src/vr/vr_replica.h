@@ -31,6 +31,8 @@ struct VrReplicaConfig {
   int timeout_ticks = 3;
   size_t batch_limit = 0;
   uint64_t seed = 1;
+  // Optional trace/metrics sink, forwarded to both components (DESIGN.md §12).
+  obs::ObsSink* obs = nullptr;
 };
 
 class VrReplica {
@@ -113,6 +115,7 @@ class VrReplica {
     pc.pid = c.pid;
     pc.peers = c.peers;
     pc.batch_limit = c.batch_limit;
+    pc.obs = c.obs;
     return pc;
   }
 
@@ -122,6 +125,7 @@ class VrReplica {
     vc.peers = c.peers;
     vc.timeout_ticks = c.timeout_ticks;
     vc.seed = c.seed;
+    vc.obs = c.obs;
     return vc;
   }
 

@@ -32,6 +32,7 @@ AnalyzerConfig FixtureConfig(const std::string& name) {
                    {"Promise"}}};
   cfg.wire_headers = {"src/proto/messages.h"};
   cfg.audit = {{"src/proto/handler.cc", {"Audit", "AuditView"}, true}};
+  cfg.obs = {{"src/proto/handler.cc", {"OPX_TRACE", "ObsSink"}}};
   return cfg;
 }
 
@@ -55,7 +56,7 @@ TEST(OpxAnalyze, GoodTreeIsClean) {
   EXPECT_TRUE(result.findings.empty())
       << "first finding: "
       << (result.findings.empty() ? "" : result.findings[0].BaselineKey());
-  ASSERT_EQ(result.stats.size(), 5u);
+  ASSERT_EQ(result.stats.size(), 6u);
   for (const CheckStats& s : result.stats) {
     EXPECT_GT(s.files, 0) << s.check << " examined no files";
     EXPECT_EQ(s.findings, 0) << s.check;
@@ -91,6 +92,9 @@ TEST(OpxAnalyze, BadTreeGoldenFindings) {
       "opx-audit-hook src/proto/handler.cc Audit",
       "opx-audit-hook src/proto/handler.cc AuditView",
       "opx-audit-hook src/proto/handler.cc OPX_CHECK",
+      // opx-obs-hook: no trace-recorder hook, no sink.
+      "opx-obs-hook src/proto/handler.cc OPX_TRACE",
+      "opx-obs-hook src/proto/handler.cc ObsSink",
   };
   EXPECT_EQ(Keys(result.findings), expected);
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/audit/auditor.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/types.h"
 
@@ -37,6 +38,15 @@ class LockstepCluster {
 
   Node& node(NodeId id) { return *nodes_[Checked(id)]; }
   int size() const { return n_; }
+
+  // Stamps the lockstep tick count as the sink's virtual time before every
+  // dispatch, so trace-oracle tests can order events by tick. The sink itself
+  // is typically already wired into each node by the test's factory; this just
+  // keeps the clock honest.
+  void AttachObs(obs::ObsSink* sink) {
+    obs_ = sink;
+    OPX_TRACE_NOW(obs_, ticks_);
+  }
 
   void SetLink(NodeId a, NodeId b, bool up) {
     const std::pair<NodeId, NodeId> key = std::minmax(a, b);
@@ -78,6 +88,7 @@ class LockstepCluster {
 
   void Tick() {
     ++ticks_;
+    OPX_TRACE_NOW(obs_, ticks_);
     for (NodeId id = 1; id <= n_; ++id) {
       if (!IsCrashed(id)) {
         node(id).Tick();
@@ -181,6 +192,7 @@ class LockstepCluster {
   std::vector<audit::AuditView> views_;
   uint64_t audit_events_ = 0;
   int64_t ticks_ = 0;
+  obs::ObsSink* obs_ = nullptr;
 };
 
 }  // namespace opx::testing

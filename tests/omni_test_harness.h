@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/audit/auditor.h"
+#include "src/obs/trace.h"
 #include "src/omnipaxos/omni_paxos.h"
 #include "src/util/check.h"
 
@@ -19,7 +20,8 @@ namespace opx::testing {
 
 class OmniCluster {
  public:
-  explicit OmniCluster(int n, size_t batch_limit = 0) : n_(n), batch_limit_(batch_limit) {
+  explicit OmniCluster(int n, size_t batch_limit = 0, obs::ObsSink* obs = nullptr)
+      : n_(n), batch_limit_(batch_limit), obs_(obs) {
     storages_.resize(static_cast<size_t>(n) + 1);
     nodes_.resize(static_cast<size_t>(n) + 1);
     for (NodeId id = 1; id <= n_; ++id) {
@@ -102,6 +104,7 @@ class OmniCluster {
   // One BLE heartbeat period on all live nodes, then full message settling.
   void Tick() {
     ++ticks_;
+    OPX_TRACE_NOW(obs_, ticks_);
     for (NodeId id = 1; id <= n_; ++id) {
       if (!IsCrashed(id)) {
         node(id).TickElection();
@@ -212,11 +215,13 @@ class OmniCluster {
       }
     }
     cfg.batch_limit = batch_limit_;
+    cfg.obs = obs_;
     return cfg;
   }
 
   int n_;
   size_t batch_limit_ = 0;
+  obs::ObsSink* obs_ = nullptr;
   std::vector<std::unique_ptr<omni::OmniPaxos>> nodes_;
   std::vector<std::unique_ptr<omni::Storage>> storages_;
   std::deque<Wire> queue_;

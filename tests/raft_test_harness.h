@@ -85,6 +85,7 @@ class RaftCluster {
 
   void Tick() {
     ++ticks_;
+    OPX_TRACE_NOW(base_.obs, ticks_);
     for (NodeId id = 1; id <= n_; ++id) {
       if (!IsCrashed(id)) {
         node(id).Tick();

@@ -5,7 +5,10 @@
 
 #include <tuple>
 
+#include "src/obs/trace.h"
+#include "src/obs/trace_view.h"
 #include "src/rsm/experiments.h"
+#include "tests/trace_oracle_harness.h"
 
 namespace opx {
 namespace {
@@ -111,6 +114,102 @@ TEST(OmniChain5, ProgressWithNoFullyConnectedServer) {
   EXPECT_GT(sim.client().completed(), decided_at_cut + 1000);
   // Down-time bounded by a handful of timeouts, not the partition length.
   EXPECT_LT(sim.client().LongestGap(Seconds(2), Seconds(12)), Seconds(1));
+}
+
+// --- VR under deaf/mute servers (§8 discussion, Table 1 one-way columns). ---
+//
+// A deaf server receives nothing but still transmits; a mute server is the
+// reverse. VR's view-change protocol was not designed for one-way faults, so
+// liveness degrades — but view integrity (at most one primary per view, the
+// trace-level single-leader oracle) must hold regardless. These pin both
+// sides: the fault-specific liveness outcome AND the safety property.
+
+rsm::ClusterParams VrSweepParams(obs::ObsSink* sink) {
+  rsm::ClusterParams params;
+  params.num_servers = 5;
+  params.election_timeout = Millis(50);
+  params.concurrent_proposals = 200;
+  params.proposal_rate = 20'000;
+  params.preferred_leader = 1;
+  params.obs = sink;
+  return params;
+}
+
+TEST(VrPartialSweep, DeafFollowerNeverForksViews) {
+  obs::ObsSink sink;
+  rsm::ClusterSim<rsm::VrNode> sim(VrSweepParams(&sink));
+  sim.RunUntil(Seconds(2));
+  ASSERT_NE(sim.CurrentLeader(), kNoNode);
+
+  // Server 3 goes deaf: every inbound direction cut, outbound intact. It
+  // stops hearing the primary, times out, and spams view changes that the
+  // rest of the cluster can hear.
+  auto& net = sim.network();
+  for (NodeId j = 1; j <= 5; ++j) {
+    if (j != 3) {
+      net.SetLinkOneWay(j, 3, false);
+    }
+  }
+  sim.RunUntil(Seconds(10));
+  net.HealAll();
+  sim.RunUntil(Seconds(14));
+
+  // Safety: however many view changes the deaf server provoked, no view ever
+  // has two primaries.
+  const obs::TraceView trace = obs::TraceView::FromSink(sink);
+  const testing::PropertyResult single =
+      testing::SingleLeaderPerEpoch(trace, testing::VrLeaderKinds());
+  EXPECT_TRUE(single.ok) << single.detail;
+#if defined(OPX_OBS_ENABLED)
+  // The deaf server's timeouts really did reach the cluster as view-change
+  // traffic — the oracle above is not vacuous.
+  EXPECT_GT(trace.Filter(obs::EventKind::kVrViewChangeStart).size(), 0u);
+#endif
+  // After the heal the cluster converges on one primary and serves again.
+  EXPECT_NE(sim.CurrentLeader(), kNoNode);
+  const uint64_t healed = sim.client().completed();
+  sim.RunUntil(Seconds(16));
+  EXPECT_GT(sim.client().completed(), healed);
+}
+
+TEST(VrPartialSweep, MutePrimaryFailsOverWithoutForkingViews) {
+  obs::ObsSink sink;
+  rsm::ClusterSim<rsm::VrNode> sim(VrSweepParams(&sink));
+  sim.RunUntil(Seconds(2));
+  const NodeId primary = sim.CurrentLeader();
+  ASSERT_NE(primary, kNoNode);
+
+  // The primary goes mute toward the other servers: its Prepares and
+  // heartbeats vanish, so the followers view-change away from it, while it
+  // still hears everything (and must yield, not fork).
+  auto& net = sim.network();
+  for (NodeId j = 1; j <= 5; ++j) {
+    if (j != primary) {
+      net.SetLinkOneWay(primary, j, false);
+    }
+  }
+  sim.RunUntil(Seconds(10));
+
+  const NodeId new_primary = sim.CurrentLeader();
+  EXPECT_NE(new_primary, kNoNode);
+  EXPECT_NE(new_primary, primary);
+
+  const obs::TraceView trace = obs::TraceView::FromSink(sink);
+  const testing::PropertyResult single =
+      testing::SingleLeaderPerEpoch(trace, testing::VrLeaderKinds());
+  EXPECT_TRUE(single.ok) << single.detail;
+#if defined(OPX_OBS_ENABLED)
+  // The failover is in the trace: some view completed with a new primary.
+  EXPECT_GT(trace.Filter(obs::EventKind::kVrLeader).size(), 0u);
+#endif
+
+  net.HealAll();
+  const uint64_t healed = sim.client().completed();
+  sim.RunUntil(Seconds(14));
+  EXPECT_GT(sim.client().completed(), healed);
+  const testing::PropertyResult still_single = testing::SingleLeaderPerEpoch(
+      obs::TraceView::FromSink(sink), testing::VrLeaderKinds());
+  EXPECT_TRUE(still_single.ok) << still_single.detail;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/rsm/adapters.h"
 #include "src/rsm/cluster_sim.h"
 #include "src/sim/network.h"
@@ -422,11 +423,12 @@ TEST(Network, IsolateAndHealAll) {
 // violation reports rely on.
 
 template <typename Node>
-uint64_t RunFingerprint(uint64_t seed, bool partition) {
+uint64_t RunFingerprint(uint64_t seed, bool partition, obs::ObsSink* obs = nullptr) {
   rsm::ClusterParams params;
   params.num_servers = 3;
   params.election_timeout = Millis(50);
   params.seed = seed;
+  params.obs = obs;
   rsm::ClusterSim<Node> sim(params);
   sim.RunUntil(Seconds(1));
   if (partition) {
@@ -467,6 +469,25 @@ TEST(Determinism, FingerprintLock) {
 TEST(Determinism, DifferentSeedsDiverge) {
   EXPECT_NE(RunFingerprint<rsm::OmniNode>(11, false),
             RunFingerprint<rsm::OmniNode>(12, false));
+}
+
+// Attaching a trace/metrics sink must not perturb the schedule: the recorder
+// adds no simulator events and draws no randomness, so the FingerprintLock
+// constants hold bit-identically with tracing on. This is the contract that
+// lets chaos replays and bench runs be traced without invalidating their
+// fingerprints (and that keeps OPX_OBS=OFF builds equivalent).
+TEST(Determinism, TracingDoesNotPerturbFingerprint) {
+  obs::ObsSink sinks[4];
+  EXPECT_EQ(RunFingerprint<rsm::OmniNode>(11, false, &sinks[0]), 0x4365c1d0bc75e0feull);
+  EXPECT_EQ(RunFingerprint<rsm::OmniNode>(23, true, &sinks[1]), 0xe7928fb76e241b15ull);
+  EXPECT_EQ(RunFingerprint<rsm::RaftNode>(11, false, &sinks[2]), 0x1b0f4f3d6320fe4eull);
+  EXPECT_EQ(RunFingerprint<rsm::VrNode>(23, true, &sinks[3]), 0xebcddf75a1ca1a59ull);
+#if defined(OPX_OBS_ENABLED)
+  // And the sinks really were recording while those fingerprints held.
+  for (const obs::ObsSink& sink : sinks) {
+    EXPECT_GT(sink.size(), 0u);
+  }
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Trace-oracle harness: temporal properties checked against obs::TraceView
+// captures (DESIGN.md §12).
+//
+// Each property takes a linearized trace and returns PropertyResult — ok plus
+// a human-readable counterexample when violated. Properties are phrased over
+// the trace alone, so the same oracle runs against lockstep harness captures,
+// ClusterSim runs, and replayed chaos artifacts.
+//
+// Oracle catalogue:
+//   NoAcceptBeforePromiseQuorum — a leader never sends <AcceptDecide> in a
+//       ballot it has not first backed with a Promise quorum (SP §4.1 phase
+//       order; the trace-level shadow of Appendix A's safety argument).
+//   SingleLeaderPerEpoch        — at most one node claims leadership per
+//       epoch key (QC single-leader guarantee for BLE; term/view uniqueness
+//       for Raft/VR; ballot uniqueness for Multi-Paxos).
+//   LeaderUndisturbedAfter      — an established leader is never deposed nor
+//       rivalled after a given instant (the §3.1 "PreVote+CheckQuorum does
+//       not disturb a live leader" claim).
+//   ElectionWithin              — some leader claim lands within a bounded
+//       window after an instant (the paper's ~4-timeout recovery bound).
+#ifndef TESTS_TRACE_ORACLE_HARNESS_H_
+#define TESTS_TRACE_ORACLE_HARNESS_H_
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/obs/trace_view.h"
+#include "src/util/time.h"
+#include "src/util/types.h"
+
+namespace opx::testing {
+
+struct PropertyResult {
+  bool ok = true;
+  std::string detail;
+
+  explicit operator bool() const { return ok; }
+};
+
+inline PropertyResult PropertyPass() { return PropertyResult{}; }
+
+inline PropertyResult PropertyFail(std::string detail) {
+  return PropertyResult{false, std::move(detail)};
+}
+
+// Leader-claim event kinds per protocol family, for the epoch/window oracles.
+inline const std::vector<obs::EventKind>& OmniLeaderKinds() {
+  static const std::vector<obs::EventKind> kinds = {obs::EventKind::kBleLeader};
+  return kinds;
+}
+inline const std::vector<obs::EventKind>& RaftLeaderKinds() {
+  static const std::vector<obs::EventKind> kinds = {obs::EventKind::kRaftLeader};
+  return kinds;
+}
+inline const std::vector<obs::EventKind>& MpxLeaderKinds() {
+  static const std::vector<obs::EventKind> kinds = {obs::EventKind::kMpxLeader};
+  return kinds;
+}
+inline const std::vector<obs::EventKind>& VrLeaderKinds() {
+  static const std::vector<obs::EventKind> kinds = {obs::EventKind::kVrLeader};
+  return kinds;
+}
+
+// Every <AcceptDecide> a node sends must be preceded (in trace order) by that
+// same node reaching a Promise quorum in the same ballot (kSpPrepareSent
+// marks the ballot's birth, kSpPromiseQuorum licenses sends).
+//
+// Ring-wrap soundness: traces from long runs may have lost their prefix
+// (sink.dropped() > 0). A ballot whose birth predates the retained window
+// cannot be judged — its quorum event may simply have been overwritten — so
+// the oracle only flags an AcceptDecide when the same ballot's kSpPrepareSent
+// IS in the trace and no quorum came between. Complete traces (assert
+// sink.dropped() == 0 in the test) keep full sensitivity.
+inline PropertyResult NoAcceptBeforePromiseQuorum(const obs::TraceView& trace) {
+  std::set<std::pair<NodeId, uint64_t>> born;      // (node, ballot key)
+  std::set<std::pair<NodeId, uint64_t>> licensed;  // (node, ballot key)
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.kind == obs::EventKind::kSpPrepareSent) {
+      born.insert({e.node, e.ballot});
+    } else if (e.kind == obs::EventKind::kSpPromiseQuorum) {
+      licensed.insert({e.node, e.ballot});
+    } else if (e.kind == obs::EventKind::kSpAcceptDecideSent) {
+      if (born.count({e.node, e.ballot}) != 0 &&
+          licensed.count({e.node, e.ballot}) == 0) {
+        std::ostringstream d;
+        d << "node " << e.node << " sent AcceptDecide in ballot key " << e.ballot
+          << " at t=" << e.at << " after Prepare but without a Promise quorum";
+        return PropertyFail(d.str());
+      }
+    }
+  }
+  return PropertyPass();
+}
+
+// At most one distinct leader per epoch key (the event's ballot field:
+// ObsBallotKey for Omni/Multi-Paxos, term for Raft, view for VR). Leader
+// events carry the elected leader in `peer` — BLE's Leader indication fires
+// at every observer (node = observer), while Raft/MPX/VR self-claims set
+// peer = node — so agreement is checked on `peer`. Re-claims of the same
+// leader (e.g. after a restart, or by late observers) are permitted.
+inline PropertyResult SingleLeaderPerEpoch(const obs::TraceView& trace,
+                                           const std::vector<obs::EventKind>& leader_kinds) {
+  std::map<uint64_t, NodeId> claimed;  // epoch key -> elected leader
+  const obs::TraceView claims = trace.FilterAny(leader_kinds);
+  for (const obs::TraceEvent& e : claims.events()) {
+    const auto [it, inserted] = claimed.insert({e.ballot, e.peer});
+    if (!inserted && it->second != e.peer) {
+      std::ostringstream d;
+      d << "epoch key " << e.ballot << " has leader " << it->second
+        << " and leader " << e.peer << " (second claim by node " << e.node
+        << " at t=" << e.at << ")";
+      return PropertyFail(d.str());
+    }
+  }
+  return PropertyPass();
+}
+
+// After instant `t`, the established `leader` is never deposed (no event of
+// `stepdown_kinds` by it) and no *other* node claims leadership (no event of
+// `leader_kinds` by anyone else). Scenario 3.1's non-disturbance claim.
+inline PropertyResult LeaderUndisturbedAfter(
+    const obs::TraceView& trace, Time t, NodeId leader,
+    const std::vector<obs::EventKind>& leader_kinds,
+    const std::vector<obs::EventKind>& stepdown_kinds) {
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.at <= t) {
+      continue;
+    }
+    for (obs::EventKind k : stepdown_kinds) {
+      if (e.kind == k && e.node == leader) {
+        std::ostringstream d;
+        d << "leader " << leader << " stepped down (" << obs::EventKindName(k)
+          << ") at t=" << e.at;
+        return PropertyFail(d.str());
+      }
+    }
+    for (obs::EventKind k : leader_kinds) {
+      if (e.kind == k && e.peer != leader) {
+        std::ostringstream d;
+        d << "node " << e.node << " saw rival leader " << e.peer << " ("
+          << obs::EventKindName(k) << ", epoch key " << e.ballot << ") at t="
+          << e.at;
+        return PropertyFail(d.str());
+      }
+    }
+  }
+  return PropertyPass();
+}
+
+// Some event of `leader_kinds` lands in (after, after + bound]. The paper's
+// recovery bound: a leader re-emerges within ~4 election timeouts of the
+// final heal.
+inline PropertyResult ElectionWithin(const obs::TraceView& trace, Time after,
+                                     Time bound,
+                                     const std::vector<obs::EventKind>& leader_kinds) {
+  const obs::TraceView claims = trace.FilterAny(leader_kinds);
+  for (const obs::TraceEvent& e : claims.events()) {
+    if (e.at > after && e.at <= after + bound) {
+      return PropertyPass();
+    }
+  }
+  std::ostringstream d;
+  d << "no leader claim in (" << after << ", " << (after + bound) << "]";
+  const obs::TraceEvent* next = claims.FirstAfter(after);
+  if (next != nullptr) {
+    d << "; next claim at t=" << next->at;
+  } else {
+    d << "; none ever";
+  }
+  return PropertyFail(d.str());
+}
+
+}  // namespace opx::testing
+
+#endif  // TESTS_TRACE_ORACLE_HARNESS_H_

@@ -1,6 +1,6 @@
 // opx_analyze — protocol-aware static analysis for the Omni-Paxos tree.
 //
-// A dependency-free C++ tokenizer plus five lexical/flow checks that encode
+// A dependency-free C++ tokenizer plus six lexical/flow checks that encode
 // the implementation invariants the safety proof (PAPER.md Appendix A)
 // assumes but the compiler never verifies:
 //
@@ -19,6 +19,10 @@
 //   opx-audit-hook     protocol implementations expose the PR 1 auditor
 //                      surface (AuditView snapshot) and keep OPX_CHECK /
 //                      OPX_DCHECK assertions live.
+//   opx-obs-hook       protocol handler files route their observable events
+//                      through the obs::ObsSink trace recorder (OPX_TRACE /
+//                      OPX_TRACE_NOW), so the trace-oracle conformance tests
+//                      keep seeing every protocol transition (DESIGN.md §12).
 //
 // Findings can be suppressed inline with `// NOLINT(opx-<check>)` on the
 // flagged line (bare `// NOLINT` suppresses all checks), or via a committed
@@ -137,6 +141,14 @@ struct AuditRule {
   bool require_check_macro = false;
 };
 
+// Trace-hook coverage: `file` must reference every identifier in `required`
+// (typically OPX_TRACE / OPX_TRACE_NOW / ObsSink), keeping the observability
+// layer of DESIGN.md §12 wired into the protocol hot paths.
+struct ObsRule {
+  std::string file;
+  std::vector<std::string> required;
+};
+
 struct AnalyzerConfig {
   std::string root;  // absolute path of the tree to analyze
   DeterminismConfig determinism;
@@ -144,6 +156,7 @@ struct AnalyzerConfig {
   std::vector<HandlerRule> handlers;
   std::vector<std::string> wire_headers;  // opx-msg-init scope
   std::vector<AuditRule> audit;
+  std::vector<ObsRule> obs;
 };
 
 // The repo's own configuration (scans `root` for the wire headers).
@@ -155,7 +168,7 @@ AnalyzerConfig DefaultConfig(const std::string& root);
 
 inline constexpr const char* kCheckIds[] = {
     "opx-determinism", "opx-persist-order", "opx-dispatch",
-    "opx-msg-init", "opx-audit-hook",
+    "opx-msg-init", "opx-audit-hook", "opx-obs-hook",
 };
 
 struct CheckStats {
@@ -183,6 +196,8 @@ void CheckMsgInit(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* f
                   std::vector<std::string>* errors);
 void CheckAuditHook(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
                     std::vector<std::string>* errors);
+void CheckObsHook(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                  std::vector<std::string>* errors);
 
 // --------------------------------------------------------------------------
 // Baseline.

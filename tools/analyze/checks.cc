@@ -1,4 +1,4 @@
-// The five protocol-aware checks of opx_analyze. All of them operate on the
+// The six protocol-aware checks of opx_analyze. All of them operate on the
 // token stream of SourceFile — a deliberately lightweight parse (no libclang
 // in this toolchain): declarations, call sites, and brace/angle matching are
 // recognized lexically, which is exact enough for the conventions this tree
@@ -616,6 +616,39 @@ void CheckAuditHook(const AnalyzerConfig& cfg, FileSet& files, std::vector<Findi
 }
 
 // --------------------------------------------------------------------------
+// opx-obs-hook
+// --------------------------------------------------------------------------
+
+void CheckObsHook(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                  int* nfiles, std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-obs-hook";
+  for (const ObsRule& rule : cfg.obs) {
+    const SourceFile* sf = files.Get(rule.file);
+    if (sf == nullptr) {
+      errors->push_back("opx-obs-hook: cannot read " + rule.file);
+      continue;
+    }
+    ++*nfiles;
+    std::set<std::string> idents;
+    for (const Tok& tok : sf->toks) {
+      if (tok.kind == TokKind::kIdent) {
+        idents.insert(tok.text);
+      }
+    }
+    for (const std::string& req : rule.required) {
+      if (idents.count(req) == 0) {
+        Add(*sf, 1, kCheck, req,
+            rule.file + " does not reference `" + req +
+                "` — observable protocol transitions must flow through the "
+                "obs::ObsSink trace recorder so the trace-oracle tests stay "
+                "non-vacuous (DESIGN.md §12)",
+            out);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 // Driver.
 // --------------------------------------------------------------------------
 
@@ -639,6 +672,7 @@ AnalysisResult RunAnalysis(const AnalyzerConfig& config) {
       {"opx-dispatch", CheckDispatch},
       {"opx-msg-init", CheckMsgInit},
       {"opx-audit-hook", CheckAuditHook},
+      {"opx-obs-hook", CheckObsHook},
   };
 
   for (const Entry& e : entries) {

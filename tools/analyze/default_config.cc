@@ -81,6 +81,22 @@ AnalyzerConfig DefaultConfig(const std::string& root) {
       {"src/rsm/cluster_sim.h", {"SafetyAuditor", "Audit"}, false},
   };
 
+  // --- opx-obs-hook -------------------------------------------------------
+  // Every protocol handler and the simulated network must route observable
+  // transitions through the DESIGN.md §12 trace recorder; the harness headers
+  // that own the sink must also reference ObsSink itself. Without these the
+  // trace-oracle conformance tests go silently vacuous.
+  cfg.obs = {
+      {"src/omnipaxos/ble.cc", {"OPX_TRACE"}},
+      {"src/omnipaxos/sequence_paxos.cc", {"OPX_TRACE"}},
+      {"src/raft/raft.cc", {"OPX_TRACE"}},
+      {"src/multipaxos/multipaxos.cc", {"OPX_TRACE"}},
+      {"src/vr/vr_election.cc", {"OPX_TRACE"}},
+      {"src/sim/network.h", {"OPX_TRACE", "ObsSink"}},
+      {"src/rsm/cluster_sim.h", {"OPX_TRACE", "ObsSink"}},
+      {"src/rsm/omni_reconfig_sim.h", {"OPX_TRACE", "ObsSink"}},
+  };
+
   return cfg;
 }
 

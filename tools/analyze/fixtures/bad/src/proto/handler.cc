@@ -6,6 +6,8 @@
 //   opx-persist-order: HandlePrepare replies <Promise> before the
 //                      set_promised_round write it advertises
 //   opx-audit-hook:    no Audit()/AuditView surface, no OPX_CHECK anywhere
+//   opx-obs-hook:      no OPX_TRACE call and no ObsSink member — observable
+//                      transitions are invisible to the trace oracles
 #include <functional>
 #include <random>
 #include <unordered_map>

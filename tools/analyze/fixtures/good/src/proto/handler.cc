@@ -1,6 +1,7 @@
 // Known-good handler fixture: every FixMessage alternative has a dispatch
 // case, durable writes precede the replies that acknowledge them, only
-// ordered containers appear, and the auditor surface is present.
+// ordered containers appear, the auditor surface is present, and observable
+// transitions flow through the ObsSink trace recorder.
 #include <map>
 #include <variant>
 
@@ -46,6 +47,7 @@ class Handler {
   // lands, then the reply that advertises it goes out.
   void HandlePrepare(NodeId from, const Prepare& p) {
     storage_.set_promised_round(p.n);
+    OPX_TRACE(obs_, opx::obs::EventKind::kSpPromiseSent, from, from, p.n.key, 0, 0);
     Promise promise;
     promise.n = p.n;
     Emit(from, promise);
@@ -70,6 +72,7 @@ class Handler {
 
   Storage storage_;
   std::map<uint64_t, uint64_t> outstanding_;
+  opx::obs::ObsSink* obs_ = nullptr;
 };
 
 }  // namespace fix

@@ -3,7 +3,7 @@
 //   opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]
 //               [--check=opx-...] [--no-summary] [--list-checks]
 //
-// Runs the five protocol-aware checks (see analyzer.h / DESIGN.md §11) over
+// Runs the six protocol-aware checks (see analyzer.h / DESIGN.md §11) over
 // the tree at --root (default: the current directory). Exit status:
 //   0  no non-baselined findings
 //   1  findings (or stale baseline entries with --write-baseline unset? no —

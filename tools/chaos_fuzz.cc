@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
+#include "src/obs/trace_view.h"
 #include "src/rsm/chaos.h"
 #include "src/sim/chaos_plan.h"
 #include "src/util/flags.h"
@@ -100,6 +102,29 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return out.good();
 }
 
+// Re-runs the (already shrunk) violating config with a trace sink attached and
+// returns the final ~64 events as JSONL lines for embedding in the artifact.
+// The sink never perturbs the schedule, so the replayed fingerprint still
+// matches; a compiled-out obs build just yields an empty slice.
+template <typename Node>
+std::vector<std::string> CaptureTraceSlice(const ChaosConfig& cfg) {
+  std::vector<std::string> lines;
+#if defined(OPX_OBS_ENABLED)
+  obs::ObsSink sink;
+  ChaosConfig traced = cfg;
+  traced.obs = &sink;
+  (void)rsm::RunChaos<Node>(traced);
+  const obs::TraceView tail = obs::TraceView::FromSink(sink).Tail(64);
+  lines.reserve(tail.size());
+  for (const obs::TraceEvent& e : tail.events()) {
+    lines.push_back(obs::ToJson(e));
+  }
+#else
+  (void)cfg;
+#endif
+  return lines;
+}
+
 template <typename Node>
 int FuzzProtocol(const FuzzOptions& opt, const std::string& protocol) {
   sim::ChaosGenParams gen;
@@ -161,6 +186,7 @@ int FuzzProtocol(const FuzzOptions& opt, const std::string& protocol) {
       art.config = MakeConfig(opt, minimal);
       art.violated = final_outcome.violated;
       art.fingerprint = final_outcome.fingerprint;
+      art.trace_lines = CaptureTraceSlice<Node>(art.config);
       std::ostringstream note;
       note << "shrunk from seed " << seed << " (" << plan.faults.size() << " faults)"
            << (opt.mutant.empty() ? "" : " with mutant ") << opt.mutant;
@@ -181,7 +207,7 @@ int FuzzProtocol(const FuzzOptions& opt, const std::string& protocol) {
   return 0;
 }
 
-int Replay(const std::string& path) {
+int Replay(const std::string& path, const std::string& trace_path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -189,12 +215,35 @@ int Replay(const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::optional<ChaosArtifact> art = ChaosArtifact::Parse(buf.str());
+  std::optional<ChaosArtifact> art = ChaosArtifact::Parse(buf.str());
   if (!art) {
     std::fprintf(stderr, "malformed artifact %s\n", path.c_str());
     return 2;
   }
+#if defined(OPX_OBS_ENABLED)
+  obs::ObsSink sink;
+  if (!trace_path.empty()) {
+    art->config.obs = &sink;
+  }
+#else
+  if (!trace_path.empty()) {
+    std::fprintf(stderr, "--trace requires an OPX_OBS=ON build\n");
+    return 2;
+  }
+#endif
   const rsm::ChaosReplayResult r = rsm::ReplayChaosArtifact(*art);
+#if defined(OPX_OBS_ENABLED)
+  if (!trace_path.empty()) {
+    std::ofstream tf(trace_path);
+    if (!tf) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    obs::WriteJsonl(tf, sink.Events());
+    std::printf("trace: %zu events -> %s (%" PRIu64 " dropped)\n", sink.size(),
+                trace_path.c_str(), sink.dropped());
+  }
+#endif
   std::printf("replay %s [%s, %zu faults]\n  recorded: %s  observed: %s\n"
               "  fingerprint %s (%" PRIx64 ")\n",
               path.c_str(), art->protocol.c_str(), art->config.plan.faults.size(),
@@ -215,11 +264,12 @@ int Main(int argc, char** argv) {
         "usage: chaos_fuzz [--protocol=omni|raft|raft-pvcq|multipaxos|vr|all]\n"
         "                  [--schedules=N] [--seed=S] [--servers=N] [--timeout-ms=T]\n"
         "                  [--shrink=bool] [--check-determinism] [--dump=DIR]\n"
-        "                  [--out-dir=DIR] [--mutant=stuck-link] [--replay=FILE]\n");
+        "                  [--out-dir=DIR] [--mutant=stuck-link] [--replay=FILE]\n"
+        "                  [--trace=FILE.jsonl (with --replay: dump the full trace)]\n");
     return 0;
   }
   if (flags.Has("replay")) {
-    return Replay(flags.GetString("replay", ""));
+    return Replay(flags.GetString("replay", ""), flags.GetString("trace", ""));
   }
 
   FuzzOptions opt;

@@ -2,8 +2,9 @@
 # Full static+dynamic check pipeline, as run before merging:
 #   1. sanitized build (ASan+UBSan, assertions live) of everything;
 #   2. opx_analyze (DESIGN.md §11): determinism, persistence-ordering,
-#      dispatch-exhaustiveness, message-hygiene, and audit-hook checks over
-#      src/ — fails on any finding not in tools/analyze/baseline.txt;
+#      dispatch-exhaustiveness, message-hygiene, audit-hook, and obs-hook
+#      checks over src/ — fails on any finding not in
+#      tools/analyze/baseline.txt;
 #   3. the complete CTest suite under sanitizers — every scenario/chaos test
 #      runs with the cross-replica safety auditor enabled (the default);
 #   4. clang-tidy over files changed relative to origin/main (skipped with a
@@ -13,9 +14,10 @@
 #        tools/run_checks.sh --static [build-dir]
 #        tools/run_checks.sh --bench-smoke [build-dir]
 #        tools/run_checks.sh --chaos-smoke [schedules-per-protocol]
+#        tools/run_checks.sh --coverage [build-dir]
 #
 # --static is the fast pre-commit path: build only the opx_analyze target
-# (plain build, default dir: build-static) and run the five static checks —
+# (plain build, default dir: build-static) and run the six static checks —
 # a few seconds warm, well under ten cold.
 #
 # --bench-smoke instead does a Release build (default dir: build-bench), runs
@@ -27,6 +29,11 @@
 # Release build and the ASan+UBSan build; then verifies the oracle pipeline
 # actually fires by expecting the --mutant=stuck-link sanity schedule to be
 # caught, shrunk, and replayed from its dumped artifact.
+#
+# --coverage builds with gcc's --coverage instrumentation (default dir:
+# build-cov), runs the full CTest suite, and aggregates raw `gcov -n` output
+# into per-directory line-coverage percentages with awk — no lcov/gcovr
+# needed. DESIGN.md §12 cites the resulting numbers.
 set -u -o pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -66,8 +73,68 @@ if [ "${1:-}" = "--static" ]; then
       { echo "link FAILED"; exit 1; }
     echo "ok"
   fi
-  step "opx_analyze over src/ (five checks, baseline-filtered)"
+  step "opx_analyze over src/ (six checks, baseline-filtered)"
   exec "$BIN" --root="$ROOT"
+fi
+
+if [ "${1:-}" = "--coverage" ]; then
+  BUILD="${2:-$ROOT/build-cov}"
+  command -v gcov >/dev/null 2>&1 || { echo "gcov not installed"; exit 1; }
+
+  step "coverage build (gcc --coverage) -> $BUILD"
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage \
+    >"$BUILD.configure.log" 2>&1 ||
+    { echo "configure FAILED (see $BUILD.configure.log)"; exit 1; }
+  cmake --build "$BUILD" -j "$JOBS" >"$BUILD.build.log" 2>&1 ||
+    { echo "build FAILED (see $BUILD.build.log)"; exit 1; }
+  echo "ok"
+
+  step "ctest (collecting .gcda)"
+  find "$BUILD" -name '*.gcda' -delete
+  if (cd "$BUILD" && ctest -j "$JOBS" --output-on-failure >"$BUILD.ctest.log" 2>&1); then
+    echo "ok"
+  else
+    echo "ctest FAILED (see $BUILD.ctest.log)"
+    exit 1
+  fi
+
+  step "per-directory line coverage (gcov -n, awk aggregate)"
+  # gcov prints, per source file:  File '<path>' / Lines executed:P% of N.
+  # Split on single quotes to recover the path, keep only repo sources, and
+  # dedupe headers covered from several TUs by keeping the largest N seen.
+  find "$BUILD" -name '*.gcda' -print0 |
+    xargs -0 gcov -n 2>/dev/null |
+    awk -F"'" -v root="$ROOT/" '
+      /^File / { file = $2; sub("^" root, "", file); next }
+      /^Lines executed:/ {
+        if (file == "" || file ~ /^\//) { file = ""; next }
+        split($0, a, ":"); split(a[2], b, "% of ")
+        total = b[2] + 0
+        if (total > ftotal[file]) {
+          ftotal[file] = total
+          fexec[file] = (b[1] + 0) * total / 100.0
+        }
+        file = ""
+      }
+      END {
+        for (f in ftotal) {
+          n = split(f, parts, "/")
+          dir = parts[1]
+          if (n > 2) dir = parts[1] "/" parts[2]
+          dt[dir] += ftotal[f]; de[dir] += fexec[f]
+          gt += ftotal[f]; ge += fexec[f]
+        }
+        cmd = "sort"
+        for (d in dt)
+          printf "  %-22s %6.1f%%  (%d of %d lines)\n",
+                 d, 100 * de[d] / dt[d], de[d] + 0.5, dt[d] | cmd
+        close(cmd)
+        if (gt > 0)
+          printf "  %-22s %6.1f%%  (%d of %d lines)\n",
+                 "TOTAL", 100 * ge / gt, ge + 0.5, gt
+      }'
+  exit 0
 fi
 
 if [ "${1:-}" = "--bench-smoke" ]; then
