@@ -26,6 +26,7 @@
 #include "src/audit/audit_view.h"
 #include "src/multipaxos/messages.h"
 #include "src/obs/trace.h"
+#include "src/util/quorum.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
 
@@ -78,7 +79,7 @@ class MultiPaxos {
 
  private:
   size_t ClusterSize() const { return config_.peers.size() + 1; }
-  size_t Majority() const { return ClusterSize() / 2 + 1; }
+  size_t Majority() const { return util::MajorityOf(ClusterSize()); }
 
   // Largest W such that every slot < W is either chosen (below the decided
   // watermark) or accepted in ballot `b`. This is the only prefix an acceptor

@@ -20,6 +20,7 @@
 #include "src/obs/trace.h"
 #include "src/omnipaxos/ballot.h"
 #include "src/omnipaxos/messages.h"
+#include "src/util/quorum.h"
 #include "src/util/types.h"
 
 namespace opx::omni {
@@ -74,7 +75,7 @@ class BallotLeaderElection {
   };
 
   size_t ClusterSize() const { return config_.peers.size() + 1; }
-  size_t Majority() const { return ClusterSize() / 2 + 1; }
+  size_t Majority() const { return util::MajorityOf(ClusterSize()); }
 
   void CheckLeader();
 

@@ -23,6 +23,7 @@
 #include "src/omnipaxos/entry.h"
 #include "src/omnipaxos/messages.h"
 #include "src/omnipaxos/storage.h"
+#include "src/util/quorum.h"
 #include "src/util/types.h"
 
 namespace opx::omni {
@@ -119,7 +120,7 @@ class SequencePaxos {
   };
 
   size_t ClusterSize() const { return config_.peers.size() + 1; }
-  size_t Majority() const { return ClusterSize() / 2 + 1; }
+  size_t Majority() const { return util::MajorityOf(ClusterSize()); }
 
   void BecomeLeader(const Ballot& b);
   void HandlePrepare(NodeId from, const Prepare& p);

@@ -23,6 +23,7 @@
 #include "src/audit/audit_view.h"
 #include "src/obs/trace.h"
 #include "src/raft/messages.h"
+#include "src/util/quorum.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
 
@@ -99,7 +100,7 @@ class Raft {
   audit::AuditView Audit() const;
 
  private:
-  size_t Majority() const { return voters_.size() / 2 + 1; }
+  size_t Majority() const { return util::MajorityOf(voters_.size()); }
   uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
 
   void ResetElectionTimer();

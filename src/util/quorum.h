@@ -1,0 +1,24 @@
+// The one audited implementation of quorum arithmetic, shared by every
+// protocol (Sequence Paxos, BLE, Raft, MultiPaxos, VR) and by the test
+// harnesses. Hand-rolled majority math is rejected by opx_analyze's
+// opx-quorum-arith check: `(n + 1) / 2` is NOT a majority for even n
+// (n = 4 gives 2), and a bare `n / 2` is a minority-vs-majority off-by-one
+// waiting to happen.
+#ifndef SRC_UTIL_QUORUM_H_
+#define SRC_UTIL_QUORUM_H_
+
+#include <cstddef>
+
+namespace opx::util {
+
+// Smallest strict majority of an n-server cluster: floor(n/2) + 1.
+// Correct for both parities (n = 4 -> 3, n = 5 -> 3).
+constexpr size_t MajorityOf(size_t n) { return n / 2 + 1; }
+
+// Largest set of servers that may fail while a majority survives:
+// n - MajorityOf(n), i.e. ceil(n/2) - 1.
+constexpr size_t MaxMinorityOf(size_t n) { return n - MajorityOf(n); }
+
+}  // namespace opx::util
+
+#endif  // SRC_UTIL_QUORUM_H_

@@ -23,6 +23,7 @@
 
 #include "src/obs/trace.h"
 #include "src/omnipaxos/ballot.h"
+#include "src/util/quorum.h"
 #include "src/util/rng.h"
 #include "src/util/types.h"
 
@@ -86,7 +87,7 @@ class VrElection {
 
  private:
   size_t ClusterSize() const { return all_nodes_.size(); }
-  size_t Majority() const { return ClusterSize() / 2 + 1; }
+  size_t Majority() const { return util::MajorityOf(ClusterSize()); }
 
   void AdvanceView(uint64_t view);
   void MaybeSendDoViewChange();

@@ -3,12 +3,14 @@
 // finding sets per check, the three NOLINT spellings, baseline filtering,
 // and a final run of the repo's own configuration over the live tree.
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "tools/analyze/analyzer.h"
+#include "tools/analyze/cfg.h"
 
 namespace opx::analyze {
 namespace {
@@ -33,6 +35,22 @@ AnalyzerConfig FixtureConfig(const std::string& name) {
   cfg.wire_headers = {"src/proto/messages.h"};
   cfg.audit = {{"src/proto/handler.cc", {"Audit", "AuditView"}, true}};
   cfg.obs = {{"src/proto/handler.cc", {"OPX_TRACE", "ObsSink"}}};
+  // v2 checks (CFG/dataflow engine): guards.cc carries the ballot-guard
+  // shapes, quorum.cc the majority arithmetic, span.cc the escaping views,
+  // and src/loop/eventloop.cc the event-loop reachability fixture.
+  cfg.ballot_guards = {{"src/proto/guards.cc",
+                        /*round_fields=*/{"n"},
+                        /*state_rounds=*/{"promised_round_", "round_", "leader_ballot_"},
+                        /*mutators=*/{"set_promised_round"},
+                        /*state_members=*/{"round_", "leader_ballot_"},
+                        /*exempt=*/{}}};
+  cfg.quorum.dirs = {"src/proto"};
+  cfg.quorum.helper_file = "src/proto/quorum_util.h";
+  cfg.quorum.size_idents = {"kServers", "cluster_size"};
+  cfg.blocking.det_dirs = {"src/proto"};
+  cfg.blocking.event_dirs = {"src/loop"};
+  cfg.blocking.entries = {{"src/loop/eventloop.cc", "Run"}};
+  cfg.span_escape.dirs = {"src/proto"};
   return cfg;
 }
 
@@ -56,7 +74,7 @@ TEST(OpxAnalyze, GoodTreeIsClean) {
   EXPECT_TRUE(result.findings.empty())
       << "first finding: "
       << (result.findings.empty() ? "" : result.findings[0].BaselineKey());
-  ASSERT_EQ(result.stats.size(), 6u);
+  ASSERT_EQ(result.stats.size(), 10u);
   for (const CheckStats& s : result.stats) {
     EXPECT_GT(s.files, 0) << s.check << " examined no files";
     EXPECT_EQ(s.findings, 0) << s.check;
@@ -95,6 +113,24 @@ TEST(OpxAnalyze, BadTreeGoldenFindings) {
       // opx-obs-hook: no trace-recorder hook, no sink.
       "opx-obs-hook src/proto/handler.cc OPX_TRACE",
       "opx-obs-hook src/proto/handler.cc ObsSink",
+      // opx-ballot-guard: inverted guard, missing guard, unguarded callee.
+      "opx-ballot-guard src/proto/guards.cc HandlePrepare/set_promised_round",
+      "opx-ballot-guard src/proto/guards.cc HandleCommit/round_",
+      "opx-ballot-guard src/proto/guards.cc HandleSync/Adopt",
+      // opx-quorum-arith: (n+1)/2, n/2+1, and bare n/2, in source order.
+      "opx-quorum-arith src/proto/quorum.cc div2",
+      "opx-quorum-arith src/proto/quorum.cc div2#1",
+      "opx-quorum-arith src/proto/quorum.cc div2#2",
+      // opx-blocking-in-loop: blanket ban in deterministic code plus the two
+      // calls reachable from the Run entry point (Idle() blocks too but is
+      // unreachable, so it must stay unflagged).
+      "opx-blocking-in-loop src/proto/handler.cc usleep",
+      "opx-blocking-in-loop src/loop/eventloop.cc Flush/write",
+      "opx-blocking-in-loop src/loop/eventloop.cc Wait/sleep_for",
+      // opx-span-escape: span stored into a member, view pushed into a
+      // member container.
+      "opx-span-escape src/proto/span.cc Keep/entries",
+      "opx-span-escape src/proto/span.cc Name/name",
   };
   EXPECT_EQ(Keys(result.findings), expected);
 
@@ -196,6 +232,129 @@ TEST(OpxAnalyze, TokenizerAndSuppressionUnits) {
   EXPECT_TRUE(sf.Suppressed(2, "opx-foo"));
   EXPECT_FALSE(sf.Suppressed(2, "opx-msg-init"));
   EXPECT_FALSE(sf.Suppressed(3, "opx-determinism"));
+}
+
+// Golden token streams for the tokenizer edge cases the v2 engine depends
+// on: prefixed raw strings, digit separators, nested template closers, and
+// backslash-newline splicing (fixtures under tools/analyze/fixtures/tokenizer).
+TEST(OpxAnalyze, TokenizerRawStringPrefixes) {
+  FileSet files(FixtureRoot("tokenizer"));
+  const SourceFile* sf = files.Get("raw_string.cc");
+  ASSERT_NE(sf, nullptr);
+  int strings = 0;
+  bool saw_prefixed = false;
+  for (const Tok& t : sf->toks) {
+    if (t.kind == TokKind::kString) {
+      ++strings;
+      saw_prefixed = saw_prefixed || t.text.rfind("u8R\"x(", 0) == 0;
+    }
+  }
+  EXPECT_EQ(strings, 3);  // the embedded `)"` must not terminate the u8R form
+  EXPECT_TRUE(saw_prefixed);
+  const Tok& last = sf->toks[sf->toks.size() - 4];
+  EXPECT_EQ(last.text, "after_raw");
+  EXPECT_EQ(last.line, 6);
+}
+
+TEST(OpxAnalyze, TokenizerDigitSeparators) {
+  FileSet files(FixtureRoot("tokenizer"));
+  const SourceFile* sf = files.Get("digit_sep.cc");
+  ASSERT_NE(sf, nullptr);
+  int numbers = 0;
+  bool big_whole = false;
+  bool hex_whole = false;
+  for (const Tok& t : sf->toks) {
+    if (t.kind == TokKind::kNumber) {
+      ++numbers;
+      big_whole = big_whole || t.text == "1'000'000";
+      hex_whole = hex_whole || t.text == "0xFF'FF";
+    }
+  }
+  EXPECT_EQ(numbers, 3) << "digit separators must not split number tokens";
+  EXPECT_TRUE(big_whole);
+  EXPECT_TRUE(hex_whole);
+}
+
+TEST(OpxAnalyze, TokenizerTemplateClosersAndMergedOperators) {
+  FileSet files(FixtureRoot("tokenizer"));
+  const SourceFile* sf = files.Get("nested_template.cc");
+  ASSERT_NE(sf, nullptr);
+  std::map<std::string, int> count;
+  for (const Tok& t : sf->toks) {
+    if (t.kind == TokKind::kPunct) {
+      ++count[t.text];
+    }
+  }
+  EXPECT_EQ(count[">"], 3) << "`>>>` must stay three closers for angle matching";
+  EXPECT_EQ(count[">>"], 0);
+  EXPECT_EQ(count["<="], 1);
+  EXPECT_EQ(count[">="], 1);
+  EXPECT_EQ(count["=="], 1);
+  EXPECT_EQ(count["&&"], 1);
+  EXPECT_EQ(count["||"], 1);
+}
+
+TEST(OpxAnalyze, TokenizerLineContinuation) {
+  FileSet files(FixtureRoot("tokenizer"));
+  const SourceFile* sf = files.Get("line_cont.cc");
+  ASSERT_NE(sf, nullptr);
+  int spliced_line = 0;
+  int two_line = 0;
+  int after_line = 0;
+  for (const Tok& t : sf->toks) {
+    if (t.IsIdent("spliced")) {
+      spliced_line = t.line;
+    } else if (t.kind == TokKind::kNumber && t.text == "2") {
+      two_line = t.line;
+    } else if (t.IsIdent("after_splice")) {
+      after_line = t.line;
+    }
+  }
+  EXPECT_EQ(spliced_line, 3);
+  EXPECT_EQ(two_line, 4) << "splice joins the statement but keeps line numbers";
+  EXPECT_EQ(after_line, 5);
+}
+
+// The dataflow engine in one place: function discovery, CFG lowering with
+// dedicated edge blocks, dominator-based guard facts, and early-return
+// negation (DESIGN.md §13).
+TEST(OpxAnalyze, CfgEarlyReturnYieldsNegatedGuardFact) {
+  SourceFile sf;
+  sf.path = "cfg.cc";
+  Tokenize(
+      "void F(int n) {\n"
+      "  if (n < limit_) {\n"
+      "    return;\n"
+      "  }\n"
+      "  apply();\n"
+      "}\n",
+      &sf);
+  const std::vector<FunctionDef> fns = ParseFunctions(sf);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "F");
+  ASSERT_EQ(fns[0].params.size(), 1u);
+  EXPECT_EQ(fns[0].params[0].name, "n");
+
+  const Cfg cfg = Cfg::Build(sf, fns[0]);
+  GuardIndex guards(cfg);
+  size_t apply_tok = 0;
+  for (size_t i = 0; i < sf.toks.size(); ++i) {
+    if (sf.toks[i].IsIdent("apply")) {
+      apply_tok = i;
+    }
+  }
+  ASSERT_GT(apply_tok, 0u);
+  std::vector<GuardFact> facts;
+  for (const GuardFact& raw : guards.FactsAtToken(apply_tok)) {
+    for (const GuardFact& f : NormalizeFact(sf.toks, raw)) {
+      facts.push_back(f);
+    }
+  }
+  // The only fact on the fall-through path is the negated early-return
+  // condition: !(n < limit_).
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_FALSE(facts[0].polarity);
+  EXPECT_EQ(sf.toks[facts[0].cond.begin].text, "n");
 }
 
 // The repo's own configuration over the live tree: zero findings, zero

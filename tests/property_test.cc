@@ -8,6 +8,7 @@
 
 #include "src/multipaxos/multipaxos.h"
 #include "src/raft/raft.h"
+#include "src/util/quorum.h"
 #include "src/util/rng.h"
 #include "tests/lockstep_harness.h"
 #include "tests/omni_test_harness.h"
@@ -55,7 +56,7 @@ TEST_P(OmniChaosTest, SequenceConsensusHolds) {
       }
       case 2: {  // crash one server (at most a minority at a time)
         const NodeId victim = static_cast<NodeId>(rng.NextInRange(1, kServers));
-        if (!cluster.IsCrashed(victim) && crashed_count < (kServers - 1) / 2) {
+        if (!cluster.IsCrashed(victim) && crashed_count < static_cast<int>(util::MaxMinorityOf(kServers))) {
           cluster.Crash(victim);
           ++crashed_count;
         }

@@ -1,8 +1,9 @@
 // opx_analyze — protocol-aware static analysis for the Omni-Paxos tree.
 //
-// A dependency-free C++ tokenizer plus six lexical/flow checks that encode
-// the implementation invariants the safety proof (PAPER.md Appendix A)
-// assumes but the compiler never verifies:
+// A dependency-free C++ tokenizer, a per-function CFG/dominance engine
+// (cfg.h, DESIGN.md §13), and ten checks that encode the implementation
+// invariants the safety proof (PAPER.md Appendix A) assumes but the
+// compiler never verifies:
 //
 //   opx-determinism    deterministic code must not depend on unordered
 //                      container iteration order, wall clocks, or ambient
@@ -23,6 +24,23 @@
 //                      through the obs::ObsSink trace recorder (OPX_TRACE /
 //                      OPX_TRACE_NOW), so the trace-oracle conformance tests
 //                      keep seeing every protocol transition (DESIGN.md §12).
+//   opx-ballot-guard   a state mutation inside a message handler must be
+//                      dominated by a round/ballot comparison against the
+//                      message's round, in the accepting direction (msg
+//                      round >= / > / == own round); wrong-direction guards
+//                      are flagged separately. One-level call summaries make
+//                      the rule interprocedural within the handler file.
+//   opx-quorum-arith   majority arithmetic (`.../2`) must route through the
+//                      shared util::MajorityOf helper; hand-rolled `n/2`,
+//                      `n/2+1`, and the (even-n-wrong) `(n+1)/2` are flagged.
+//   opx-blocking-in-loop  no blocking syscalls (read/write/connect/fsync/
+//                      sleep/recv/poll...) in deterministic code, nor
+//                      reachable from a net event-loop entry point (call
+//                      summaries across src/net), preparing the epoll era.
+//   opx-span-escape    a span/string_view-typed parameter must not be stored
+//                      into a member or member container that outlives the
+//                      call (the SharedSuffix zero-copy path hands out such
+//                      views).
 //
 // Findings can be suppressed inline with `// NOLINT(opx-<check>)` on the
 // flagged line (bare `// NOLINT` suppresses all checks), or via a committed
@@ -149,6 +167,58 @@ struct ObsRule {
   std::vector<std::string> required;
 };
 
+// Ballot-monotonicity guards (opx-ballot-guard): in `file`, every function
+// whose name starts with "Handle" is a message handler; its state mutations
+// (calls to `mutators`, writes to `state_members`) must be dominated by a
+// comparison of the message's round (a parameter, a `param.field` with
+// field in `round_fields`, or a get_if-bound alias of one) against the
+// replica's own round state (`state_rounds`), accepting only >=, >, or ==.
+// The same analysis summarizes every function in the file, so a handler
+// calling an unguarded mutator helper is flagged at the call site.
+struct BallotGuardRule {
+  std::string file;
+  std::vector<std::string> round_fields;   // message-side round field names
+  std::vector<std::string> state_rounds;   // own-round members/accessors
+  std::vector<std::string> mutators;       // state-mutating callee names
+  std::vector<std::string> state_members;  // members whose write is a mutation
+  std::vector<std::string> exempt;  // handlers with no ballot semantics
+};
+
+// Quorum arithmetic (opx-quorum-arith): `... / 2` over a cluster-size
+// expression anywhere under `dirs` must live in `helper_file` (the one
+// shared majority helper). A size expression is a call to one of
+// `size_calls` or a bare identifier in `size_idents`.
+struct QuorumConfig {
+  std::vector<std::string> dirs;
+  std::string helper_file;
+  std::vector<std::string> size_calls = {"size", "ClusterSize", "NumNodes"};
+  std::vector<std::string> size_idents;
+};
+
+// Blocking syscalls (opx-blocking-in-loop): banned outright under
+// `det_dirs` (simulator callbacks run there); under `event_dirs`, banned in
+// any function reachable from one of the named event-loop `entries`
+// (name-based call summaries across all files in `event_dirs`).
+struct BlockingConfig {
+  std::vector<std::string> det_dirs;
+  std::vector<std::string> event_dirs;
+  struct EntryPoint {
+    std::string file;
+    std::string function;
+  };
+  std::vector<EntryPoint> entries;
+};
+
+// Span escape (opx-span-escape): in every function under `dirs`, a
+// parameter whose type names one of `view_types` must not be assigned to a
+// member (trailing-underscore convention) or passed whole into a member
+// container mutation — the view outlives the call while its backing storage
+// may not.
+struct SpanEscapeConfig {
+  std::vector<std::string> dirs;
+  std::vector<std::string> view_types = {"span", "string_view"};
+};
+
 struct AnalyzerConfig {
   std::string root;  // absolute path of the tree to analyze
   DeterminismConfig determinism;
@@ -157,6 +227,10 @@ struct AnalyzerConfig {
   std::vector<std::string> wire_headers;  // opx-msg-init scope
   std::vector<AuditRule> audit;
   std::vector<ObsRule> obs;
+  std::vector<BallotGuardRule> ballot_guards;
+  QuorumConfig quorum;
+  BlockingConfig blocking;
+  SpanEscapeConfig span_escape;
 };
 
 // The repo's own configuration (scans `root` for the wire headers).
@@ -167,8 +241,10 @@ AnalyzerConfig DefaultConfig(const std::string& root);
 // --------------------------------------------------------------------------
 
 inline constexpr const char* kCheckIds[] = {
-    "opx-determinism", "opx-persist-order", "opx-dispatch",
-    "opx-msg-init", "opx-audit-hook", "opx-obs-hook",
+    "opx-determinism",  "opx-persist-order", "opx-dispatch",
+    "opx-msg-init",     "opx-audit-hook",    "opx-obs-hook",
+    "opx-ballot-guard", "opx-quorum-arith",  "opx-blocking-in-loop",
+    "opx-span-escape",
 };
 
 struct CheckStats {
@@ -198,6 +274,14 @@ void CheckAuditHook(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int*
                     std::vector<std::string>* errors);
 void CheckObsHook(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
                   std::vector<std::string>* errors);
+void CheckBallotGuard(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                      std::vector<std::string>* errors);
+void CheckQuorumArith(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                      std::vector<std::string>* errors);
+void CheckBlockingInLoop(const AnalyzerConfig&, FileSet&, std::vector<Finding>*,
+                         int* files, std::vector<std::string>* errors);
+void CheckSpanEscape(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                     std::vector<std::string>* errors);
 
 // --------------------------------------------------------------------------
 // Baseline.

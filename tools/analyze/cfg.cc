@@ -1,0 +1,580 @@
+// Function discovery and CFG construction over the opx_analyze token stream.
+// See cfg.h for the contract and DESIGN.md §13 for the design notes.
+#include <algorithm>
+#include <set>
+
+#include "tools/analyze/cfg.h"
+
+namespace opx::analyze {
+
+namespace {
+
+size_t Match(const std::vector<Tok>& t, size_t open, const char* opener,
+             const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].Is(opener)) {
+      ++depth;
+    } else if (t[i].Is(closer)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return t.size();
+}
+
+// Statement keywords that look like `ident (`, plus declaration heads that
+// can never start a function definition's name token.
+bool IsNonFunctionKeyword(const std::string& id) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",      "while",   "switch",        "return",  "sizeof",
+      "catch",  "new",      "delete",  "alignof",       "decltype", "throw",
+      "assert", "constexpr", "static_assert", "alignas", "operator", "case",
+      "do",     "else",     "goto",    "co_await",      "co_return"};
+  return kKeywords.count(id) > 0;
+}
+
+bool IsQualifierTok(const Tok& t) {
+  return t.IsIdent("const") || t.IsIdent("noexcept") || t.IsIdent("override") ||
+         t.IsIdent("final") || t.IsIdent("mutable") || t.IsIdent("volatile");
+}
+
+// Parses the parameter list tokens [open+1, close) into (type, name) pairs.
+// Heuristic: the last identifier of each comma-separated chunk that is not
+// immediately followed by `::`/template arguments is the name; everything
+// before it is the type. Defaulted params split at the top-level `=`.
+std::vector<Param> ParseParams(const std::vector<Tok>& t, size_t open, size_t close) {
+  std::vector<Param> params;
+  size_t i = open + 1;
+  while (i < close) {
+    // One parameter: up to the next top-level ','.
+    const size_t begin = i;
+    int depth = 0;
+    size_t end = i;
+    while (end < close) {
+      const Tok& tok = t[end];
+      if (tok.Is("(") || tok.Is("{") || tok.Is("[")) {
+        ++depth;
+      } else if (tok.Is(")") || tok.Is("}") || tok.Is("]")) {
+        --depth;
+      } else if (tok.Is("<")) {
+        const size_t gt = Match(t, end, "<", ">");
+        if (gt < close) {
+          end = gt;
+        }
+      } else if (tok.Is(",") && depth == 0) {
+        break;
+      }
+      ++end;
+    }
+    if (end > begin) {
+      size_t stop = end;  // exclude a default argument
+      for (size_t j = begin; j < end; ++j) {
+        if (t[j].Is("=")) {
+          stop = j;
+          break;
+        }
+      }
+      size_t name_idx = 0;
+      for (size_t j = stop; j > begin; --j) {
+        if (t[j - 1].kind == TokKind::kIdent && !IsQualifierTok(t[j - 1]) &&
+            (j == stop || !t[j].Is("::"))) {
+          name_idx = j - 1;
+          break;
+        }
+      }
+      Param p;
+      if (name_idx > begin) {
+        for (size_t j = begin; j < name_idx; ++j) {
+          if (!p.type.empty()) {
+            p.type += ' ';
+          }
+          p.type += t[j].text;
+        }
+        p.name = t[name_idx].text;
+      } else {
+        // Single-token chunk: a type with no name (e.g. `int`, `void`).
+        for (size_t j = begin; j < stop; ++j) {
+          if (!p.type.empty()) {
+            p.type += ' ';
+          }
+          p.type += t[j].text;
+        }
+      }
+      if (!p.type.empty() || !p.name.empty()) {
+        params.push_back(std::move(p));
+      }
+    }
+    i = end + 1;
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> ParseFunctions(const SourceFile& sf) {
+  const std::vector<Tok>& t = sf.toks;
+  std::vector<FunctionDef> fns;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !t[i + 1].Is("(")) {
+      continue;
+    }
+    if (IsNonFunctionKeyword(t[i].text)) {
+      continue;
+    }
+    // Member-access calls (`x.f(...)`, `p->f(...)`) are never definitions.
+    if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) {
+      continue;
+    }
+    const size_t close_paren = Match(t, i + 1, "(", ")");
+    if (close_paren >= t.size()) {
+      continue;
+    }
+    size_t j = close_paren + 1;
+    while (j < t.size() && IsQualifierTok(t[j])) {
+      ++j;
+    }
+    // `noexcept(...)` / trailing-return `-> T`.
+    if (j < t.size() && t[j].Is("(")) {
+      j = Match(t, j, "(", ")") + 1;
+    }
+    if (j < t.size() && t[j].Is("->")) {
+      ++j;
+      while (j < t.size() && !t[j].Is("{") && !t[j].Is(";") && !t[j].Is("=")) {
+        if (t[j].Is("<")) {
+          const size_t gt = Match(t, j, "<", ">");
+          if (gt < t.size()) {
+            j = gt;
+          }
+        }
+        ++j;
+      }
+    }
+    // Constructor member-init list: `: member_(...), other_{...} {`.
+    if (j < t.size() && t[j].Is(":")) {
+      ++j;
+      while (j < t.size() && !t[j].Is("{") && !t[j].Is(";")) {
+        if (t[j].Is("(")) {
+          j = Match(t, j, "(", ")");
+        } else if (t[j].Is("<")) {
+          const size_t gt = Match(t, j, "<", ">");
+          if (gt < t.size()) {
+            j = gt;
+          }
+        }
+        ++j;
+        // After a closed initializer, a '{' only starts the body when it
+        // directly follows ',' — no: `a_(x) {` IS the body. Distinguish: an
+        // initializer '{' is always preceded by an identifier; the body '{'
+        // follows ')' or '}'. Handled below: brace-init `m_{...}` is
+        // consumed as one initializer.
+        if (j < t.size() && t[j].Is("{") && j > 0 &&
+            t[j - 1].kind == TokKind::kIdent) {
+          j = Match(t, j, "{", "}") + 1;
+        }
+      }
+    }
+    if (j >= t.size() || !t[j].Is("{")) {
+      continue;
+    }
+    const size_t body_close = Match(t, j, "{", "}");
+    if (body_close >= t.size()) {
+      continue;
+    }
+    FunctionDef fn;
+    fn.name = t[i].text;
+    fn.line = t[i].line;
+    if (i >= 2 && t[i - 1].Is("::") && t[i - 2].kind == TokKind::kIdent) {
+      fn.qualifier = t[i - 2].text;
+    }
+    fn.params = ParseParams(t, i + 1, close_paren);
+    fn.body_open = j;
+    fn.body_close = body_close;
+    fns.push_back(std::move(fn));
+    // Skip past the body: nested lambdas/classes inside it are deliberately
+    // not modeled as separate functions (their statements stay part of the
+    // enclosing plain statements).
+    i = body_close;
+  }
+  return fns;
+}
+
+// --------------------------------------------------------------------------
+// Statement tree.
+// --------------------------------------------------------------------------
+
+namespace {
+
+enum class StmtKind { kPlain, kIf, kLoop, kDoLoop, kSwitch, kReturn, kBreak, kContinue, kBlock };
+
+struct Stmt {
+  StmtKind kind = StmtKind::kPlain;
+  TokRange range;                // the full statement (diagnostic only)
+  TokRange cond;                 // kIf / kLoop condition tokens
+  std::vector<Stmt> children;    // kBlock / kSwitch body
+  std::vector<Stmt> then_branch; // kIf / kLoop / kDoLoop body
+  std::vector<Stmt> else_branch; // kIf only
+};
+
+class StmtParser {
+ public:
+  explicit StmtParser(const std::vector<Tok>& t) : t_(t) {}
+
+  std::vector<Stmt> ParseList(size_t begin, size_t end) {
+    std::vector<Stmt> out;
+    size_t i = begin;
+    while (i < end) {
+      // Case labels inside switch bodies are control-flow glue, not
+      // statements: skip `case <expr>:` / `default:`.
+      if (t_[i].IsIdent("case")) {
+        while (i < end && !t_[i].Is(":")) {
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (t_[i].IsIdent("default") && i + 1 < end && t_[i + 1].Is(":")) {
+        i += 2;
+        continue;
+      }
+      if (t_[i].Is(";")) {
+        ++i;
+        continue;
+      }
+      Stmt s = ParseOne(&i, end);
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+ private:
+  Stmt ParseOne(size_t* ip, size_t end) {
+    size_t i = *ip;
+    Stmt s;
+    s.range.begin = i;
+    if (t_[i].Is("{")) {
+      const size_t close = Match(t_, i, "{", "}");
+      s.kind = StmtKind::kBlock;
+      s.children = ParseList(i + 1, std::min(close, end));
+      s.range.end = std::min(close + 1, end);
+      *ip = s.range.end;
+      return s;
+    }
+    if (t_[i].IsIdent("if")) {
+      size_t p = i + 1;
+      if (p < end && t_[p].IsIdent("constexpr")) {
+        ++p;
+      }
+      if (p < end && t_[p].Is("(")) {
+        const size_t close = Match(t_, p, "(", ")");
+        s.kind = StmtKind::kIf;
+        s.cond = {p + 1, std::min(close, end)};
+        size_t j = close + 1;
+        if (j < end) {
+          s.then_branch.push_back(ParseOne(&j, end));
+        }
+        if (j < end && t_[j].IsIdent("else")) {
+          ++j;
+          if (j < end) {
+            s.else_branch.push_back(ParseOne(&j, end));
+          }
+        }
+        s.range.end = j;
+        *ip = j;
+        return s;
+      }
+    }
+    if (t_[i].IsIdent("while") && i + 1 < end && t_[i + 1].Is("(")) {
+      const size_t close = Match(t_, i + 1, "(", ")");
+      s.kind = StmtKind::kLoop;
+      s.cond = {i + 2, std::min(close, end)};
+      size_t j = close + 1;
+      if (j < end) {
+        s.then_branch.push_back(ParseOne(&j, end));
+      }
+      s.range.end = j;
+      *ip = j;
+      return s;
+    }
+    if (t_[i].IsIdent("for") && i + 1 < end && t_[i + 1].Is("(")) {
+      const size_t close = Match(t_, i + 1, "(", ")");
+      s.kind = StmtKind::kLoop;
+      // The for-header is opaque (init/cond/step or a range-for); it yields
+      // no guard facts but its tokens still belong to the header block.
+      s.cond = {i + 2, std::min(close, end)};
+      size_t j = close + 1;
+      if (j < end) {
+        s.then_branch.push_back(ParseOne(&j, end));
+      }
+      s.range.end = j;
+      *ip = j;
+      return s;
+    }
+    if (t_[i].IsIdent("do")) {
+      size_t j = i + 1;
+      s.kind = StmtKind::kDoLoop;
+      if (j < end) {
+        s.then_branch.push_back(ParseOne(&j, end));
+      }
+      // `while (...) ;` trailer.
+      if (j < end && t_[j].IsIdent("while") && j + 1 < end && t_[j + 1].Is("(")) {
+        const size_t close = Match(t_, j + 1, "(", ")");
+        s.cond = {j + 2, std::min(close, end)};
+        j = std::min(close + 1, end);
+        if (j < end && t_[j].Is(";")) {
+          ++j;
+        }
+      }
+      s.range.end = j;
+      *ip = j;
+      return s;
+    }
+    if (t_[i].IsIdent("switch") && i + 1 < end && t_[i + 1].Is("(")) {
+      const size_t close = Match(t_, i + 1, "(", ")");
+      s.kind = StmtKind::kSwitch;
+      s.cond = {i + 2, std::min(close, end)};
+      size_t j = close + 1;
+      if (j < end && t_[j].Is("{")) {
+        const size_t body_close = Match(t_, j, "{", "}");
+        s.children = ParseList(j + 1, std::min(body_close, end));
+        j = std::min(body_close + 1, end);
+      }
+      s.range.end = j;
+      *ip = j;
+      return s;
+    }
+    if (t_[i].IsIdent("return")) {
+      s.kind = StmtKind::kReturn;
+      s.range.end = SkipToSemicolon(i, end);
+      *ip = s.range.end;
+      return s;
+    }
+    if (t_[i].IsIdent("break") || t_[i].IsIdent("continue")) {
+      s.kind = t_[i].IsIdent("break") ? StmtKind::kBreak : StmtKind::kContinue;
+      s.range.end = SkipToSemicolon(i, end);
+      *ip = s.range.end;
+      return s;
+    }
+    // Plain statement (declaration, expression, lambda, nested class, ...).
+    s.kind = StmtKind::kPlain;
+    s.range.end = SkipToSemicolon(i, end);
+    *ip = s.range.end;
+    return s;
+  }
+
+  // Index one past the terminating ';' (skipping over balanced parens,
+  // braces, and brackets, so lambda bodies and initializer lists are part of
+  // the statement). Statements that end with '}' and no ';' (local class
+  // definitions used as expressions are rare; local structs have ';') fall
+  // back to stopping at the brace.
+  size_t SkipToSemicolon(size_t i, size_t end) {
+    while (i < end) {
+      const Tok& tok = t_[i];
+      if (tok.Is(";")) {
+        return i + 1;
+      }
+      if (tok.Is("(")) {
+        i = Match(t_, i, "(", ")");
+      } else if (tok.Is("{")) {
+        i = Match(t_, i, "{", "}");
+      } else if (tok.Is("[")) {
+        i = Match(t_, i, "[", "]");
+      } else if (tok.Is("}") || tok.Is(")")) {
+        // Unbalanced closer: we ran off the enclosing scope; stop here.
+        return i;
+      }
+      ++i;
+    }
+    return end;
+  }
+
+  const std::vector<Tok>& t_;
+};
+
+// --------------------------------------------------------------------------
+// Lowering to basic blocks.
+// --------------------------------------------------------------------------
+
+class Lowerer {
+ public:
+  explicit Lowerer(std::vector<BasicBlock>* blocks) : blocks_(blocks) {}
+
+  int NewBlock() {
+    blocks_->push_back(BasicBlock{});
+    return static_cast<int>(blocks_->size()) - 1;
+  }
+
+  void Edge(int from, int to) {
+    (*blocks_)[from].succs.push_back(to);
+    (*blocks_)[to].preds.push_back(from);
+  }
+
+  struct Ctx {
+    int exit_block = -1;
+    int break_target = -1;
+    int continue_target = -1;
+  };
+
+  // Lowers `list` starting in `cur`; returns the block control falls out of
+  // (-1 when every path diverted: returned / broke / continued).
+  int LowerList(const std::vector<Stmt>& list, int cur, const Ctx& ctx) {
+    for (const Stmt& s : list) {
+      if (cur < 0) {
+        // Dead code after return/break; give it its own unreachable block so
+        // its tokens still map somewhere (it can never dominate anything).
+        cur = NewBlock();
+      }
+      cur = LowerOne(s, cur, ctx);
+    }
+    return cur;
+  }
+
+ private:
+  int LowerOne(const Stmt& s, int cur, const Ctx& ctx) {
+    switch (s.kind) {
+      case StmtKind::kPlain:
+        (*blocks_)[cur].stmts.push_back(s.range);
+        return cur;
+      case StmtKind::kBlock:
+        return LowerList(s.children, cur, ctx);
+      case StmtKind::kReturn:
+        (*blocks_)[cur].stmts.push_back(s.range);
+        Edge(cur, ctx.exit_block);
+        return -1;
+      case StmtKind::kBreak:
+        (*blocks_)[cur].stmts.push_back(s.range);
+        if (ctx.break_target >= 0) {
+          Edge(cur, ctx.break_target);
+        } else {
+          Edge(cur, ctx.exit_block);  // stray break: treat as function exit
+        }
+        return -1;
+      case StmtKind::kContinue:
+        (*blocks_)[cur].stmts.push_back(s.range);
+        if (ctx.continue_target >= 0) {
+          Edge(cur, ctx.continue_target);
+        } else {
+          Edge(cur, ctx.exit_block);
+        }
+        return -1;
+      case StmtKind::kIf: {
+        (*blocks_)[cur].cond = s.cond;
+        // Dedicated edge blocks per branch side: guard facts come from their
+        // dominance (cfg.h).
+        const int then_edge = NewBlock();
+        const int else_edge = NewBlock();
+        (*blocks_)[cur].true_succ = then_edge;
+        (*blocks_)[cur].false_succ = else_edge;
+        Edge(cur, then_edge);
+        Edge(cur, else_edge);
+        const int then_out = LowerList(s.then_branch, then_edge, ctx);
+        const int else_out = LowerList(s.else_branch, else_edge, ctx);
+        if (then_out < 0 && else_out < 0) {
+          return -1;
+        }
+        const int join = NewBlock();
+        if (then_out >= 0) {
+          Edge(then_out, join);
+        }
+        if (else_out >= 0) {
+          Edge(else_out, join);
+        }
+        return join;
+      }
+      case StmtKind::kLoop: {
+        const int header = NewBlock();
+        Edge(cur, header);
+        (*blocks_)[header].cond = s.cond;
+        const int body_edge = NewBlock();
+        const int exit_edge = NewBlock();
+        const int after = NewBlock();
+        (*blocks_)[header].true_succ = body_edge;
+        (*blocks_)[header].false_succ = exit_edge;
+        Edge(header, body_edge);
+        Edge(header, exit_edge);
+        Edge(exit_edge, after);
+        Ctx inner = ctx;
+        inner.break_target = after;   // break bypasses the exit edge block,
+        inner.continue_target = header;  // so (cond,false) is not asserted
+        const int body_out = LowerList(s.then_branch, body_edge, inner);
+        if (body_out >= 0) {
+          Edge(body_out, header);
+        }
+        return after;
+      }
+      case StmtKind::kDoLoop: {
+        const int body_entry = NewBlock();
+        Edge(cur, body_entry);
+        const int after = NewBlock();
+        Ctx inner = ctx;
+        inner.break_target = after;
+        inner.continue_target = body_entry;
+        const int body_out = LowerList(s.then_branch, body_entry, inner);
+        if (body_out >= 0) {
+          (*blocks_)[body_out].cond = s.cond;
+          Edge(body_out, body_entry);  // loop back when cond true
+          Edge(body_out, after);
+        }
+        return after;
+      }
+      case StmtKind::kSwitch: {
+        // Unconditioned multiway branch: the body may run wholly, partially
+        // (fallthrough/breaks), or not at all — so it contributes no facts
+        // and every statement is "maybe executed".
+        (*blocks_)[cur].cond = s.cond;  // tokens map to the switch head
+        const int body_edge = NewBlock();
+        const int after = NewBlock();
+        Edge(cur, body_edge);
+        Edge(cur, after);
+        Ctx inner = ctx;
+        inner.break_target = after;
+        const int body_out = LowerList(s.children, body_edge, inner);
+        if (body_out >= 0) {
+          Edge(body_out, after);
+        }
+        return after;
+      }
+    }
+    return cur;
+  }
+
+  std::vector<BasicBlock>* blocks_;
+};
+
+}  // namespace
+
+Cfg Cfg::Build(const SourceFile& sf, const FunctionDef& fn) {
+  Cfg cfg;
+  Lowerer lower(&cfg.blocks_);
+  const int entry = lower.NewBlock();
+  const int exit_block = lower.NewBlock();
+  cfg.entry_ = entry;
+
+  StmtParser parser(sf.toks);
+  const std::vector<Stmt> body =
+      parser.ParseList(fn.body_open + 1, fn.body_close);
+  Lowerer::Ctx ctx;
+  ctx.exit_block = exit_block;
+  const int out = lower.LowerList(body, entry, ctx);
+  if (out >= 0) {
+    lower.Edge(out, exit_block);
+  }
+  return cfg;
+}
+
+int Cfg::BlockOfToken(size_t i) const {
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    for (const TokRange& r : blocks_[b].stmts) {
+      if (r.ContainsTok(i)) {
+        return static_cast<int>(b);
+      }
+    }
+    if (blocks_[b].cond.ContainsTok(i)) {
+      return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
+
+}  // namespace opx::analyze

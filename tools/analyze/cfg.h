@@ -1,0 +1,128 @@
+// Per-function control-flow graphs and the dominance/guard dataflow layer of
+// opx_analyze (DESIGN.md §13). Everything here is built from the SourceFile
+// token stream — a lexical parse, not a real C++ front end — which is exact
+// enough for the statement/branch conventions this tree follows:
+//
+//   ParseFunctions  finds every function *definition* in a file (free
+//                   functions, class-inline methods, out-of-line
+//                   Class::Method, constructors with init lists, TEST(...)
+//                   bodies) as [body_open, body_close] token ranges.
+//   Cfg::Build      lowers one body to basic blocks: if/else, while, for,
+//                   do, switch, return, break, continue. Each branch
+//                   successor gets a dedicated edge block so that guard
+//                   facts are derivable from dominance alone. Lambdas and
+//                   other unmodeled constructs degrade to opaque
+//                   straight-line statements (sound for the checks built on
+//                   top: fewer facts, never wrong ones).
+//   GuardIndex      iterative dominator sets over the blocks; a guard fact
+//                   (condition C, polarity p) holds at token X iff the edge
+//                   block of the corresponding branch side dominates X's
+//                   block. Early returns therefore yield negated facts on
+//                   the fall-through path with no special casing.
+//   NormalizeFact   decomposes a fact into atomic conjuncts: `A && B` under
+//                   true polarity and `A || B` under false polarity split;
+//                   leading `!` flips polarity; outer parens strip.
+//
+// The four v2 checks (opx-ballot-guard, opx-quorum-arith,
+// opx-blocking-in-loop, opx-span-escape) and their one-level call summaries
+// live in checks.cc on top of this API.
+#ifndef TOOLS_ANALYZE_CFG_H_
+#define TOOLS_ANALYZE_CFG_H_
+
+#include "tools/analyze/analyzer.h"
+
+namespace opx::analyze {
+
+// Half-open token-index range [begin, end).
+struct TokRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool Empty() const { return begin >= end; }
+  bool ContainsTok(size_t i) const { return i >= begin && i < end; }
+};
+
+struct Param {
+  std::string type;  // joined type tokens, e.g. "const Promise &"
+  std::string name;  // "" for unnamed parameters
+};
+
+struct FunctionDef {
+  std::string name;       // unqualified name (or macro name for TEST(...) bodies)
+  std::string qualifier;  // "Class" for out-of-line Class::Method, else ""
+  std::vector<Param> params;
+  size_t body_open = 0;   // token index of '{'
+  size_t body_close = 0;  // token index of the matching '}'
+  int line = 0;           // line of the name token
+
+  std::string Display() const {
+    return qualifier.empty() ? name : qualifier + "::" + name;
+  }
+};
+
+// Every function definition in `sf`, in source order.
+std::vector<FunctionDef> ParseFunctions(const SourceFile& sf);
+
+// One basic block. Straight-line statements are stored as token ranges; a
+// block that ends in a branch carries the condition range and the two
+// branch successors (both also appear in `succs`).
+struct BasicBlock {
+  std::vector<TokRange> stmts;
+  TokRange cond;        // empty when the block does not branch on a condition
+  int true_succ = -1;   // successor when cond evaluates true
+  int false_succ = -1;  // successor when cond evaluates false
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+class Cfg {
+ public:
+  // Never fails; unmodeled syntax becomes opaque plain statements.
+  static Cfg Build(const SourceFile& sf, const FunctionDef& fn);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  int entry() const { return entry_; }
+
+  // Block whose statement (or condition) ranges contain token `i`; -1 when
+  // the token is not part of this function's lowered statements.
+  int BlockOfToken(size_t i) const;
+
+ private:
+  friend class GuardIndex;
+  std::vector<BasicBlock> blocks_;
+  int entry_ = 0;
+};
+
+// A branch condition known to have evaluated with `polarity` on every path
+// reaching some program point.
+struct GuardFact {
+  TokRange cond;
+  bool polarity = true;
+};
+
+// Dominator-based reaching-guard analysis over one Cfg.
+class GuardIndex {
+ public:
+  explicit GuardIndex(const Cfg& cfg);
+
+  // True when block `a` dominates block `b`.
+  bool Dominates(int a, int b) const;
+
+  // The guard facts holding on entry to the statement containing token `i`.
+  // Empty when the token is outside every block (conservative: no facts).
+  std::vector<GuardFact> FactsAtToken(size_t i) const;
+
+ private:
+  const Cfg* cfg_;
+  std::vector<std::vector<bool>> dom_;  // dom_[b][a]: a dominates b
+};
+
+// Decomposes `fact` into atomic facts: strips outer parentheses and leading
+// `!`, splits top-level `&&` under true polarity and top-level `||` under
+// false polarity (De Morgan: the negation of a disjunction establishes the
+// negation of every disjunct).
+std::vector<GuardFact> NormalizeFact(const std::vector<Tok>& toks, GuardFact fact);
+
+}  // namespace opx::analyze
+
+#endif  // TOOLS_ANALYZE_CFG_H_

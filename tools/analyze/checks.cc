@@ -1,12 +1,17 @@
-// The six protocol-aware checks of opx_analyze. All of them operate on the
-// token stream of SourceFile — a deliberately lightweight parse (no libclang
-// in this toolchain): declarations, call sites, and brace/angle matching are
-// recognized lexically, which is exact enough for the conventions this tree
-// follows and is what keeps the analyzer dependency-free and fast.
+// The ten protocol-aware checks of opx_analyze. The original six operate on
+// the token stream of SourceFile — a deliberately lightweight parse (no
+// libclang in this toolchain): declarations, call sites, and brace/angle
+// matching are recognized lexically, which is exact enough for the
+// conventions this tree follows and is what keeps the analyzer
+// dependency-free and fast. The v2 checks (ballot-guard, quorum-arith,
+// blocking-in-loop, span-escape) additionally use the per-function CFG and
+// dominance/guard engine of cfg.h (DESIGN.md §13).
 #include <chrono>
 #include <algorithm>
+#include <map>
 
 #include "tools/analyze/analyzer.h"
+#include "tools/analyze/cfg.h"
 
 namespace opx::analyze {
 
@@ -649,6 +654,881 @@ void CheckObsHook(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding
 }
 
 // --------------------------------------------------------------------------
+// opx-ballot-guard
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Guard classification for one mutation/call site.
+enum class GuardStatus { kNone, kWrongDirection, kGood };
+
+// Comparison operators after tokenizer merging; direction is evaluated with
+// the message round normalized to the left-hand side.
+enum class CmpOp { kLt, kGt, kLe, kGe, kEq, kNe, kNone };
+
+CmpOp ParseCmp(const Tok& t) {
+  if (t.Is("<")) return CmpOp::kLt;
+  if (t.Is(">")) return CmpOp::kGt;
+  if (t.Is("<=")) return CmpOp::kLe;
+  if (t.Is(">=")) return CmpOp::kGe;
+  if (t.Is("==")) return CmpOp::kEq;
+  if (t.Is("!=")) return CmpOp::kNe;
+  return CmpOp::kNone;
+}
+
+CmpOp MirrorCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGe: return CmpOp::kLt;
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    default: return op;
+  }
+}
+
+// One analyzed function of a ballot-guard rule file.
+struct BgFn {
+  const FunctionDef* def = nullptr;
+  Cfg cfg;
+  std::unique_ptr<GuardIndex> guards;
+  std::set<std::string> msg_bases;  // params + get_if-bound aliases
+  // Direct state mutations: token index -> what was mutated.
+  std::vector<std::pair<size_t, std::string>> mutations;
+  // Calls to same-file functions: token index -> callee name.
+  std::vector<std::pair<size_t, std::string>> calls;
+  bool unguarded_summary = false;  // may mutate state with no round guard
+};
+
+// Does [r) mention the message round: a base used bare, or base.field /
+// base->field with a configured round field?
+bool SideHasMsgRound(const std::vector<Tok>& t, TokRange r,
+                     const std::set<std::string>& bases,
+                     const std::vector<std::string>& round_fields) {
+  for (size_t i = r.begin; i < r.end; ++i) {
+    if (t[i].kind != TokKind::kIdent || bases.count(t[i].text) == 0) {
+      continue;
+    }
+    if (i > r.begin && (t[i - 1].Is(".") || t[i - 1].Is("->") || t[i - 1].Is("::"))) {
+      continue;  // something.base is not the parameter
+    }
+    if (i + 2 < r.end && (t[i + 1].Is(".") || t[i + 1].Is("->"))) {
+      if (Contains(round_fields, t[i + 2].text)) {
+        return true;
+      }
+      continue;  // base.other_field — keep scanning
+    }
+    return true;  // bare use (e.g. a Ballot parameter compared whole)
+  }
+  return false;
+}
+
+bool SideHasOwnRound(const std::vector<Tok>& t, TokRange r,
+                     const std::vector<std::string>& state_rounds) {
+  for (size_t i = r.begin; i < r.end; ++i) {
+    if (t[i].kind == TokKind::kIdent && Contains(state_rounds, t[i].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Locates the one top-level comparison of [r); `<` that opens a balanced
+// template-argument list is skipped.
+size_t TopLevelCmp(const std::vector<Tok>& t, TokRange r) {
+  int depth = 0;
+  for (size_t i = r.begin; i < r.end; ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      --depth;
+    } else if (depth == 0 && ParseCmp(t[i]) != CmpOp::kNone) {
+      if (t[i].Is("<")) {
+        const size_t gt = MatchForward(t, i, "<", ">");
+        if (gt < r.end) {
+          i = gt;  // template arguments, not a comparison
+          continue;
+        }
+      }
+      return i;
+    }
+  }
+  return t.size();
+}
+
+// Classifies one *atomic* (no top-level &&/||) condition range.
+GuardStatus ClassifyAtomic(const std::vector<Tok>& t, TokRange r, bool polarity,
+                           const BgFn& fn, const BallotGuardRule& rule) {
+  const size_t cmp = TopLevelCmp(t, r);
+  if (cmp >= r.end) {
+    return GuardStatus::kNone;
+  }
+  CmpOp op = ParseCmp(t[cmp]);
+  const TokRange lhs{r.begin, cmp};
+  const TokRange rhs{cmp + 1, r.end};
+  const bool msg_l = SideHasMsgRound(t, lhs, fn.msg_bases, rule.round_fields);
+  const bool msg_r = SideHasMsgRound(t, rhs, fn.msg_bases, rule.round_fields);
+  const bool own_l = SideHasOwnRound(t, lhs, rule.state_rounds);
+  const bool own_r = SideHasOwnRound(t, rhs, rule.state_rounds);
+  if (msg_l && own_r && !msg_r) {
+    // msg OP own — as written.
+  } else if (msg_r && own_l && !msg_l) {
+    op = MirrorCmp(op);  // own OP msg — normalize msg to the left
+  } else {
+    return GuardStatus::kNone;
+  }
+  if (!polarity) {
+    op = NegateCmp(op);
+  }
+  switch (op) {
+    case CmpOp::kGt:
+    case CmpOp::kGe:
+    case CmpOp::kEq:
+      return GuardStatus::kGood;
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+      return GuardStatus::kWrongDirection;
+    default:
+      return GuardStatus::kNone;  // != accepts arbitrarily stale rounds
+  }
+}
+
+// Splits [r) at top-level occurrences of `op`.
+std::vector<TokRange> SplitAt(const std::vector<Tok>& t, TokRange r, const char* op) {
+  std::vector<TokRange> parts;
+  int depth = 0;
+  size_t begin = r.begin;
+  for (size_t i = r.begin; i < r.end; ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      --depth;
+    } else if (depth == 0 && t[i].Is(op)) {
+      parts.push_back({begin, i});
+      begin = i + 1;
+    }
+  }
+  parts.push_back({begin, r.end});
+  return parts;
+}
+
+// Classifies one normalized guard fact. A disjunction known true guards the
+// mutation only when *every* disjunct pins the round (each disjunct may be a
+// conjunction, where one good conjunct suffices).
+GuardStatus ClassifyFact(const std::vector<Tok>& t, const GuardFact& fact,
+                         const BgFn& fn, const BallotGuardRule& rule) {
+  const std::vector<TokRange> disjuncts =
+      fact.polarity ? SplitAt(t, fact.cond, "||")
+                    : std::vector<TokRange>{fact.cond};
+  bool all_good = true;
+  bool any_wrong = false;
+  bool any_classified = false;
+  for (const TokRange& d : disjuncts) {
+    GuardStatus best = GuardStatus::kNone;
+    for (const TokRange& c :
+         fact.polarity ? SplitAt(t, d, "&&") : std::vector<TokRange>{d}) {
+      TokRange atom = c;
+      bool pol = fact.polarity;
+      // Strip redundant parens / leading ! that survived NormalizeFact
+      // because they wrap a single atom.
+      while (atom.end - atom.begin >= 2 && t[atom.begin].Is("(") &&
+             MatchForward(t, atom.begin, "(", ")") == atom.end - 1) {
+        ++atom.begin;
+        --atom.end;
+      }
+      if (!atom.Empty() && t[atom.begin].Is("!")) {
+        pol = !pol;
+        ++atom.begin;
+        while (atom.end - atom.begin >= 2 && t[atom.begin].Is("(") &&
+               MatchForward(t, atom.begin, "(", ")") == atom.end - 1) {
+          ++atom.begin;
+          --atom.end;
+        }
+      }
+      const GuardStatus s = ClassifyAtomic(t, atom, pol, fn, rule);
+      if (s == GuardStatus::kGood) {
+        best = GuardStatus::kGood;
+        break;
+      }
+      if (s == GuardStatus::kWrongDirection) {
+        best = GuardStatus::kWrongDirection;
+      }
+    }
+    if (best != GuardStatus::kNone) {
+      any_classified = true;
+    }
+    if (best != GuardStatus::kGood) {
+      all_good = false;
+    }
+    if (best == GuardStatus::kWrongDirection) {
+      any_wrong = true;
+    }
+  }
+  if (all_good && any_classified) {
+    return GuardStatus::kGood;
+  }
+  return any_wrong ? GuardStatus::kWrongDirection : GuardStatus::kNone;
+}
+
+// The strongest guard dominating token `i` of `fn`.
+GuardStatus SiteStatus(const std::vector<Tok>& t, const BgFn& fn, size_t i,
+                       const BallotGuardRule& rule) {
+  GuardStatus best = GuardStatus::kNone;
+  for (const GuardFact& raw : fn.guards->FactsAtToken(i)) {
+    for (const GuardFact& fact : NormalizeFact(t, raw)) {
+      const GuardStatus s = ClassifyFact(t, fact, fn, rule);
+      if (s == GuardStatus::kGood) {
+        return GuardStatus::kGood;
+      }
+      if (s == GuardStatus::kWrongDirection) {
+        best = GuardStatus::kWrongDirection;
+      }
+    }
+  }
+  return best;
+}
+
+bool IsMutatingContainerOp(const std::string& id) {
+  static const std::set<std::string> kOps = {
+      "push_back", "pop_back", "emplace_back", "emplace", "insert", "erase",
+      "clear",     "resize",   "assign",       "push",    "pop"};
+  return kOps.count(id) > 0;
+}
+
+}  // namespace
+
+void CheckBallotGuard(const AnalyzerConfig& cfg, FileSet& files,
+                      std::vector<Finding>* out, int* nfiles,
+                      std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-ballot-guard";
+  for (const BallotGuardRule& rule : cfg.ballot_guards) {
+    const SourceFile* sf = files.Get(rule.file);
+    if (sf == nullptr) {
+      errors->push_back("opx-ballot-guard: cannot read " + rule.file);
+      continue;
+    }
+    ++*nfiles;
+    const std::vector<Tok>& t = sf->toks;
+    std::vector<FunctionDef> defs = ParseFunctions(*sf);
+    std::set<std::string> fn_names;
+    for (const FunctionDef& d : defs) {
+      fn_names.insert(d.name);
+    }
+
+    std::vector<BgFn> fns(defs.size());
+    std::map<std::string, std::vector<size_t>> by_name;
+    for (size_t fi = 0; fi < defs.size(); ++fi) {
+      BgFn& fn = fns[fi];
+      fn.def = &defs[fi];
+      fn.cfg = Cfg::Build(*sf, defs[fi]);
+      fn.guards = std::make_unique<GuardIndex>(fn.cfg);
+      by_name[defs[fi].name].push_back(fi);
+      for (const Param& p : defs[fi].params) {
+        if (!p.name.empty()) {
+          fn.msg_bases.insert(p.name);
+        }
+      }
+      // get_if-bound aliases: `auto* alias = std::get_if<T>(&msg)`.
+      for (size_t i = defs[fi].body_open; i < defs[fi].body_close; ++i) {
+        if (!t[i].IsIdent("get_if")) {
+          continue;
+        }
+        size_t j = i;
+        if (j >= 2 && t[j - 1].Is("::") && t[j - 2].IsIdent("std")) {
+          j -= 2;
+        }
+        if (j >= 2 && t[j - 1].Is("=") && t[j - 2].kind == TokKind::kIdent) {
+          fn.msg_bases.insert(t[j - 2].text);
+        }
+      }
+      // Direct mutations and same-file call sites.
+      for (size_t i = defs[fi].body_open + 1; i < defs[fi].body_close; ++i) {
+        if (t[i].kind != TokKind::kIdent) {
+          continue;
+        }
+        const std::string& id = t[i].text;
+        const bool member_of_other =
+            i > 0 && (t[i - 1].Is(".") ||
+                      (t[i - 1].Is("->") && !(i >= 2 && t[i - 2].IsIdent("this"))));
+        if (Contains(rule.mutators, id) && i + 1 < t.size() && t[i + 1].Is("(")) {
+          fn.mutations.push_back({i, id});
+          continue;
+        }
+        if (Contains(rule.state_members, id) && !member_of_other) {
+          const bool assigned =
+              (i + 1 < t.size() &&
+               (t[i + 1].Is("=") ||
+                ((t[i + 1].Is("+") || t[i + 1].Is("-") || t[i + 1].Is("|") ||
+                  t[i + 1].Is("&") || t[i + 1].Is("^")) &&
+                 i + 2 < t.size() && t[i + 2].Is("=")))) ||
+              (i + 2 < t.size() && t[i + 1].Is("+") && t[i + 2].Is("+")) ||
+              (i + 2 < t.size() && t[i + 1].Is("-") && t[i + 2].Is("-")) ||
+              (i >= 2 && t[i - 1].Is("+") && t[i - 2].Is("+")) ||
+              (i >= 2 && t[i - 1].Is("-") && t[i - 2].Is("-")) ||
+              (i + 3 < t.size() && (t[i + 1].Is(".") || t[i + 1].Is("->")) &&
+               IsMutatingContainerOp(t[i + 2].text) && t[i + 3].Is("("));
+          if (assigned) {
+            fn.mutations.push_back({i, id});
+          }
+          continue;
+        }
+        if (fn_names.count(id) > 0 && !member_of_other && i + 1 < t.size() &&
+            t[i + 1].Is("(") && id != defs[fi].name) {
+          fn.calls.push_back({i, id});
+        }
+      }
+    }
+
+    // Summary fixpoint: a function is unguarded when it has a direct
+    // mutation, or a call to an unguarded function, not dominated by a
+    // good-direction round guard.
+    for (BgFn& fn : fns) {
+      for (const auto& [tok, what] : fn.mutations) {
+        if (SiteStatus(t, fn, tok, rule) != GuardStatus::kGood) {
+          fn.unguarded_summary = true;
+          break;
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (BgFn& fn : fns) {
+        if (fn.unguarded_summary) {
+          continue;
+        }
+        for (const auto& [tok, callee] : fn.calls) {
+          bool callee_unguarded = false;
+          for (const size_t ci : by_name[callee]) {
+            callee_unguarded = callee_unguarded || fns[ci].unguarded_summary;
+          }
+          if (callee_unguarded && SiteStatus(t, fn, tok, rule) != GuardStatus::kGood) {
+            fn.unguarded_summary = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Findings: handlers only (Handle* naming convention), per bad site.
+    for (const BgFn& fn : fns) {
+      const std::string& name = fn.def->name;
+      if (name.rfind("Handle", 0) != 0 || Contains(rule.exempt, name)) {
+        continue;
+      }
+      std::map<std::string, int> ordinals;
+      for (const auto& [tok, what] : fn.mutations) {
+        const GuardStatus s = SiteStatus(t, fn, tok, rule);
+        const std::string key =
+            OrdinalKey(name + "/" + what, ordinals[name + "/" + what]++);
+        if (s == GuardStatus::kGood) {
+          continue;
+        }
+        Add(*sf, t[tok].line, kCheck, key,
+            s == GuardStatus::kWrongDirection
+                ? name + " mutates `" + what + "` under a wrong-direction round "
+                      "guard (accepts msg round < own round) — a stale ballot "
+                      "could overwrite newer promises (Appendix A, single "
+                      "leader per round)"
+                : name + " mutates `" + what + "` without a dominating "
+                      "round/ballot comparison against the message's round — "
+                      "a stale or duplicate message can roll state backwards "
+                      "(Appendix A, promise monotonicity)",
+            out);
+      }
+      for (const auto& [tok, callee] : fn.calls) {
+        bool callee_unguarded = false;
+        for (const size_t ci : by_name[callee]) {
+          callee_unguarded = callee_unguarded || fns[ci].unguarded_summary;
+        }
+        if (!callee_unguarded) {
+          continue;
+        }
+        const GuardStatus s = SiteStatus(t, fn, tok, rule);
+        if (s == GuardStatus::kGood) {
+          continue;
+        }
+        const std::string key =
+            OrdinalKey(name + "/" + callee, ordinals[name + "/" + callee]++);
+        Add(*sf, t[tok].line, kCheck, key,
+            name + " calls `" + callee + "` (which mutates round state) " +
+                (s == GuardStatus::kWrongDirection
+                     ? "under a wrong-direction round guard"
+                     : "without a dominating round/ballot guard") +
+                " — the callee inherits no protection from this call site "
+                "(one-level summary, DESIGN.md §13)",
+            out);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-quorum-arith
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Index of the matching opener for the closer at `close`, scanning backward.
+size_t MatchBackward(const std::vector<Tok>& toks, size_t close, const char* opener,
+                     const char* closer) {
+  int depth = 0;
+  for (size_t i = close + 1; i > 0; --i) {
+    const Tok& t = toks[i - 1];
+    if (t.Is(closer)) {
+      ++depth;
+    } else if (t.Is(opener)) {
+      if (--depth == 0) {
+        return i - 1;
+      }
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+void CheckQuorumArith(const AnalyzerConfig& cfg, FileSet& files,
+                      std::vector<Finding>* out, int* nfiles,
+                      std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-quorum-arith";
+  (void)errors;
+  const QuorumConfig& qc = cfg.quorum;
+  if (qc.dirs.empty()) {
+    return;
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> paths;
+  for (const std::string& d : qc.dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (seen.insert(p).second) {
+        paths.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const std::string& path : paths) {
+    if (path == qc.helper_file) {
+      continue;  // the one sanctioned implementation
+    }
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    ++*nfiles;
+    const std::vector<Tok>& t = sf->toks;
+    int ordinal = 0;
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+      if (!t[i].Is("/") || !(t[i + 1].kind == TokKind::kNumber && t[i + 1].Is("2"))) {
+        continue;
+      }
+      // Reconstruct the dividend: a parenthesized group or a call/member
+      // chain ending just before the '/'.
+      size_t div_begin = i - 1;
+      if (t[i - 1].Is(")")) {
+        const size_t open = MatchBackward(t, i - 1, "(", ")");
+        if (open >= t.size()) {
+          continue;
+        }
+        div_begin = open;
+        // Include the callee chain: `cluster.ClusterSize()`.
+        while (div_begin > 0 &&
+               (t[div_begin - 1].kind == TokKind::kIdent ||
+                t[div_begin - 1].Is(".") || t[div_begin - 1].Is("->") ||
+                t[div_begin - 1].Is("::"))) {
+          --div_begin;
+        }
+      } else {
+        while (div_begin > 0 &&
+               (t[div_begin - 1].kind == TokKind::kIdent ||
+                t[div_begin - 1].kind == TokKind::kNumber ||
+                t[div_begin - 1].Is(".") || t[div_begin - 1].Is("->") ||
+                t[div_begin - 1].Is("::"))) {
+          --div_begin;
+        }
+      }
+      // Is the dividend a cluster-size expression?
+      bool size_expr = false;
+      for (size_t j = div_begin; j < i; ++j) {
+        if (t[j].kind != TokKind::kIdent) {
+          continue;
+        }
+        if (Contains(qc.size_calls, t[j].text) && j + 1 < i && t[j + 1].Is("(")) {
+          size_expr = true;
+          break;
+        }
+        if (Contains(qc.size_idents, t[j].text)) {
+          size_expr = true;
+          break;
+        }
+      }
+      if (!size_expr) {
+        continue;
+      }
+      const bool plus_one_inside =  // `(n + 1) / 2`
+          i >= 3 && t[i - 1].Is(")") && t[i - 2].Is("1") && t[i - 3].Is("+");
+      const bool plus_one_after =  // `n / 2 + 1`
+          i + 3 < t.size() && t[i + 2].Is("+") && t[i + 3].Is("1");
+      std::string message;
+      if (plus_one_inside) {
+        message =
+            "hand-rolled `(n + 1) / 2` is NOT a majority for even n (n=4 "
+            "gives 2) — use util::MajorityOf (n/2 + 1), the one audited "
+            "quorum helper";
+      } else if (plus_one_after) {
+        message =
+            "hand-rolled majority `n / 2 + 1` — route quorum arithmetic "
+            "through util::MajorityOf so every protocol shares the one "
+            "audited formula (Paxos and Raft quorums must agree)";
+      } else {
+        message =
+            "`n / 2` over a cluster size is a minority-vs-majority off-by-one "
+            "hazard — use util::MajorityOf / util::MaxMinorityOf instead of "
+            "raw division";
+      }
+      Add(*sf, t[i].line, kCheck, OrdinalKey("div2", ordinal++), message, out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-blocking-in-loop
+// --------------------------------------------------------------------------
+
+namespace {
+
+bool IsBlockingName(const std::string& id) {
+  static const std::set<std::string> kBlocking = {
+      "read",     "write",    "pread",     "pwrite",    "connect",   "accept",
+      "accept4",  "recv",     "recvfrom",  "recvmsg",   "send",      "sendto",
+      "sendmsg",  "fsync",    "fdatasync", "sleep",     "usleep",    "nanosleep",
+      "sleep_for", "sleep_until", "select", "pselect",  "poll",      "ppoll",
+      "epoll_wait"};
+  return kBlocking.count(id) > 0;
+}
+
+// A call of a blocking function at token `i`: free or ::-qualified (member
+// calls like `buf.read(...)` are some other read).
+bool IsBlockingCallSite(const std::vector<Tok>& t, size_t i) {
+  if (t[i].kind != TokKind::kIdent || !IsBlockingName(t[i].text) ||
+      i + 1 >= t.size() || !t[i + 1].Is("(")) {
+    return false;
+  }
+  if (i == 0) {
+    return true;
+  }
+  if (t[i - 1].Is(".") || t[i - 1].Is("->")) {
+    return false;
+  }
+  if (t[i - 1].Is("::")) {
+    // `::read` (global) and `std::this_thread::sleep_for` are the real
+    // syscalls; `SomeClass::read` is not.
+    if (i == 1 || t[i - 2].kind != TokKind::kIdent) {
+      return true;
+    }
+    return t[i - 2].IsIdent("std") || t[i - 2].IsIdent("this_thread");
+  }
+  return true;
+}
+
+}  // namespace
+
+void CheckBlockingInLoop(const AnalyzerConfig& cfg, FileSet& files,
+                         std::vector<Finding>* out, int* nfiles,
+                         std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-blocking-in-loop";
+  (void)errors;
+  const BlockingConfig& bc = cfg.blocking;
+
+  // Pass 1: deterministic directories — blocking syscalls banned outright
+  // (Simulator callbacks run there; one blocked callback stalls virtual
+  // time for the whole cluster).
+  std::set<std::string> seen;
+  std::vector<std::string> det_paths;
+  for (const std::string& d : bc.det_dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (seen.insert(p).second) {
+        det_paths.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(det_paths.begin(), det_paths.end());
+  for (const std::string& path : det_paths) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    ++*nfiles;
+    const std::vector<Tok>& t = sf->toks;
+    std::map<std::string, int> ordinals;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (IsBlockingCallSite(t, i)) {
+        Add(*sf, t[i].line, kCheck, OrdinalKey(t[i].text, ordinals[t[i].text]++),
+            "blocking call `" + t[i].text + "` in deterministic code — "
+            "Simulator callbacks must never block (one stalled callback "
+            "freezes virtual time for the whole cluster)",
+            out);
+      }
+    }
+  }
+
+  // Pass 2: event-loop scope — functions reachable from the configured
+  // entry points, via name-based call summaries across every file in
+  // event_dirs.
+  if (bc.event_dirs.empty() || bc.entries.empty()) {
+    return;
+  }
+  struct EvFn {
+    std::string file;
+    const SourceFile* sf = nullptr;
+    FunctionDef def;
+    std::vector<size_t> blocking;       // token indices of blocking calls
+    std::vector<std::string> callees;   // names of called event-scope fns
+  };
+  std::vector<EvFn> ev;
+  std::map<std::string, std::vector<size_t>> ev_by_name;
+  std::set<std::string> ev_files_seen;
+  std::vector<std::string> ev_paths;
+  for (const std::string& d : bc.event_dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (ev_files_seen.insert(p).second) {
+        ev_paths.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(ev_paths.begin(), ev_paths.end());
+  std::set<std::string> all_fn_names;
+  std::vector<std::pair<const SourceFile*, std::vector<FunctionDef>>> parsed;
+  for (const std::string& path : ev_paths) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    if (seen.insert(path).second) {
+      ++*nfiles;
+    }
+    parsed.emplace_back(sf, ParseFunctions(*sf));
+    for (const FunctionDef& d : parsed.back().second) {
+      all_fn_names.insert(d.name);
+    }
+  }
+  for (auto& [sf, defs] : parsed) {
+    for (FunctionDef& d : defs) {
+      EvFn fn;
+      fn.file = sf->path;
+      fn.sf = sf;
+      const std::vector<Tok>& t = sf->toks;
+      for (size_t i = d.body_open + 1; i < d.body_close; ++i) {
+        if (IsBlockingCallSite(t, i)) {
+          fn.blocking.push_back(i);
+        } else if (t[i].kind == TokKind::kIdent && all_fn_names.count(t[i].text) > 0 &&
+                   i + 1 < t.size() && t[i + 1].Is("(") && t[i].text != d.name &&
+                   !(i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->")))) {
+          // Only unqualified (same-object or free) calls: `obj->Append(...)`
+          // is a call into *some other* class whose name happens to collide.
+          fn.callees.push_back(t[i].text);
+        }
+      }
+      fn.def = std::move(d);
+      ev_by_name[fn.def.name].push_back(ev.size());
+      ev.push_back(std::move(fn));
+    }
+  }
+
+  // BFS from the entry points, keeping one witness path per function.
+  std::map<size_t, std::string> via;  // fn index -> "Entry -> a -> b"
+  std::vector<size_t> queue;
+  for (const BlockingConfig::EntryPoint& ep : bc.entries) {
+    for (size_t fi = 0; fi < ev.size(); ++fi) {
+      if (ev[fi].file == ep.file && ev[fi].def.name == ep.function &&
+          via.emplace(fi, ev[fi].def.Display()).second) {
+        queue.push_back(fi);
+      }
+    }
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const size_t fi = queue[qi];
+    for (const std::string& callee : ev[fi].callees) {
+      for (const size_t ci : ev_by_name[callee]) {
+        if (via.emplace(ci, via[fi] + " -> " + ev[ci].def.Display()).second) {
+          queue.push_back(ci);
+        }
+      }
+    }
+  }
+
+  for (const auto& [fi, path] : via) {
+    const EvFn& fn = ev[fi];
+    const std::vector<Tok>& t = fn.sf->toks;
+    std::map<std::string, int> ordinals;
+    for (const size_t i : fn.blocking) {
+      const std::string base = fn.def.name + "/" + t[i].text;
+      Add(*fn.sf, t[i].line, kCheck, OrdinalKey(base, ordinals[base]++),
+          "blocking call `" + t[i].text + "` reachable from event-loop entry "
+          "point (" + path + ") — one blocked handler stalls every connection "
+          "the loop serves; the epoll rewrite (ROADMAP item 4) requires "
+          "non-blocking I/O throughout",
+          out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-span-escape
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Is token `i` (an identifier) a member per the trailing-underscore
+// convention, or written through `this->`?
+bool IsMemberName(const std::vector<Tok>& t, size_t i) {
+  if (!t[i].text.empty() && t[i].text.back() == '_') {
+    return true;
+  }
+  return i >= 2 && t[i - 1].Is("->") && t[i - 2].IsIdent("this");
+}
+
+// Whether [begin, end) is exactly `name` or `std::move(name)`.
+bool IsWholeParam(const std::vector<Tok>& t, size_t begin, size_t end,
+                  const std::string& name) {
+  if (end == begin + 1) {
+    return t[begin].IsIdent(name);
+  }
+  if (end == begin + 6 && t[begin].IsIdent("std") && t[begin + 1].Is("::") &&
+      t[begin + 2].IsIdent("move") && t[begin + 3].Is("(") &&
+      t[begin + 4].IsIdent(name) && t[begin + 5].Is(")")) {
+    return true;
+  }
+  if (end == begin + 4 && t[begin].IsIdent("move") && t[begin + 1].Is("(") &&
+      t[begin + 2].IsIdent(name) && t[begin + 3].Is(")")) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckSpanEscape(const AnalyzerConfig& cfg, FileSet& files,
+                     std::vector<Finding>* out, int* nfiles,
+                     std::vector<std::string>* errors) {
+  static const char* kCheck = "opx-span-escape";
+  (void)errors;
+  const SpanEscapeConfig& sc = cfg.span_escape;
+  if (sc.dirs.empty()) {
+    return;
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> paths;
+  for (const std::string& d : sc.dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (seen.insert(p).second) {
+        paths.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const std::string& path : paths) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    ++*nfiles;
+    const std::vector<Tok>& t = sf->toks;
+    std::map<std::string, int> ordinals;
+    for (const FunctionDef& def : ParseFunctions(*sf)) {
+      for (const Param& p : def.params) {
+        if (p.name.empty()) {
+          continue;
+        }
+        bool is_view = false;
+        for (const std::string& vt : sc.view_types) {
+          if (p.type.find(vt) != std::string::npos) {
+            is_view = true;
+            break;
+          }
+        }
+        if (!is_view) {
+          continue;
+        }
+        for (size_t i = def.body_open + 1; i + 1 < def.body_close; ++i) {
+          if (t[i].kind != TokKind::kIdent) {
+            continue;
+          }
+          // `member_ = param;` (optionally via std::move).
+          if (IsMemberName(t, i) && t[i + 1].Is("=")) {
+            size_t semi = i + 2;
+            while (semi < def.body_close && !t[semi].Is(";")) {
+              ++semi;
+            }
+            if (IsWholeParam(t, i + 2, semi, p.name)) {
+              Add(*sf, t[i].line, kCheck,
+                  OrdinalKey(def.name + "/" + p.name,
+                             ordinals[def.name + "/" + p.name]++),
+                  def.Display() + " stores view parameter `" + p.name + "` ("
+                      + p.type + ") into member `" + t[i].text + "` — the view "
+                      "outlives the call while its backing log segment may be "
+                      "truncated or reallocated (copy the elements, or keep an "
+                      "owning EntrySegment)",
+                  out);
+            }
+            continue;
+          }
+          // `container_.push_back(param)` and friends.
+          if (IsMemberName(t, i) && i + 3 < def.body_close &&
+              (t[i + 1].Is(".") || t[i + 1].Is("->")) &&
+              IsMutatingContainerOp(t[i + 2].text) && t[i + 3].Is("(")) {
+            const size_t close = MatchForward(t, i + 3, "(", ")");
+            if (close >= def.body_close) {
+              continue;
+            }
+            // Any top-level argument that is the whole parameter.
+            size_t arg_begin = i + 4;
+            int depth = 0;
+            bool flagged = false;
+            for (size_t j = i + 4; j <= close && !flagged; ++j) {
+              const bool top_comma = t[j].Is(",") && depth == 0;
+              if (j == close || top_comma) {
+                if (IsWholeParam(t, arg_begin, j, p.name)) {
+                  Add(*sf, t[i].line, kCheck,
+                      OrdinalKey(def.name + "/" + p.name,
+                                 ordinals[def.name + "/" + p.name]++),
+                      def.Display() + " stores view parameter `" + p.name +
+                          "` into member container `" + t[i].text + "` via `" +
+                          t[i + 2].text + "` — the stored view outlives the "
+                          "call; copy the underlying elements instead "
+                          "(AppendAll's element-insert is the good pattern)",
+                      out);
+                  flagged = true;
+                }
+                arg_begin = j + 1;
+              } else if (t[j].Is("(") || t[j].Is("[") || t[j].Is("{")) {
+                ++depth;
+              } else if (t[j].Is(")") || t[j].Is("]") || t[j].Is("}")) {
+                --depth;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 // Driver.
 // --------------------------------------------------------------------------
 
@@ -673,6 +1553,10 @@ AnalysisResult RunAnalysis(const AnalyzerConfig& config) {
       {"opx-msg-init", CheckMsgInit},
       {"opx-audit-hook", CheckAuditHook},
       {"opx-obs-hook", CheckObsHook},
+      {"opx-ballot-guard", CheckBallotGuard},
+      {"opx-quorum-arith", CheckQuorumArith},
+      {"opx-blocking-in-loop", CheckBlockingInLoop},
+      {"opx-span-escape", CheckSpanEscape},
   };
 
   for (const Entry& e : entries) {

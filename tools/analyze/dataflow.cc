@@ -1,0 +1,175 @@
+// Dominance and reaching-guard analysis over the cfg.cc basic blocks.
+//
+// Dominators are computed with the classic iterative bitset dataflow
+// (dom(entry) = {entry}; dom(b) = {b} ∪ ∩ dom(preds)); function CFGs here
+// are tens of blocks, so the quadratic worst case is irrelevant. Guard facts
+// then need no path enumeration: every branch successor was materialized as
+// a dedicated edge block during lowering, so "condition C held when control
+// reached X" is exactly "the corresponding edge block dominates X".
+#include <algorithm>
+
+#include "tools/analyze/cfg.h"
+
+namespace opx::analyze {
+
+GuardIndex::GuardIndex(const Cfg& cfg) : cfg_(&cfg) {
+  const std::vector<BasicBlock>& blocks = cfg.blocks();
+  const size_t n = blocks.size();
+  dom_.assign(n, std::vector<bool>(n, true));
+  if (n == 0) {
+    return;
+  }
+  const size_t entry = static_cast<size_t>(cfg.entry());
+  dom_[entry].assign(n, false);
+  dom_[entry][entry] = true;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = 0; b < n; ++b) {
+      if (b == entry) {
+        continue;
+      }
+      std::vector<bool> next(n, true);
+      if (blocks[b].preds.empty()) {
+        // Unreachable (dead code after return, or the never-entered exit of
+        // an infinite loop): keep the "dominated by everything" lattice top;
+        // such blocks can never dominate reachable code.
+        continue;
+      }
+      for (const int p : blocks[b].preds) {
+        const std::vector<bool>& pd = dom_[static_cast<size_t>(p)];
+        for (size_t i = 0; i < n; ++i) {
+          next[i] = next[i] && pd[i];
+        }
+      }
+      next[b] = true;
+      if (next != dom_[b]) {
+        dom_[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+}
+
+bool GuardIndex::Dominates(int a, int b) const {
+  if (a < 0 || b < 0 || static_cast<size_t>(b) >= dom_.size() ||
+      static_cast<size_t>(a) >= dom_.size()) {
+    return false;
+  }
+  return dom_[static_cast<size_t>(b)][static_cast<size_t>(a)];
+}
+
+std::vector<GuardFact> GuardIndex::FactsAtToken(size_t i) const {
+  std::vector<GuardFact> facts;
+  const int at = cfg_->BlockOfToken(i);
+  if (at < 0) {
+    return facts;
+  }
+  const std::vector<BasicBlock>& blocks = cfg_->blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BasicBlock& blk = blocks[b];
+    if (blk.cond.Empty() || blk.true_succ < 0 || blk.false_succ < 0) {
+      continue;
+    }
+    if (static_cast<int>(b) == at) {
+      continue;  // the branch's own condition is being evaluated, not known
+    }
+    if (Dominates(blk.true_succ, at)) {
+      facts.push_back({blk.cond, true});
+    } else if (Dominates(blk.false_succ, at)) {
+      facts.push_back({blk.cond, false});
+    }
+  }
+  return facts;
+}
+
+namespace {
+
+// Does [begin, end) consist of one balanced parenthesized group?
+bool WhollyParenthesized(const std::vector<Tok>& t, size_t begin, size_t end) {
+  if (end - begin < 2 || !t[begin].Is("(")) {
+    return false;
+  }
+  int depth = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (t[i].Is("(")) {
+      ++depth;
+    } else if (t[i].Is(")")) {
+      if (--depth == 0) {
+        return i == end - 1;
+      }
+    }
+  }
+  return false;
+}
+
+// Splits [begin, end) at top-level occurrences of `op` ("&&" or "||").
+std::vector<TokRange> SplitTopLevel(const std::vector<Tok>& t, size_t begin,
+                                    size_t end, const char* op) {
+  std::vector<TokRange> parts;
+  int depth = 0;
+  size_t part_begin = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      --depth;
+    } else if (depth == 0 && t[i].Is(op)) {
+      parts.push_back({part_begin, i});
+      part_begin = i + 1;
+    }
+  }
+  parts.push_back({part_begin, end});
+  return parts;
+}
+
+void Normalize(const std::vector<Tok>& t, GuardFact fact,
+               std::vector<GuardFact>* out) {
+  // Strip outer parens and leading '!'.
+  while (true) {
+    if (WhollyParenthesized(t, fact.cond.begin, fact.cond.end)) {
+      ++fact.cond.begin;
+      --fact.cond.end;
+      continue;
+    }
+    if (!fact.cond.Empty() && t[fact.cond.begin].Is("!") &&
+        WhollyParenthesized(t, fact.cond.begin + 1, fact.cond.end)) {
+      fact.polarity = !fact.polarity;
+      fact.cond.begin += 2;
+      --fact.cond.end;
+      continue;
+    }
+    break;
+  }
+  if (fact.cond.Empty()) {
+    return;
+  }
+  // `A && B` known true establishes both; `A || B` known false establishes
+  // the negation of both (De Morgan). The other two combinations establish
+  // nothing about the individual operands.
+  const char* split_op = fact.polarity ? "&&" : "||";
+  const char* blocked_op = fact.polarity ? "||" : "&&";
+  const std::vector<TokRange> parts =
+      SplitTopLevel(t, fact.cond.begin, fact.cond.end, split_op);
+  if (parts.size() > 1) {
+    for (const TokRange& part : parts) {
+      Normalize(t, {part, fact.polarity}, out);
+    }
+    return;
+  }
+  // A top-level occurrence of the non-splittable operator keeps the fact
+  // whole (the ballot-guard check handles true disjunctions per-disjunct).
+  (void)blocked_op;
+  out->push_back(fact);
+}
+
+}  // namespace
+
+std::vector<GuardFact> NormalizeFact(const std::vector<Tok>& toks, GuardFact fact) {
+  std::vector<GuardFact> out;
+  Normalize(toks, fact, &out);
+  return out;
+}
+
+}  // namespace opx::analyze

@@ -97,6 +97,73 @@ AnalyzerConfig DefaultConfig(const std::string& root) {
       {"src/rsm/omni_reconfig_sim.h", {"OPX_TRACE", "ObsSink"}},
   };
 
+  // --- opx-ballot-guard ---------------------------------------------------
+  // Per-protocol vocabulary for the CFG/dominance guard analysis (DESIGN.md
+  // §13): which message fields carry rounds, which identifiers are the
+  // replica's own round state, and which member writes / Storage mutators
+  // must sit behind a good-direction comparison inside Handle* functions.
+  cfg.ballot_guards = {
+      {"src/omnipaxos/sequence_paxos.cc",
+       /*round_fields=*/{"n"},
+       /*state_rounds=*/{"promised_round", "accepted_round", "n_", "leader_ballot_"},
+       /*mutators=*/
+       {"set_promised_round", "set_accepted_round", "set_decided_idx", "AppendAll",
+        "TruncateAndAppend", "ResetToSnapshot"},
+       /*state_members=*/{"n_", "leader_ballot_"},
+       /*exempt=*/{}},
+      {"src/omnipaxos/ble.cc",
+       /*round_fields=*/{"round"},
+       /*state_rounds=*/{"round_", "ballot_"},
+       /*mutators=*/{},
+       /*state_members=*/{"round_", "replies_"},
+       /*exempt=*/{}},
+      {"src/raft/raft.cc",
+       /*round_fields=*/{"term"},
+       /*state_rounds=*/{"term_"},
+       /*mutators=*/{},
+       /*state_members=*/{"term_", "voted_for_"},
+       /*exempt=*/{}},
+      {"src/multipaxos/multipaxos.cc",
+       /*round_fields=*/{"b", "promised"},
+       /*state_rounds=*/{"promised_", "ballot_", "active_leader_", "max_seen_"},
+       /*mutators=*/{},
+       /*state_members=*/{"promised_", "ballot_"},
+       /*exempt=*/{}},
+      {"src/vr/vr_election.cc",
+       /*round_fields=*/{"view"},
+       /*state_rounds=*/{"view_"},
+       /*mutators=*/{},
+       /*state_members=*/{"view_", "svc_received_", "dvc_received_"},
+       /*exempt=*/{}},
+  };
+
+  // --- opx-quorum-arith ---------------------------------------------------
+  // All majority math must flow through util::MajorityOf / util::MaxMinorityOf
+  // (src/util/quorum.h is the one sanctioned implementation).
+  cfg.quorum.dirs = {"src", "tests", "bench"};
+  cfg.quorum.helper_file = "src/util/quorum.h";
+  cfg.quorum.size_idents = {"kServers", "num_servers", "cluster_size", "n_servers"};
+
+  // --- opx-blocking-in-loop -----------------------------------------------
+  // Deterministic code (simulator callbacks) may never issue blocking
+  // syscalls; in the real-I/O layer, everything reachable from the event-loop
+  // entry points must stay non-blocking (poll-readiness model, ROADMAP 4).
+  cfg.blocking.det_dirs = cfg.determinism.dirs;
+  cfg.blocking.event_dirs = {"src/net"};
+  cfg.blocking.entries = {
+      {"src/net/tcp_transport.cc", "Poll"},
+      {"src/net/omni_tcp_server.cc", "StepOnce"},
+      {"src/net/omni_tcp_server.cc", "Run"},
+      {"src/net/omni_tcp_server.cc", "OnPeerMessage"},
+      {"src/net/omni_tcp_server.cc", "OnClientFrame"},
+  };
+
+  // --- opx-span-escape ----------------------------------------------------
+  // std::span / string_view parameters are borrowed for the duration of the
+  // call; storing one whole into a member outlives the borrow (the backing
+  // log segment may be truncated, compacted, or reallocated).
+  cfg.span_escape.dirs = {"src", "tests", "bench"};
+
   return cfg;
 }
 

@@ -1,0 +1,20 @@
+// Blocking-in-loop fixture, bad tree: Run -> Step reaches a raw ::write and
+// a this_thread::sleep_for. Idle() also blocks but is NOT reachable from the
+// entry point, so it must not be flagged (reachability, not a grep).
+namespace fix {
+
+class Loop {
+ public:
+  void Run() { Step(); }
+
+ private:
+  void Step() {
+    Flush();
+    Wait();
+  }
+  void Flush() { ::write(1, "x", 1); }
+  void Wait() { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }
+  void Idle() { ::read(0, nullptr, 0); }
+};
+
+}  // namespace fix

@@ -1,0 +1,36 @@
+// Ballot-guard fixture, bad tree: a wrong-direction guard, a mutation with
+// no round comparison at all, and an unguarded callee reached through a
+// call site that checks nothing about the round.
+namespace fix {
+
+struct Prepare {
+  unsigned n = 0;
+};
+
+class Replica {
+ public:
+  void HandlePrepare(const Prepare& p) {
+    if (p.n < promised_round_) {
+      set_promised_round(p.n);  // accepts only STALE rounds: inverted guard
+    }
+  }
+
+  void HandleCommit(const Prepare& p) {
+    round_ = p.n;  // no comparison against the message's round anywhere
+  }
+
+  void HandleSync(const Prepare& p) {
+    if (p.n != 0) {
+      Adopt(p);  // guard says nothing about round_ vs p.n
+    }
+  }
+
+ private:
+  void Adopt(const Prepare& p) { round_ = p.n; }
+  void set_promised_round(unsigned n) { promised_round_ = n; }
+
+  unsigned promised_round_ = 0;
+  unsigned round_ = 0;
+};
+
+}  // namespace fix

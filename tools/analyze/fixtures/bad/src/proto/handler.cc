@@ -8,6 +8,7 @@
 //   opx-audit-hook:    no Audit()/AuditView surface, no OPX_CHECK anywhere
 //   opx-obs-hook:      no OPX_TRACE call and no ObsSink member — observable
 //                      transitions are invisible to the trace oracles
+//   opx-blocking-in-loop: usleep() in deterministic code (blanket ban)
 #include <functional>
 #include <random>
 #include <unordered_map>
@@ -53,6 +54,7 @@ class Handler {
   void Emit(NodeId, FixMessage) {}
 
   uint64_t Jitter() { return static_cast<uint64_t>(rand()); }  // BAD: ambient rng
+  void Backoff() { usleep(250); }                              // BAD: blocks the sim
   std::random_device entropy_;                                 // BAD: ambient rng
 
   Storage storage_;

@@ -1,0 +1,14 @@
+// Quorum-arith fixture, bad tree: the three hand-rolled shapes, in order —
+// `(n + 1) / 2` (wrong for even n), `n / 2 + 1` (correct but unaudited),
+// and a bare `n / 2` (minority/majority off-by-one hazard).
+namespace fix {
+
+constexpr unsigned kServers = 5;
+
+unsigned WrongForEven() { return (kServers + 1) / 2; }
+
+unsigned HandRolled(unsigned cluster_size) { return cluster_size / 2 + 1; }
+
+unsigned BareHalf() { return kServers / 2; }
+
+}  // namespace fix

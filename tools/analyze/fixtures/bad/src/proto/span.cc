@@ -1,0 +1,17 @@
+// Span-escape fixture, bad tree: a span parameter stored whole into a
+// member, and a string_view pushed whole into a member container — both
+// outlive the call while the caller may free or truncate the backing store.
+namespace fix {
+
+class Buffer {
+ public:
+  void Keep(std::span<const int> entries) { view_ = entries; }
+
+  void Name(std::string_view name) { names_.push_back(name); }
+
+ private:
+  std::span<const int> view_;
+  std::vector<std::string_view> names_;
+};
+
+}  // namespace fix

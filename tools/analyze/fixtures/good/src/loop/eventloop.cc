@@ -1,0 +1,24 @@
+// Blocking-in-loop fixture, clean tree: everything reachable from the Run
+// entry point stays non-blocking.
+namespace fix {
+
+class Loop {
+ public:
+  void Run() {
+    for (int i = 0; i < 3; ++i) {
+      Step();
+    }
+  }
+
+ private:
+  void Step() {
+    ++steps_;
+    Dispatch();
+  }
+  void Dispatch() { ++events_; }
+
+  int steps_ = 0;
+  int events_ = 0;
+};
+
+}  // namespace fix

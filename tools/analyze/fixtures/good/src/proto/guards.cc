@@ -1,0 +1,47 @@
+// Ballot-guard fixture, clean tree: every round-state mutation in a Handle*
+// function is dominated by a good-direction comparison against the message's
+// round, across the guard idioms the engine models (early-return negation,
+// De Morgan on `||`, per-disjunct disjunctions, guarded unguarded-callee).
+namespace fix {
+
+struct Prepare {
+  unsigned n = 0;
+};
+
+class Replica {
+ public:
+  void HandlePrepare(const Prepare& p) {
+    if (p.n < promised_round_) {
+      return;  // early return: fall-through knows p.n >= promised_round_
+    }
+    set_promised_round(p.n);
+    if (p.n > leader_ballot_) {
+      leader_ballot_ = p.n;
+    }
+  }
+
+  void HandlePromise(const Prepare& p) {
+    if (role_ != 1 || p.n != round_) {
+      return;  // De Morgan: fall-through knows p.n == round_
+    }
+    Adopt(p);  // Adopt alone is unguarded; this call site pins the round
+  }
+
+  void HandleStartView(const Prepare& p) {
+    // Disjunction: every disjunct independently pins the round.
+    if (p.n > round_ || (p.n == round_ && role_ == 2)) {
+      round_ = p.n;
+    }
+  }
+
+ private:
+  void Adopt(const Prepare& p) { round_ = p.n; }
+  void set_promised_round(unsigned n) { promised_round_ = n; }
+
+  unsigned promised_round_ = 0;
+  unsigned round_ = 0;
+  unsigned leader_ballot_ = 0;
+  int role_ = 0;
+};
+
+}  // namespace fix

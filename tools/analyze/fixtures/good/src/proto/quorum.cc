@@ -1,0 +1,13 @@
+// Quorum-arith fixture, clean tree: all majority math goes through the one
+// sanctioned helper.
+#include "src/proto/quorum_util.h"
+
+namespace fix {
+
+constexpr unsigned kServers = 5;
+
+unsigned QuorumSize() { return MajorityOf(kServers); }
+
+bool HasQuorum(unsigned acks) { return acks >= MajorityOf(kServers); }
+
+}  // namespace fix

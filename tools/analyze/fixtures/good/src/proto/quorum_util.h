@@ -1,0 +1,12 @@
+// The fixture tree's sanctioned quorum helper (mirrors src/util/quorum.h);
+// configured as quorum.helper_file, so the formula here is exempt.
+#ifndef FIXTURE_QUORUM_UTIL_H_
+#define FIXTURE_QUORUM_UTIL_H_
+
+namespace fix {
+
+constexpr unsigned MajorityOf(unsigned n) { return n / 2 + 1; }
+
+}  // namespace fix
+
+#endif  // FIXTURE_QUORUM_UTIL_H_

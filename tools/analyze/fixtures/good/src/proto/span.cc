@@ -1,0 +1,17 @@
+// Span-escape fixture, clean tree: the view parameter is consumed during the
+// call — elements are copied out, the view itself never escapes.
+namespace fix {
+
+class Buffer {
+ public:
+  void Store(std::span<const int> entries) {
+    items_.assign(entries.begin(), entries.end());
+  }
+
+  unsigned Sum(std::string_view name) const { return name.size(); }
+
+ private:
+  std::vector<int> items_;
+};
+
+}  // namespace fix

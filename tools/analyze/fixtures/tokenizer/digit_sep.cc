@@ -1,0 +1,4 @@
+// Tokenizer golden fixture: C++14 digit separators stay one number token.
+int big = 1'000'000;
+int hexed = 0xFF'FF;
+int after_digits = 7;

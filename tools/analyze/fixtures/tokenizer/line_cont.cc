@@ -1,0 +1,5 @@
+// Tokenizer golden fixture: backslash-newline splices lines; the physical
+// line number still advances for tokens on the continuation line.
+int spliced = 1 + \
+  2;
+int after_splice = 3;

@@ -1,0 +1,5 @@
+// Tokenizer golden fixture: `>>` closing nested templates must stay two `>`
+// tokens so angle matching works; comparison operators merge into one token.
+std::map<int, std::vector<std::pair<int, int>>> nested;
+bool cmp = 1 <= 2 && 3 >= 2 || 4 == 4;
+int after_templates = 9;

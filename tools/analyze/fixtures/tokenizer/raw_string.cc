@@ -1,0 +1,6 @@
+// Tokenizer golden fixture: raw string literals in every prefix form; the
+// delimiter form protects embedded `)"` sequences.
+const char* plain = R"(plain "quoted" text)";
+const char* prefixed = u8R"x(keeps )" inside)x";
+const wchar_t* wide = LR"(wide raw)";
+int after_raw = 42;

@@ -1,14 +1,19 @@
 // opx_analyze CLI.
 //
 //   opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]
-//               [--check=opx-...] [--no-summary] [--list-checks]
+//               [--check=opx-...] [--format=text|json] [--no-summary]
+//               [--list-checks]
 //
-// Runs the six protocol-aware checks (see analyzer.h / DESIGN.md §11) over
-// the tree at --root (default: the current directory). Exit status:
-//   0  no non-baselined findings
-//   1  findings (or stale baseline entries with --write-baseline unset? no —
-//      stale entries only warn; they never fail the run)
+// Runs the ten protocol-aware checks (see analyzer.h / DESIGN.md §11, §13)
+// over the tree at --root (default: the current directory). Exit status:
+//   0  no non-baselined findings and no stale baseline entries
+//   1  findings, or stale baseline entries (a suppression whose finding is
+//      gone must be deleted, or the baseline rots into a dead allowlist)
 //   2  configuration error (missing configured file, unreadable baseline)
+//
+// --format=json emits a SARIF-lite document (version, tool, results with
+// ruleId/message/location) for editor and CI ingestion; the human summary
+// and finding lines are suppressed in that mode.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +44,59 @@ bool FlagSet(int argc, char** argv, const char* name) {
   return false;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// SARIF-lite: enough of SARIF 2.1.0 for editors and CI annotators — one run,
+// one driver, one result per finding with ruleId, message, and location.
+void PrintSarif(const std::vector<opx::analyze::Finding>& findings) {
+  std::printf("{\n");
+  std::printf("  \"version\": \"2.1.0\",\n");
+  std::printf("  \"runs\": [{\n");
+  std::printf("    \"tool\": {\"driver\": {\"name\": \"opx_analyze\", \"rules\": [");
+  bool first_rule = true;
+  for (const char* id : opx::analyze::kCheckIds) {
+    std::printf("%s{\"id\": \"%s\"}", first_rule ? "" : ", ", id);
+    first_rule = false;
+  }
+  std::printf("]}},\n");
+  std::printf("    \"results\": [");
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const opx::analyze::Finding& f = findings[i];
+    std::printf("%s\n      {\"ruleId\": \"%s\", \"level\": \"error\", ",
+                i == 0 ? "" : ",", f.check.c_str());
+    std::printf("\"message\": {\"text\": \"%s\"}, ", JsonEscape(f.message).c_str());
+    std::printf(
+        "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": \"%s\"}, \"region\": {\"startLine\": %d}}}], ",
+        JsonEscape(f.file).c_str(), f.line);
+    std::printf("\"partialFingerprints\": {\"baselineKey\": \"%s\"}}",
+                JsonEscape(f.BaselineKey()).c_str());
+  }
+  std::printf("%s]\n", findings.empty() ? "" : "\n    ");
+  std::printf("  }]\n");
+  std::printf("}\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,7 +105,8 @@ int main(int argc, char** argv) {
   if (FlagSet(argc, argv, "help")) {
     std::printf(
         "usage: opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]\n"
-        "                   [--check=ID] [--no-summary] [--list-checks]\n");
+        "                   [--check=ID] [--format=text|json] [--no-summary]\n"
+        "                   [--list-checks]\n");
     return 0;
   }
   if (FlagSet(argc, argv, "list-checks")) {
@@ -60,6 +119,12 @@ int main(int argc, char** argv) {
   const char* root_flag = FlagValue(argc, argv, "root");
   const std::string root = root_flag != nullptr ? root_flag : ".";
   const char* check_filter = FlagValue(argc, argv, "check");
+  const char* format_flag = FlagValue(argc, argv, "format");
+  const bool json = format_flag != nullptr && std::strcmp(format_flag, "json") == 0;
+  if (format_flag != nullptr && !json && std::strcmp(format_flag, "text") != 0) {
+    std::fprintf(stderr, "opx_analyze: unknown --format=%s (text|json)\n", format_flag);
+    return 2;
+  }
 
   const AnalyzerConfig config = DefaultConfig(root);
   AnalysisResult result = RunAnalysis(config);
@@ -118,16 +183,25 @@ int main(int argc, char** argv) {
   const std::vector<Finding> fresh =
       FilterBaseline(result.findings, baseline, &baselined, &stale);
 
-  for (const Finding& f : fresh) {
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
-                f.message.c_str());
+  if (json) {
+    PrintSarif(fresh);
+  } else {
+    for (const Finding& f : fresh) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                  f.message.c_str());
+    }
   }
+  // Strict baseline: a suppression whose finding no longer fires is an error,
+  // not a warning — otherwise fixed entries linger and mask regressions that
+  // later reuse the same key.
   for (const std::string& entry : stale) {
-    std::fprintf(stderr, "opx_analyze: stale baseline entry (fixed? remove it): %s\n",
+    std::fprintf(stderr,
+                 "opx_analyze: error: stale suppression (finding fixed? delete "
+                 "the baseline line): %s\n",
                  entry.c_str());
   }
 
-  if (!FlagSet(argc, argv, "no-summary")) {
+  if (!json && !FlagSet(argc, argv, "no-summary")) {
     double total_ms = 0.0;
     std::printf("\nopx_analyze summary (%s):\n", root.c_str());
     for (const CheckStats& s : result.stats) {
@@ -139,9 +213,10 @@ int main(int argc, char** argv) {
                   s.files == 1 ? " " : "s", s.ms);
       total_ms += s.ms;
     }
-    std::printf("  %zu new finding%s, %d baselined, %.1f ms total\n", fresh.size(),
-                fresh.size() == 1 ? "" : "s", baselined, total_ms);
+    std::printf("  %zu new finding%s, %d baselined, %d stale, %.1f ms total\n",
+                fresh.size(), fresh.size() == 1 ? "" : "s", baselined,
+                static_cast<int>(stale.size()), total_ms);
   }
 
-  return fresh.empty() ? 0 : 1;
+  return (fresh.empty() && stale.empty()) ? 0 : 1;
 }

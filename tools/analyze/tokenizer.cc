@@ -48,6 +48,13 @@ void Tokenize(std::string_view text, SourceFile* out) {
       ++i;
       continue;
     }
+    // Line splicing: backslash-newline disappears before tokenization (the
+    // continuation still advances the line counter).
+    if (c == '\\' && i + 1 < n && text[i + 1] == '\n') {
+      ++line;
+      i += 2;
+      continue;
+    }
     // Preprocessor directive: skip to end of line, honoring continuations.
     if (c == '#' && at_line_start) {
       while (i < n) {
@@ -88,16 +95,29 @@ void Tokenize(std::string_view text, SourceFile* out) {
       record_comment(start_line, text.substr(start, std::min(i, n) - start));
       continue;
     }
-    // Raw string literal: R"delim( ... )delim".
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefix (u8R / uR / UR / LR). The prefix check runs before identifier
+    // scanning so `u8R"(...)"` does not decay into ident + broken string.
+    size_t raw_r = std::string_view::npos;  // offset of the R of a raw string
     if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      size_t j = i + 2;
+      raw_r = i;
+    } else if ((c == 'u' || c == 'U' || c == 'L') && i + 2 < n) {
+      if (text[i + 1] == 'R' && text[i + 2] == '"') {
+        raw_r = i + 1;
+      } else if (c == 'u' && text[i + 1] == '8' && i + 3 < n && text[i + 2] == 'R' &&
+                 text[i + 3] == '"') {
+        raw_r = i + 2;
+      }
+    }
+    if (raw_r != std::string_view::npos) {
+      size_t j = raw_r + 2;
       std::string delim;
       while (j < n && text[j] != '(') {
         delim += text[j++];
       }
       const std::string close = ")" + delim + "\"";
-      const size_t end = text.find(close, j);
-      const size_t stop = end == std::string_view::npos ? n : end + close.size();
+      const size_t raw_end = text.find(close, j);
+      const size_t stop = raw_end == std::string_view::npos ? n : raw_end + close.size();
       out->toks.push_back({TokKind::kString, std::string(text.substr(i, stop - i)), line});
       line += static_cast<int>(std::count(text.begin() + static_cast<ptrdiff_t>(i),
                                           text.begin() + static_cast<ptrdiff_t>(stop), '\n'));
@@ -141,7 +161,9 @@ void Tokenize(std::string_view text, SourceFile* out) {
       continue;
     }
     // Punctuation; "::" and "->" kept as single tokens (the checks match on
-    // qualification and member access).
+    // qualification and member access), and the comparison/logical operators
+    // "== != <= >= && ||" as well (the CFG guard analysis matches on them).
+    // ">>" stays two tokens so template-closer matching keeps working.
     if (c == ':' && i + 1 < n && text[i + 1] == ':') {
       out->toks.push_back({TokKind::kPunct, "::", line});
       i += 2;
@@ -149,6 +171,13 @@ void Tokenize(std::string_view text, SourceFile* out) {
     }
     if (c == '-' && i + 1 < n && text[i + 1] == '>') {
       out->toks.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    if (i + 1 < n &&
+        (((c == '=' || c == '!' || c == '<' || c == '>') && text[i + 1] == '=') ||
+         (c == '&' && text[i + 1] == '&') || (c == '|' && text[i + 1] == '|'))) {
+      out->toks.push_back({TokKind::kPunct, std::string{c, text[i + 1]}, line});
       i += 2;
       continue;
     }

@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
 # Full static+dynamic check pipeline, as run before merging:
 #   1. sanitized build (ASan+UBSan, assertions live) of everything;
-#   2. opx_analyze (DESIGN.md §11): determinism, persistence-ordering,
-#      dispatch-exhaustiveness, message-hygiene, audit-hook, and obs-hook
-#      checks over src/ — fails on any finding not in
-#      tools/analyze/baseline.txt;
+#   2. opx_analyze (DESIGN.md §11, §13): the ten protocol-aware checks —
+#      the six token-level ones plus the CFG/dataflow tier (ballot-guard,
+#      quorum-arith, blocking-in-loop, span-escape) — over src/, tests/,
+#      and bench/; fails on any finding not in tools/analyze/baseline.txt,
+#      and on any stale baseline entry;
 #   3. the complete CTest suite under sanitizers — every scenario/chaos test
 #      runs with the cross-replica safety auditor enabled (the default);
-#   4. clang-tidy over files changed relative to origin/main (skipped with a
+#   4. a TSan build (-DOPX_SANITIZE=thread) with the real-I/O net tests as
+#      the data-race smoke;
+#   5. clang-tidy over files changed relative to origin/main (skipped with a
 #      note when clang-tidy is not installed).
 #
 # Usage: tools/run_checks.sh [build-dir]      (default: build-asan)
 #        tools/run_checks.sh --static [build-dir]
+#        tools/run_checks.sh --tsan [build-dir]
 #        tools/run_checks.sh --bench-smoke [build-dir]
 #        tools/run_checks.sh --chaos-smoke [schedules-per-protocol]
 #        tools/run_checks.sh --coverage [build-dir]
 #
 # --static is the fast pre-commit path: build only the opx_analyze target
-# (plain build, default dir: build-static) and run the six static checks —
-# a few seconds warm, well under ten cold.
+# (plain build, default dir: build-static) and run the ten static checks
+# over src/, tests/, and bench/ — a few seconds warm, well under ten cold.
+#
+# --tsan builds the test suite with ThreadSanitizer (default dir: build-tsan)
+# and runs the real-I/O net tests — the only tier that spawns threads — as a
+# data-race smoke. Also part of the default full run (step 4).
 #
 # --bench-smoke instead does a Release build (default dir: build-bench), runs
 # the sim_throughput quick benchmark, and refreshes BENCH_core.json at the
@@ -53,14 +61,14 @@ if [ "${1:-}" = "--static" ]; then
   if [ ! -x "$BIN" ]; then
     STALE=1
   else
-    for f in "$ROOT"/tools/analyze/*.cc "$ROOT"/tools/analyze/analyzer.h; do
+    for f in "$ROOT"/tools/analyze/*.cc "$ROOT"/tools/analyze/*.h; do
       if [ "$f" -nt "$BIN" ]; then STALE=1; fi
     done
   fi
   if [ "$STALE" -eq 1 ]; then
     step "compile opx_analyze (direct, no cmake) -> $BIN"
     PIDS=""
-    for f in tokenizer checks default_config baseline main; do
+    for f in tokenizer cfg dataflow checks default_config baseline main; do
       "${CXX:-c++}" -O0 -std=c++20 -I"$ROOT" -c "$ROOT/tools/analyze/$f.cc" \
         -o "$OUT/$f.o" &
       PIDS="$PIDS $!"
@@ -68,13 +76,32 @@ if [ "${1:-}" = "--static" ]; then
     CFAIL=0
     for p in $PIDS; do wait "$p" || CFAIL=1; done
     [ "$CFAIL" -eq 0 ] || { echo "compile FAILED"; exit 1; }
-    "${CXX:-c++}" "$OUT/tokenizer.o" "$OUT/checks.o" "$OUT/default_config.o" \
-      "$OUT/baseline.o" "$OUT/main.o" -o "$BIN" ||
+    "${CXX:-c++}" "$OUT/tokenizer.o" "$OUT/cfg.o" "$OUT/dataflow.o" \
+      "$OUT/checks.o" "$OUT/default_config.o" "$OUT/baseline.o" "$OUT/main.o" \
+      -o "$BIN" ||
       { echo "link FAILED"; exit 1; }
     echo "ok"
   fi
-  step "opx_analyze over src/ (six checks, baseline-filtered)"
+  step "opx_analyze over src/, tests/, bench/ (ten checks, baseline-filtered)"
   exec "$BIN" --root="$ROOT"
+fi
+
+if [ "${1:-}" = "--tsan" ]; then
+  BUILD="${2:-$ROOT/build-tsan}"
+  step "TSan build (-DOPX_SANITIZE=thread) -> $BUILD"
+  cmake -B "$BUILD" -S "$ROOT" -DOPX_SANITIZE=thread >"$BUILD.configure.log" 2>&1 ||
+    { echo "configure FAILED (see $BUILD.configure.log)"; exit 1; }
+  cmake --build "$BUILD" -j "$JOBS" --target opx_tests >"$BUILD.build.log" 2>&1 ||
+    { echo "build FAILED (see $BUILD.build.log)"; exit 1; }
+  echo "ok"
+  step "net tests under TSan (threaded real-I/O tier)"
+  if "$BUILD/tests/opx_tests" --gtest_filter='*Tcp*'; then
+    echo "ok"
+  else
+    echo "TSan net smoke FAILED"
+    exit 1
+  fi
+  exit 0
 fi
 
 if [ "${1:-}" = "--coverage" ]; then
@@ -236,6 +263,14 @@ if (cd "$BUILD" && ctest --output-on-failure -j "$JOBS"); then
   echo "ok"
 else
   echo "ctest FAILED"
+  FAILED=1
+fi
+
+step "TSan net smoke (-DOPX_SANITIZE=thread)"
+if "$ROOT/tools/run_checks.sh" --tsan "$ROOT/build-tsan"; then
+  echo "ok"
+else
+  echo "TSan smoke FAILED"
   FAILED=1
 fi
 
