@@ -139,7 +139,9 @@ bool OmniClient::ReadFrame(std::vector<uint8_t>* frame, Time deadline) {
       return false;
     }
     pollfd pfd{fd_, POLLIN, 0};
-    const int rc = poll(&pfd, 1, static_cast<int>(remaining / 1'000'000) + 1);
+    // Ceiling division: round partial milliseconds up without overshooting the
+    // deadline by a full extra millisecond (`/ 1'000'000 + 1` slept past it).
+    const int rc = poll(&pfd, 1, static_cast<int>((remaining + 999'999) / 1'000'000));
     if (rc <= 0) {
       continue;
     }

@@ -9,12 +9,6 @@
 namespace opx::net {
 namespace {
 
-Time MonotonicNow() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
     out->push_back(static_cast<uint8_t>(v >> (8 * i)));
@@ -73,32 +67,27 @@ bool OmniTcpServer::Start() {
         OnClientFrame(client, data, len);
       });
   transport_->set_client_closed_handler([this](uint64_t client) { clients_.erase(client); });
+  if (options_.obs != nullptr) {
+    transport_->WireObs(&options_.obs->metrics());
+  }
   if (!transport_->Start()) {
     return false;
   }
-  next_tick_ = MonotonicNow() + options_.election_timeout;
-  return true;
+  // Election ticks ride a timerfd in the transport's epoll wait; missed
+  // periods coalesce into one firing (the old loop's catch-up reset).
+  tick_timer_ = transport_->loop().AddTimer(options_.election_timeout, [this] {
+    node_->TickElection();
+    Pump();
+  });
+  return tick_timer_ >= 0;
 }
 
 void OmniTcpServer::StepOnce(int timeout_ms) {
-  const Time now = MonotonicNow();
-  Time wait_ns = next_tick_ - now;
-  if (wait_ns < 0) {
-    wait_ns = 0;
-  }
-  int wait_ms = static_cast<int>(wait_ns / 1'000'000);
-  if (timeout_ms >= 0 && wait_ms > timeout_ms) {
-    wait_ms = timeout_ms;
-  }
-  transport_->Poll(wait_ms);
-  if (MonotonicNow() >= next_tick_) {
-    node_->TickElection();
-    next_tick_ += options_.election_timeout;
-    if (next_tick_ < MonotonicNow()) {  // fell behind (debugger, load)
-      next_tick_ = MonotonicNow() + options_.election_timeout;
-    }
-  }
+  // The tick timerfd interrupts the wait, so the full timeout is available;
+  // Poll() ends with a flush, and the trailing one covers this Pump.
+  transport_->Poll(timeout_ms);
   Pump();
+  transport_->Flush();
 }
 
 void OmniTcpServer::Run(const std::atomic<bool>& stop) {
@@ -157,8 +146,17 @@ void OmniTcpServer::OnClientFrame(uint64_t client, const uint8_t* data, size_t l
 }
 
 void OmniTcpServer::Pump() {
-  for (omni::OmniOut& out : node_->TakeOutgoing()) {
-    transport_->Send(out.to, out.body);
+  // Broadcast fan-outs (heartbeats, AcceptDecide with a SharedSuffix) arrive
+  // from TakeOutgoing as per-peer copies of identical bytes: prove identity
+  // with SameWireBody and share the one encoded frame instead of re-encoding.
+  const std::vector<omni::OmniOut> outs = node_->TakeOutgoing();
+  const omni::OmniMessage* prev = nullptr;
+  for (const omni::OmniOut& out : outs) {
+    if (prev == nullptr || !omni::SameWireBody(*prev, out.body) ||
+        !transport_->SendRepeat(out.to)) {
+      transport_->Send(out.to, out.body);
+    }
+    prev = &out.body;
   }
   const LogIndex decided = node_->decided_idx();
   if (pushed_ < storage_->compacted_idx()) {
@@ -178,8 +176,13 @@ void OmniTcpServer::Pump() {
     for (uint64_t id : ids) {
       PutU64(&batch, id);
     }
-    for (uint64_t client : clients_) {
-      transport_->SendToClient(client, batch.data(), batch.size());
+    // Snapshot: a failed send closes the connection, which erases the client
+    // from clients_ via the closed handler — mid-iteration otherwise. The
+    // batch is encoded once and the refcounted frame shared across clients.
+    const FrameRef frame = transport_->EncodeClientFrame(batch.data(), batch.size());
+    const std::vector<uint64_t> targets(clients_.begin(), clients_.end());
+    for (uint64_t client : targets) {
+      transport_->SendToClient(client, frame);
     }
   }
   pushed_ = decided;

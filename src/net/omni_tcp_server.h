@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/net/tcp_transport.h"
+#include "src/obs/trace.h"
 #include "src/omnipaxos/durable_storage.h"
 #include "src/omnipaxos/omni_paxos.h"
 
@@ -31,6 +32,10 @@ struct ServerOptions {
   std::string wal_path;  // empty = volatile in-memory storage
   Time election_timeout = Millis(100);
   uint32_t ble_priority = 0;
+  // Optional observability sink: wires the transport's net.* instruments
+  // (bytes/frames in+out, writev batch histograms, reconnects). Never
+  // affects protocol behavior; must outlive the server.
+  obs::ObsSink* obs = nullptr;
 };
 
 class OmniTcpServer {
@@ -47,8 +52,9 @@ class OmniTcpServer {
   // Runs the event loop until `stop` becomes true.
   void Run(const std::atomic<bool>& stop);
 
-  // One loop iteration: poll I/O (≤ timeout_ms), fire due election ticks,
-  // pump protocol output, push decided entries to clients.
+  // One loop iteration: one epoll pass (≤ timeout_ms; election ticks fire
+  // from a timerfd inside the same wait), pump protocol output, push decided
+  // entries to clients, flush send queues.
   void StepOnce(int timeout_ms);
 
   uint16_t listen_port() const { return transport_->listen_port(); }
@@ -66,8 +72,8 @@ class OmniTcpServer {
   std::unique_ptr<omni::OmniPaxos> node_;
   std::unique_ptr<TcpTransport> transport_;
   std::set<uint64_t> clients_;
-  LogIndex pushed_ = 0;  // decided entries already pushed to clients
-  Time next_tick_ = 0;
+  LogIndex pushed_ = 0;   // decided entries already pushed to clients
+  int tick_timer_ = -1;   // election timerfd inside the transport's loop
 };
 
 }  // namespace opx::net

@@ -4,14 +4,14 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
-#include <deque>
 
 #include "src/util/check.h"
 #include "src/util/logging.h"
@@ -25,27 +25,27 @@ Time MonotonicNow() {
       .count();
 }
 
-bool SetNonBlocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
-
 void SetNoDelay(int fd) {
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-constexpr size_t kMaxFrame = 64u << 20;
+// Frames per writev. Far below IOV_MAX; past ~64 the syscall amortization is
+// already >98% and the iovec array stays cache-resident on the stack.
+constexpr size_t kMaxIov = 64;
 
 }  // namespace
 
-// One TCP connection (inbound or outbound), with framed read/write buffers.
+// One TCP connection (inbound or outbound). Outbound frames live in a
+// FrameQueue of refcounted encoded buffers (shared across peers for
+// broadcasts); inbound bytes stream through a FrameReader.
 struct TcpTransport::Connection {
   int fd = -1;
   bool outbound = false;
   bool connecting = false;  // outbound connect() in progress
   bool hello_sent = false;
   bool closed = false;
+  bool dirty = false;  // queued frames since the last Flush()
 
   // Identity learned from the hello frame (inbound) or configuration
   // (outbound). kNoNode until known; client connections use client_id.
@@ -53,8 +53,8 @@ struct TcpTransport::Connection {
   bool is_client = false;
   uint64_t client_id = 0;
 
-  std::vector<uint8_t> read_buf;
-  std::deque<uint8_t> write_buf;
+  FrameQueue sendq;
+  FrameReader reader;
 
   NodeId outbound_peer = kNoNode;  // which peer this outbound conn serves
   Time retry_at = 0;               // for outbound reconnect backoff
@@ -66,8 +66,24 @@ TcpTransport::TcpTransport(NodeId self, uint16_t listen_port,
 
 TcpTransport::~TcpTransport() { Stop(); }
 
+void TcpTransport::WireObs(obs::Metrics* m) {
+#if defined(OPX_OBS_ENABLED)
+  if (m != nullptr) {
+    met_ = obs::NetMetrics::Wire(m);
+  }
+#else
+  (void)m;
+#endif
+}
+
 bool TcpTransport::Start() {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (!loop_.ok()) {
+    return false;
+  }
+  // A peer dying mid-send must surface as EPIPE from writev, not kill the
+  // process; connection churn is normal operation here.
+  signal(SIGPIPE, SIG_IGN);
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     return false;
   }
@@ -78,7 +94,8 @@ bool TcpTransport::Start() {
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(listen_port_);
   if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      listen(listen_fd_, 64) != 0 || !SetNonBlocking(listen_fd_)) {
+      listen(listen_fd_, 64) != 0 ||
+      !loop_.Add(listen_fd_, [this](uint32_t) { AcceptNew(); })) {
     close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -87,6 +104,9 @@ bool TcpTransport::Start() {
   if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     listen_port_ = ntohs(addr.sin_port);
   }
+  // Outbound link maintenance lives on a timerfd inside the same epoll wait:
+  // dropped links retry with backoff, closed inbound connections get GC'd.
+  reconnect_timer_ = loop_.AddTimer(Millis(50), [this] { ReconnectSweep(); });
   for (const auto& [peer, endpoint] : peers_) {
     StartConnect(peer);
   }
@@ -94,27 +114,34 @@ bool TcpTransport::Start() {
 }
 
 void TcpTransport::Stop() {
+  if (reconnect_timer_ >= 0) {
+    loop_.CancelTimer(reconnect_timer_);
+    reconnect_timer_ = -1;
+  }
   if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
     close(listen_fd_);
     listen_fd_ = -1;
   }
   for (auto& conn : connections_) {
     if (conn->fd >= 0) {
+      loop_.Remove(conn->fd);
       close(conn->fd);
       conn->fd = -1;
     }
   }
   connections_.clear();
   outbound_.clear();
+  dirty_.clear();
+  last_sent_ = nullptr;
 }
 
 void TcpTransport::StartConnect(NodeId peer) {
   const Endpoint& endpoint = peers_.at(peer);
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return;
   }
-  SetNonBlocking(fd);
   SetNoDelay(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -123,7 +150,7 @@ void TcpTransport::StartConnect(NodeId peer) {
     close(fd);
     return;
   }
-  // fd is O_NONBLOCK; EINPROGRESS is handled below, completion via POLLOUT.
+  // fd is O_NONBLOCK; EINPROGRESS parks completion on the EPOLLOUT edge.
   const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));  // NOLINT(opx-blocking-in-loop)
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
@@ -138,6 +165,12 @@ void TcpTransport::StartConnect(NodeId peer) {
     conn->retry_at = MonotonicNow() + Millis(200);
   }
   Connection* raw = conn.get();
+  if (raw->fd >= 0 && !loop_.Add(raw->fd, [this, raw](uint32_t bits) { OnIo(*raw, bits); })) {
+    close(raw->fd);
+    raw->fd = -1;
+    raw->closed = true;
+    raw->retry_at = MonotonicNow() + Millis(200);
+  }
   connections_.push_back(std::move(conn));
   outbound_[peer] = raw;
   if (raw->fd >= 0 && !raw->connecting) {
@@ -146,31 +179,69 @@ void TcpTransport::StartConnect(NodeId peer) {
   }
 }
 
-void TcpTransport::QueueFrame(Connection& conn, const uint8_t* data, size_t len) {
-  uint8_t header[4];
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<uint8_t>(static_cast<uint32_t>(len) >> (8 * i));
+void TcpTransport::MarkDirty(Connection& conn) {
+  if (!conn.dirty) {
+    conn.dirty = true;
+    dirty_.push_back(&conn);
   }
-  conn.write_buf.insert(conn.write_buf.end(), header, header + 4);
-  conn.write_buf.insert(conn.write_buf.end(), data, data + len);
 }
 
 void TcpTransport::Send(NodeId to, const omni::OmniMessage& msg) {
   auto it = outbound_.find(to);
   if (it == outbound_.end() || it->second->closed || it->second->connecting) {
-    return;  // link down; protocols recover via resync
+    // Link down: drop (protocols recover via resync). Clear the share memo —
+    // a following SendRepeat must not replay an OLDER message's bytes.
+    last_sent_ = nullptr;
+    return;
   }
-  std::vector<uint8_t> payload;
-  omni::EncodeMessage(msg, &payload);
-  QueueFrame(*it->second, payload.data(), payload.size());
-  FlushWrites(*it->second);
+  FrameRef frame = pool_.Acquire();
+  omni::EncodeFrame(msg, &frame->bytes);
+  last_sent_ = frame;
+  it->second->sendq.Push(std::move(frame));
+  MarkDirty(*it->second);
+}
+
+bool TcpTransport::SendRepeat(NodeId to) {
+  if (last_sent_ == nullptr) {
+    return false;
+  }
+  auto it = outbound_.find(to);
+  if (it == outbound_.end() || it->second->closed || it->second->connecting) {
+    return true;  // link down: drop, same as Send
+  }
+  it->second->sendq.Push(last_sent_);
+  MarkDirty(*it->second);
+  if (met_.frames_shared != nullptr) {
+    met_.frames_shared->Inc();
+  }
+  return true;
+}
+
+FrameRef TcpTransport::EncodeClientFrame(const uint8_t* data, size_t len) {
+  FrameRef frame = pool_.Acquire();
+  frame->bytes.reserve(4 + len);
+  for (int i = 0; i < 4; ++i) {
+    frame->bytes.push_back(static_cast<uint8_t>(static_cast<uint32_t>(len) >> (8 * i)));
+  }
+  frame->bytes.insert(frame->bytes.end(), data, data + len);
+  return frame;
+}
+
+void TcpTransport::SendToClient(uint64_t client, const FrameRef& frame) {
+  for (auto& conn : connections_) {
+    if (conn->is_client && conn->client_id == client && !conn->closed) {
+      conn->sendq.Push(frame);
+      MarkDirty(*conn);
+      return;
+    }
+  }
 }
 
 void TcpTransport::SendToClient(uint64_t client, const uint8_t* data, size_t len) {
   for (auto& conn : connections_) {
     if (conn->is_client && conn->client_id == client && !conn->closed) {
-      QueueFrame(*conn, data, len);
-      FlushWrites(*conn);
+      conn->sendq.Push(EncodeClientFrame(data, len));
+      MarkDirty(*conn);
       return;
     }
   }
@@ -183,89 +254,91 @@ bool TcpTransport::PeerConnected(NodeId peer) const {
 }
 
 void TcpTransport::Poll(int timeout_ms) {
-  // Reconnect sweep.
-  const Time now = MonotonicNow();
-  if (now >= next_reconnect_sweep_) {
-    next_reconnect_sweep_ = now + Millis(50);
-    for (const auto& [peer, endpoint] : peers_) {
-      auto it = outbound_.find(peer);
-      if (it == outbound_.end() || (it->second->closed && now >= it->second->retry_at)) {
-        if (it != outbound_.end()) {
-          outbound_.erase(it);
-        }
-        StartConnect(peer);
-      }
-    }
-  }
+  loop_.Wait(timeout_ms);
+  Flush();
+}
 
-  std::vector<pollfd> fds;
-  std::vector<Connection*> by_index;
-  if (listen_fd_ >= 0) {
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    by_index.push_back(nullptr);
+void TcpTransport::Flush() {
+  // Swap out the dirty list: FlushConn may close a connection, whose reopen
+  // marks dirty again — that belongs to the NEXT flush round.
+  std::vector<Connection*> batch;
+  batch.swap(dirty_);
+  for (Connection* conn : batch) {
+    conn->dirty = false;
+    if (!conn->closed && !conn->connecting) {
+      FlushConn(*conn);
+    }
   }
-  for (auto& conn : connections_) {
-    if (conn->closed || conn->fd < 0) {
-      continue;
-    }
-    short events = POLLIN;
-    if (conn->connecting || !conn->write_buf.empty()) {
-      events |= POLLOUT;
-    }
-    fds.push_back(pollfd{conn->fd, events, 0});
-    by_index.push_back(conn.get());
-  }
-  // The one sanctioned wait: this poll() IS the event loop's readiness gate.
-  const int ready = poll(fds.data(), fds.size(), timeout_ms);  // NOLINT(opx-blocking-in-loop)
-  if (ready <= 0) {
-    return;
-  }
-  for (size_t i = 0; i < fds.size(); ++i) {
-    if (fds[i].revents == 0) {
-      continue;
-    }
-    if (by_index[i] == nullptr) {
-      AcceptNew();
-      continue;
-    }
-    Connection& conn = *by_index[i];
-    if (conn.closed) {
-      continue;
-    }
-    if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 && !conn.connecting) {
+}
+
+void TcpTransport::FlushConn(Connection& conn) {
+  struct iovec iov[kMaxIov];
+  while (!conn.sendq.empty() && !conn.closed) {
+    const size_t n = conn.sendq.BuildIovecs(iov, kMaxIov);
+    // conn.fd is O_NONBLOCK; EAGAIN resumes on the next EPOLLOUT edge.
+    const ssize_t written = writev(conn.fd, iov, static_cast<int>(n));  // NOLINT(opx-blocking-in-loop)
+    if (written < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // kernel buffer full; EPOLLOUT will fire when it drains
+      }
+      if (errno == EINTR) {
+        continue;
+      }
       CloseConnection(conn);
-      continue;
+      return;
     }
-    if ((fds[i].revents & POLLOUT) != 0) {
-      HandleWritable(conn);
-    }
-    if (!conn.closed && (fds[i].revents & POLLIN) != 0) {
-      HandleReadable(conn);
-    }
-  }
-  // Garbage-collect closed inbound/client connections (outbound ones are kept
-  // as reconnect placeholders).
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->closed && !(*it)->outbound) {
-      it = connections_.erase(it);
-    } else {
-      ++it;
+    const size_t frames_before = conn.sendq.frames();
+    conn.sendq.Consume(static_cast<size_t>(written), &pool_);
+    if (met_.writev_calls != nullptr) {
+      met_.writev_calls->Inc();
+      met_.bytes_out->Inc(static_cast<uint64_t>(written));
+      met_.frames_out->Inc(frames_before - conn.sendq.frames());
+      met_.writev_batch_frames->Observe(static_cast<double>(n));
+      met_.writev_batch_bytes->Observe(static_cast<double>(written));
     }
   }
 }
 
 void TcpTransport::AcceptNew() {
   for (;;) {
-    // listen_fd_ is O_NONBLOCK: accept returns EAGAIN instead of waiting.
-    const int fd = accept(listen_fd_, nullptr, nullptr);  // NOLINT(opx-blocking-in-loop)
+    // listen_fd_ is O_NONBLOCK: accept4 returns EAGAIN instead of waiting.
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);  // NOLINT(opx-blocking-in-loop)
     if (fd < 0) {
       return;
     }
-    SetNonBlocking(fd);
     SetNoDelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    Connection* raw = conn.get();
+    if (!loop_.Add(fd, [this, raw](uint32_t bits) { OnIo(*raw, bits); })) {
+      close(fd);
+      continue;
+    }
     connections_.push_back(std::move(conn));
+    if (met_.conns_accepted != nullptr) {
+      met_.conns_accepted->Inc();
+    }
+  }
+}
+
+void TcpTransport::OnIo(Connection& conn, uint32_t bits) {
+  if (conn.closed) {
+    return;
+  }
+  if ((bits & EpollLoop::kError) != 0) {
+    // Covers failed outbound connects (EPOLLERR before writability) and peer
+    // resets; backoff (outbound) or GC (inbound) happens on the sweep.
+    CloseConnection(conn);
+    return;
+  }
+  if ((bits & EpollLoop::kWritable) != 0) {
+    HandleWritable(conn);
+    if (conn.closed) {
+      return;
+    }
+  }
+  if ((bits & EpollLoop::kReadable) != 0) {
+    HandleReadable(conn);
   }
 }
 
@@ -286,81 +359,60 @@ void TcpTransport::HandleWritable(Connection& conn) {
     for (int i = 0; i < 4; ++i) {
       hello[1 + i] = static_cast<uint8_t>(static_cast<uint32_t>(self_) >> (8 * i));
     }
-    QueueFrame(conn, hello, sizeof(hello));
+    conn.sendq.Push(EncodeClientFrame(hello, sizeof(hello)));
+    MarkDirty(conn);
     conn.hello_sent = true;
+    if (met_.reconnects != nullptr) {
+      met_.reconnects->Inc();
+    }
     // A fresh outbound session to a peer we previously lost (or first
     // contact): surface the reconnect cue.
     if (on_reconnect_) {
       on_reconnect_(conn.outbound_peer);
     }
   }
-  FlushWrites(conn);
-}
-
-void TcpTransport::FlushWrites(Connection& conn) {
-  while (!conn.write_buf.empty() && !conn.closed) {
-    // Coalesce up to 64 KiB per write.
-    uint8_t chunk[65536];
-    const size_t n = std::min(conn.write_buf.size(), sizeof(chunk));
-    std::copy(conn.write_buf.begin(),
-              conn.write_buf.begin() + static_cast<ptrdiff_t>(n), chunk);
-    // conn.fd is O_NONBLOCK; EAGAIN defers to the next POLLOUT.
-    const ssize_t written = ::write(conn.fd, chunk, n);  // NOLINT(opx-blocking-in-loop)
-    if (written > 0) {
-      conn.write_buf.erase(conn.write_buf.begin(),
-                           conn.write_buf.begin() + written);
-    } else if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return;  // poll for POLLOUT
-    } else {
-      CloseConnection(conn);
-      return;
-    }
-  }
+  FlushConn(conn);
 }
 
 void TcpTransport::HandleReadable(Connection& conn) {
   uint8_t chunk[65536];
   for (;;) {
-    // conn.fd is O_NONBLOCK; EAGAIN defers to the next POLLIN.
-    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));  // NOLINT(opx-blocking-in-loop)
+    // conn.fd is O_NONBLOCK; EPOLLET requires draining to EAGAIN, and EAGAIN
+    // is exactly what this returns instead of waiting.
+    const ssize_t n = read(conn.fd, chunk, sizeof(chunk));  // NOLINT(opx-blocking-in-loop)
     if (n > 0) {
-      conn.read_buf.insert(conn.read_buf.end(), chunk, chunk + n);
-    } else if (n == 0) {
-      CloseConnection(conn);
-      return;
-    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      break;
-    } else {
-      CloseConnection(conn);
+      if (met_.bytes_in != nullptr) {
+        met_.bytes_in->Inc(static_cast<uint64_t>(n));
+      }
+      const bool ok = conn.reader.Feed(
+          chunk, static_cast<size_t>(n), [this, &conn](const uint8_t* d, size_t l) {
+            OnFrame(conn, d, l);
+            return !conn.closed;
+          });
+      if (!ok) {  // oversized frame: protocol violation
+        CloseConnection(conn);
+        return;
+      }
+      if (conn.closed) {
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return;
     }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConnection(conn);  // EOF or hard error
+    return;
   }
-  // Extract complete frames.
-  size_t offset = 0;
-  while (conn.read_buf.size() - offset >= 4) {
-    uint32_t frame_len = 0;
-    for (int i = 0; i < 4; ++i) {
-      frame_len |= static_cast<uint32_t>(conn.read_buf[offset + static_cast<size_t>(i)])
-                   << (8 * i);
-    }
-    if (frame_len > kMaxFrame) {
-      CloseConnection(conn);
-      return;
-    }
-    if (conn.read_buf.size() - offset - 4 < frame_len) {
-      break;
-    }
-    OnFrame(conn, conn.read_buf.data() + offset + 4, frame_len);
-    if (conn.closed) {
-      return;
-    }
-    offset += 4 + frame_len;
-  }
-  conn.read_buf.erase(conn.read_buf.begin(),
-                      conn.read_buf.begin() + static_cast<ptrdiff_t>(offset));
 }
 
 void TcpTransport::OnFrame(Connection& conn, const uint8_t* data, size_t len) {
+  if (met_.frames_in != nullptr) {
+    met_.frames_in->Inc();
+  }
   if (!conn.outbound && conn.peer == kNoNode && !conn.is_client) {
     // Expect a hello frame.
     if (len == 5 && data[0] == kHelloPeer) {
@@ -397,6 +449,7 @@ void TcpTransport::OnFrame(Connection& conn, const uint8_t* data, size_t len) {
 
 void TcpTransport::CloseConnection(Connection& conn) {
   if (conn.fd >= 0) {
+    loop_.Remove(conn.fd);
     close(conn.fd);
     conn.fd = -1;
   }
@@ -405,12 +458,39 @@ void TcpTransport::CloseConnection(Connection& conn) {
   conn.closed = true;
   conn.hello_sent = false;
   conn.connecting = false;
-  conn.write_buf.clear();
-  conn.read_buf.clear();
+  conn.sendq.Clear(&pool_);
+  conn.reader.Clear();
   conn.retry_at = MonotonicNow() + Millis(200);
+  if (met_.conns_closed != nullptr) {
+    met_.conns_closed->Inc();
+  }
   if (was_client && on_client_closed_) {
     on_client_closed_(client_id);
   }
+}
+
+void TcpTransport::ReconnectSweep() {
+  const Time now = MonotonicNow();
+  for (const auto& [peer, endpoint] : peers_) {
+    auto it = outbound_.find(peer);
+    if (it == outbound_.end() || (it->second->closed && now >= it->second->retry_at)) {
+      if (it != outbound_.end()) {
+        outbound_.erase(it);
+      }
+      StartConnect(peer);
+    }
+  }
+  // Garbage-collect closed connections. Replaced outbound entries (no longer
+  // in outbound_) are dead too; current outbound placeholders stay as
+  // backoff state. Purge the dirty list first — it holds raw pointers.
+  std::erase_if(dirty_, [](Connection* c) { return c->closed; });
+  std::erase_if(connections_, [this](const std::unique_ptr<Connection>& c) {
+    if (!c->closed) {
+      return false;
+    }
+    auto it = outbound_.find(c->outbound_peer);
+    return !c->outbound || it == outbound_.end() || it->second != c.get();
+  });
 }
 
 }  // namespace opx::net

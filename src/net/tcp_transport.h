@@ -12,6 +12,15 @@
 // are codec-encoded protocol messages (peers) or client API frames (clients;
 // interpreted by the server layer, not here).
 //
+// Hot path (DESIGN.md §14): readiness comes from an EpollLoop (registered
+// interest lists, edge-triggered, timerfd-driven reconnect sweep) instead of
+// a per-iteration pollfd rebuild. Sends are DEFERRED: Send/SendToClient only
+// enqueue an encoded, refcounted frame (encode-once for broadcasts — see
+// SendRepeat and the FrameRef overload of SendToClient) onto the
+// connection's FrameQueue; Flush() — called once per Poll() pass and by the
+// server after each Pump — drains every dirty queue with writev(), so a
+// burst of protocol messages leaves in a handful of syscalls.
+//
 // Single-threaded: the owner drives everything through Poll(); callbacks run
 // on the polling thread. No locks, no hidden threads.
 #ifndef SRC_NET_TCP_TRANSPORT_H_
@@ -24,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "src/net/epoll_loop.h"
+#include "src/net/frame_queue.h"
+#include "src/obs/net_metrics.h"
 #include "src/omnipaxos/codec.h"
 #include "src/util/time.h"
 #include "src/util/types.h"
@@ -65,42 +77,77 @@ class TcpTransport {
   // The port actually bound (useful with listen_port = 0).
   uint16_t listen_port() const { return listen_port_; }
 
-  // Queues a protocol message to a peer. Messages are dropped if the
-  // connection is down (the protocols handle loss via resynchronization).
+  // Queues a protocol message to a peer (encoded once, scratch buffer from
+  // the frame pool). Messages are dropped if the connection is down (the
+  // protocols handle loss via resynchronization). Actual I/O happens at the
+  // next Flush().
   void Send(NodeId to, const omni::OmniMessage& msg);
+
+  // Queues the most recently Send()-encoded frame to another peer WITHOUT
+  // re-encoding — the broadcast fast path. Valid only when the caller proved
+  // the bytes are identical (codec::SameWireBody on the two messages).
+  // Returns false when there is no such frame (the previous Send was dropped
+  // link-down); the caller falls back to Send().
+  bool SendRepeat(NodeId to);
 
   // Queues a raw frame to a connected client.
   void SendToClient(uint64_t client, const uint8_t* data, size_t len);
 
-  // Processes I/O for up to timeout_ms (0 = non-blocking pass). Invokes
-  // handlers inline. Also drives reconnect backoff.
+  // Encode-once client push: wrap a payload as a frame, then queue the SAME
+  // refcounted frame to any number of clients.
+  FrameRef EncodeClientFrame(const uint8_t* data, size_t len);
+  void SendToClient(uint64_t client, const FrameRef& frame);
+
+  // Processes I/O for up to timeout_ms (0 = non-blocking pass): one epoll
+  // wait + inline handler dispatch, then a Flush(). Reconnect backoff runs
+  // off a timerfd inside the same wait.
   void Poll(int timeout_ms);
+
+  // Drains every connection with pending frames via writev(). Called by
+  // Poll(); the server also calls it after out-of-poll Pump() batches.
+  void Flush();
 
   void Stop();
 
   bool PeerConnected(NodeId peer) const;
+
+  // The readiness core, exposed so the owning server can hang its own
+  // timerfds (election tick) on the same wait.
+  EpollLoop& loop() { return loop_; }
+
+  // Points the net.* instruments at `m` (obs registry). No-op when the build
+  // has OPX_OBS=OFF; unwired, every update site is a single null check.
+  void WireObs(obs::Metrics* m);
 
  private:
   struct Connection;
 
   void AcceptNew();
   void StartConnect(NodeId peer);
+  void OnIo(Connection& conn, uint32_t bits);
   void HandleReadable(Connection& conn);
   void HandleWritable(Connection& conn);
   void CloseConnection(Connection& conn);
   void OnFrame(Connection& conn, const uint8_t* data, size_t len);
-  static void QueueFrame(Connection& conn, const uint8_t* data, size_t len);
-  void FlushWrites(Connection& conn);
+  void FlushConn(Connection& conn);
+  void MarkDirty(Connection& conn);
+  void ReconnectSweep();
 
   NodeId self_;
   uint16_t listen_port_;
   std::map<NodeId, Endpoint> peers_;
   int listen_fd_ = -1;
+  int reconnect_timer_ = -1;
 
+  EpollLoop loop_;
+  FramePool pool_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<NodeId, Connection*> outbound_;  // per-peer send connection
+  std::vector<Connection*> dirty_;          // queues touched since last Flush
+  FrameRef last_sent_;                      // SendRepeat's share source
   int64_t next_client_id_ = 1;
-  Time next_reconnect_sweep_ = 0;
+
+  obs::NetMetrics met_;  // null instruments until WireObs
 
   MessageHandler on_message_;
   ReconnectHandler on_reconnect_;

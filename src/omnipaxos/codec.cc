@@ -217,6 +217,77 @@ void EncodeMessage(const OmniMessage& msg, std::vector<uint8_t>* out) {
       paxos);
 }
 
+void EncodeFrame(const OmniMessage& msg, std::vector<uint8_t>* out) {
+  const size_t header_at = out->size();
+  out->resize(header_at + 4);  // length placeholder, backpatched below
+  EncodeMessage(msg, out);
+  const size_t payload = out->size() - header_at - 4;
+  for (int i = 0; i < 4; ++i) {
+    (*out)[header_at + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(static_cast<uint32_t>(payload) >> (8 * i));
+  }
+}
+
+namespace {
+
+// Identity (not value) equality of entry runs: same shared snapshot buffer,
+// same offset view. This is the zero-copy fan-out signature — N followers'
+// AcceptDecide bodies built from one Storage::SharedSuffix call.
+bool SameSegment(const EntrySegment& a, const EntrySegment& b) {
+  return a.data() == b.data() && a.size() == b.size();
+}
+
+}  // namespace
+
+bool SameWireBody(const OmniMessage& a, const OmniMessage& b) {
+  if (a.index() != b.index()) {
+    return false;
+  }
+  if (const auto* ble_a = std::get_if<BleMessage>(&a)) {
+    const auto& ble_b = std::get<BleMessage>(b);
+    if (ble_a->index() != ble_b.index()) {
+      return false;
+    }
+    if (const auto* req = std::get_if<HeartbeatRequest>(ble_a)) {
+      return req->round == std::get<HeartbeatRequest>(ble_b).round;
+    }
+    const auto& ra = std::get<HeartbeatReply>(*ble_a);
+    const auto& rb = std::get<HeartbeatReply>(ble_b);
+    return ra.round == rb.round && ra.ballot == rb.ballot &&
+           ra.quorum_connected == rb.quorum_connected;
+  }
+  const auto& pa = std::get<PaxosMessage>(a);
+  const auto& pb = std::get<PaxosMessage>(b);
+  if (pa.index() != pb.index()) {
+    return false;
+  }
+  if (const auto* d = std::get_if<Decide>(&pa)) {
+    const auto& o = std::get<Decide>(pb);
+    return d->n == o.n && d->decided_idx == o.decided_idx;
+  }
+  if (const auto* p = std::get_if<Prepare>(&pa)) {
+    const auto& o = std::get<Prepare>(pb);
+    return p->n == o.n && p->acc_rnd == o.acc_rnd && p->log_idx == o.log_idx &&
+           p->decided_idx == o.decided_idx;
+  }
+  if (const auto* ad = std::get_if<AcceptDecide>(&pa)) {
+    const auto& o = std::get<AcceptDecide>(pb);
+    return ad->n == o.n && ad->start_idx == o.start_idx &&
+           ad->decided_idx == o.decided_idx && SameSegment(ad->entries, o.entries);
+  }
+  if (const auto* as = std::get_if<AcceptSync>(&pa)) {
+    const auto& o = std::get<AcceptSync>(pb);
+    return as->n == o.n && as->sync_idx == o.sync_idx && as->decided_idx == o.decided_idx &&
+           as->snapshot_up_to == o.snapshot_up_to && SameSegment(as->suffix, o.suffix);
+  }
+  if (std::holds_alternative<PrepareReq>(pa)) {
+    return true;
+  }
+  // Promise / Accepted / ProposalForward are point-to-point replies; they
+  // never fan out, so sharing buys nothing. Encode each.
+  return false;
+}
+
 bool DecodeMessage(const uint8_t* data, size_t size, OmniMessage* msg) {
   Decoder dec(data, size);
   uint8_t tag = 0;

@@ -66,9 +66,24 @@ class Decoder {
 // Encodes an OmniMessage (either protocol component) into `out`.
 void EncodeMessage(const OmniMessage& msg, std::vector<uint8_t>* out);
 
+// Appends one [u32 length][EncodeMessage payload] wire frame to `out`: the
+// transport hot path's scratch-encode. The length prefix is reserved first
+// and backpatched after the payload lands, so no intermediate payload buffer
+// exists — encoding into a recycled buffer (net::FramePool) allocates nothing
+// once the buffer's capacity is warm.
+void EncodeFrame(const OmniMessage& msg, std::vector<uint8_t>* out);
+
 // Decodes a message produced by EncodeMessage. Returns false on malformed
 // input; `msg` is unspecified in that case.
 bool DecodeMessage(const uint8_t* data, size_t size, OmniMessage* msg);
+
+// True when `a` and `b` are guaranteed byte-identical on the wire, decided
+// WITHOUT encoding either — the transport's encode-once broadcast test.
+// Entry runs compare by EntrySegment identity (same shared snapshot, same
+// offset view), which is exactly what Storage::SharedSuffix hands to every
+// follower of a fan-out; value-equal but separately-owned runs conservatively
+// report false (a second encode, never a wrong share).
+bool SameWireBody(const OmniMessage& a, const OmniMessage& b);
 
 }  // namespace opx::omni
 

@@ -1216,7 +1216,7 @@ bool IsBlockingName(const std::string& id) {
       "accept4",  "recv",     "recvfrom",  "recvmsg",   "send",      "sendto",
       "sendmsg",  "fsync",    "fdatasync", "sleep",     "usleep",    "nanosleep",
       "sleep_for", "sleep_until", "select", "pselect",  "poll",      "ppoll",
-      "epoll_wait"};
+      "epoll_wait", "writev", "readv"};
   return kBlocking.count(id) > 0;
 }
 

@@ -8,9 +8,11 @@
 // same --wal to recover (§4.1.3).
 #include <csignal>
 #include <cstdio>
+#include <iostream>
 #include <string>
 
 #include "src/net/omni_tcp_server.h"
+#include "src/obs/trace.h"
 #include "src/util/flags.h"
 
 namespace {
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help", false)) {
     std::printf(
         "usage: omni_node --id=N --port=P --peers=ID=HOST:PORT,... "
-        "[--wal=PATH] [--timeout-ms=100] [--priority=0]\n");
+        "[--wal=PATH] [--timeout-ms=100] [--priority=0] [--metrics]\n");
     return 0;
   }
 
@@ -64,6 +66,14 @@ int main(int argc, char** argv) {
   if (options.id == kNoNode || !ParsePeers(flags.GetString("peers", ""), &options.peers)) {
     std::fprintf(stderr, "omni_node: --id and --peers are required (see --help)\n");
     return 2;
+  }
+
+  // --metrics wires the transport's net.* instruments and dumps a
+  // name-sorted snapshot at shutdown (no-op data in OPX_OBS=OFF builds).
+  obs::ObsSink obs_sink;
+  const bool want_metrics = flags.GetBool("metrics", false);
+  if (want_metrics) {
+    options.obs = &obs_sink;
   }
 
   net::OmniTcpServer server(options);
@@ -80,5 +90,9 @@ int main(int argc, char** argv) {
   server.Run(g_stop);
   std::printf("omni_node %d: shutting down (decided=%lu)\n", options.id,
               server.decided_idx());
+  if (want_metrics) {
+    std::printf("-- metrics --\n");
+    obs_sink.metrics().Print(std::cout);
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 #        tools/run_checks.sh --static [build-dir]
 #        tools/run_checks.sh --tsan [build-dir]
 #        tools/run_checks.sh --bench-smoke [build-dir]
+#        tools/run_checks.sh --net-bench-smoke [build-dir]
 #        tools/run_checks.sh --chaos-smoke [schedules-per-protocol]
 #        tools/run_checks.sh --coverage [build-dir]
 #
@@ -31,6 +32,11 @@
 # --bench-smoke instead does a Release build (default dir: build-bench), runs
 # the sim_throughput quick benchmark, and refreshes BENCH_core.json at the
 # repo root — the tracked perf baseline DESIGN.md's before/after table cites.
+#
+# --net-bench-smoke does a Release build of bench/loadgen and fires a 2-second
+# closed-loop burst at a freshly spawned 3-node loopback cluster; exit 0
+# requires a leader, decided ops > 0, and no leaked fds. It does not refresh
+# BENCH_net.json (see EXPERIMENTS.md for the measurement recipe).
 #
 # --chaos-smoke runs the chaos fuzzer (DESIGN.md §10) end to end: N seeded
 # schedules per protocol with replay-determinism checking, in both a plain
@@ -176,6 +182,29 @@ if [ "${1:-}" = "--bench-smoke" ]; then
   step "sim_throughput quick -> BENCH_core.json"
   "$BUILD/bench/sim_throughput" --out="$ROOT/BENCH_core.json" || exit 1
   echo "ok"
+  exit 0
+fi
+
+if [ "${1:-}" = "--net-bench-smoke" ]; then
+  BUILD="${2:-$ROOT/build-bench}"
+  step "release build -> $BUILD"
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    >"$BUILD.configure.log" 2>&1 ||
+    { echo "configure FAILED (see $BUILD.configure.log)"; exit 1; }
+  cmake --build "$BUILD" -j "$JOBS" --target loadgen >"$BUILD.build.log" 2>&1 ||
+    { echo "build FAILED (see $BUILD.build.log)"; exit 1; }
+  echo "ok"
+  step "loadgen smoke: 3-node loopback cluster, 2s burst, fd-leak check"
+  # Exit code covers the whole contract: cluster up + leader elected +
+  # decided ops > 0 + no fd leaked across start/teardown. The tracked
+  # BENCH_net.json is NOT refreshed here — a 2s burst on a busy CI box is
+  # not a measurement; see EXPERIMENTS.md for the real recipe.
+  if "$BUILD/bench/loadgen" --duration-s=2 --warmup-s=1 --check-fds; then
+    echo "ok"
+  else
+    echo "net bench smoke FAILED"
+    exit 1
+  fi
   exit 0
 fi
 
