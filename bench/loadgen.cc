@@ -15,15 +15,27 @@
 // at kBaselineCommit, measured with this same generator and config) next to
 // the numbers just measured, mirroring BENCH_core.json.
 //
+// With --read-fraction=F each connection dedicates that share of its pipeline
+// slots to leader-lease reads (frame 0x06, DESIGN.md §15): served locally by
+// the leader with no log append, stamped with a monotonic read watermark (the
+// highest serialization point this connection has observed). Reads count
+// toward ops and latency alongside writes, and the JSON row is then keyed
+// "batched_lease_read". --trim-watermark=N turns on automatic log compaction
+// in the in-process cluster, and the report includes the leader's resident
+// log-suffix size — the bounded-memory evidence for EXPERIMENTS.md.
+//
 // Flags:
-//   --connections=16   concurrent client connections
-//   --pipeline=64      outstanding appends per connection
-//   --value-bytes=64   declared payload size per command
-//   --duration-s=5     measurement window (after warmup)
-//   --warmup-s=1       untimed ramp-up
-//   --out=PATH         write BENCH_net.json-style report
-//   --check-fds        verify no fd leaked across cluster start/teardown
-//   --servers=...      external cluster (skips the in-process one)
+//   --connections=16     concurrent client connections
+//   --pipeline=64        outstanding ops per connection
+//   --value-bytes=64     declared payload size per command
+//   --duration-s=5       measurement window (after warmup)
+//   --warmup-s=1         untimed ramp-up
+//   --read-fraction=0.0  share of pipeline slots doing lease reads
+//   --trim-watermark=0   in-process cluster auto-trim watermark (0 = off)
+//   --batch-limit=0      in-process cluster per-flush accept cap (0 = off)
+//   --out=PATH           write BENCH_net.json-style report
+//   --check-fds          verify no fd leaked across cluster start/teardown
+//   --servers=...        external cluster (skips the in-process one)
 
 #include <arpa/inet.h>
 #include <dirent.h>
@@ -114,6 +126,7 @@ struct LoadConfig {
   uint32_t value_bytes = 64;
   double duration_s = 5.0;
   double warmup_s = 1.0;
+  double read_fraction = 0.0;  // share of pipeline slots doing lease reads
 };
 
 struct LoadResult {
@@ -121,6 +134,9 @@ struct LoadResult {
   double p50_ms = 0;
   double p99_ms = 0;
   uint64_t ops = 0;
+  uint64_t read_ops = 0;        // lease reads served (subset of ops)
+  uint64_t read_bounces = 0;    // 0x06 requests bounced (lease/watermark miss)
+  uint64_t ryw_violations = 0;  // served below the carried watermark (must be 0)
   uint64_t reconnects = 0;
 };
 
@@ -145,12 +161,17 @@ class LoadGen {
  private:
   struct Conn {
     int fd = -1;
-    uint32_t id = 0;        // index; cmd ids are (id+1)<<32 | seq
+    uint32_t id = 0;        // index; cmd/read ids are (id+1)<<32 | seq
     uint32_t next_seq = 0;
-    int outstanding = 0;
+    int outstanding = 0;    // appends + lease reads in flight
     bool connecting = false;  // connect() in flight (EINPROGRESS)
     bool hello_sent = false;
     uint64_t session = 0;  // bumped on every close; detects reconnect mid-parse
+    uint64_t issued_total = 0;
+    uint64_t issued_reads = 0;
+    // Highest serialization point observed by this connection's served reads:
+    // the monotonic-read watermark stamped on every 0x06 request.
+    uint64_t read_watermark = 0;
     net::FrameQueue sendq;
     net::FrameReader reader;
   };
@@ -161,9 +182,11 @@ class LoadGen {
   void FinishConnect(Conn& c);
   void Refill(Conn& c);
   void SendAppend(Conn& c);
+  void SendRead(Conn& c);
   void FlushConn(Conn& c);
   void HandleFrame(Conn& c, const uint8_t* data, size_t len);
   void OnDecided(uint64_t cmd_id);
+  void OnReadReply(Conn& c, const uint8_t* data, size_t len);
   void ReconnectToLeader(Conn& c);
 
   std::map<NodeId, net::Endpoint> servers_;
@@ -172,9 +195,13 @@ class LoadGen {
   net::EpollLoop loop_;
   net::FramePool pool_;
   std::vector<Conn> conns_;
-  std::unordered_map<uint64_t, int64_t> inflight_;  // cmd id -> send ns
+  std::unordered_map<uint64_t, int64_t> inflight_;        // cmd id -> send ns
+  std::unordered_map<uint64_t, int64_t> inflight_reads_;  // read id -> send ns
   std::vector<double> latencies_ms_;
   uint64_t ops_ = 0;
+  uint64_t read_ops_ = 0;
+  uint64_t read_bounces_ = 0;
+  uint64_t ryw_violations_ = 0;
   uint64_t reconnects_ = 0;
   bool measuring_ = false;
   bool fatal_ = false;
@@ -255,9 +282,33 @@ void LoadGen::SendAppend(Conn& c) {
   ++c.outstanding;
 }
 
+void LoadGen::SendRead(Conn& c) {
+  const uint64_t read_id =
+      (static_cast<uint64_t>(c.id + 1) << 32) | static_cast<uint64_t>(c.next_seq++);
+  net::FrameRef f = pool_.Acquire();
+  PutU32(&f->bytes, 1 + 8 + 8);
+  f->bytes.push_back(0x06);  // lease read
+  PutU64(&f->bytes, read_id);
+  PutU64(&f->bytes, c.read_watermark);
+  c.sendq.Push(std::move(f));
+  inflight_reads_[read_id] = NowNs();
+  ++c.outstanding;
+}
+
 void LoadGen::Refill(Conn& c) {
+  // Interleave reads into the pipeline so issued_reads/issued_total tracks
+  // the configured fraction (appends and reads share one id space; the two
+  // inflight maps keep the reply paths apart).
   while (c.outstanding < cfg_.pipeline) {
-    SendAppend(c);
+    if (cfg_.read_fraction > 0.0 &&
+        static_cast<double>(c.issued_reads) <
+            cfg_.read_fraction * static_cast<double>(c.issued_total + 1)) {
+      SendRead(c);
+      ++c.issued_reads;
+    } else {
+      SendAppend(c);
+    }
+    ++c.issued_total;
   }
 }
 
@@ -328,8 +379,54 @@ void LoadGen::HandleFrame(Conn& c, const uint8_t* data, size_t len) {
       ReconnectToLeader(c);
       break;
     }
+    case 0x07: {  // lease-read reply
+      OnReadReply(c, data, len);
+      break;
+    }
     default:
       break;
+  }
+}
+
+void LoadGen::OnReadReply(Conn& c, const uint8_t* data, size_t len) {
+  if (len < 1 + 8 + 8 + 1 + 4) {
+    return;
+  }
+  const uint64_t read_id = GetU64(data + 1);
+  const uint64_t decided = GetU64(data + 9);
+  const bool served = data[17] != 0;
+  auto it = inflight_reads_.find(read_id);
+  if (it == inflight_reads_.end()) {
+    return;  // reply outlived a reconnect
+  }
+  const int64_t sent = it->second;
+  inflight_reads_.erase(it);
+  --c.outstanding;
+  if (served) {
+    if (decided < c.read_watermark) {
+      ++ryw_violations_;  // server bug: below the watermark we stamped
+    }
+    if (decided > c.read_watermark) {
+      c.read_watermark = decided;
+    }
+    if (measuring_) {
+      ++ops_;
+      ++read_ops_;
+      latencies_ms_.push_back(static_cast<double>(NowNs() - sent) / 1e6);
+    }
+  } else {
+    ++read_bounces_;
+    const NodeId hint = static_cast<NodeId>(GetU32(data + 18));
+    if (hint != kNoNode && hint != leader_ && servers_.count(hint) > 0) {
+      leader_ = hint;
+      ReconnectToLeader(c);
+      return;
+    }
+    // Mid-election or lease lapse on the node we already target: the refill
+    // below re-issues the read on the same connection.
+  }
+  if (c.fd >= 0 && !c.connecting) {
+    Refill(c);
   }
 }
 
@@ -340,6 +437,13 @@ void LoadGen::ReconnectToLeader(Conn& c) {
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if ((it->first >> 32) == c.id + 1) {
       it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = inflight_reads_.begin(); it != inflight_reads_.end();) {
+    if ((it->first >> 32) == c.id + 1) {
+      it = inflight_reads_.erase(it);
     } else {
       ++it;
     }
@@ -451,6 +555,9 @@ bool LoadGen::DriveLoad(LoadResult* out) {
   out->ops_per_sec = window_s > 0 ? static_cast<double>(ops_) / window_s : 0;
   out->p50_ms = Percentile(latencies_ms_, 50.0);
   out->p99_ms = Percentile(latencies_ms_, 99.0);
+  out->read_ops = read_ops_;
+  out->read_bounces = read_bounces_;
+  out->ryw_violations = ryw_violations_;
   out->reconnects = reconnects_;
   return !fatal_;
 }
@@ -485,7 +592,7 @@ struct Cluster {
 
 // Binds three servers on loopback with pid-salted ports, retrying on
 // collision with another test run on the same host.
-bool SpawnCluster(Cluster* cluster) {
+bool SpawnCluster(Cluster* cluster, uint64_t trim_watermark, uint64_t batch_limit) {
   const uint16_t salt = static_cast<uint16_t>(getpid() % 17000);
   for (int attempt = 0; attempt < 20; ++attempt) {
     const uint16_t base =
@@ -502,6 +609,8 @@ bool SpawnCluster(Cluster* cluster) {
       opt.listen_port = eps[id].port;
       opt.peers = eps;
       opt.peers.erase(id);
+      opt.trim_watermark = trim_watermark;
+      opt.batch_limit = batch_limit;
       slots[static_cast<size_t>(id - 1)].server =
           std::make_unique<net::OmniTcpServer>(opt);
       if (!slots[static_cast<size_t>(id - 1)].server->Start()) {
@@ -605,6 +714,10 @@ int main(int argc, char** argv) {
   cfg.value_bytes = static_cast<uint32_t>(flags.GetInt("value-bytes", 64));
   cfg.duration_s = static_cast<double>(flags.GetInt("duration-s", 5));
   cfg.warmup_s = static_cast<double>(flags.GetInt("warmup-s", 1));
+  cfg.read_fraction = flags.GetDouble("read-fraction", 0.0);
+  const uint64_t trim_watermark =
+      static_cast<uint64_t>(flags.GetInt("trim-watermark", 0));
+  const uint64_t batch_limit = static_cast<uint64_t>(flags.GetInt("batch-limit", 0));
   const std::string out_path = flags.GetString("out", "");
   const bool check_fds = flags.GetBool("check-fds", false);
   const std::string servers_spec = flags.GetString("servers", "");
@@ -620,7 +733,7 @@ int main(int argc, char** argv) {
     }
     cluster.reset();
   } else {
-    if (!SpawnCluster(cluster.get())) {
+    if (!SpawnCluster(cluster.get(), trim_watermark, batch_limit)) {
       std::fprintf(stderr, "could not bind a 3-node loopback cluster\n");
       return 1;
     }
@@ -648,11 +761,44 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no commands decided during the measurement window\n");
     return 1;
   }
-  std::printf("decided ops:  %" PRIu64 "  (%.0f ops/s)\n", result.ops,
+  std::printf("completed ops: %" PRIu64 "  (%.0f ops/s)\n", result.ops,
               result.ops_per_sec);
-  std::printf("latency:      p50 %.3f ms   p99 %.3f ms\n", result.p50_ms,
+  std::printf("latency:       p50 %.3f ms   p99 %.3f ms\n", result.p50_ms,
               result.p99_ms);
-  std::printf("reconnects:   %" PRIu64 "\n", result.reconnects);
+  if (cfg.read_fraction > 0.0) {
+    std::printf("lease reads:   %" PRIu64 " served, %" PRIu64 " bounced, %" PRIu64
+                " ryw violations\n",
+                result.read_ops, result.read_bounces, result.ryw_violations);
+    if (result.ryw_violations > 0) {
+      std::fprintf(stderr, "FAIL: lease reads served below their watermark\n");
+      return 1;
+    }
+  }
+  std::printf("reconnects:    %" PRIu64 "\n", result.reconnects);
+
+  // Bounded-memory evidence: after the run, the leader's resident log suffix
+  // (log_len - compacted) must sit near the trim watermark, not near the total
+  // number of appends (EXPERIMENTS.md compaction recipe).
+  net::OmniClient::Status post{};
+  {
+    net::OmniClient probe(endpoints);
+    // AppendAndWait follows redirects, landing the probe on the leader so the
+    // status below is the leader's.
+    probe.AppendAndWait((0xF00DULL << 48) | static_cast<uint64_t>(getpid()), 8,
+                        Seconds(5));
+    if (!probe.GetStatus(&post, Seconds(5))) {
+      std::fprintf(stderr, "post-run status probe failed\n");
+      return 1;
+    }
+  }
+  const uint64_t suffix_entries = post.log_len - post.compacted;
+  std::printf("leader log:    len %" PRIu64 "  compacted %" PRIu64
+              "  resident suffix %" PRIu64 " entries\n",
+              post.log_len, post.compacted, suffix_entries);
+  if (trim_watermark > 0 && post.compacted == 0) {
+    std::fprintf(stderr, "FAIL: --trim-watermark set but nothing was compacted\n");
+    return 1;
+  }
 
   if (cluster != nullptr) {
     cluster->Shutdown();
@@ -669,12 +815,27 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"loadgen\",\n");
     std::fprintf(f, "  \"config\": {\"connections\": %d, \"pipeline\": %d, "
-                    "\"value_bytes\": %u, \"duration_s\": %.0f},\n",
-                 cfg.connections, cfg.pipeline, cfg.value_bytes, cfg.duration_s);
+                    "\"value_bytes\": %u, \"duration_s\": %.0f, "
+                    "\"read_fraction\": %.2f, \"trim_watermark\": %" PRIu64
+                    ", \"batch_limit\": %" PRIu64 "},\n",
+                 cfg.connections, cfg.pipeline, cfg.value_bytes, cfg.duration_s,
+                 cfg.read_fraction, trim_watermark, batch_limit);
     std::fprintf(f, "  \"baseline_commit\": \"%s\",\n", kBaselineCommit);
+    std::fprintf(f, "  \"leader_log\": {\"len\": %" PRIu64 ", \"compacted\": %" PRIu64
+                    ", \"resident_suffix\": %" PRIu64 "},\n",
+                 post.log_len, post.compacted, suffix_entries);
+    if (cfg.read_fraction > 0.0) {
+      std::fprintf(f, "  \"lease_reads\": {\"served\": %" PRIu64
+                      ", \"bounced\": %" PRIu64 ", \"ryw_violations\": %" PRIu64
+                      "},\n",
+                   result.read_ops, result.read_bounces, result.ryw_violations);
+    }
     PrintJsonRow(f, "baseline", kBaselineOpsPerSec, kBaselineP50Ms, kBaselineP99Ms,
                  /*last=*/false);
-    PrintJsonRow(f, "current", result.ops_per_sec, result.p50_ms, result.p99_ms,
+    // Mixed read/write runs land in their own row so the pure-append "current"
+    // row stays comparable to the frozen baseline.
+    PrintJsonRow(f, cfg.read_fraction > 0.0 ? "batched_lease_read" : "current",
+                 result.ops_per_sec, result.p50_ms, result.p99_ms,
                  /*last=*/true);
     std::fprintf(f, "}\n");
     if (f != stdout) {

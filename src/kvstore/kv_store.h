@@ -105,6 +105,85 @@ class KvStore {
     return sum;
   }
 
+  // --- Snapshots (log compaction, DESIGN.md §15) ---------------------------
+  // A serialized snapshot is the full materialized state: a server that
+  // trimmed its log below a peer's sync point ships this instead of entries.
+  // Format (little-endian): u64 version, u32 n, n × (u32 klen, klen bytes,
+  // i64 value). Deterministic: the map iterates in key order.
+  std::vector<uint8_t> Serialize() const {
+    std::vector<uint8_t> out;
+    auto put_u32 = [&out](uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
+    auto put_u64 = [&out](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
+    put_u64(version_);
+    put_u32(static_cast<uint32_t>(data_.size()));
+    for (const auto& [key, value] : data_) {
+      put_u32(static_cast<uint32_t>(key.size()));
+      out.insert(out.end(), key.begin(), key.end());
+      put_u64(static_cast<uint64_t>(value));
+    }
+    return out;
+  }
+
+  // Replaces the entire state with a snapshot produced by Serialize().
+  // Returns false (leaving state untouched) on a malformed buffer.
+  bool InstallSnapshot(const std::vector<uint8_t>& bytes) {
+    size_t pos = 0;
+    auto get_u32 = [&bytes, &pos](uint32_t* v) {
+      if (pos + 4 > bytes.size()) {
+        return false;
+      }
+      *v = 0;
+      for (int i = 0; i < 4; ++i) {
+        *v |= static_cast<uint32_t>(bytes[pos++]) << (8 * i);
+      }
+      return true;
+    };
+    auto get_u64 = [&bytes, &pos](uint64_t* v) {
+      if (pos + 8 > bytes.size()) {
+        return false;
+      }
+      *v = 0;
+      for (int i = 0; i < 8; ++i) {
+        *v |= static_cast<uint64_t>(bytes[pos++]) << (8 * i);
+      }
+      return true;
+    };
+    uint64_t version = 0;
+    uint32_t count = 0;
+    if (!get_u64(&version) || !get_u32(&count)) {
+      return false;
+    }
+    std::map<std::string, int64_t> data;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t klen = 0;
+      if (!get_u32(&klen) || pos + klen > bytes.size()) {
+        return false;
+      }
+      std::string key(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<ptrdiff_t>(pos + klen));
+      pos += klen;
+      uint64_t value = 0;
+      if (!get_u64(&value)) {
+        return false;
+      }
+      data[std::move(key)] = static_cast<int64_t>(value);
+    }
+    if (pos != bytes.size()) {
+      return false;
+    }
+    data_ = std::move(data);
+    version_ = version;
+    return true;
+  }
+
  private:
   std::map<std::string, int64_t> data_;
   uint64_t version_ = 0;

@@ -176,12 +176,26 @@ void OmniClient::HandleFrame(const std::vector<uint8_t>& frame, Status* status_o
         status_out->decided = GetU64(frame.data() + 5);
         status_out->log_len = GetU64(frame.data() + 13);
         status_out->is_leader = frame[21] != 0;
+        if (frame.size() >= 22 + 8) {  // trailing compaction-floor extension
+          status_out->compacted = GetU64(frame.data() + 22);
+        }
       }
       break;
     }
     case 0x05: {  // redirect
       if (frame.size() >= 5) {
         redirect_hint_ = static_cast<NodeId>(GetU32(frame.data() + 1));
+      }
+      break;
+    }
+    case 0x07: {  // lease-read reply
+      if (frame.size() >= 1 + 8 + 8 + 1 + 4) {
+        ReadReplyInfo info;
+        const uint64_t read_id = GetU64(frame.data() + 1);
+        info.decided = GetU64(frame.data() + 9);
+        info.served = frame[17] != 0;
+        info.leader = static_cast<NodeId>(GetU32(frame.data() + 18));
+        read_replies_[read_id] = info;
       }
       break;
     }
@@ -253,6 +267,51 @@ bool OmniClient::AppendAndWait(uint64_t cmd_id, uint32_t payload_bytes, Time dea
     }
   }
   return decided_.count(cmd_id) > 0;
+}
+
+bool OmniClient::LeaseRead(uint64_t watermark, uint64_t* decided_out, Time deadline) {
+  const Time until = MonotonicNow() + deadline;
+  while (MonotonicNow() < until) {
+    if (fd_ < 0 && !Connect(until - MonotonicNow())) {
+      return false;
+    }
+    const uint64_t read_id = next_read_id_++;
+    std::vector<uint8_t> req;
+    req.push_back(0x06);
+    PutU64(&req, read_id);
+    PutU64(&req, watermark);
+    if (!SendFrame(req)) {
+      continue;
+    }
+    while (MonotonicNow() < until && read_replies_.count(read_id) == 0) {
+      std::vector<uint8_t> frame;
+      if (ReadFrame(&frame, Millis(50))) {
+        HandleFrame(frame, nullptr);
+      } else if (fd_ < 0) {
+        break;
+      }
+    }
+    const auto it = read_replies_.find(read_id);
+    if (it == read_replies_.end()) {
+      continue;  // disconnected mid-wait; reconnect and retry
+    }
+    const ReadReplyInfo info = it->second;
+    read_replies_.erase(it);
+    if (info.served) {
+      if (decided_out != nullptr) {
+        *decided_out = info.decided;
+      }
+      return true;
+    }
+    // Bounced: not the leader, lease lapsed, or behind the watermark.
+    if (info.leader != kNoNode && info.leader != connected_to_ &&
+        servers_.count(info.leader) > 0) {
+      ConnectTo(info.leader);
+    } else {
+      usleep(10'000);  // mid-election or catching up; retry shortly
+    }
+  }
+  return false;
 }
 
 bool OmniClient::GetStatus(Status* out, Time deadline) {

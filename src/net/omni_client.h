@@ -44,8 +44,20 @@ class OmniClient {
     uint64_t decided = 0;
     uint64_t log_len = 0;
     bool is_leader = false;
+    // Compaction floor (status-frame trailing extension; 0 from old servers).
+    // log_len - compacted = log entries actually resident in memory.
+    uint64_t compacted = 0;
   };
   bool GetStatus(Status* out, Time deadline = Seconds(5));
+
+  // Linearizable leader-lease read (frame 0x06, DESIGN.md §15). Blocks until
+  // a leader holding the lease serves it with a decided index >= `watermark`
+  // (pass the decided index of your last completed write for read-your-writes;
+  // 0 for a plain snapshot-consistent read). Follows redirects like
+  // AppendAndWait. On success stores the read's serialization point in
+  // `*decided_out` (if non-null).
+  bool LeaseRead(uint64_t watermark, uint64_t* decided_out = nullptr,
+                 Time deadline = Seconds(5));
 
   NodeId connected_to() const { return connected_to_; }
   uint64_t decided_count() const { return decided_.size(); }
@@ -58,12 +70,20 @@ class OmniClient {
   void HandleFrame(const std::vector<uint8_t>& frame, Status* status_out);
   void Disconnect();
 
+  struct ReadReplyInfo {
+    uint64_t decided = 0;
+    bool served = false;
+    NodeId leader = kNoNode;
+  };
+
   std::map<NodeId, Endpoint> servers_;
   int fd_ = -1;
   NodeId connected_to_ = kNoNode;
   NodeId redirect_hint_ = kNoNode;
   std::set<uint64_t> decided_;
   std::vector<uint8_t> read_buf_;
+  uint64_t next_read_id_ = 1;
+  std::map<uint64_t, ReadReplyInfo> read_replies_;
 };
 
 }  // namespace opx::net

@@ -51,6 +51,10 @@ bool OmniTcpServer::Start() {
     cfg.peers.push_back(peer);
   }
   cfg.ble_priority = options_.ble_priority;
+  cfg.batch_limit = options_.batch_limit;
+  cfg.trim_watermark = options_.trim_watermark;
+  cfg.lease_rounds = options_.lease_rounds;
+  cfg.obs = options_.obs;
   node_ = std::make_unique<omni::OmniPaxos>(cfg, storage_.get(), recovered);
   pushed_ = storage_->decided_idx();
 
@@ -69,6 +73,9 @@ bool OmniTcpServer::Start() {
   transport_->set_client_closed_handler([this](uint64_t client) { clients_.erase(client); });
   if (options_.obs != nullptr) {
     transport_->WireObs(&options_.obs->metrics());
+#if defined(OPX_OBS_ENABLED)
+    lease_reads_ctr_ = options_.obs->metrics().GetCounter("srv/lease_reads");
+#endif
   }
   if (!transport_->Start()) {
     return false;
@@ -76,6 +83,10 @@ bool OmniTcpServer::Start() {
   // Election ticks ride a timerfd in the transport's epoll wait; missed
   // periods coalesce into one firing (the old loop's catch-up reset).
   tick_timer_ = transport_->loop().AddTimer(options_.election_timeout, [this] {
+    // Push already-decided entries to clients before the tick: TickElection
+    // may auto-trim up to the decided index, and a trimmed entry can no
+    // longer be read back for the 0x02 batch.
+    Pump();
     node_->TickElection();
     Pump();
   });
@@ -120,6 +131,9 @@ void OmniTcpServer::OnClientFrame(uint64_t client, const uint8_t* data, size_t l
         payload |= static_cast<uint32_t>(data[9 + i]) << (8 * i);
       }
       if (node_->IsLeader()) {
+        // No Pump here: appends admitted during this epoll pass flush
+        // together in StepOnce's post-Poll Pump — request batching turns an
+        // append burst into one <AcceptDecide> fan-out.
         node_->Append(omni::Entry::Command(cmd_id, payload));
       } else {
         std::vector<uint8_t> redirect;
@@ -127,7 +141,36 @@ void OmniTcpServer::OnClientFrame(uint64_t client, const uint8_t* data, size_t l
         PutU32(&redirect, static_cast<uint32_t>(node_->leader_hint()));
         transport_->SendToClient(client, redirect.data(), redirect.size());
       }
-      Pump();
+      break;
+    }
+    case 0x06: {  // lease read
+      if (len < 1 + 8 + 8) {
+        return;
+      }
+      uint64_t read_id = 0;
+      uint64_t watermark = 0;
+      for (int i = 0; i < 8; ++i) {
+        read_id |= static_cast<uint64_t>(data[1 + i]) << (8 * i);
+        watermark |= static_cast<uint64_t>(data[9 + i]) << (8 * i);
+      }
+      const LogIndex decided = node_->decided_idx();
+      const bool served = node_->CanServeLocalReads() && decided >= watermark;
+      if (served) {
+        OPX_TRACE(options_.obs, obs::EventKind::kLeaseRead, options_.id, kNoNode, 0,
+                  decided, watermark);
+#if defined(OPX_OBS_ENABLED)
+        if (lease_reads_ctr_ != nullptr) {
+          lease_reads_ctr_->Inc();
+        }
+#endif
+      }
+      std::vector<uint8_t> reply;
+      reply.push_back(0x07);
+      PutU64(&reply, read_id);
+      PutU64(&reply, decided);
+      reply.push_back(served ? 1 : 0);
+      PutU32(&reply, static_cast<uint32_t>(node_->leader_hint()));
+      transport_->SendToClient(client, reply.data(), reply.size());
       break;
     }
     case 0x03: {  // status
@@ -137,6 +180,10 @@ void OmniTcpServer::OnClientFrame(uint64_t client, const uint8_t* data, size_t l
       PutU64(&status, node_->decided_idx());
       PutU64(&status, node_->log_len());
       status.push_back(node_->IsLeader() ? 1 : 0);
+      // Trailing extension (older parsers read the fixed prefix and ignore
+      // this): compaction floor, so clients can observe bounded log memory
+      // (log_len - compacted = resident suffix entries).
+      PutU64(&status, storage_->compacted_idx());
       transport_->SendToClient(client, status.data(), status.size());
       break;
     }

@@ -9,6 +9,15 @@
 //   -> [0x03]                                    status request
 //   <- [0x04][u32 leader][u64 decided][u64 len][u8 is_leader]
 //   <- [0x05][u32 leader]                        redirect (not leader)
+//   -> [0x06][u64 read_id][u64 watermark]        lease read request
+//   <- [0x07][u64 read_id][u64 decided][u8 served][u32 leader]
+//
+// Append requests are admitted into the proposal queue as they arrive but
+// flushed into accepts once per event-loop pass (StepOnce's Pump) — request
+// batching: a burst of appends becomes one <AcceptDecide> fan-out. Lease
+// reads (0x06) are served locally, with no log append, when this server
+// leads AND still holds the BLE quorum-connectivity lease AND its decided
+// index covers the client's read-your-writes watermark (DESIGN.md §15).
 #ifndef SRC_NET_OMNI_TCP_SERVER_H_
 #define SRC_NET_OMNI_TCP_SERVER_H_
 
@@ -32,6 +41,15 @@ struct ServerOptions {
   std::string wal_path;  // empty = volatile in-memory storage
   Time election_timeout = Millis(100);
   uint32_t ble_priority = 0;
+  // Leader-side cap on proposals moved into the log per flush; 0 = unlimited
+  // (one flush per event-loop pass is already a batch).
+  uint64_t batch_limit = 0;
+  // Automatic log-compaction watermark in entries (0 = never trim). With a
+  // WAL, trims are journaled and survive recovery (DESIGN.md §15).
+  uint64_t trim_watermark = 0;
+  // BLE lease length in heartbeat rounds for local reads; 0 disables the
+  // lease (0x06 requests are then always bounced).
+  uint64_t lease_rounds = 1;
   // Optional observability sink: wires the transport's net.* instruments
   // (bytes/frames in+out, writev batch histograms, reconnects). Never
   // affects protocol behavior; must outlive the server.
@@ -74,6 +92,9 @@ class OmniTcpServer {
   std::set<uint64_t> clients_;
   LogIndex pushed_ = 0;   // decided entries already pushed to clients
   int tick_timer_ = -1;   // election timerfd inside the transport's loop
+#if defined(OPX_OBS_ENABLED)
+  obs::Counter* lease_reads_ctr_ = nullptr;
+#endif
 };
 
 }  // namespace opx::net

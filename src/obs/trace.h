@@ -70,6 +70,10 @@ enum class EventKind : uint8_t {
   kReconfigStopSign,  // stop-sign decided            (config = next config)
   kMigSegment,        // segment chunk landed          (peer = donor, slot = start, aux = entries)
   kMigDone,           // a fresh server finished fetching (config = target)
+  // Log pipeline: compaction, snapshot catch-up, lease reads (DESIGN.md §15).
+  kSpTrim,             // prefix compacted away        (slot = new boundary)
+  kSpSnapshotInstall,  // ResetToSnapshot applied      (ballot = round, slot = up_to, aux = suffix len)
+  kLeaseRead,          // linearizable local read served (slot = decided at read)
   kMaxKind,  // sentinel, not recordable
 };
 
@@ -106,6 +110,9 @@ inline const char* EventKindName(EventKind k) {
     case EventKind::kReconfigStopSign: return "reconfig-stop-sign";
     case EventKind::kMigSegment: return "mig-segment";
     case EventKind::kMigDone: return "mig-done";
+    case EventKind::kSpTrim: return "sp-trim";
+    case EventKind::kSpSnapshotInstall: return "sp-snapshot-install";
+    case EventKind::kLeaseRead: return "lease-read";
     case EventKind::kMaxKind: break;
   }
   return "unknown";

@@ -25,6 +25,9 @@ void BallotLeaderElection::Tick() {
                 static_cast<uint32_t>(round_));
     }
     qc_ = connected;
+    if (connected) {
+      lease_until_round_ = round_ + config_.lease_rounds;
+    }
     replies_.push_back(Candidate{config_.pid, ballot_, qc_ && candidacy_});  // our own entry
     if (connected) {
       CheckLeader();

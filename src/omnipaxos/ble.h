@@ -43,6 +43,12 @@ struct BleConfig {
   // peers stop seeing the pre-crash leader as a viable candidate and elect a
   // fresh one. Candidacy returns with the first ballot bump.
   bool recovered = false;
+  // Leader-lease length in heartbeat rounds: each round that ends with a
+  // majority of replies renews the lease for `lease_rounds` further rounds.
+  // Electing a replacement leader takes at least lease_rounds + 1 rounds of
+  // missing heartbeats, so a lease holder can serve linearizable local reads
+  // (DESIGN.md §15 states the bounded-drift clock assumption). 0 disables.
+  uint64_t lease_rounds = 1;
 };
 
 class BallotLeaderElection {
@@ -67,6 +73,13 @@ class BallotLeaderElection {
   bool quorum_connected() const { return qc_; }
   uint64_t round() const { return round_; }
 
+  // True while the heartbeat-majority lease is unexpired (renewed by every
+  // round that ends quorum-connected). Only meaningful on the current leader;
+  // the replication layer combines it with IsLeader() for local reads.
+  bool HoldsLease() const {
+    return config_.lease_rounds > 0 && round_ <= lease_until_round_;
+  }
+
  private:
   struct Candidate {
     NodeId pid = kNoNode;  // sender, for per-round reply deduplication
@@ -86,6 +99,7 @@ class BallotLeaderElection {
   Ballot leader_;                     // highest ballot ever elected (LE3)
   uint64_t round_ = 0;
   uint64_t leader_round_ = 0;         // round of the last leader change (obs)
+  uint64_t lease_until_round_ = 0;    // last round covered by the QC lease
   std::vector<Candidate> replies_;    // heartbeat replies of the current round
   std::optional<Ballot> leader_event_;
   std::vector<BleOut> pending_out_;

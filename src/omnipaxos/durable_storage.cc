@@ -14,6 +14,8 @@ enum RecordType : uint8_t {
   kAppend = 3,
   kTruncate = 4,
   kDecide = 5,
+  kTrim = 6,
+  kSnapshot = 7,
 };
 
 // CRC32 (Castagnoli polynomial, bitwise — journaling here is not a hot path).
@@ -167,7 +169,8 @@ std::unique_ptr<DurableStorage> DurableStorage::Recover(const std::string& path)
   std::fclose(in);
 
   Ballot promised, accepted;
-  std::vector<Entry> log;
+  std::vector<Entry> log;  // physical suffix [compacted, compacted + size)
+  LogIndex compacted = 0;
   LogIndex decided = 0;
 
   Reader r{bytes.data(), bytes.size()};
@@ -184,6 +187,7 @@ std::unique_ptr<DurableStorage> DurableStorage::Recover(const std::string& path)
     Ballot staged_ballot;
     Entry staged_entry;
     uint64_t staged_index = 0;
+    std::vector<Entry> staged_entries;
     switch (type) {
       case kPromise:
       case kAccepted:
@@ -194,8 +198,22 @@ std::unique_ptr<DurableStorage> DurableStorage::Recover(const std::string& path)
         break;
       case kTruncate:
       case kDecide:
+      case kTrim:
         parsed = r.GetU64(&staged_index);
         break;
+      case kSnapshot: {
+        uint32_t count = 0;
+        parsed = r.GetBallot(&staged_ballot) && r.GetU64(&staged_index) &&
+                 r.GetU32(&count);
+        for (uint32_t i = 0; parsed && i < count; ++i) {
+          Entry e;
+          parsed = r.GetEntry(&e);
+          if (parsed) {
+            staged_entries.push_back(std::move(e));
+          }
+        }
+        break;
+      }
       default:
         parsed = false;
         break;
@@ -225,15 +243,36 @@ std::unique_ptr<DurableStorage> DurableStorage::Recover(const std::string& path)
         log.push_back(std::move(staged_entry));
         break;
       case kTruncate:
-        applied = staged_index <= log.size() && staged_index >= decided;
+        // staged_index is a logical length; the physical log starts at the
+        // compaction boundary.
+        applied = staged_index >= compacted &&
+                  staged_index <= compacted + log.size() && staged_index >= decided;
         if (applied) {
-          log.resize(staged_index);
+          log.resize(staged_index - compacted);
         }
         break;
       case kDecide:
-        applied = staged_index <= log.size();
+        applied = staged_index >= compacted && staged_index <= compacted + log.size();
         if (applied) {
           decided = staged_index;
+        }
+        break;
+      case kTrim:
+        applied = staged_index <= decided;
+        if (applied && staged_index > compacted) {
+          log.erase(log.begin(),
+                    log.begin() + static_cast<ptrdiff_t>(staged_index - compacted));
+          compacted = staged_index;
+        }
+        break;
+      case kSnapshot:
+        applied = staged_index >= decided && staged_index >= compacted &&
+                  staged_ballot >= accepted;
+        if (applied) {
+          accepted = staged_ballot;
+          compacted = staged_index;
+          decided = staged_index;
+          log = std::move(staged_entries);
         }
         break;
       default:
@@ -247,7 +286,7 @@ std::unique_ptr<DurableStorage> DurableStorage::Recover(const std::string& path)
   }
 
   auto storage = std::unique_ptr<DurableStorage>(new DurableStorage(path));
-  storage->RestoreForRecovery(promised, accepted, std::move(log), decided);
+  storage->RestoreForRecovery(promised, accepted, compacted, std::move(log), decided);
   // Reopen for appending, dropping any torn tail.
   FILE* out = std::fopen(path.c_str(), "rb+");
   OPX_CHECK(out != nullptr) << "cannot reopen WAL at " << path;
@@ -315,6 +354,32 @@ void DurableStorage::set_decided_idx(LogIndex idx) {
   PutU64(&payload, idx);
   WriteRecord(kDecide, payload);
   Storage::set_decided_idx(idx);
+}
+
+void DurableStorage::Trim(LogIndex idx) {
+  // Journal only effective trims (the base call no-ops at or below the
+  // current boundary), so replay matches the in-memory transition exactly.
+  if (idx > compacted_idx() && idx <= decided_idx()) {
+    std::vector<uint8_t> payload;
+    PutU64(&payload, idx);
+    WriteRecord(kTrim, payload);
+  }
+  Storage::Trim(idx);
+}
+
+void DurableStorage::ResetToSnapshot(const Ballot& accepted, LogIndex up_to,
+                                     std::span<const Entry> suffix) {
+  // One record carries the round, the boundary, and the suffix: recovery
+  // applies the install atomically or not at all.
+  std::vector<uint8_t> payload;
+  PutBallot(&payload, accepted);
+  PutU64(&payload, up_to);
+  PutU32(&payload, static_cast<uint32_t>(suffix.size()));
+  for (const Entry& e : suffix) {
+    PutEntry(&payload, e);
+  }
+  WriteRecord(kSnapshot, payload);
+  Storage::ResetToSnapshot(accepted, up_to, suffix);
 }
 
 void DurableStorage::Sync() {

@@ -14,6 +14,9 @@
 //                                  [u32 next_config, u32 n, i32 pid × n]}
 //   kTruncate            : u64 new_len (suffix entries follow as kAppend)
 //   kDecide              : u64 decided_idx
+//   kTrim                : u64 trim_idx (compaction boundary; prefix dropped)
+//   kSnapshot            : Ballot accepted, u64 up_to, u32 n, Entry × n
+//                          (atomic ResetToSnapshot: round + boundary + suffix)
 #ifndef SRC_OMNIPAXOS_DURABLE_STORAGE_H_
 #define SRC_OMNIPAXOS_DURABLE_STORAGE_H_
 
@@ -45,9 +48,13 @@ class DurableStorage final : public Storage {
   void AppendAll(std::span<const Entry> entries) override;
   void TruncateAndAppend(LogIndex len, std::span<const Entry> suffix) override;
   void set_decided_idx(LogIndex idx) override;
+  void Trim(LogIndex idx) override;
+  void ResetToSnapshot(const Ballot& accepted, LogIndex up_to,
+                       std::span<const Entry> suffix) override;
   // Re-expose the base initializer_list conveniences hidden by the overrides.
   using Storage::AppendAll;
   using Storage::TruncateAndAppend;
+  using Storage::ResetToSnapshot;
 
   // Flushes buffered journal bytes to the OS (fflush; a production system
   // would fsync here).

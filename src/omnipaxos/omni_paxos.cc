@@ -13,6 +13,7 @@ SequencePaxosConfig MakePaxosConfig(const OmniConfig& c) {
   pc.peers = c.peers;
   pc.config_id = c.config_id;
   pc.batch_limit = c.batch_limit;
+  pc.trim_watermark = c.trim_watermark;
   pc.obs = c.obs;
   return pc;
 }
@@ -24,6 +25,7 @@ BleConfig MakeBleConfig(const OmniConfig& c, const Storage& storage, bool recove
   bc.priority = c.ble_priority;
   bc.initial_n = storage.promised_round().n;
   bc.recovered = recovered;
+  bc.lease_rounds = c.lease_rounds;
   bc.obs = c.obs;
   return bc;
 }
@@ -38,6 +40,9 @@ OmniPaxos::OmniPaxos(const OmniConfig& config, Storage* storage, bool recovered)
 void OmniPaxos::TickElection() {
   ble_.Tick();
   DrainLeaderEvents();
+  // The heartbeat period is also the compaction cadence: cheap, amortized,
+  // and deterministic in the lockstep harnesses.
+  paxos_.MaybeAutoTrim();
 }
 
 void OmniPaxos::Handle(NodeId from, OmniMessage msg) {

@@ -38,7 +38,9 @@ struct OmniConfig {
   std::vector<NodeId> peers;
   ConfigId config_id = 0;
   uint32_t ble_priority = 0;
-  size_t batch_limit = 0;  // see SequencePaxosConfig::batch_limit
+  size_t batch_limit = 0;      // see SequencePaxosConfig::batch_limit
+  size_t trim_watermark = 0;   // see SequencePaxosConfig::trim_watermark
+  uint64_t lease_rounds = 1;   // see BleConfig::lease_rounds
   // Optional trace/metrics sink, forwarded to BLE and SequencePaxos
   // (DESIGN.md §12); nullptr records nothing.
   obs::ObsSink* obs = nullptr;
@@ -70,6 +72,10 @@ class OmniPaxos {
   ConfigId config_id() const { return config_.config_id; }
   bool IsLeader() const { return paxos_.IsLeader(); }
   NodeId leader_hint() const { return paxos_.leader_hint(); }
+  // True while this server may serve linearizable reads from its local
+  // decided prefix: it is the steady-state leader and holds the BLE
+  // heartbeat-majority lease (DESIGN.md §15).
+  bool CanServeLocalReads() const { return IsLeader() && ble_.HoldsLease(); }
   LogIndex decided_idx() const { return paxos_.decided_idx(); }
   LogIndex log_len() const { return paxos_.log_len(); }
   bool IsStopped() const { return paxos_.IsStopped(); }

@@ -150,8 +150,16 @@ void SequencePaxos::HandlePrepare(NodeId from, const Prepare& p) {
     }
     promise.suffix = storage_->SharedSuffix(suffix_from);
   } else if (storage_->accepted_round() == p.acc_rnd && storage_->log_len() > p.log_idx) {
-    // Same round ⇒ same leader ⇒ our log extends the leader's (FIFO).
-    promise.suffix = storage_->SharedSuffix(p.log_idx);
+    // Same round ⇒ same leader ⇒ our log extends the leader's (FIFO). We may
+    // still have compacted past the candidate's log end (snapshot install or
+    // backstop trim while it was down): only decided entries are ever
+    // summarized, so ship the boundary and the tail behind it.
+    LogIndex suffix_from = p.log_idx;
+    if (suffix_from < storage_->compacted_idx()) {
+      suffix_from = storage_->compacted_idx();
+      promise.snapshot_up_to = suffix_from;
+    }
+    promise.suffix = storage_->SharedSuffix(suffix_from);
   }
   Emit(from, std::move(promise));
   OPX_TRACE(config_.obs, obs::EventKind::kSpPromiseSent, config_.pid, from,
@@ -205,7 +213,12 @@ void SequencePaxos::CompletePreparePhase() {
       if (max_meta->snapshot_up_to > 0) {
         // The winner compacted below our decided index: install its snapshot
         // boundary and the suffix behind it (the summarized prefix is chosen).
-        storage_->ResetToSnapshot(max_meta->snapshot_up_to, max_meta->suffix);
+        // The suffix was accepted under the winner's round; the install
+        // carries it atomically before we raise to n_ below.
+        storage_->ResetToSnapshot(max_meta->acc_rnd, max_meta->snapshot_up_to,
+                                  max_meta->suffix);
+        RecordSnapshotInstall(max_pid, max_meta->acc_rnd, max_meta->snapshot_up_to,
+                              max_meta->suffix.size());
       } else {
         // The winner's suffix was taken from our decided index (Prepare
         // carried it); replace everything beyond our decided prefix.
@@ -213,10 +226,19 @@ void SequencePaxos::CompletePreparePhase() {
       }
     } else if (max_meta->acc_rnd == storage_->accepted_round() &&
                max_meta->log_idx > storage_->log_len()) {
-      // Same round: the winner extends our log; its suffix starts at our
-      // Prepare-time log length, which is unchanged (leaders do not accept
-      // entries during their own Prepare phase).
-      storage_->AppendAll(max_meta->suffix);
+      if (max_meta->snapshot_up_to > 0) {
+        // Same round, but the winner compacted past our log end: appending
+        // its suffix directly would leave a gap, so install the boundary.
+        storage_->ResetToSnapshot(max_meta->acc_rnd, max_meta->snapshot_up_to,
+                                  max_meta->suffix);
+        RecordSnapshotInstall(max_pid, max_meta->acc_rnd, max_meta->snapshot_up_to,
+                              max_meta->suffix.size());
+      } else {
+        // Same round: the winner extends our log; its suffix starts at our
+        // Prepare-time log length, which is unchanged (leaders do not accept
+        // entries during their own Prepare phase).
+        storage_->AppendAll(max_meta->suffix);
+      }
     }
   }
   adoption_base_len_ = storage_->log_len();
@@ -288,10 +310,13 @@ void SequencePaxos::HandleAcceptSync(NodeId from, const AcceptSync& as) {
       phase_ != Phase::kPrepare) {
     return;
   }
-  storage_->set_accepted_round(as.n);
   if (as.snapshot_up_to > 0) {
-    storage_->ResetToSnapshot(as.snapshot_up_to, as.suffix);
+    // Round + boundary + suffix land as one atomic durable transition; a
+    // crash can never expose the new log under the old accepted round.
+    storage_->ResetToSnapshot(as.n, as.snapshot_up_to, as.suffix);
+    RecordSnapshotInstall(from, as.n, as.snapshot_up_to, as.suffix.size());
   } else {
+    storage_->set_accepted_round(as.n);
     storage_->TruncateAndAppend(as.sync_idx, as.suffix);
   }
   phase_ = Phase::kAccept;
@@ -437,9 +462,63 @@ std::vector<Entry> SequencePaxos::TakeUnproposed() {
   return std::exchange(proposal_queue_, {});
 }
 
+void SequencePaxos::RecordSnapshotInstall(NodeId from, const Ballot& round,
+                                          LogIndex up_to, size_t suffix_len) {
+  OPX_TRACE(config_.obs, obs::EventKind::kSpSnapshotInstall, config_.pid, from,
+            ObsBallotKey(round), up_to, suffix_len);
+#if defined(OPX_OBS_ENABLED)
+  if (config_.obs != nullptr) {
+    config_.obs->metrics().GetCounter("sp/snapshot_installs")->Inc();
+  }
+#endif
+}
+
 void SequencePaxos::Trim(LogIndex idx) {
   OPX_CHECK(!IsStopped()) << "a stopped configuration must not trim its stop-sign";
+  const LogIndex before = storage_->compacted_idx();
   storage_->Trim(idx);
+  if (storage_->compacted_idx() > before) {
+    OPX_TRACE(config_.obs, obs::EventKind::kSpTrim, config_.pid, kNoNode,
+              ObsBallotKey(storage_->accepted_round()), storage_->compacted_idx(),
+              storage_->compacted_idx() - before);
+#if defined(OPX_OBS_ENABLED)
+    if (config_.obs != nullptr) {
+      config_.obs->metrics().GetCounter("sp/trims")->Inc();
+      config_.obs->metrics()
+          .GetCounter("sp/trimmed_entries")
+          ->Inc(storage_->compacted_idx() - before);
+    }
+#endif
+  }
+}
+
+void SequencePaxos::MaybeAutoTrim() {
+  const LogIndex wm = config_.trim_watermark;
+  if (wm == 0 || IsStopped()) {
+    return;
+  }
+  const LogIndex decided = storage_->decided_idx();
+  const LogIndex compacted = storage_->compacted_idx();
+  if (role_ == Role::kLeader && phase_ == Phase::kAccept) {
+    // Trim what every tracked server has accepted. A straggler more than
+    // three watermarks behind stops holding the floor: it is written off as
+    // dead-or-partitioned and will re-sync via snapshot (SendAcceptSyncTo).
+    const LogIndex straggler_floor = decided > 3 * wm ? decided - 3 * wm : 0;
+    LogIndex floor = decided;
+    for (NodeId p : config_.peers) {
+      const auto it = las_.find(p);
+      const LogIndex la = it == las_.end() ? 0 : it->second;
+      floor = std::min(floor, std::max(la, straggler_floor));
+    }
+    if (floor >= compacted + wm) {
+      Trim(floor);
+    }
+  } else if (decided >= compacted + 3 * wm) {
+    // Follower backstop: bound memory independently of the leader, keeping a
+    // two-watermark decided tail so most leader changes resync without a
+    // snapshot transfer.
+    Trim(decided - 2 * wm);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,12 @@ struct SequencePaxosConfig {
   // Leader-side cap on entries moved from the proposal queue into the log per
   // TakeOutgoing() flush; models finite leader processing capacity. 0 = none.
   size_t batch_limit = 0;
+  // Compaction watermark in entries; 0 disables automatic trimming. When the
+  // trimmable prefix (what every tracked server has accepted, on a leader; the
+  // decided prefix minus a resync tail, on a follower) grows past the
+  // watermark, MaybeAutoTrim() compacts it. Peers that fall more than three
+  // watermarks behind stop holding the floor and catch up via snapshot.
+  size_t trim_watermark = 0;
   // Optional trace/metrics sink (DESIGN.md §12); nullptr records nothing.
   obs::ObsSink* obs = nullptr;
 };
@@ -110,6 +116,10 @@ class SequencePaxos {
   // to snapshot transfer automatically.
   void Trim(LogIndex idx);
 
+  // Applies the trim_watermark policy (no-op when the watermark is 0): the
+  // owner calls this on its periodic tick. See SequencePaxosConfig.
+  void MaybeAutoTrim();
+
  private:
   struct PromiseMeta {
     Ballot acc_rnd;
@@ -134,6 +144,8 @@ class SequencePaxos {
 
   void CompletePreparePhase();
   void SendAcceptSyncTo(NodeId follower, const PromiseMeta& meta);
+  void RecordSnapshotInstall(NodeId from, const Ballot& round, LogIndex up_to,
+                             size_t suffix_len);
   void UpdateDecidedAsLeader();
   void FlushProposals();
   void FlushAccepts();

@@ -139,15 +139,28 @@ class Storage {
   // entries below up_to are summarized away (the receiver installs the
   // corresponding application snapshot); the decided index advances to at
   // least up_to. Used when a leader has trimmed below a follower's sync point.
-  virtual void ResetToSnapshot(LogIndex up_to, std::span<const Entry> suffix) {
+  //
+  // The install is one atomic transition: the accepted round the suffix was
+  // shipped under lands together with the log so a persistent backend can
+  // journal (and recovery can replay) them as a single record — a crash
+  // between "new log" and "new round" can never be observed. Invariants:
+  // the decided prefix is immutable (up_to >= decided), compaction is
+  // monotone (up_to >= compacted), and the accepted round never regresses.
+  virtual void ResetToSnapshot(const Ballot& accepted, LogIndex up_to,
+                               std::span<const Entry> suffix) {
     OPX_CHECK_GE(up_to, decided_idx_) << "snapshot must cover the decided prefix";
+    OPX_CHECK_GE(up_to, compacted_idx_) << "snapshot below the compaction floor";
+    OPX_CHECK_GE(accepted, accepted_round_);
     ++log_version_;
+    accepted_round_ = accepted;
     compacted_idx_ = up_to;
     log_.assign(suffix.begin(), suffix.end());
     decided_idx_ = up_to;
   }
-  void ResetToSnapshot(LogIndex up_to, std::initializer_list<Entry> suffix) {
-    ResetToSnapshot(up_to, std::span<const Entry>(suffix.begin(), suffix.size()));
+  void ResetToSnapshot(const Ballot& accepted, LogIndex up_to,
+                       std::initializer_list<Entry> suffix) {
+    ResetToSnapshot(accepted, up_to,
+                    std::span<const Entry>(suffix.begin(), suffix.size()));
   }
 
   // --- Decided prefix ----------------------------------------------------
@@ -160,14 +173,18 @@ class Storage {
 
  protected:
   // Restores state without consistency checks (recovery paths of derived
-  // persistent implementations).
-  void RestoreForRecovery(Ballot promised, Ballot accepted, std::vector<Entry> log,
-                          LogIndex decided) {
+  // persistent implementations). `log` holds only the physical suffix
+  // [compacted, compacted + log.size()); a trimmed server legally recovers
+  // with decided > log.size(), so all bounds are against the logical length.
+  void RestoreForRecovery(Ballot promised, Ballot accepted, LogIndex compacted,
+                          std::vector<Entry> log, LogIndex decided) {
     promised_round_ = promised;
     accepted_round_ = accepted;
     ++log_version_;
     log_ = std::move(log);
-    OPX_CHECK_LE(decided, log_.size());
+    compacted_idx_ = compacted;
+    OPX_CHECK_GE(decided, compacted) << "decided index below the compaction floor";
+    OPX_CHECK_LE(decided, compacted + log_.size());
     decided_idx_ = decided;
   }
 

@@ -37,6 +37,17 @@ namespace opx::rsm {
 // Omni-Paxos.
 // ---------------------------------------------------------------------------
 
+// In-memory stand-in for a WAL recovery: copies another storage's durable
+// fields through the protected RestoreForRecovery hook, exactly as
+// DurableStorage::Recover replays a journal into a fresh Storage.
+struct RecoveredStorage : omni::Storage {
+  void Restore(const omni::Storage& durable) {
+    RestoreForRecovery(durable.promised_round(), durable.accepted_round(),
+                       durable.compacted_idx(), durable.Suffix(durable.compacted_idx()),
+                       durable.decided_idx());
+  }
+};
+
 class OmniNode {
  public:
   using Message = omni::OmniMessage;
@@ -45,6 +56,8 @@ class OmniNode {
     cfg_.pid = id;
     cfg_.peers = std::move(peers);
     cfg_.ble_priority = opts.ble_priority;
+    cfg_.batch_limit = opts.batch_limit;
+    cfg_.trim_watermark = opts.trim_watermark;
     cfg_.obs = opts.obs;
     storage_ = std::make_unique<omni::Storage>();
     node_ = std::make_unique<omni::OmniPaxos>(cfg_, storage_.get());
@@ -56,9 +69,31 @@ class OmniNode {
   // candidacy + <PrepareReq> to every peer).
   static constexpr bool kSupportsRestart = true;
   void Restart(const NodeOptions&) {
+    // Rebuild the storage through the same RestoreForRecovery entry point
+    // DurableStorage::Recover uses, rather than silently reusing the live
+    // object: every simulated crash then exercises the real recovery-path
+    // invariants — in particular recovering a *trimmed* log, where decided
+    // exceeds the physical suffix and must be bounded by the logical length.
+    auto fresh = std::make_unique<RecoveredStorage>();
+    fresh->Restore(*storage_);
+    node_.reset();  // the old instance must not outlive its storage
+    storage_ = std::move(fresh);
     node_ = std::make_unique<omni::OmniPaxos>(cfg_, storage_.get(), /*recovered=*/true);
     polled_ = std::max(polled_, storage_->compacted_idx());
   }
+
+  // Log compaction: only the decided prefix may go (snapshot catch-up covers
+  // lagging peers). The chaos layer injects trim faults only where this is on.
+  static constexpr bool kSupportsTrim = true;
+  void Trim(LogIndex idx) {
+    node_->Trim(std::min(idx, node_->decided_idx()));
+    polled_ = std::max(polled_, storage_->compacted_idx());
+  }
+
+  // Leader-lease local reads (DESIGN.md §15): true while linearizable reads
+  // may be served from the local decided prefix.
+  bool CanServeLocalReads() const { return node_->CanServeLocalReads(); }
+  LogIndex ReadDecided() const { return node_->decided_idx(); }
 
   void Tick() { node_->TickElection(); }
   void Handle(NodeId from, Message m) { node_->Handle(from, std::move(m)); }
@@ -128,6 +163,7 @@ class RaftNodeT {
     cfg.election_ticks = 5;
     cfg.seed = opts.seed;
     cfg.fast_first_election = opts.ble_priority > 0;
+    cfg.batch_limit = opts.batch_limit;
     cfg.obs = opts.obs;
     node_ = std::make_unique<raft::Raft>(cfg);
   }
@@ -140,6 +176,13 @@ class RaftNodeT {
   // vote and could double-vote, so the chaos layer never crash-faults it.
   static constexpr bool kSupportsRestart = false;
   void Restart(const NodeOptions&) { OPX_CHECK(false) << "raft adapter has no restart path"; }
+
+  // No snapshot/InstallSnapshot path: followers backfill from the full log,
+  // so compaction would strand them. The chaos layer gates trim faults on this.
+  static constexpr bool kSupportsTrim = false;
+  void Trim(LogIndex) { OPX_CHECK(false) << "raft adapter has no compaction path"; }
+  bool CanServeLocalReads() const { return false; }
+  LogIndex ReadDecided() const { return node_->commit_idx(); }
 
   std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
     std::vector<std::pair<NodeId, Message>> out;
@@ -212,6 +255,10 @@ class MultiPaxosNode {
   // backend, so there is no state to restart from.
   static constexpr bool kSupportsRestart = false;
   void Restart(const NodeOptions&) { OPX_CHECK(false) << "multipaxos adapter has no restart path"; }
+  static constexpr bool kSupportsTrim = false;
+  void Trim(LogIndex) { OPX_CHECK(false) << "multipaxos adapter has no compaction path"; }
+  bool CanServeLocalReads() const { return false; }
+  LogIndex ReadDecided() const { return node_->decided_idx(); }
 
   std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
     std::vector<std::pair<NodeId, Message>> out;
@@ -280,6 +327,10 @@ class VrNode {
   // in memory with no recovered-rejoin protocol, so crash faults are omitted.
   static constexpr bool kSupportsRestart = false;
   void Restart(const NodeOptions&) { OPX_CHECK(false) << "vr adapter has no restart path"; }
+  static constexpr bool kSupportsTrim = false;
+  void Trim(LogIndex) { OPX_CHECK(false) << "vr adapter has no compaction path"; }
+  bool CanServeLocalReads() const { return false; }
+  LogIndex ReadDecided() const { return node_->decided_idx(); }
 
   std::vector<std::pair<NodeId, Message>> TakeOutgoing() {
     std::vector<std::pair<NodeId, Message>> out;

@@ -75,6 +75,11 @@ struct ChaosConfig {
   // real liveness failure, not a tight-constant flake.
   Time liveness_window = 0;
   bool audit = true;
+  // Log-pipeline knobs (DESIGN.md §15), forwarded into ClusterParams. Both
+  // default off and are serialized into artifacts only when set, so corpus
+  // entries predating the feature replay with identical fingerprints.
+  uint64_t trim_watermark = 0;
+  double read_fraction = 0.0;
   // Optional trace/metrics sink (DESIGN.md §12). Attaching a sink never
   // perturbs the schedule, so the fingerprint contract holds either way.
   // Not serialized into artifacts.
@@ -115,6 +120,7 @@ class ChaosScheduleApplier {
     want_cut_.assign(slots, 0);
     cur_latency_.assign(slots, sim->params().net.default_latency);
     want_latency_.assign(slots, 0);
+    trim_fired_.assign(plan->faults.size(), 0);
     for (const sim::ChaosFault& f : plan->faults) {
       boundaries_.push_back(f.at);
       boundaries_.push_back(f.end());
@@ -212,6 +218,8 @@ class ChaosScheduleApplier {
             }
           }
           break;
+        case Kind::kTrim:
+          break;  // instantaneous, fired once below — never "active"
       }
     }
 
@@ -240,6 +248,18 @@ class ChaosScheduleApplier {
         sim_->Restart(id);
       }
     }
+    // Trim faults fire exactly once, at the first boundary at/after their
+    // start (after crash state is applied: a trim aimed at a just-crashed
+    // node is a no-op, like an admin command racing a process death).
+    for (size_t i = 0; i < plan_->faults.size(); ++i) {
+      const sim::ChaosFault& f = plan_->faults[i];
+      if (f.kind == Kind::kTrim && trim_fired_[i] == 0 && t >= f.at) {
+        trim_fired_[i] = 1;
+        if constexpr (Node::kSupportsTrim) {
+          sim_->TrimNode(f.a);
+        }
+      }
+    }
   }
 
   ClusterSim<Node>* sim_;
@@ -247,6 +267,7 @@ class ChaosScheduleApplier {
   int n_;
   std::vector<Time> boundaries_;
   size_t next_boundary_ = 0;
+  std::vector<char> trim_fired_;
   std::vector<char> cur_cut_, want_cut_;
   std::vector<Time> cur_latency_, want_latency_;
 };
@@ -257,6 +278,8 @@ ChaosOutcome RunChaos(const ChaosConfig& cfg) {
   OPX_CHECK_GE(plan.num_servers, 2);
   OPX_CHECK(Node::kSupportsRestart || !plan.HasCrash())
       << "plan contains crash faults but the protocol has no restart path";
+  OPX_CHECK(Node::kSupportsTrim || !plan.HasTrim())
+      << "plan contains trim faults but the protocol has no compaction path";
 
   ClusterParams params;
   params.num_servers = plan.num_servers;
@@ -266,6 +289,8 @@ ChaosOutcome RunChaos(const ChaosConfig& cfg) {
   params.seed = plan.seed;
   params.preferred_leader = 1;
   params.audit = cfg.audit;
+  params.trim_watermark = cfg.trim_watermark;
+  params.read_fraction = cfg.read_fraction;
   params.audit_abort = false;  // collect violations; never kill the fuzzer
   params.obs = cfg.obs;
   ClusterSim<Node> sim(params);
@@ -414,6 +439,12 @@ struct ChaosArtifact {
     out << "concurrent-proposals " << config.concurrent_proposals << "\n";
     out << "proposal-rate " << config.proposal_rate << "\n";
     out << "liveness-window " << config.liveness_window << "\n";
+    if (config.trim_watermark != 0) {
+      out << "trim-watermark " << config.trim_watermark << "\n";
+    }
+    if (config.read_fraction != 0.0) {
+      out << "read-fraction " << config.read_fraction << "\n";
+    }
     out << "violated " << ChaosOracleName(violated) << "\n";
     out << "fingerprint " << fingerprint << "\n";
     out << "plan\n";
@@ -455,6 +486,10 @@ struct ChaosArtifact {
         ls >> art.config.proposal_rate;
       } else if (key == "liveness-window") {
         ls >> art.config.liveness_window;
+      } else if (key == "trim-watermark") {
+        ls >> art.config.trim_watermark;
+      } else if (key == "read-fraction") {
+        ls >> art.config.read_fraction;
       } else if (key == "violated") {
         std::string name;
         ls >> name;
@@ -514,6 +549,15 @@ inline bool ChaosProtocolSupportsRestart(const std::string& name) {
   const bool known = DispatchChaosProtocol(name, [&](auto tag) {
     using Node = typename decltype(tag)::type;
     supports = Node::kSupportsRestart;
+  });
+  return known && supports;
+}
+
+inline bool ChaosProtocolSupportsTrim(const std::string& name) {
+  bool supports = false;
+  const bool known = DispatchChaosProtocol(name, [&](auto tag) {
+    using Node = typename decltype(tag)::type;
+    supports = Node::kSupportsTrim;
   });
   return known && supports;
 }

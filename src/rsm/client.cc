@@ -19,12 +19,20 @@ std::vector<Client::Send> Client::Tick(Time now) {
   // Rotate the contact server when responses dried up, and re-propose
   // everything outstanding (commands may have been lost with a deposed
   // leader; the log tolerates duplicates, the client counts unique ids).
-  if (!outstanding_.empty() && now - std::max(last_response_, last_completion_) >
+  if (!outstanding_.empty() && now - std::max(last_write_response_, last_completion_) >
                                    params_.retry_timeout) {
-    suspect_ = target_;
-    target_ = target_ % params_.num_servers + 1;
+    // Writes have stalled. Rotate only if the target is *fully* silent —
+    // served lease reads prove it is alive (and a lease-holding leader), in
+    // which case the in-flight batch was simply lost and re-proposing to the
+    // same target is the productive move.
+    if (now - std::max(last_response_, last_completion_) > params_.retry_timeout) {
+      suspect_ = target_;
+      target_ = target_ % params_.num_servers + 1;
+    }
     last_response_ = now;  // back off one retry period before rotating again
+    last_write_response_ = now;
     need_reproposal_ = true;
+    need_read_resend_ = true;
   }
   if (need_reproposal_) {
     need_reproposal_ = false;
@@ -40,10 +48,30 @@ std::vector<Client::Send> Client::Tick(Time now) {
     batch.cmd_ids.push_back(cmd);
   }
 
-  if (batch.cmd_ids.empty()) {
+  // Lease reads ride along to the same target. Re-sends reuse the watermark
+  // captured at issue time (the constraint the read must satisfy); top-ups
+  // carry the current one.
+  std::vector<ReadRequest> reads;
+  if (params_.read_fraction > 0.0) {
+    if (need_read_resend_) {
+      need_read_resend_ = false;
+      for (const auto& [id, pending] : outstanding_reads_) {
+        reads.push_back(ReadRequest{id, pending.watermark});
+      }
+    }
+    const size_t target_reads = static_cast<size_t>(
+        static_cast<double>(params_.concurrent_proposals) * params_.read_fraction + 0.999);
+    while (outstanding_reads_.size() < target_reads) {
+      const uint64_t id = next_read_++;
+      outstanding_reads_.emplace(id, PendingRead{read_watermark_, now});
+      reads.push_back(ReadRequest{id, read_watermark_});
+    }
+  }
+
+  if (batch.cmd_ids.empty() && reads.empty()) {
     return {};
   }
-  return {Send{target_, std::move(batch)}};
+  return {Send{target_, std::move(batch), std::move(reads)}};
 }
 
 void Client::OnResponse(Time now, NodeId from, const ResponseBatch& batch) {
@@ -63,6 +91,7 @@ void Client::OnResponse(Time now, NodeId from, const ResponseBatch& batch) {
     return;
   }
   last_response_ = now;
+  last_write_response_ = now;
   if (batch.leader_hint != kNoNode && batch.leader_hint != target_) {
     // Redirected: move to the hinted leader and re-propose what is in flight.
     target_ = batch.leader_hint;
@@ -77,9 +106,41 @@ void Client::OnResponse(Time now, NodeId from, const ResponseBatch& batch) {
       need_reproposal_ = true;
     }
   }
+  const uint64_t before = completed_;
   for (uint64_t cmd : batch.cmd_ids) {
     RecordCompletion(now, cmd);
   }
+  if (completed_ > before) {
+    // At least one of our writes completed in this batch; the responder's
+    // decided index covers it, so future reads must observe at least that.
+    read_watermark_ = std::max(read_watermark_, batch.decided_idx);
+  }
+}
+
+void Client::OnReadReply(Time now, NodeId from, const ReadReply& reply) {
+  auto it = outstanding_reads_.find(reply.read_id);
+  if (it == outstanding_reads_.end()) {
+    return;  // duplicate reply to a re-sent read; count only the first
+  }
+  if (!reply.served) {
+    // Not a leader / lease lapsed / behind our watermark. Follow a fresh
+    // hint (same suspect discipline as writes) and queue a re-send.
+    if (reply.leader_hint != kNoNode && reply.leader_hint != suspect_ &&
+        reply.leader_hint != target_) {
+      target_ = reply.leader_hint;
+      need_reproposal_ = true;
+    }
+    need_read_resend_ = true;
+    return;
+  }
+  last_response_ = now;
+  if (reply.decided_idx < it->second.watermark) {
+    ++ryw_violations_;  // served below the read's required watermark
+  }
+  read_latency_sum_seconds_ += ToSeconds(now - it->second.first_sent);
+  read_watermark_ = std::max(read_watermark_, reply.decided_idx);
+  outstanding_reads_.erase(it);
+  ++reads_completed_;
 }
 
 void Client::RecordCompletion(Time now, uint64_t cmd_id) {

@@ -30,6 +30,11 @@ struct ClientParams {
   // Re-propose outstanding commands (and rotate the target server) when no
   // response has arrived for this long.
   Time retry_timeout = Millis(500);
+  // Fraction of work issued as leader-lease local reads (DESIGN.md §15).
+  // 0 disables the read path entirely (no wire-format or schedule change);
+  // otherwise ceil(CP * read_fraction) reads are kept outstanding alongside
+  // the write pipeline.
+  double read_fraction = 0.0;
 };
 
 class Client {
@@ -40,11 +45,15 @@ class Client {
   // server to send it to.
   struct Send {
     NodeId to = kNoNode;
-    ProposeBatch batch;
+    ProposeBatch batch;           // write proposals; may be empty
+    std::vector<ReadRequest> reads;  // lease reads; harnesses without a read
+                                     // path simply never see these (reads are
+                                     // only issued when read_fraction > 0)
   };
   std::vector<Send> Tick(Time now);
 
   void OnResponse(Time now, NodeId from, const ResponseBatch& batch);
+  void OnReadReply(Time now, NodeId from, const ReadReply& reply);
 
   // --- Metrics ------------------------------------------------------------
   uint64_t completed() const { return completed_; }
@@ -64,6 +73,17 @@ class Client {
     return completed_ == 0 ? 0.0 : latency_sum_seconds_ / static_cast<double>(completed_);
   }
 
+  // --- Read metrics (lease reads, DESIGN.md §15) ---------------------------
+  uint64_t reads_completed() const { return reads_completed_; }
+  // Served reads whose serialization point fell below the read's watermark —
+  // a read-your-writes / monotonic-reads violation. Must stay 0.
+  uint64_t ryw_violations() const { return ryw_violations_; }
+  double MeanReadLatencySeconds() const {
+    return reads_completed_ == 0
+               ? 0.0
+               : read_latency_sum_seconds_ / static_cast<double>(reads_completed_);
+  }
+
  private:
   void RecordCompletion(Time now, uint64_t cmd_id);
 
@@ -78,11 +98,33 @@ class Client {
   NodeId suspect_ = kNoNode;
   bool need_reproposal_ = false;
   Time last_response_ = 0;
+  // Last response that carried information about *writes* (completion,
+  // redirect, or rejection). Served lease reads refresh last_response_ but
+  // not this: a target can serve reads indefinitely while the in-flight
+  // write batch is lost (proposed to a not-yet-leader), and only a
+  // write-specific timer notices that and triggers re-proposal.
+  Time last_write_response_ = 0;
   // Ordered by cmd id: Tick() iterates this to build re-proposal batches, so
   // the container's iteration order reaches the wire — a hash-ordered map
   // would tie message contents to the standard library's bucket layout
   // (flagged by opx_analyze's determinism check).
   std::map<uint64_t, Time> outstanding_;  // cmd -> first propose time
+
+  // --- Lease reads ---------------------------------------------------------
+  struct PendingRead {
+    uint64_t watermark = 0;
+    Time first_sent = 0;
+  };
+  uint64_t next_read_ = 1;
+  bool need_read_resend_ = false;
+  std::map<uint64_t, PendingRead> outstanding_reads_;  // read id -> state
+  // Highest decided index at which one of this client's operations (write or
+  // read) completed; new reads carry it so a server behind it refuses to
+  // serve. This is what turns "leader with a lease" into read-your-writes.
+  uint64_t read_watermark_ = 0;
+  uint64_t reads_completed_ = 0;
+  uint64_t ryw_violations_ = 0;
+  double read_latency_sum_seconds_ = 0.0;
 
   uint64_t completed_ = 0;
   Time last_completion_ = 0;

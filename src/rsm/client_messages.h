@@ -20,6 +20,25 @@ struct ProposeBatch {
 struct ResponseBatch {
   std::vector<uint64_t> cmd_ids;
   NodeId leader_hint = kNoNode;
+  // Responder's decided index when the batch was pushed; feeds the client's
+  // read-your-writes watermark for lease reads (DESIGN.md §15).
+  uint64_t decided_idx = 0;
+};
+
+// A linearizable read. Served locally by a leader holding the BLE lease —
+// no log round-trip — provided its decided index covers `watermark` (the
+// highest decided index at which one of this client's operations completed;
+// enforces read-your-writes and monotonic reads).
+struct ReadRequest {
+  uint64_t read_id = 0;
+  uint64_t watermark = 0;
+};
+
+struct ReadReply {
+  uint64_t read_id = 0;
+  uint64_t decided_idx = 0;  // serialization point of the read
+  bool served = false;       // false: no lease / not leader / behind watermark
+  NodeId leader_hint = kNoNode;
 };
 
 inline uint64_t WireBytes(const ProposeBatch& b) {
@@ -27,6 +46,10 @@ inline uint64_t WireBytes(const ProposeBatch& b) {
 }
 
 inline uint64_t WireBytes(const ResponseBatch& b) { return 16 + b.cmd_ids.size() * 8; }
+
+inline uint64_t WireBytes(const ReadRequest&) { return 24; }
+
+inline uint64_t WireBytes(const ReadReply&) { return 24; }
 
 }  // namespace opx::rsm
 

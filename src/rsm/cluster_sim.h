@@ -44,6 +44,15 @@ struct ClusterParams {
   double proposal_rate = 600'000.0;
   // Omni-Paxos: server given BLE priority 1 so it wins the first election.
   NodeId preferred_leader = kNoNode;
+  // Fraction of client work issued as leader-lease local reads (DESIGN.md
+  // §15). 0 keeps the read path fully off: no extra messages, schedules and
+  // EventHash() identical to builds predating the feature.
+  double read_fraction = 0.0;
+  // Forwarded to NodeOptions: leader-side per-flush proposal cap (request
+  // batching; 0 = unlimited) and the Omni-Paxos auto-compaction watermark in
+  // entries (0 = never trim).
+  uint64_t batch_limit = 0;
+  uint64_t trim_watermark = 0;
   Time metrics_window = Seconds(5);
   // Run the cross-replica safety auditor after every delivered event.
   // Default on; benches pass --audit=false to take it off the hot path.
@@ -64,7 +73,7 @@ template <typename Node>
 class ClusterSim {
  public:
   using Message = typename Node::Message;
-  using Wire = std::variant<Message, ProposeBatch, ResponseBatch>;
+  using Wire = std::variant<Message, ProposeBatch, ResponseBatch, ReadRequest, ReadReply>;
 
   explicit ClusterSim(ClusterParams params)
       : params_(params),
@@ -94,6 +103,8 @@ class ClusterSim {
       NodeOptions opts;
       opts.seed = rng_.Next();
       opts.ble_priority = (id == params_.preferred_leader) ? 1u : 0u;
+      opts.batch_limit = params_.batch_limit;
+      opts.trim_watermark = params_.trim_watermark;
       opts.obs = params_.obs;
       node_opts_[static_cast<size_t>(id)] = opts;
       nodes_[static_cast<size_t>(id)] = std::make_unique<Node>(id, std::move(peers), opts);
@@ -124,6 +135,7 @@ class ClusterSim {
       // Resolved once here; PumpServer only bumps stable pointers.
       election_bytes_ctr_ = params_.obs->metrics().GetCounter("cluster/election_bytes");
       elevations_ctr_ = params_.obs->metrics().GetCounter("cluster/leader_elevations");
+      lease_reads_ctr_ = params_.obs->metrics().GetCounter("cluster/lease_reads");
     }
 #endif
   }
@@ -194,6 +206,19 @@ class ClusterSim {
 
   bool IsCrashed(NodeId id) const { return crashed_[static_cast<size_t>(id)] != 0; }
 
+  // Chaos hook: forces `id` to compact its log up to its decided index,
+  // independent of the automatic trim policy — lets fault plans race
+  // compaction against crashes, partitions, and snapshot catch-up.
+  void TrimNode(NodeId id) {
+    if (IsCrashed(id)) {
+      return;
+    }
+    OPX_TRACE_NOW(params_.obs, sim_.Now());
+    node(id).Trim(node(id).ReadDecided());
+    PumpServer(id);
+    AuditNow("trim", id);
+  }
+
   // --- Metrics ----------------------------------------------------------------
 
   uint64_t leader_elevations() const { return leader_elevations_; }
@@ -250,6 +275,7 @@ class ClusterSim {
     cp.payload_bytes = p.payload_bytes;
     cp.retry_timeout = p.retry_timeout == 0 ? std::max<Time>(4 * p.election_timeout, Millis(200))
                                             : p.retry_timeout;
+    cp.read_fraction = p.read_fraction;
     return cp;
   }
 
@@ -267,8 +293,14 @@ class ClusterSim {
 
   void TickClient() {
     for (Client::Send& send : client_.Tick(sim_.Now())) {
-      const uint64_t bytes = WireBytes(send.batch);
-      net_.Send(ClientId(), send.to, Wire(std::move(send.batch)), static_cast<uint32_t>(bytes));
+      if (!send.batch.cmd_ids.empty()) {
+        const uint64_t bytes = WireBytes(send.batch);
+        net_.Send(ClientId(), send.to, Wire(std::move(send.batch)), static_cast<uint32_t>(bytes));
+      }
+      for (ReadRequest& read : send.reads) {
+        const uint64_t bytes = WireBytes(read);
+        net_.Send(ClientId(), send.to, Wire(read), static_cast<uint32_t>(bytes));
+      }
     }
     sim_.ScheduleAfter(params_.client_tick, [this]() { TickClient(); });
   }
@@ -280,6 +312,8 @@ class ClusterSim {
     OPX_TRACE_NOW(params_.obs, sim_.Now());
     if (auto* proposals = std::get_if<ProposeBatch>(&w)) {
       OnProposals(id, std::move(*proposals));
+    } else if (auto* read = std::get_if<ReadRequest>(&w)) {
+      OnRead(id, *read);
     } else if (auto* msg = std::get_if<Message>(&w)) {
       node(id).Handle(from, std::move(*msg));
     }
@@ -290,7 +324,33 @@ class ClusterSim {
   void OnClientWire(NodeId from, Wire w) {
     if (auto* resp = std::get_if<ResponseBatch>(&w)) {
       client_.OnResponse(sim_.Now(), from, *resp);
+    } else if (auto* reply = std::get_if<ReadReply>(&w)) {
+      client_.OnReadReply(sim_.Now(), from, *reply);
     }
+  }
+
+  // Lease read: served locally — no log append, no replication round-trip —
+  // iff this server is a leader still holding the BLE lease and its decided
+  // index covers the client's read-your-writes watermark (DESIGN.md §15).
+  void OnRead(NodeId id, const ReadRequest& read) {
+    Node& n = node(id);
+    ReadReply reply;
+    reply.read_id = read.read_id;
+    if (n.CanServeLocalReads() && n.ReadDecided() >= read.watermark) {
+      reply.served = true;
+      reply.decided_idx = n.ReadDecided();
+      OPX_TRACE(params_.obs, obs::EventKind::kLeaseRead, id, ClientId(), 0,
+                reply.decided_idx, read.watermark);
+#if defined(OPX_OBS_ENABLED)
+      if (lease_reads_ctr_ != nullptr) {
+        lease_reads_ctr_->Inc();
+      }
+#endif
+    } else {
+      reply.leader_hint = n.LeaderHint();
+    }
+    const uint64_t bytes = WireBytes(reply);
+    net_.Send(id, ClientId(), Wire(reply), static_cast<uint32_t>(bytes));
   }
 
   void OnProposals(NodeId id, ProposeBatch batch) {
@@ -397,6 +457,7 @@ class ClusterSim {
     if (!decided_scratch_.empty() && n.IsLeader()) {
       ResponseBatch resp;
       resp.cmd_ids = std::move(decided_scratch_);
+      resp.decided_idx = n.ReadDecided();
       decided_scratch_ = {};
       const uint64_t bytes = WireBytes(resp);
       net_.Send(id, ClientId(), Wire(std::move(resp)), static_cast<uint32_t>(bytes));
@@ -451,6 +512,7 @@ class ClusterSim {
 #if defined(OPX_OBS_ENABLED)
   obs::Counter* election_bytes_ctr_ = nullptr;
   obs::Counter* elevations_ctr_ = nullptr;
+  obs::Counter* lease_reads_ctr_ = nullptr;
 #endif
 };
 

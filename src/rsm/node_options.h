@@ -12,6 +12,12 @@ struct NodeOptions {
   uint64_t seed = 1;
   // Omni-Paxos only: BLE ballot priority (pins the initial leader).
   uint32_t ble_priority = 0;
+  // Leader-side cap on proposals moved into the log per flush (request
+  // batching); forwarded to SequencePaxos/Raft. 0 = unlimited.
+  uint64_t batch_limit = 0;
+  // Omni-Paxos only: automatic log-compaction watermark in entries
+  // (see SequencePaxosConfig::trim_watermark). 0 disables auto-trim.
+  uint64_t trim_watermark = 0;
   // Optional trace/metrics sink forwarded into the protocol configs
   // (DESIGN.md §12); nullptr records nothing.
   obs::ObsSink* obs = nullptr;

@@ -40,6 +40,9 @@ struct ChaosFault {
     kMute,          // node a reaches nobody: every out-link of a cut
     kHub,           // quorum-loss shape: only links incident to hub a survive
     kChain,         // only links i <-> i+1 (id order) survive (Fig. 1c shape)
+    kTrim,          // node a compacts its log to its decided index at `at`
+                    // (instantaneous; duration 0) — races snapshot catch-up
+                    // and crash-recovery against compaction (DESIGN.md §15)
   };
 
   Kind kind = Kind::kLinkCut;
@@ -73,6 +76,8 @@ inline const char* ChaosKindName(ChaosFault::Kind k) {
       return "hub";
     case ChaosFault::Kind::kChain:
       return "chain";
+    case ChaosFault::Kind::kTrim:
+      return "trim";
   }
   return "?";
 }
@@ -80,7 +85,8 @@ inline const char* ChaosKindName(ChaosFault::Kind k) {
 inline std::optional<ChaosFault::Kind> ParseChaosKind(const std::string& name) {
   using Kind = ChaosFault::Kind;
   for (Kind k : {Kind::kLinkCut, Kind::kOneWayCut, Kind::kLatencySpike, Kind::kCrash,
-                 Kind::kSplit, Kind::kDeaf, Kind::kMute, Kind::kHub, Kind::kChain}) {
+                 Kind::kSplit, Kind::kDeaf, Kind::kMute, Kind::kHub, Kind::kChain,
+                 Kind::kTrim}) {
     if (name == ChaosKindName(k)) {
       return k;
     }
@@ -101,6 +107,15 @@ struct ChaosPlan {
   bool HasCrash() const {
     for (const ChaosFault& f : faults) {
       if (f.kind == ChaosFault::Kind::kCrash) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool HasTrim() const {
+    for (const ChaosFault& f : faults) {
+      if (f.kind == ChaosFault::Kind::kTrim) {
         return true;
       }
     }
@@ -205,6 +220,11 @@ struct ChaosGenParams {
   // Crash+recover requires the protocol to support restart from durable
   // storage; the driver clears this for protocols that do not.
   bool allow_crash = true;
+  // Trim faults (forced log compaction) require a protocol compaction path
+  // (Node::kSupportsTrim); off by default so pre-compaction seeds replay
+  // byte-identically — the generator draws no randomness for trims unless
+  // this is set.
+  bool allow_trim = false;
 };
 
 // Deterministically generates a plan from (params, seed). Two calls with the
@@ -306,9 +326,37 @@ inline ChaosPlan GenerateChaosPlan(const ChaosGenParams& params, uint64_t seed) 
         break;
       }
       case ChaosFault::Kind::kChain:
+      case ChaosFault::Kind::kTrim:  // not drawn from `die`; generated below
         break;
     }
     plan.faults.push_back(f);
+  }
+
+  if (params.allow_trim) {
+    // A few forced compactions at random nodes/times...
+    const int num_trims = static_cast<int>(rng.NextInRange(1, 3));
+    for (int i = 0; i < num_trims; ++i) {
+      ChaosFault f;
+      f.kind = ChaosFault::Kind::kTrim;
+      f.at = params.warmup + static_cast<Time>(rng.NextBounded(
+                                 static_cast<uint64_t>(params.fault_window)));
+      f.a = static_cast<NodeId>(rng.NextInRange(1, n));
+      plan.faults.push_back(f);
+    }
+    // ...plus one just before each crash (coin flip), so a server trims
+    // while another is down and the restarted node must catch up from a
+    // snapshot rather than the (gone) log prefix.
+    const size_t existing = plan.faults.size();
+    for (size_t i = 0; i < existing; ++i) {
+      const ChaosFault crash = plan.faults[i];
+      if (crash.kind == ChaosFault::Kind::kCrash && rng.NextBool(0.5)) {
+        ChaosFault f;
+        f.kind = ChaosFault::Kind::kTrim;
+        f.at = crash.at > Millis(5) ? crash.at - Millis(5) : crash.at;
+        f.a = static_cast<NodeId>(rng.NextInRange(1, n));
+        plan.faults.push_back(f);
+      }
+    }
   }
 
   plan.horizon = plan.LastFaultEnd();

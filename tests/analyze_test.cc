@@ -68,6 +68,12 @@ TEST(OpxAnalyze, GoodTreeIsClean) {
                           "HandleAcceptSync",
                           {"set_accepted_round", "TruncateAndAppend"},
                           {"Accepted"}});
+  // Empty ack_types: the SendAcceptSyncTo helper builds and emits the ack.
+  cfg.handlers.push_back({"src/proto/handler.cc",
+                          "CompletePrepare",
+                          {"set_accepted_round", "TruncateAndAppend"},
+                          {},
+                          {"SendAcceptSyncTo"}});
   const AnalysisResult result = RunAnalysis(cfg);
   EXPECT_TRUE(result.errors.empty())
       << "first error: " << (result.errors.empty() ? "" : result.errors[0]);
@@ -87,6 +93,11 @@ TEST(OpxAnalyze, BadTreeGoldenFindings) {
                           "HandleAcceptSync",
                           {"set_accepted_round", "TruncateAndAppend"},
                           {"Accepted"}});
+  cfg.handlers.push_back({"src/proto/persist.cc",
+                          "CompletePrepare",
+                          {"set_accepted_round", "TruncateAndAppend"},
+                          {},
+                          {"SendAcceptSyncTo"}});
   const AnalysisResult result = RunAnalysis(cfg);
   EXPECT_TRUE(result.errors.empty())
       << "first error: " << (result.errors.empty() ? "" : result.errors[0]);
@@ -97,8 +108,10 @@ TEST(OpxAnalyze, BadTreeGoldenFindings) {
       "opx-determinism src/proto/handler.cc random_device",
       "opx-determinism src/proto/handler.cc std-function",
       "opx-determinism src/proto/handler.cc unordered_map",
-      // opx-persist-order: both handlers reply before their durable write.
+      // opx-persist-order: both handlers reply before their durable write,
+      // and the send-helper shape (empty ack_types) ships before the write.
       "opx-persist-order src/proto/handler.cc HandlePrepare",
+      "opx-persist-order src/proto/persist.cc CompletePrepare",
       "opx-persist-order src/proto/persist.cc HandleAcceptSync",
       // opx-dispatch: Accepted is never dispatched.
       "opx-dispatch src/proto/messages.h FixMessage::Accepted",

@@ -261,6 +261,60 @@ TEST(Ble, RecoveredServerRenouncesCandidacyUntilBump) {
   EXPECT_TRUE(qc_seen);
 }
 
+TEST(Ble, LeaseRenewedByMajorityRounds) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  ble.Tick();
+  (void)ble.TakeOutgoing();
+  ble.Tick();  // a full round passes with no replies: no lease
+  EXPECT_FALSE(ble.HoldsLease());
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});  // 1 reply + self = majority
+  ble.Tick();  // evaluate: majority round renews the lease
+  EXPECT_TRUE(ble.HoldsLease());
+  // Every further majority round keeps the lease alive.
+  for (int i = 0; i < 5; ++i) {
+    Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});
+    ble.Tick();
+    EXPECT_TRUE(ble.HoldsLease());
+  }
+}
+
+TEST(Ble, LeaseLapsesWithoutMajority) {
+  BallotLeaderElection ble(Config(1, {2, 3}));
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});
+  ble.Tick();
+  ASSERT_TRUE(ble.HoldsLease());
+  // Cut off: the next round ends with no replies. The default lease
+  // (lease_rounds = 1) covered exactly one round past the last majority, so
+  // evaluating the silent round advances past it.
+  ble.Tick();
+  EXPECT_FALSE(ble.HoldsLease());
+}
+
+TEST(Ble, ZeroLeaseRoundsDisablesLease) {
+  BleConfig cfg = Config(1, {2, 3});
+  cfg.lease_rounds = 0;
+  BallotLeaderElection ble(cfg);
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});
+  ble.Tick();
+  EXPECT_TRUE(ble.quorum_connected());  // connectivity unaffected
+  EXPECT_FALSE(ble.HoldsLease());       // but local reads stay off
+}
+
+TEST(Ble, LongerLeaseCoversConfiguredSilentRounds) {
+  BleConfig cfg = Config(1, {2, 3});
+  cfg.lease_rounds = 3;
+  BallotLeaderElection ble(cfg);
+  Round(ble, {{0, Ballot{0, 0, 2}, true}}, {2});
+  ble.Tick();  // renews: the lease covers the next 3 rounds
+  EXPECT_TRUE(ble.HoldsLease());
+  ble.Tick();  // silent round 1
+  EXPECT_TRUE(ble.HoldsLease());
+  ble.Tick();  // silent round 2
+  EXPECT_TRUE(ble.HoldsLease());
+  ble.Tick();  // silent round 3: lease exhausted
+  EXPECT_FALSE(ble.HoldsLease());
+}
+
 TEST(Ble, SingleServerElectsItself) {
   BallotLeaderElection ble(Config(1, {}));
   ble.Tick();

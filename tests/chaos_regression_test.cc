@@ -63,6 +63,18 @@ TEST(ChaosCorpus, OmniMutantStuckLink) {
   ReplayBitForBit("chaos-omni-mutant-stuck-link.chaos");
 }
 
+TEST(ChaosCorpus, OmniTrimCrashRecoverSchedule) {
+  // Crashes land after explicit trim faults with auto-trim (watermark 8) and
+  // lease reads active: every restart replays RestoreForRecovery over a
+  // *trimmed* log (decided beyond the physical suffix) — the recovery-bound
+  // regression this PR fixes — and re-syncs via snapshot AcceptSync.
+  const ChaosArtifact art = LoadArtifact("chaos-omni-trim-crash-seed4247.chaos");
+  EXPECT_TRUE(art.config.plan.HasCrash());
+  EXPECT_GT(art.config.trim_watermark, 0u);
+  EXPECT_GT(art.config.read_fraction, 0.0);
+  ReplayBitForBit("chaos-omni-trim-crash-seed4247.chaos");
+}
+
 TEST(ChaosCorpus, RaftSchedule) { ReplayBitForBit("chaos-raft-seed300.chaos"); }
 
 TEST(ChaosCorpus, MultiPaxosSchedule) { ReplayBitForBit("chaos-multipaxos-seed800.chaos"); }

@@ -148,6 +148,68 @@ TEST(DurableStorage, CorruptMiddleByteTruncatesFromThere) {
   std::remove(path.c_str());
 }
 
+// Regression (the compaction/recovery bug this PR fixes): after a Trim the
+// journal's physical suffix is shorter than the decided index, so recovery
+// must bound decided against the logical length compacted + suffix — the old
+// suffix-only bound aborted every post-trim recovery.
+TEST(DurableStorage, TrimSurvivesCrashAndRecovery) {
+  const std::string path = TempPath("trim");
+  {
+    auto storage = DurableStorage::Create(path);
+    storage->set_promised_round(Ballot{2, 0, 3});
+    storage->set_accepted_round(Ballot{2, 0, 3});
+    for (uint64_t i = 1; i <= 8; ++i) {
+      storage->Append(Entry::Command(i, 8));
+    }
+    storage->set_decided_idx(6);
+    storage->Trim(5);  // decided (6) > physical suffix length (3)
+    storage->Sync();
+  }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->compacted_idx(), 5u);
+  EXPECT_EQ(recovered->log_len(), 8u);
+  EXPECT_EQ(recovered->decided_idx(), 6u);
+  EXPECT_EQ(recovered->At(5).cmd_id, 6u);
+  EXPECT_EQ(recovered->At(7).cmd_id, 8u);
+  // The journal stays usable after a post-trim recovery.
+  recovered->Append(Entry::Command(9, 8));
+  recovered->Trim(6);
+  recovered->Sync();
+  auto again = DurableStorage::Recover(path);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->compacted_idx(), 6u);
+  EXPECT_EQ(again->log_len(), 9u);
+  EXPECT_EQ(again->At(8).cmd_id, 9u);
+  std::remove(path.c_str());
+}
+
+// ResetToSnapshot journals round + boundary + suffix as ONE record: recovery
+// replays the install atomically (a crash can never observe the new log
+// without the round it was shipped under).
+TEST(DurableStorage, SnapshotInstallSurvivesCrashAndRecovery) {
+  const std::string path = TempPath("snap");
+  const Ballot shipped{7, 0, 2};
+  {
+    auto storage = DurableStorage::Create(path);
+    storage->Append(Entry::Command(1, 8));
+    storage->set_decided_idx(1);
+    storage->ResetToSnapshot(shipped, 20,
+                             {Entry::Command(21, 8), Entry::Command(22, 8)});
+    storage->set_decided_idx(22);
+    storage->Sync();
+  }
+  auto recovered = DurableStorage::Recover(path);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->accepted_round(), shipped);
+  EXPECT_EQ(recovered->compacted_idx(), 20u);
+  EXPECT_EQ(recovered->decided_idx(), 22u);
+  ASSERT_EQ(recovered->log_len(), 22u);
+  EXPECT_EQ(recovered->At(20).cmd_id, 21u);
+  EXPECT_EQ(recovered->At(21).cmd_id, 22u);
+  std::remove(path.c_str());
+}
+
 TEST(DurableStorage, SequencePaxosSurvivesCrashViaWal) {
   // End-to-end: a 3-server cluster where server 3 journals to disk; crash it
   // (drop all volatile state), recover from the WAL, and catch up.

@@ -120,6 +120,63 @@ TEST(KvStore, SumAllTotalsValues) {
   EXPECT_EQ(store.SumAll(), 6);
 }
 
+TEST(KvStore, SnapshotRoundTripsState) {
+  KvStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Apply(Put("k" + std::to_string(i), i * 7));
+  }
+  Command del;
+  del.type = OpType::kDelete;
+  del.key = "k3";
+  store.Apply(del);
+
+  KvStore restored;
+  restored.Apply(Put("stale", 99));  // must be wiped by the install
+  ASSERT_TRUE(restored.InstallSnapshot(store.Serialize()));
+  EXPECT_EQ(restored.Digest(), store.Digest());
+  EXPECT_EQ(restored.Get("k5"), 35);
+  EXPECT_EQ(restored.Get("k3"), std::nullopt);
+  EXPECT_EQ(restored.Get("stale"), std::nullopt);
+  EXPECT_EQ(restored.version(), store.version());
+}
+
+TEST(KvStore, SnapshotOfEmptyStore) {
+  KvStore empty;
+  KvStore restored;
+  restored.Apply(Put("x", 1));
+  ASSERT_TRUE(restored.InstallSnapshot(empty.Serialize()));
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_EQ(restored.Digest(), empty.Digest());
+}
+
+TEST(KvStore, InstallSnapshotRejectsMalformedBuffers) {
+  KvStore store;
+  store.Apply(Put("keep", 42));
+  const uint64_t digest = store.Digest();
+
+  // Truncations at every boundary, plus trailing garbage and a key length
+  // pointing past the end: all rejected, state untouched.
+  std::vector<uint8_t> good = KvStore().Serialize();
+  EXPECT_FALSE(store.InstallSnapshot(std::vector<uint8_t>{}));
+  EXPECT_FALSE(store.InstallSnapshot(
+      std::vector<uint8_t>(good.begin(), good.begin() + 5)));
+
+  KvStore donor;
+  donor.Apply(Put("abc", 7));
+  std::vector<uint8_t> bytes = donor.Serialize();
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_FALSE(store.InstallSnapshot(truncated));
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(store.InstallSnapshot(trailing));
+  std::vector<uint8_t> bad_klen = bytes;
+  bad_klen[12] = 0xff;  // key length now reaches far past the buffer
+  EXPECT_FALSE(store.InstallSnapshot(bad_klen));
+
+  EXPECT_EQ(store.Digest(), digest);
+  EXPECT_EQ(store.Get("keep"), 42);
+}
+
 TEST(CommandLog, RegistersAndLooksUp) {
   CommandLog log;
   const uint64_t id1 = log.Register(Put("x", 1));

@@ -20,8 +20,9 @@ namespace opx::testing {
 
 class OmniCluster {
  public:
-  explicit OmniCluster(int n, size_t batch_limit = 0, obs::ObsSink* obs = nullptr)
-      : n_(n), batch_limit_(batch_limit), obs_(obs) {
+  explicit OmniCluster(int n, size_t batch_limit = 0, obs::ObsSink* obs = nullptr,
+                       size_t trim_watermark = 0)
+      : n_(n), batch_limit_(batch_limit), obs_(obs), trim_watermark_(trim_watermark) {
     storages_.resize(static_cast<size_t>(n) + 1);
     nodes_.resize(static_cast<size_t>(n) + 1);
     for (NodeId id = 1; id <= n_; ++id) {
@@ -215,6 +216,7 @@ class OmniCluster {
       }
     }
     cfg.batch_limit = batch_limit_;
+    cfg.trim_watermark = trim_watermark_;
     cfg.obs = obs_;
     return cfg;
   }
@@ -222,6 +224,7 @@ class OmniCluster {
   int n_;
   size_t batch_limit_ = 0;
   obs::ObsSink* obs_ = nullptr;
+  size_t trim_watermark_ = 0;
   std::vector<std::unique_ptr<omni::OmniPaxos>> nodes_;
   std::vector<std::unique_ptr<omni::Storage>> storages_;
   std::deque<Wire> queue_;

@@ -188,6 +188,122 @@ TEST(EntrySegment, OwningAndViewSemantics) {
   EXPECT_EQ(span.size(), 2u);
 }
 
+// Opens the protected recovery entry point (normally reserved for persistent
+// derived backends) so the tests can drive it directly.
+struct RecoveryProbe : Storage {
+  using Storage::RestoreForRecovery;
+};
+
+// Regression: a trimmed server legally recovers with decided_idx greater than
+// the physical suffix length (the trimmed prefix is all decided). The decided
+// bound must be against the logical length `compacted + log.size()`; checking
+// against log.size() alone rejected every recovery after a trim.
+TEST(Storage, RestoreForRecoveryAcceptsTrimmedLog) {
+  RecoveryProbe storage;
+  std::vector<Entry> suffix{Entry::Command(11, 8), Entry::Command(12, 8),
+                            Entry::Command(13, 8)};
+  storage.RestoreForRecovery(Ballot{3, 0, 1}, Ballot{3, 0, 1},
+                             /*compacted=*/10, suffix, /*decided=*/12);
+  EXPECT_EQ(storage.compacted_idx(), 10u);
+  EXPECT_EQ(storage.log_len(), 13u);
+  EXPECT_EQ(storage.decided_idx(), 12u);
+  EXPECT_EQ(storage.At(10).cmd_id, 11u);
+  EXPECT_EQ(storage.At(12).cmd_id, 13u);
+}
+
+TEST(Storage, RestoreForRecoveryBoundsDecidedByLogicalLength) {
+  RecoveryProbe below;
+  EXPECT_DEATH(below.RestoreForRecovery(Ballot{}, Ballot{}, /*compacted=*/10,
+                                        {Entry::Command(11, 8)}, /*decided=*/9),
+               "compaction floor");
+  RecoveryProbe beyond;
+  EXPECT_DEATH(beyond.RestoreForRecovery(Ballot{}, Ballot{}, /*compacted=*/10,
+                                         {Entry::Command(11, 8)}, /*decided=*/12),
+               "CHECK failed");
+}
+
+TEST(Storage, ResetToSnapshotInstallsAtomically) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  storage.set_promised_round(Ballot{2, 0, 2});
+  storage.set_accepted_round(Ballot{2, 0, 2});
+  storage.set_decided_idx(2);
+  const Ballot shipped{3, 0, 1};
+  storage.ResetToSnapshot(shipped, 10, {Entry::Command(11, 8), Entry::Command(12, 8)});
+  EXPECT_EQ(storage.compacted_idx(), 10u);
+  EXPECT_EQ(storage.decided_idx(), 10u);
+  EXPECT_EQ(storage.log_len(), 12u);
+  EXPECT_EQ(storage.At(10).cmd_id, 11u);
+  // Regression: the accepted round the suffix was shipped under must land
+  // with the log — leaving it behind let a later Prepare treat the installed
+  // suffix as accepted in the stale round.
+  EXPECT_EQ(storage.accepted_round(), shipped);
+}
+
+TEST(Storage, ResetToSnapshotValidatesInvariants) {
+  // Regression: installing "up to" below the compaction floor would rewind
+  // compacted_idx_ and resurrect trimmed slots. compacted <= decided always
+  // holds, so the decided-prefix guard is the one that fires.
+  Storage trimmed;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    trimmed.Append(Entry::Command(i, 8));
+  }
+  trimmed.set_decided_idx(6);
+  trimmed.Trim(5);
+  EXPECT_DEATH(trimmed.ResetToSnapshot(Ballot{9, 0, 1}, 4, {}), "decided prefix");
+
+  Storage decided;
+  decided.Append(Entry::Command(1, 8));
+  decided.Append(Entry::Command(2, 8));
+  decided.set_decided_idx(2);
+  EXPECT_DEATH(decided.ResetToSnapshot(Ballot{9, 0, 1}, 1, {}), "decided prefix");
+
+  Storage rounds;
+  rounds.set_accepted_round(Ballot{5, 0, 1});
+  EXPECT_DEATH(rounds.ResetToSnapshot(Ballot{4, 0, 1}, 0, {}), "CHECK failed");
+}
+
+TEST(Storage, TrimOnlyDecidedPrefixAndIdempotent) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  storage.set_decided_idx(4);
+  EXPECT_DEATH(storage.Trim(5), "decided prefix");
+  storage.Trim(3);
+  EXPECT_EQ(storage.compacted_idx(), 3u);
+  storage.Trim(3);  // no-op, not an error
+  storage.Trim(1);  // below the floor: no-op, not a regression
+  EXPECT_EQ(storage.compacted_idx(), 3u);
+  EXPECT_EQ(storage.log_len(), 6u);
+  EXPECT_EQ(storage.At(3).cmd_id, 4u);
+}
+
+// A SharedSuffix segment handed out before a Trim must stay a valid immutable
+// snapshot (in-flight fan-out bodies reference it), and the memo must not
+// serve that pre-trim buffer for post-trim requests.
+TEST(Storage, SharedSuffixSurvivesTrimAndMemoRefreshes) {
+  Storage storage;
+  for (uint64_t i = 1; i <= 8; ++i) {
+    storage.Append(Entry::Command(i, 8));
+  }
+  const omni::EntrySegment before = storage.SharedSuffix(2);
+  ASSERT_EQ(before.size(), 6u);
+  storage.set_decided_idx(6);
+  storage.Trim(5);
+  // The pre-trim segment still reads the old snapshot.
+  EXPECT_EQ(before[0].cmd_id, 3u);
+  EXPECT_EQ(before[5].cmd_id, 8u);
+  // A fresh request re-materializes from the trimmed log (log_version_ bump),
+  // with correct logical offsets.
+  const omni::EntrySegment after = storage.SharedSuffix(6);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0].cmd_id, 7u);
+  EXPECT_NE(after.data(), before.data() + 4);
+}
+
 TEST(Storage, RoundsMonotonic) {
   Storage storage;
   storage.set_promised_round(Ballot{1, 0, 1});

@@ -18,6 +18,14 @@
 //       not disturb a live leader" claim).
 //   ElectionWithin              — some leader claim lands within a bounded
 //       window after an instant (the paper's ~4-timeout recovery bound).
+//   SnapshotSafety              — log compaction never loses or reorders
+//       decided entries: per node, decided indices are monotone, a Trim never
+//       passes the decided index, and the compaction floor (Trim /
+//       ResetToSnapshot boundary) never regresses (DESIGN.md §15).
+//   ReadYourWrites              — every served lease read's serialization
+//       point covers the client watermark it carried, and serve points are
+//       globally monotone (a stale-lease leader serving old state would
+//       break monotonicity).
 #ifndef TESTS_TRACE_ORACLE_HARNESS_H_
 #define TESTS_TRACE_ORACLE_HARNESS_H_
 
@@ -172,6 +180,112 @@ inline PropertyResult ElectionWithin(const obs::TraceView& trace, Time after,
     d << "; none ever";
   }
   return PropertyFail(d.str());
+}
+
+// Snapshot safety (DESIGN.md §15). Per node, over the retained trace window:
+//   - kSpDecide slots never regress (decided entries are never un-decided or
+//     reordered by compaction);
+//   - kSpTrim never compacts past the node's decided index;
+//   - the compaction floor (kSpTrim slot / kSpSnapshotInstall up_to) is
+//     monotone, and a snapshot install never lands below the decided index.
+//
+// Ring-wrap soundness: a Trim justified by decides that predate the retained
+// window cannot be judged, so the trim-vs-decided check only fires once a
+// decide for that node IS in the trace (complete traces — assert
+// sink.dropped() == 0 — keep full sensitivity; decided monotonicity and
+// floor monotonicity are sound under wrap unconditionally).
+inline PropertyResult SnapshotSafety(const obs::TraceView& trace) {
+  std::map<NodeId, uint64_t> decided;  // highest decided slot seen per node
+  std::map<NodeId, uint64_t> floor;    // compaction floor per node
+  for (const obs::TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case obs::EventKind::kSpDecide: {
+        auto [it, inserted] = decided.insert({e.node, e.slot});
+        if (!inserted) {
+          if (e.slot < it->second) {
+            std::ostringstream d;
+            d << "node " << e.node << " decided index regressed " << it->second
+              << " -> " << e.slot << " at t=" << e.at;
+            return PropertyFail(d.str());
+          }
+          it->second = e.slot;
+        }
+        break;
+      }
+      case obs::EventKind::kSpTrim: {
+        const auto dit = decided.find(e.node);
+        if (dit != decided.end() && e.slot > dit->second) {
+          std::ostringstream d;
+          d << "node " << e.node << " trimmed to " << e.slot
+            << " past its decided index " << dit->second << " at t=" << e.at;
+          return PropertyFail(d.str());
+        }
+        uint64_t& f = floor[e.node];
+        if (e.slot < f) {
+          std::ostringstream d;
+          d << "node " << e.node << " compaction floor regressed " << f << " -> "
+            << e.slot << " (trim) at t=" << e.at;
+          return PropertyFail(d.str());
+        }
+        f = e.slot;
+        break;
+      }
+      case obs::EventKind::kSpSnapshotInstall: {
+        const auto dit = decided.find(e.node);
+        if (dit != decided.end() && e.slot < dit->second) {
+          std::ostringstream d;
+          d << "node " << e.node << " installed a snapshot at " << e.slot
+            << " below its decided index " << dit->second << " at t=" << e.at;
+          return PropertyFail(d.str());
+        }
+        uint64_t& f = floor[e.node];
+        if (e.slot < f) {
+          std::ostringstream d;
+          d << "node " << e.node << " compaction floor regressed " << f << " -> "
+            << e.slot << " (snapshot install) at t=" << e.at;
+          return PropertyFail(d.str());
+        }
+        f = e.slot;
+        decided[e.node] = std::max(decided[e.node], e.slot);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return PropertyPass();
+}
+
+// Lease-read correctness (DESIGN.md §15). Each kLeaseRead carries the serving
+// node's decided index in `slot` and the client's read-your-writes watermark
+// in `aux`. A served read must cover its watermark, and — because decided
+// prefixes only grow and the lease admits one serving leader at a time —
+// serve points must be non-decreasing across the whole trace; a stale-lease
+// leader answering from old state is exactly what breaks that order.
+inline PropertyResult ReadYourWrites(const obs::TraceView& trace) {
+  uint64_t last_served = 0;
+  NodeId last_server = kNoNode;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.kind != obs::EventKind::kLeaseRead) {
+      continue;
+    }
+    if (e.slot < e.aux) {
+      std::ostringstream d;
+      d << "node " << e.node << " served a lease read at decided " << e.slot
+        << " below the client watermark " << e.aux << " at t=" << e.at;
+      return PropertyFail(d.str());
+    }
+    if (e.slot < last_served) {
+      std::ostringstream d;
+      d << "lease-read serve points regressed " << last_served << " (node "
+        << last_server << ") -> " << e.slot << " (node " << e.node
+        << ") at t=" << e.at;
+      return PropertyFail(d.str());
+    }
+    last_served = e.slot;
+    last_server = e.node;
+  }
+  return PropertyPass();
 }
 
 }  // namespace opx::testing

@@ -302,6 +302,73 @@ TEST(TraceOracleCluster, OmniElectsWithinFourTimeoutsOfLeaderIsolation) {
   EXPECT_TRUE(order.ok) << order.detail;
 }
 
+// --- Compaction + lease reads: snapshot-safety and read-your-writes ---------
+
+TEST(TraceOracleOmni, AutoTrimAndSnapshotResyncUpholdSnapshotSafety) {
+  OPX_REQUIRE_OBS();
+  ObsSink sink;
+  OmniCluster cluster(3, /*batch_limit=*/0, &sink, /*trim_watermark=*/4);
+  cluster.SetPriority(1, 10);
+  cluster.TickRounds(3);
+  ASSERT_EQ(cluster.CurrentLeader(), 1);
+  // A straggler that reconnects below the leader's compaction boundary
+  // exercises every event the oracle constrains: decides, auto-trims on both
+  // leader and followers, and a snapshot install.
+  cluster.SetLink(1, 3, false);
+  cluster.SetLink(2, 3, false);
+  for (uint64_t cmd = 1; cmd <= 20; ++cmd) {
+    cluster.Append(1, cmd);
+    if (cmd % 5 == 0) {
+      cluster.Tick();
+    }
+  }
+  cluster.SetLink(1, 3, true);
+  cluster.SetLink(2, 3, true);
+  cluster.DeliverAll();
+  cluster.TickRounds(3);
+  ASSERT_EQ(sink.dropped(), 0u);
+
+  const TraceView trace = TraceView::FromSink(sink);
+  EXPECT_GT(trace.Filter(EventKind::kSpTrim).size(), 0u);
+  EXPECT_GT(trace.Filter(EventKind::kSpSnapshotInstall).size(), 0u);
+  const PropertyResult snap = testing::SnapshotSafety(trace);
+  EXPECT_TRUE(snap.ok) << snap.detail;
+  const PropertyResult order = NoAcceptBeforePromiseQuorum(trace);
+  EXPECT_TRUE(order.ok) << order.detail;
+}
+
+TEST(TraceOracleCluster, LeaseReadsUnderCompactionUpholdReadYourWrites) {
+  OPX_REQUIRE_OBS();
+  ObsSink sink;
+  rsm::ClusterParams params;
+  params.num_servers = 3;
+  params.election_timeout = Millis(50);
+  params.concurrent_proposals = 50;
+  params.proposal_rate = 20'000;
+  params.preferred_leader = 1;
+  params.read_fraction = 0.3;
+  params.trim_watermark = 64;
+  params.obs = &sink;
+  rsm::ClusterSim<rsm::OmniNode> sim(params);
+  sim.RunUntil(Seconds(3));
+
+  // The client mixed lease reads into the write stream and every served read
+  // observed its own writes.
+  EXPECT_GT(sim.client().reads_completed(), 0u);
+  EXPECT_EQ(sim.client().ryw_violations(), 0u);
+  const obs::Counter* served = sink.metrics().FindCounter("cluster/lease_reads");
+  ASSERT_NE(served, nullptr);
+  EXPECT_GT(served->value(), 0u);
+
+  const TraceView trace = TraceView::FromSink(sink);
+  EXPECT_GT(trace.Filter(EventKind::kSpTrim).size(), 0u);
+  EXPECT_GT(trace.Filter(EventKind::kLeaseRead).size(), 0u);
+  const PropertyResult snap = testing::SnapshotSafety(trace);
+  EXPECT_TRUE(snap.ok) << snap.detail;
+  const PropertyResult ryw = testing::ReadYourWrites(trace);
+  EXPECT_TRUE(ryw.ok) << ryw.detail;
+}
+
 // --- Reconfiguration: stop-sign before migration, migration completes -------
 
 TEST(TraceOracleReconfig, StopSignPrecedesMigrationSegments) {
@@ -375,6 +442,30 @@ TEST(TraceOracleCorpus, OmniReplayUpholdsOracles) {
   EXPECT_TRUE(order.ok) << order.detail;
   const PropertyResult single = SingleLeaderPerEpoch(trace, testing::OmniLeaderKinds());
   EXPECT_TRUE(single.ok) << single.detail;
+  // Vacuously true on a trim-free artifact, but keeps the oracle running
+  // over every corpus replay.
+  const PropertyResult snap = testing::SnapshotSafety(trace);
+  EXPECT_TRUE(snap.ok) << snap.detail;
+  const PropertyResult ryw = testing::ReadYourWrites(trace);
+  EXPECT_TRUE(ryw.ok) << ryw.detail;
+}
+
+TEST(TraceOracleCorpus, OmniTrimCrashReplayUpholdsSnapshotAndReadOracles) {
+  OPX_REQUIRE_OBS();
+  ObsSink sink;
+  const TraceView trace =
+      ReplayTraced("chaos-omni-trim-crash-seed4247.chaos", &sink);
+  // The schedule trims (explicit faults + watermark-8 auto-trim), crashes
+  // servers into trimmed-log recoveries, and serves lease reads throughout —
+  // both new oracles must hold over the whole interleaving.
+  EXPECT_GT(trace.Filter(EventKind::kSpTrim).size(), 0u);
+  EXPECT_GT(trace.Filter(EventKind::kLeaseRead).size(), 0u);
+  const PropertyResult snap = testing::SnapshotSafety(trace);
+  EXPECT_TRUE(snap.ok) << snap.detail;
+  const PropertyResult ryw = testing::ReadYourWrites(trace);
+  EXPECT_TRUE(ryw.ok) << ryw.detail;
+  const PropertyResult order = NoAcceptBeforePromiseQuorum(trace);
+  EXPECT_TRUE(order.ok) << order.detail;
 }
 
 TEST(TraceOracleCorpus, RaftReplayUpholdsOracles) {

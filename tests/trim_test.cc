@@ -71,7 +71,8 @@ TEST(Trim, ResetToSnapshotInstallsBoundary) {
   Storage storage;
   storage.Append(Entry::Command(1, 8));
   storage.set_decided_idx(1);
-  storage.ResetToSnapshot(10, {Entry::Command(11, 8), Entry::Command(12, 8)});
+  storage.ResetToSnapshot(omni::Ballot{1, 0, 1}, 10,
+                          {Entry::Command(11, 8), Entry::Command(12, 8)});
   EXPECT_EQ(storage.compacted_idx(), 10u);
   EXPECT_EQ(storage.decided_idx(), 10u);
   EXPECT_EQ(storage.log_len(), 12u);
@@ -184,6 +185,121 @@ TEST(TrimSync, DurableTrimSurvivesThroughSnapshotResync) {
   cluster.TickRounds(2);
   EXPECT_EQ(cluster.node(3).decided_idx(), 7u);
   EXPECT_EQ(cluster.storage(3).At(6).cmd_id, 7u);
+}
+
+// --- Leader-driven auto-trim (trim_watermark > 0) ------------------------
+
+TEST(AutoTrim, DisabledByDefault) {
+  OmniCluster cluster(3);  // trim_watermark = 0
+  cluster.SetPriority(1, 10);
+  cluster.TickRounds(3);
+  ASSERT_EQ(cluster.CurrentLeader(), 1);
+  for (uint64_t cmd = 1; cmd <= 50; ++cmd) {
+    cluster.Append(1, cmd);
+  }
+  cluster.TickRounds(3);
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_EQ(cluster.storage(id).compacted_idx(), 0u);
+  }
+}
+
+TEST(AutoTrim, LeaderTrimsReplicatedPrefixOnTick) {
+  OmniCluster cluster(3, /*batch_limit=*/0, /*obs=*/nullptr,
+                      /*trim_watermark=*/4);
+  cluster.SetPriority(1, 10);
+  cluster.TickRounds(3);
+  ASSERT_EQ(cluster.CurrentLeader(), 1);
+  for (uint64_t cmd = 1; cmd <= 10; ++cmd) {
+    cluster.Append(1, cmd);
+  }
+  ASSERT_EQ(cluster.node(1).decided_idx(), 10u);
+  EXPECT_EQ(cluster.storage(1).compacted_idx(), 0u);  // trims only on ticks
+  cluster.Tick();
+  // All peers accepted 10, so the leader trims the whole decided prefix; the
+  // followers are below the 3x-watermark backstop and keep theirs.
+  EXPECT_EQ(cluster.storage(1).compacted_idx(), 10u);
+  EXPECT_EQ(cluster.storage(1).log_len(), 10u);  // logical length unchanged
+  EXPECT_EQ(cluster.storage(2).compacted_idx(), 0u);
+  // Replication continues normally past the local compaction boundary.
+  cluster.Append(1, 11);
+  EXPECT_EQ(cluster.node(2).decided_idx(), 11u);
+  EXPECT_EQ(cluster.storage(1).At(10).cmd_id, 11u);
+  // Hysteresis: less than a watermark of new progress does not re-trim.
+  cluster.Tick();
+  EXPECT_EQ(cluster.storage(1).compacted_idx(), 10u);
+}
+
+TEST(AutoTrim, StragglerFloorBoundsRetainedSuffixAndResyncsViaSnapshot) {
+  OmniCluster cluster(3, /*batch_limit=*/0, /*obs=*/nullptr,
+                      /*trim_watermark=*/4);
+  cluster.SetPriority(1, 10);
+  cluster.TickRounds(3);
+  ASSERT_EQ(cluster.CurrentLeader(), 1);
+  // Node 3 goes dark with accepted index 0.
+  cluster.SetLink(1, 3, false);
+  cluster.SetLink(2, 3, false);
+  for (uint64_t cmd = 1; cmd <= 20; ++cmd) {
+    cluster.Append(1, cmd);
+  }
+  ASSERT_EQ(cluster.node(1).decided_idx(), 20u);
+  cluster.Tick();
+  // The straggler floor (decided - 3*wm = 8) keeps the leader from retaining
+  // an unbounded suffix for node 3; follower 2 applies the 3*wm backstop.
+  EXPECT_EQ(cluster.storage(1).compacted_idx(), 8u);
+  EXPECT_EQ(cluster.storage(2).compacted_idx(), 12u);
+  EXPECT_EQ(cluster.storage(3).compacted_idx(), 0u);
+  // Node 3 reconnects below the leader's boundary: snapshot resync. The
+  // snapshot AcceptSync boundary is the leader's *decided* index, so the
+  // straggler comes back fully compacted.
+  cluster.SetLink(1, 3, true);
+  cluster.SetLink(2, 3, true);
+  cluster.DeliverAll();
+  EXPECT_EQ(cluster.node(3).decided_idx(), 20u);
+  EXPECT_EQ(cluster.storage(3).compacted_idx(), 20u);
+  // With the straggler caught up the floor advances to the full prefix.
+  cluster.TickRounds(2);
+  EXPECT_EQ(cluster.storage(1).compacted_idx(), 20u);
+  EXPECT_EQ(cluster.storage(3).compacted_idx(), 20u);
+  // Safety: everything still decided and addressable above the boundaries.
+  cluster.Append(1, 21);
+  EXPECT_EQ(cluster.node(3).decided_idx(), 21u);
+  EXPECT_EQ(cluster.storage(3).At(20).cmd_id, 21u);
+}
+
+// --- Leader-lease local reads --------------------------------------------
+
+TEST(LeaseRead, LeaderServesUntilIsolationExpiresLease) {
+  OmniCluster cluster(3);
+  cluster.SetPriority(1, 10);
+  cluster.TickRounds(3);
+  ASSERT_EQ(cluster.CurrentLeader(), 1);
+  EXPECT_TRUE(cluster.node(1).CanServeLocalReads());
+  EXPECT_FALSE(cluster.node(2).CanServeLocalReads());  // followers never serve
+  EXPECT_FALSE(cluster.node(3).CanServeLocalReads());
+  cluster.Isolate(1);
+  // The lease covers lease_rounds (= 1) heartbeat rounds past the last
+  // majority round; two silent ticks are guaranteed to exhaust it. The old
+  // leader still *claims* leadership — it just must refuse local reads.
+  cluster.TickRounds(2);
+  EXPECT_TRUE(cluster.node(1).IsLeader());
+  EXPECT_FALSE(cluster.node(1).CanServeLocalReads());
+  // The connected majority elects a replacement that can serve.
+  cluster.TickRounds(4);
+  const NodeId replacement = cluster.CurrentLeader();
+  ASSERT_NE(replacement, kNoNode);
+  EXPECT_NE(replacement, 1);
+  EXPECT_TRUE(cluster.node(replacement).CanServeLocalReads());
+  EXPECT_FALSE(cluster.node(1).CanServeLocalReads());
+  // After healing, exactly one node serves local reads.
+  cluster.HealAll();
+  cluster.TickRounds(3);
+  int serving = 0;
+  for (NodeId id = 1; id <= 3; ++id) {
+    if (cluster.node(id).CanServeLocalReads()) {
+      ++serving;
+    }
+  }
+  EXPECT_EQ(serving, 1);
 }
 
 }  // namespace

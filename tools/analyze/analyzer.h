@@ -143,6 +143,8 @@ struct VariantRule {
 
 // Persistence-before-send: in `function` (defined in `file`), the first send
 // of an acknowledging message type must be preceded by one of `mutators`.
+// With empty `ack_types`, any call to a `sends` function counts as the ack
+// send — for helpers that construct and emit the message internally.
 struct HandlerRule {
   std::string file;
   std::string function;

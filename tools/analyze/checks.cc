@@ -238,6 +238,15 @@ void CheckPersistOrder(const AnalyzerConfig& cfg, FileSet& files,
         continue;
       }
       if (is_call && Contains(rule.sends, t[i].text) && first_ack_send == 0) {
+        if (rule.ack_types.empty()) {
+          // The send function itself constructs and emits the ack (e.g. a
+          // SendAcceptSyncTo helper that builds the AcceptSync internally):
+          // the bare call marks the send.
+          first_ack_send = i;
+          ack_send_line = t[i].line;
+          ack_send_what = t[i].text;
+          continue;
+        }
         const size_t args_end = MatchForward(t, i + 1, "(", ")");
         for (size_t a = i + 2; a < args_end; ++a) {
           if (t[a].kind == TokKind::kIdent &&

@@ -43,6 +43,15 @@ AnalyzerConfig DefaultConfig(const std::string& root) {
   cfg.handlers = {
       {sp, "BecomeLeader", {"set_promised_round"}, {"Prepare"}, {"Emit"}},
       {sp, "HandlePrepare", {"set_promised_round"}, {"Promise"}, {"Emit"}},
+      // Snapshot-install adoption on the new leader: the adopted log (suffix
+      // append, or ResetToSnapshot when the winner compacted past us) and the
+      // round raise must be durable before any AcceptSync ships it. Empty
+      // ack_types: SendAcceptSyncTo builds and emits the AcceptSync itself.
+      {sp,
+       "CompletePreparePhase",
+       {"ResetToSnapshot", "TruncateAndAppend", "AppendAll", "set_accepted_round"},
+       {},
+       {"SendAcceptSyncTo"}},
       {sp,
        "HandleAcceptSync",
        {"set_accepted_round", "TruncateAndAppend", "ResetToSnapshot"},

@@ -26,7 +26,18 @@ class SequencePaxos {
     storage_.TruncateAndAppend(as.log_idx, {});
   }
 
+  // BAD: the sync helper ships the adopted log before it is made durable.
+  // The helper builds and emits the message itself, so the rule names it via
+  // `sends` with empty ack_types.
+  void CompletePrepare(NodeId from, const Prepare& p) {
+    SendAcceptSyncTo(from);
+    storage_.set_accepted_round(p.n);
+    storage_.TruncateAndAppend(p.log_idx, {});
+  }
+
  private:
+  void SendAcceptSyncTo(NodeId to) { Emit(to, Accepted{Ballot{}, storage_.log_len()}); }
+
   void Emit(NodeId, FixMessage) {}
 
   SyncStorage storage_;

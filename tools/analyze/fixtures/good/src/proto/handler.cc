@@ -59,12 +59,22 @@ class Handler {
     Emit(from, Accepted{p.n, p.log_idx});
   }
 
+  // Send-helper variant of the same shape: the adopted log is durable before
+  // SendAcceptSyncTo (which builds and emits the message itself) runs.
+  void CompletePrepare(NodeId from, const Prepare& p) {
+    storage_.set_accepted_round(p.n);
+    storage_.TruncateAndAppend(p.log_idx, {});
+    SendAcceptSyncTo(from, p);
+  }
+
   void HandlePromise(NodeId, const Promise&) {}
   void HandleAccepted(NodeId, const Accepted&) {}
 
   AuditView Audit() const { return AuditView{}; }
 
  private:
+  void SendAcceptSyncTo(NodeId to, const Prepare& p) { Emit(to, Accepted{p.n, p.log_idx}); }
+
   void Emit(NodeId to, FixMessage msg) {
     OPX_CHECK(to != 0);
     (void)msg;

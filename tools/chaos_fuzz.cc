@@ -56,12 +56,20 @@ struct FuzzOptions {
   std::string dump_dir;
   std::string out_dir = ".";
   std::string mutant;  // "", "stuck-link"
+  // Log-pipeline fuzzing (DESIGN.md §15). Trim faults are generated only for
+  // protocols with a compaction path; the watermark/read knobs additionally
+  // exercise the automatic trim policy and the lease-read path under faults.
+  bool allow_trim = true;
+  uint64_t trim_watermark = 0;
+  double read_fraction = 0.0;
 };
 
 ChaosConfig MakeConfig(const FuzzOptions& opt, const sim::ChaosPlan& plan) {
   ChaosConfig cfg;
   cfg.plan = plan;
   cfg.election_timeout = opt.election_timeout;
+  cfg.trim_watermark = opt.trim_watermark;
+  cfg.read_fraction = opt.read_fraction;
   return cfg;
 }
 
@@ -130,6 +138,7 @@ int FuzzProtocol(const FuzzOptions& opt, const std::string& protocol) {
   sim::ChaosGenParams gen;
   gen.num_servers = opt.num_servers;
   gen.allow_crash = Node::kSupportsRestart;
+  gen.allow_trim = opt.allow_trim && Node::kSupportsTrim;
 
   uint64_t total_faults = 0;
   for (int k = 0; k < opt.schedules; ++k) {
@@ -265,7 +274,8 @@ int Main(int argc, char** argv) {
         "                  [--schedules=N] [--seed=S] [--servers=N] [--timeout-ms=T]\n"
         "                  [--shrink=bool] [--check-determinism] [--dump=DIR]\n"
         "                  [--out-dir=DIR] [--mutant=stuck-link] [--replay=FILE]\n"
-        "                  [--trace=FILE.jsonl (with --replay: dump the full trace)]\n");
+        "                  [--trace=FILE.jsonl (with --replay: dump the full trace)]\n"
+        "                  [--trim=bool] [--trim-watermark=N] [--read-fraction=F]\n");
     return 0;
   }
   if (flags.Has("replay")) {
@@ -288,6 +298,9 @@ int Main(int argc, char** argv) {
   opt.dump_dir = flags.GetString("dump", "");
   opt.out_dir = flags.GetString("out-dir", ".");
   opt.mutant = flags.GetString("mutant", "");
+  opt.allow_trim = flags.GetBool("trim", true);
+  opt.trim_watermark = static_cast<uint64_t>(flags.GetInt("trim-watermark", 0));
+  opt.read_fraction = flags.GetDouble("read-fraction", 0.0);
   if (!opt.mutant.empty() && opt.mutant != "stuck-link") {
     std::fprintf(stderr, "unknown --mutant=%s\n", opt.mutant.c_str());
     return 2;

@@ -53,7 +53,10 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help", false)) {
     std::printf(
         "usage: omni_node --id=N --port=P --peers=ID=HOST:PORT,... "
-        "[--wal=PATH] [--timeout-ms=100] [--priority=0] [--metrics]\n");
+        "[--wal=PATH] [--timeout-ms=100] [--priority=0] [--metrics]\n"
+        "  [--trim-watermark=0]  auto log compaction watermark (entries; 0=off)\n"
+        "  [--batch-limit=0]     per-flush accept cap (0 = one batch per pass)\n"
+        "  [--lease-rounds=1]    BLE lease length for local reads (0 = off)\n");
     return 0;
   }
 
@@ -63,6 +66,9 @@ int main(int argc, char** argv) {
   options.wal_path = flags.GetString("wal", "");
   options.election_timeout = Millis(flags.GetInt("timeout-ms", 100));
   options.ble_priority = static_cast<uint32_t>(flags.GetInt("priority", 0));
+  options.trim_watermark = static_cast<uint64_t>(flags.GetInt("trim-watermark", 0));
+  options.batch_limit = static_cast<uint64_t>(flags.GetInt("batch-limit", 0));
+  options.lease_rounds = static_cast<uint64_t>(flags.GetInt("lease-rounds", 1));
   if (options.id == kNoNode || !ParsePeers(flags.GetString("peers", ""), &options.peers)) {
     std::fprintf(stderr, "omni_node: --id and --peers are required (see --help)\n");
     return 2;
