@@ -161,8 +161,15 @@ class FrameQueue {
 // invokes `on_frame(payload, len)` for every complete frame; it returns false
 // on an oversized length (the caller should drop the connection). on_frame
 // may return false to stop extraction (e.g. the connection closed itself).
+//
+// The length bound defaults to the transport-wide kMaxFrameBytes but is
+// configurable per reader: client-facing listeners can enforce a much
+// tighter budget than replica peers without a second reader type.
 class FrameReader {
  public:
+  FrameReader() = default;
+  explicit FrameReader(size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
   template <typename OnFrame>
   bool Feed(const uint8_t* data, size_t n, OnFrame&& on_frame) {
     buf_.insert(buf_.end(), data, data + n);
@@ -176,7 +183,7 @@ class FrameReader {
       for (int i = 0; i < 4; ++i) {
         len |= static_cast<uint32_t>(buf_[offset + static_cast<size_t>(i)]) << (8 * i);
       }
-      if (len > kMaxFrameBytes) {
+      if (len > max_frame_bytes_) {
         ok = false;
         break;
       }
@@ -195,9 +202,11 @@ class FrameReader {
   }
 
   size_t buffered() const { return buf_.size(); }
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
   void Clear() { buf_.clear(); }
 
  private:
+  size_t max_frame_bytes_ = kMaxFrameBytes;
   std::vector<uint8_t> buf_;
 };
 

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/net/frame_queue.h"
+
 namespace opx::net {
 namespace {
 
@@ -128,9 +130,19 @@ bool OmniClient::ReadFrame(std::vector<uint8_t>* frame, Time deadline) {
     // Complete frame buffered?
     if (read_buf_.size() >= 4) {
       const uint32_t len = GetU32(read_buf_.data());
-      if (read_buf_.size() >= 4 + len) {
-        frame->assign(read_buf_.begin() + 4, read_buf_.begin() + 4 + len);
-        read_buf_.erase(read_buf_.begin(), read_buf_.begin() + 4 + len);
+      // A hostile or corrupt header is fatal for the connection: besides being
+      // a protocol violation, `4 + len` wraps in uint32 for len >= 2^32-4,
+      // which made the old `size() >= 4 + len` comparison pass and the
+      // assign() below read far past the buffer.
+      if (len > kMaxFrameBytes) {
+        Disconnect();
+        return false;
+      }
+      if (read_buf_.size() - 4 >= len) {
+        frame->assign(read_buf_.begin() + 4,
+                      read_buf_.begin() + 4 + static_cast<ptrdiff_t>(len));
+        read_buf_.erase(read_buf_.begin(),
+                        read_buf_.begin() + 4 + static_cast<ptrdiff_t>(len));
         return true;
       }
     }

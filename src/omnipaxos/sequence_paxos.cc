@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/log_index.h"
 #include "src/util/logging.h"
 
 namespace opx::omni {
@@ -480,13 +481,13 @@ void SequencePaxos::Trim(LogIndex idx) {
   if (storage_->compacted_idx() > before) {
     OPX_TRACE(config_.obs, obs::EventKind::kSpTrim, config_.pid, kNoNode,
               ObsBallotKey(storage_->accepted_round()), storage_->compacted_idx(),
-              storage_->compacted_idx() - before);
+              util::IndexBack(storage_->compacted_idx(), before));
 #if defined(OPX_OBS_ENABLED)
     if (config_.obs != nullptr) {
       config_.obs->metrics().GetCounter("sp/trims")->Inc();
       config_.obs->metrics()
           .GetCounter("sp/trimmed_entries")
-          ->Inc(storage_->compacted_idx() - before);
+          ->Inc(util::IndexBack(storage_->compacted_idx(), before));
     }
 #endif
   }
@@ -622,7 +623,7 @@ std::optional<StopSign> SequencePaxos::DecidedStopSign() const {
   if (!IsStopped()) {
     return std::nullopt;
   }
-  return *storage_->At(storage_->decided_idx() - 1).stop_sign;
+  return *storage_->At(util::IndexBack(storage_->decided_idx(), 1)).stop_sign;
 }
 
 }  // namespace opx::omni

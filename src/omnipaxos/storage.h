@@ -22,6 +22,7 @@
 #include "src/omnipaxos/ballot.h"
 #include "src/omnipaxos/entry.h"
 #include "src/util/check.h"
+#include "src/util/log_index.h"
 #include "src/util/types.h"
 
 namespace opx::omni {
@@ -49,7 +50,7 @@ class Storage {
 
   // --- Log --------------------------------------------------------------
   // Logical log length (including any compacted prefix).
-  LogIndex log_len() const { return compacted_idx_ + log_.size(); }
+  LogIndex log_len() const { return util::IndexEnd(compacted_idx_, log_.size()); }
   // In-memory tail: entries [compacted_idx(), log_len()).
   const std::vector<Entry>& log() const { return log_; }
   // First logical index still held in memory (everything below was trimmed).
@@ -58,7 +59,7 @@ class Storage {
   const Entry& At(LogIndex idx) const {
     OPX_CHECK_GE(idx, compacted_idx_) << "entry was compacted away";
     OPX_CHECK_LT(idx, log_len());
-    return log_[idx - compacted_idx_];
+    return log_[util::FloorOffset(idx, compacted_idx_)];
   }
 
   virtual void Append(Entry e) {
@@ -81,7 +82,7 @@ class Storage {
     OPX_CHECK_GE(len, decided_idx_);
     OPX_CHECK_LE(len, log_len());
     ++log_version_;
-    log_.resize(len - compacted_idx_);
+    log_.resize(util::FloorOffset(len, compacted_idx_));
     log_.insert(log_.end(), suffix.begin(), suffix.end());
   }
   void TruncateAndAppend(LogIndex len, std::initializer_list<Entry> suffix) {
@@ -96,8 +97,9 @@ class Storage {
       return {};
     }
     OPX_CHECK_GE(from, compacted_idx_) << "suffix reaches into compacted prefix";
-    return std::vector<Entry>(log_.begin() + static_cast<ptrdiff_t>(from - compacted_idx_),
-                              log_.end());
+    return std::vector<Entry>(
+        log_.begin() + static_cast<ptrdiff_t>(util::FloorOffset(from, compacted_idx_)),
+        log_.end());
   }
 
   // Shared immutable view of log[from..): one snapshot is materialized and
@@ -114,7 +116,8 @@ class Storage {
     if (suffix_cache_ == nullptr || suffix_cache_version_ != log_version_ ||
         suffix_cache_from_ > from) {
       suffix_cache_ = std::make_shared<const std::vector<Entry>>(
-          log_.begin() + static_cast<ptrdiff_t>(from - compacted_idx_), log_.end());
+          log_.begin() + static_cast<ptrdiff_t>(util::FloorOffset(from, compacted_idx_)),
+          log_.end());
       suffix_cache_from_ = from;
       suffix_cache_version_ = log_version_;
     }
@@ -131,7 +134,8 @@ class Storage {
       return;
     }
     ++log_version_;
-    log_.erase(log_.begin(), log_.begin() + static_cast<ptrdiff_t>(idx - compacted_idx_));
+    log_.erase(log_.begin(),
+               log_.begin() + static_cast<ptrdiff_t>(util::FloorOffset(idx, compacted_idx_)));
     compacted_idx_ = idx;
   }
 

@@ -1,0 +1,51 @@
+// The one audited implementation of log-index arithmetic against compaction
+// floors, shared by Storage, the protocols, and the recovery path. Raw
+// `idx - compacted_idx_` / `compacted_idx_ + n` expressions outside this
+// header are rejected by opx_analyze's opx-index-arith check: both PR 8 seed
+// bugs (the RestoreForRecovery decided-idx bound and the ResetToSnapshot
+// boundary validation) were exactly this shape — an unchecked subtraction
+// against a floor that wrapped to a huge unsigned value, or an addition that
+// silently overflowed the 64-bit index space.
+#ifndef SRC_UTIL_LOG_INDEX_H_
+#define SRC_UTIL_LOG_INDEX_H_
+
+#include <cstddef>
+
+#include "src/util/check.h"
+#include "src/util/types.h"
+
+namespace opx::util {
+
+// Physical container offset of logical index `idx` in a log whose prefix
+// [0, floor) has been compacted away. Aborts when `idx` is below the floor —
+// the unchecked version wraps to ~2^64 and resize()/iterator arithmetic on
+// the result is memory corruption, not an error return.
+inline size_t FloorOffset(LogIndex idx, LogIndex floor) {
+  OPX_CHECK_GE(idx, floor) << "log index below its compaction floor";
+  return static_cast<size_t>(idx - floor);
+}
+
+// Logical end index of a log suffix: `floor + count`, with the unsigned
+// overflow that a hostile or corrupt count would cause checked.
+inline LogIndex IndexEnd(LogIndex floor, size_t count) {
+  const LogIndex end = floor + static_cast<LogIndex>(count);
+  OPX_CHECK_GE(end, floor) << "log index overflow";
+  return end;
+}
+
+// `idx - n` as a logical index, aborting on underflow. The checked version
+// of "one before decided" / "delta since the last floor" arithmetic.
+inline LogIndex IndexBack(LogIndex idx, LogIndex n) {
+  OPX_CHECK_GE(idx, n) << "log index underflow";
+  return idx - n;
+}
+
+// `idx - n` clamped at zero: the auto-trim watermark shape
+// (`decided > k*wm ? decided - k*wm : 0`) without the hand-rolled ternary.
+constexpr LogIndex SaturatingIndexSub(LogIndex idx, LogIndex n) {
+  return idx >= n ? idx - n : 0;
+}
+
+}  // namespace opx::util
+
+#endif  // SRC_UTIL_LOG_INDEX_H_

@@ -10,6 +10,7 @@
 
 #include "gtest/gtest.h"
 #include "tools/analyze/analyzer.h"
+#include "tools/analyze/callgraph.h"
 #include "tools/analyze/cfg.h"
 
 namespace opx::analyze {
@@ -51,6 +52,13 @@ AnalyzerConfig FixtureConfig(const std::string& name) {
   cfg.blocking.event_dirs = {"src/loop"};
   cfg.blocking.entries = {{"src/loop/eventloop.cc", "Run"}};
   cfg.span_escape.dirs = {"src/proto"};
+  // v3 checks (interprocedural engine): src/wire carries the wire-taint,
+  // index-arithmetic, and ref-lifetime fixtures; index_util.h is the
+  // sanctioned helper header of the good tree.
+  cfg.wire_taint.dirs = {"src/wire"};
+  cfg.index_arith.dirs = {"src/wire"};
+  cfg.index_arith.helper_file = "src/wire/index_util.h";
+  cfg.ref_lifetime.dirs = {"src/wire"};
   return cfg;
 }
 
@@ -80,7 +88,7 @@ TEST(OpxAnalyze, GoodTreeIsClean) {
   EXPECT_TRUE(result.findings.empty())
       << "first finding: "
       << (result.findings.empty() ? "" : result.findings[0].BaselineKey());
-  ASSERT_EQ(result.stats.size(), 10u);
+  ASSERT_EQ(result.stats.size(), 13u);
   for (const CheckStats& s : result.stats) {
     EXPECT_GT(s.files, 0) << s.check << " examined no files";
     EXPECT_EQ(s.findings, 0) << s.check;
@@ -144,6 +152,27 @@ TEST(OpxAnalyze, BadTreeGoldenFindings) {
       // member container.
       "opx-span-escape src/proto/span.cc Keep/entries",
       "opx-span-escape src/proto/span.cc Name/name",
+      // opx-wire-taint: one finding per sink class — allocation, memcpy
+      // length, pointer subscript, sole loop bound, the interprocedural
+      // call into an unguarded callee (flagged at the call site), and the
+      // wrap-prone guard-on-the-arithmetic idiom.
+      "opx-wire-taint src/wire/taint.cc GrowDirect/n",
+      "opx-wire-taint src/wire/taint.cc CopyLen/len",
+      "opx-wire-taint src/wire/taint.cc ReadAt/idx",
+      "opx-wire-taint src/wire/taint.cc LoopBound/count",
+      "opx-wire-taint src/wire/taint.cc CallsSink/n",
+      "opx-wire-taint src/wire/taint.cc GuardedArith/len",
+      // opx-index-arith: offset, length, and last-index arithmetic against
+      // the compaction floors (file-level ordinals per floor identifier).
+      "opx-index-arith src/wire/index.cc compacted_idx_",
+      "opx-index-arith src/wire/index.cc compacted_idx_#1",
+      "opx-index-arith src/wire/index.cc decided_idx_",
+      // opx-ref-lifetime: member store, member-container insert, use after
+      // pool Clear, and the interprocedural pointer-storing callee.
+      "opx-ref-lifetime src/wire/lifetime.cc Stash/f",
+      "opx-ref-lifetime src/wire/lifetime.cc Hold/f",
+      "opx-ref-lifetime src/wire/lifetime.cc UseAfterClear/p",
+      "opx-ref-lifetime src/wire/lifetime.cc Escape/f",
   };
   EXPECT_EQ(Keys(result.findings), expected);
 
@@ -368,6 +397,92 @@ TEST(OpxAnalyze, CfgEarlyReturnYieldsNegatedGuardFact) {
   ASSERT_EQ(facts.size(), 1u);
   EXPECT_FALSE(facts[0].polarity);
   EXPECT_EQ(sf.toks[facts[0].cond.begin].text, "n");
+}
+
+// The call-graph builder on its dedicated fixture: qualified-name merging
+// across a header and two .cc files, the three shadowing rules, and the
+// bottom-up SCC order the interprocedural checks rely on.
+TEST(OpxAnalyze, CallGraphResolvesAcrossFilesAndShadows) {
+  FileSet files(FixtureRoot("callgraph"));
+  const CallGraph cg = CallGraph::Build(files, {"ring.h", "ring.cc", "other.cc"});
+
+  auto id_of = [&](const std::string& qualified) {
+    for (size_t i = 0; i < cg.functions().size(); ++i) {
+      if (cg.functions()[i].Qualified() == qualified) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  const int step = id_of("Ring::Step");
+  const int helper = id_of("Ring::Helper");
+  const int ring_weigh = id_of("Ring::Weigh");
+  const int free_weigh = id_of("Weigh");
+  const int ping = id_of("Ping");
+  const int pong = id_of("Pong");
+  const int drive = id_of("Drive");
+  ASSERT_NE(step, -1);
+  ASSERT_NE(helper, -1);
+  ASSERT_NE(ring_weigh, -1);
+  ASSERT_NE(free_weigh, -1);
+  ASSERT_NE(ping, -1);
+  ASSERT_NE(pong, -1);
+  ASSERT_NE(drive, -1);
+  // In-class definitions carry no FunctionDef qualifier; the builder must
+  // recover the enclosing class from the brace nesting.
+  EXPECT_EQ(cg.functions()[helper].cls, "Ring");
+  EXPECT_EQ(cg.functions()[free_weigh].cls, "");
+
+  auto callees_of = [&](int fn, const std::string& name) {
+    std::set<int> out;
+    for (const CallSite& s : cg.calls()[static_cast<size_t>(fn)]) {
+      if (s.name == name) {
+        out.insert(s.callees.begin(), s.callees.end());
+      }
+    }
+    return out;
+  };
+  // Out-of-line Ring::Step calls the free Ping and its own Helper — the
+  // latter defined back in the header (cross-file method resolution).
+  EXPECT_EQ(callees_of(step, "Ping"), std::set<int>{ping});
+  EXPECT_EQ(callees_of(step, "Helper"), std::set<int>{helper});
+  // Inside Ring, unqualified Weigh is the method, shadowing the free Weigh.
+  EXPECT_EQ(callees_of(helper, "Weigh"), std::set<int>{ring_weigh});
+  // In a free function, unqualified Weigh is the free function; the member
+  // call r->Step resolves to the (only) method of that name.
+  EXPECT_EQ(callees_of(drive, "Weigh"), std::set<int>{free_weigh});
+  EXPECT_EQ(callees_of(drive, "Step"), std::set<int>{step});
+
+  // Ping/Pong are one mutually-recursive SCC; everything else is acyclic.
+  EXPECT_EQ(cg.scc_of()[static_cast<size_t>(ping)], cg.scc_of()[static_cast<size_t>(pong)]);
+  EXPECT_TRUE(cg.OnCycle(ping));
+  EXPECT_TRUE(cg.OnCycle(pong));
+  EXPECT_FALSE(cg.OnCycle(step));
+  EXPECT_FALSE(cg.OnCycle(drive));
+  // Bottom-up emission: every call edge u -> v has scc_of[v] <= scc_of[u],
+  // so callees' summaries exist before their callers run.
+  EXPECT_LT(cg.scc_of()[static_cast<size_t>(ping)], cg.scc_of()[static_cast<size_t>(step)]);
+  EXPECT_LT(cg.scc_of()[static_cast<size_t>(helper)], cg.scc_of()[static_cast<size_t>(step)]);
+  EXPECT_LT(cg.scc_of()[static_cast<size_t>(ring_weigh)],
+            cg.scc_of()[static_cast<size_t>(helper)]);
+  EXPECT_LT(cg.scc_of()[static_cast<size_t>(step)], cg.scc_of()[static_cast<size_t>(drive)]);
+}
+
+// --jobs parallelizes only the tokenize/preload stage, so the finding set
+// must be byte-identical across worker counts.
+TEST(OpxAnalyze, ParallelPreloadIsDeterministic) {
+  AnalyzerConfig cfg = FixtureConfig("bad");
+  cfg.jobs = 1;
+  const AnalysisResult serial = RunAnalysis(cfg);
+  cfg.jobs = 4;
+  const AnalysisResult parallel = RunAnalysis(cfg);
+  EXPECT_EQ(parallel.jobs, 4);
+  EXPECT_GT(parallel.preloaded_files, 0);
+  ASSERT_EQ(serial.findings.size(), parallel.findings.size());
+  for (size_t i = 0; i < serial.findings.size(); ++i) {
+    EXPECT_EQ(serial.findings[i].BaselineKey(), parallel.findings[i].BaselineKey());
+    EXPECT_EQ(serial.findings[i].line, parallel.findings[i].line);
+  }
 }
 
 // The repo's own configuration over the live tree: zero findings, zero

@@ -3,7 +3,9 @@
 // readiness core, and a 64-connection multiplexing run against a real
 // three-server loopback cluster. Suite names contain "Tcp" so the TSan smoke
 // filter (*Tcp*) picks them up.
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -211,6 +213,34 @@ TEST(TcpFrameReader, OversizedLengthIsRejected) {
     ADD_FAILURE() << "no frame should fire";
     return true;
   }));
+}
+
+TEST(TcpFrameReader, ConfigurableMaxRejectsOverBudgetFrame) {
+  // A client-facing listener can run a much tighter budget than peers.
+  FrameReader tight(16);
+  EXPECT_EQ(tight.max_frame_bytes(), 16u);
+  const std::vector<uint8_t> wire = EncodedFrame(std::string(17, 'x'));
+  EXPECT_FALSE(tight.Feed(wire.data(), wire.size(), [](const uint8_t*, size_t) {
+    ADD_FAILURE() << "over-budget frame must not fire";
+    return true;
+  }));
+}
+
+TEST(TcpFrameReader, ConfigurableMaxAcceptsFrameAtTheBound) {
+  FrameReader reader(16);
+  const std::vector<uint8_t> wire = EncodedFrame(std::string(16, 'x'));
+  int fired = 0;
+  ASSERT_TRUE(reader.Feed(wire.data(), wire.size(), [&](const uint8_t*, size_t n) {
+    ++fired;
+    EXPECT_EQ(n, 16u);
+    return true;
+  }));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  // The default-constructed reader still enforces the transport-wide bound.
+  FrameReader dflt;
+  EXPECT_EQ(dflt.max_frame_bytes(), net::kMaxFrameBytes);
 }
 
 TEST(TcpFrameReader, OnFrameMayClearTheReaderMidBatch) {
@@ -421,6 +451,52 @@ TEST(TcpManyClients, SixtyFourConcurrentConnectionsReplicate) {
     slot.stop.store(true);
     slot.thread.join();
   }
+}
+
+// --- Client hardening against a hostile frame header ----------------------
+
+// Regression for the ReadFrame length-wrap bug: a server advertising
+// len = 0xFFFFFFFF made the old `read_buf_.size() >= 4 + len` comparison
+// wrap to `>= 3` in uint32, so assign() read ~4 GiB past the buffer. The
+// fixed client treats any length above kMaxFrameBytes as a protocol
+// violation and disconnects. (No "Tcp" in the suite name: this test is not
+// part of the TSan smoke filter.)
+TEST(ClientWire, PoisonedLengthHeaderDisconnectsInsteadOfWrapping) {
+  const uint16_t port = static_cast<uint16_t>(20000 + ((getpid() + 4211) % 20000));
+  const int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  const int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(listen(listen_fd, 1), 0);
+
+  std::thread evil([listen_fd] {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      return;
+    }
+    uint8_t drain[256];
+    (void)!read(fd, drain, sizeof(drain));  // client hello
+    const uint8_t poison[8] = {0xFF, 0xFF, 0xFF, 0xFF, 'b', 'o', 'o', 'm'};
+    (void)!write(fd, poison, sizeof(poison));
+    uint8_t b = 0;
+    while (read(fd, &b, 1) > 0) {  // hold the socket until the client drops it
+    }
+    close(fd);
+  });
+
+  std::map<NodeId, Endpoint> endpoints{{1, Endpoint{"127.0.0.1", port}}};
+  OmniClient client(endpoints);
+  ASSERT_TRUE(client.Connect(Seconds(5)));
+  OmniClient::Status status;
+  EXPECT_FALSE(client.GetStatus(&status, Seconds(5)));
+
+  close(listen_fd);
+  evil.join();
 }
 
 }  // namespace

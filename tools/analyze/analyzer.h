@@ -1,9 +1,10 @@
 // opx_analyze — protocol-aware static analysis for the Omni-Paxos tree.
 //
 // A dependency-free C++ tokenizer, a per-function CFG/dominance engine
-// (cfg.h, DESIGN.md §13), and ten checks that encode the implementation
-// invariants the safety proof (PAPER.md Appendix A) assumes but the
-// compiler never verifies:
+// (cfg.h, DESIGN.md §13), a project-wide call graph (callgraph.h, DESIGN.md
+// §16), and thirteen checks that encode the implementation invariants the
+// safety proof (PAPER.md Appendix A) assumes but the compiler never
+// verifies:
 //
 //   opx-determinism    deterministic code must not depend on unordered
 //                      container iteration order, wall clocks, or ambient
@@ -41,6 +42,26 @@
 //                      into a member or member container that outlives the
 //                      call (the SharedSuffix zero-copy path hands out such
 //                      views).
+//   opx-wire-taint     a value decoded from wire bytes (GetU32/U64, codec
+//                      field extraction) must not reach an allocation size
+//                      (resize/reserve/assign), memcpy/memmove length,
+//                      pointer-parameter index, or sole loop bound without a
+//                      dominating upper-bound comparison on the bare value;
+//                      call-graph summaries flag tainted arguments handed to
+//                      a callee that sinks its parameter (interprocedural,
+//                      DESIGN.md §16).
+//   opx-index-arith    raw `+`/`-` arithmetic against a log compaction floor
+//                      (compacted_idx/decided_idx/accepted_idx — the shape
+//                      of both PR 8 seed bugs) must flow through the checked
+//                      util::FloorOffset/IndexEnd/IndexBack helpers in
+//                      src/util/log_index.h; OPX_CHECK arguments are exempt
+//                      (they *are* the bounds enforcement).
+//   opx-ref-lifetime   a raw pointer derived from a refcounted frame
+//                      (FrameRef->bytes.data(), SharedSuffix contents) must
+//                      not be stored into an outliving member, used after a
+//                      pool/queue invalidation (Clear/Release/Consume), or
+//                      passed to a callee that stores its pointer parameter
+//                      into a member (call-graph summaries).
 //
 // Findings can be suppressed inline with `// NOLINT(opx-<check>)` on the
 // flagged line (bare `// NOLINT` suppresses all checks), or via a committed
@@ -94,6 +115,13 @@ class FileSet {
 
   // nullptr when the file does not exist or cannot be read.
   const SourceFile* Get(const std::string& rel_path);
+
+  // Loads and tokenizes `paths` with `jobs` worker threads (0: one per
+  // hardware core, capped at 8), then merges the results into the cache.
+  // Get() afterwards is pure cache lookup — the checks themselves stay
+  // single-threaded, so finding order is unchanged. Returns the number of
+  // files loaded (cache hits excluded).
+  int Preload(const std::vector<std::string>& paths, int jobs);
 
   // Recursively lists .h/.cc/.cpp/.hpp files under root/rel_dir, sorted,
   // as root-relative paths. Missing directories yield an empty list.
@@ -221,6 +249,47 @@ struct SpanEscapeConfig {
   std::vector<std::string> view_types = {"span", "string_view"};
 };
 
+// Wire taint (opx-wire-taint): under `dirs`, a value produced by one of the
+// `sources` (via `&out` argument or direct assignment of the return value)
+// is tainted. Taint propagates through assignments and, via call-graph
+// summaries, into callees; it dies at `x = std::min(x, bound)` clamps and
+// OPX_CHECK_LE/LT assertions. Reaching a `sink_calls` argument, a
+// pointer-parameter subscript, or a sole loop bound without a dominating
+// upper-bound guard on the *bare* value is a finding (`4 + len <= size` does
+// not sanitize `len` — the addition itself can wrap, which is exactly the
+// PR 6 client-decode bug shape).
+struct WireTaintConfig {
+  std::vector<std::string> dirs;
+  std::vector<std::string> sources = {"GetU8",  "GetU16", "GetU32", "GetU64",
+                                      "U8",     "U16",    "U32",    "U64",
+                                      "GetBallot", "GetEntry"};
+  std::vector<std::string> sink_calls = {"resize", "reserve", "assign", "memcpy",
+                                         "memmove"};
+};
+
+// Index arithmetic (opx-index-arith): under `dirs`, a `+`/`-` directly
+// adjacent to one of the `floor_idents` (member or accessor-call form) must
+// live in `helper_file` — everywhere else the checked util helpers are
+// required. Arguments of OPX_CHECK*/OPX_DCHECK* macros are exempt.
+struct IndexArithConfig {
+  std::vector<std::string> dirs;
+  std::string helper_file;
+  std::vector<std::string> floor_idents = {"compacted_idx", "compacted_idx_",
+                                           "decided_idx",   "decided_idx_",
+                                           "accepted_idx",  "accepted_idx_"};
+};
+
+// Ref lifetime (opx-ref-lifetime): under `dirs`, a variable whose type names
+// one of `ref_types` is a refcounted view; a raw pointer derived from it
+// (`.data()` / `->bytes`) must not be stored into a member, used after a
+// call to one of the `invalidators`, or passed to a callee that stores its
+// pointer parameter into a member.
+struct RefLifetimeConfig {
+  std::vector<std::string> dirs;
+  std::vector<std::string> ref_types = {"FrameRef", "SharedSuffix"};
+  std::vector<std::string> invalidators = {"Clear", "Release", "Consume"};
+};
+
 struct AnalyzerConfig {
   std::string root;  // absolute path of the tree to analyze
   DeterminismConfig determinism;
@@ -233,6 +302,10 @@ struct AnalyzerConfig {
   QuorumConfig quorum;
   BlockingConfig blocking;
   SpanEscapeConfig span_escape;
+  WireTaintConfig wire_taint;
+  IndexArithConfig index_arith;
+  RefLifetimeConfig ref_lifetime;
+  int jobs = 0;  // preload worker threads; 0 = one per core (capped at 8)
 };
 
 // The repo's own configuration (scans `root` for the wire headers).
@@ -246,8 +319,28 @@ inline constexpr const char* kCheckIds[] = {
     "opx-determinism",  "opx-persist-order", "opx-dispatch",
     "opx-msg-init",     "opx-audit-hook",    "opx-obs-hook",
     "opx-ballot-guard", "opx-quorum-arith",  "opx-blocking-in-loop",
-    "opx-span-escape",
+    "opx-span-escape",  "opx-wire-taint",    "opx-index-arith",
+    "opx-ref-lifetime",
 };
+
+// One-line docs, aligned with kCheckIds (--list-checks).
+inline constexpr const char* kCheckDocs[] = {
+    "no unordered containers, wall clocks, or ambient randomness in deterministic code",
+    "a reply advertising durable state is sent only after the Storage mutation",
+    "every std::variant wire alternative has a dispatch case in its handler",
+    "every scalar field of a wire-message struct carries a default initializer",
+    "protocol implementations expose the auditor surface and keep OPX_CHECK live",
+    "protocol handlers route observable transitions through the trace recorder",
+    "handler state mutations are dominated by an accepting round/ballot comparison",
+    "majority arithmetic flows through util::MajorityOf, not hand-rolled n/2",
+    "no blocking syscalls in deterministic code or reachable from event-loop entries",
+    "span/string_view parameters are not stored into outliving members",
+    "wire-decoded values reach no allocation size, index, or loop bound unguarded",
+    "log-index arithmetic against compaction floors uses the checked util helpers",
+    "raw pointers derived from refcounted frames never outlive the frame or pool",
+};
+static_assert(sizeof(kCheckDocs) / sizeof(kCheckDocs[0]) ==
+              sizeof(kCheckIds) / sizeof(kCheckIds[0]));
 
 struct CheckStats {
   std::string check;
@@ -260,6 +353,10 @@ struct AnalysisResult {
   std::vector<Finding> findings;  // sorted by (file, line, check)
   std::vector<CheckStats> stats;  // one per check, in kCheckIds order
   std::vector<std::string> errors;  // configured files that failed to load
+  double wall_ms = 0.0;     // end-to-end wall time, preload included
+  double preload_ms = 0.0;  // parallel tokenize time
+  int preloaded_files = 0;
+  int jobs = 1;  // worker threads the preload actually used
 };
 
 AnalysisResult RunAnalysis(const AnalyzerConfig& config);
@@ -284,6 +381,12 @@ void CheckBlockingInLoop(const AnalyzerConfig&, FileSet&, std::vector<Finding>*,
                          int* files, std::vector<std::string>* errors);
 void CheckSpanEscape(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
                      std::vector<std::string>* errors);
+void CheckWireTaint(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                    std::vector<std::string>* errors);
+void CheckIndexArith(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                     std::vector<std::string>* errors);
+void CheckRefLifetime(const AnalyzerConfig&, FileSet&, std::vector<Finding>*, int* files,
+                      std::vector<std::string>* errors);
 
 // --------------------------------------------------------------------------
 // Baseline.

@@ -1,0 +1,275 @@
+// Call-graph construction: see callgraph.h for the resolution rules and
+// DESIGN.md §16 for how the interprocedural checks consume the SCC order.
+#include <algorithm>
+#include <map>
+
+#include "tools/analyze/callgraph.h"
+
+namespace opx::analyze {
+
+namespace {
+
+// Index of the matching closer for the opener at `open`; toks.size() when
+// unbalanced. (Local copy — the checks.cc helper is file-static.)
+size_t MatchForward(const std::vector<Tok>& toks, size_t open, const char* opener,
+                    const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].Is(opener)) {
+      ++depth;
+    } else if (toks[i].Is(closer)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+// `name (` sequences that are control flow or operators, not calls.
+bool IsCallKeyword(const std::string& s) {
+  static const char* kKeywords[] = {
+      "if",       "for",     "while",    "switch",        "return",  "sizeof",
+      "alignof",  "catch",   "decltype", "noexcept",      "new",     "delete",
+      "throw",    "assert",  "defined",  "static_assert", "alignas", "co_await",
+      "co_yield", "co_return"};
+  for (const char* k : kKeywords) {
+    if (s == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A class/struct definition's name and body token range.
+struct ClassRange {
+  std::string name;
+  size_t open = 0;
+  size_t close = 0;
+};
+
+// Every `class X ... { ... }` / `struct X ... { ... }` in the file,
+// including nested ones. `enum class` and forward declarations are skipped;
+// `template <class T>` parameters abort on the next keyword before reaching
+// a brace, so they never produce a bogus range.
+std::vector<ClassRange> FindClassRanges(const std::vector<Tok>& t) {
+  std::vector<ClassRange> out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!(t[i].IsIdent("class") || t[i].IsIdent("struct"))) {
+      continue;
+    }
+    if (i > 0 && t[i - 1].IsIdent("enum")) {
+      continue;
+    }
+    if (i + 1 >= t.size() || t[i + 1].kind != TokKind::kIdent) {
+      continue;  // anonymous struct — nothing to qualify by
+    }
+    const std::string& name = t[i + 1].text;
+    for (size_t k = i + 2; k < t.size(); ++k) {
+      if (t[k].Is("{")) {
+        const size_t close = MatchForward(t, k, "{", "}");
+        if (close < t.size()) {
+          out.push_back({name, k, close});
+        }
+        break;
+      }
+      // `;` forward declaration, `(` function/constructor syntax, `=` alias
+      // or default, or the start of another declaration: not a definition.
+      if (t[k].Is(";") || t[k].Is("(") || t[k].Is("=") || t[k].IsIdent("class") ||
+          t[k].IsIdent("struct") || t[k].IsIdent("template") || t[k].IsIdent("enum")) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// Innermost class range containing token `i`, or "".
+std::string EnclosingClass(const std::vector<ClassRange>& ranges, size_t i) {
+  const ClassRange* best = nullptr;
+  for (const ClassRange& r : ranges) {
+    if (i > r.open && i < r.close &&
+        (best == nullptr || r.close - r.open < best->close - best->open)) {
+      best = &r;
+    }
+  }
+  return best == nullptr ? "" : best->name;
+}
+
+void AppendAll(const std::map<std::string, std::vector<int>>& index,
+               const std::string& key, std::vector<int>* out) {
+  const auto it = index.find(key);
+  if (it != index.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+}  // namespace
+
+CallGraph CallGraph::Build(FileSet& files, const std::vector<std::string>& paths) {
+  CallGraph g;
+
+  // Pass 1: gather every function definition, with its enclosing class.
+  for (const std::string& path : paths) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    const std::vector<ClassRange> classes = FindClassRanges(sf->toks);
+    for (FunctionDef& def : ParseFunctions(*sf)) {
+      CgFunction fn;
+      fn.sf = sf;
+      fn.cls = def.qualifier.empty() ? EnclosingClass(classes, def.body_open)
+                                     : def.qualifier;
+      fn.def = std::move(def);
+      g.functions_.push_back(std::move(fn));
+    }
+  }
+
+  std::map<std::string, std::vector<int>> by_qualified;  // "Cls::name"
+  std::map<std::string, std::vector<int>> methods;       // name, cls != ""
+  std::map<std::string, std::vector<int>> free_fns;      // name, cls == ""
+  for (size_t i = 0; i < g.functions_.size(); ++i) {
+    const CgFunction& fn = g.functions_[i];
+    if (fn.cls.empty()) {
+      free_fns[fn.def.name].push_back(static_cast<int>(i));
+    } else {
+      by_qualified[fn.Qualified()].push_back(static_cast<int>(i));
+      methods[fn.def.name].push_back(static_cast<int>(i));
+    }
+  }
+
+  // Pass 2: call sites. `name (` inside a body, resolved per callgraph.h.
+  g.calls_.resize(g.functions_.size());
+  for (size_t u = 0; u < g.functions_.size(); ++u) {
+    const CgFunction& caller = g.functions_[u];
+    const std::vector<Tok>& t = caller.sf->toks;
+    for (size_t i = caller.def.body_open + 1; i < caller.def.body_close; ++i) {
+      if (t[i].kind != TokKind::kIdent || i + 1 >= t.size() || !t[i + 1].Is("(") ||
+          IsCallKeyword(t[i].text)) {
+        continue;
+      }
+      CallSite site;
+      site.tok = i;
+      site.name = t[i].text;
+      if (i >= 2 && t[i - 1].Is("::") && t[i - 2].kind == TokKind::kIdent) {
+        // Qualified: the named class's methods shadow everything; a
+        // namespace qualifier (no such class) falls back to free functions.
+        AppendAll(by_qualified, t[i - 2].text + "::" + site.name, &site.callees);
+        if (site.callees.empty()) {
+          AppendAll(free_fns, site.name, &site.callees);
+        }
+      } else if (i >= 2 && t[i - 1].Is("->") && t[i - 2].IsIdent("this")) {
+        AppendAll(by_qualified, caller.cls + "::" + site.name, &site.callees);
+        if (site.callees.empty()) {
+          AppendAll(methods, site.name, &site.callees);
+        }
+      } else if (i >= 1 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) {
+        // Member call on an object of unknown type: every method of that
+        // name (over-approximate; includes every virtual override).
+        AppendAll(methods, site.name, &site.callees);
+      } else {
+        // Unqualified: own class first, then free functions, then any
+        // method as a last resort.
+        if (!caller.cls.empty()) {
+          AppendAll(by_qualified, caller.cls + "::" + site.name, &site.callees);
+        }
+        if (site.callees.empty()) {
+          AppendAll(free_fns, site.name, &site.callees);
+        }
+        if (site.callees.empty()) {
+          AppendAll(methods, site.name, &site.callees);
+        }
+      }
+      g.calls_[u].push_back(std::move(site));
+    }
+  }
+
+  // Dedup'd adjacency for the SCC pass.
+  const size_t n = g.functions_.size();
+  std::vector<std::vector<int>> edges(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (const CallSite& site : g.calls_[u]) {
+      edges[u].insert(edges[u].end(), site.callees.begin(), site.callees.end());
+    }
+    std::sort(edges[u].begin(), edges[u].end());
+    edges[u].erase(std::unique(edges[u].begin(), edges[u].end()), edges[u].end());
+  }
+
+  // Iterative Tarjan. An SCC is emitted only once every SCC it calls into
+  // has been emitted, so emission order is bottom-up.
+  g.scc_of_.assign(n, -1);
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  struct Frame {
+    int v;
+    size_t ei;
+  };
+  for (size_t v0 = 0; v0 < n; ++v0) {
+    if (index[v0] != -1) {
+      continue;
+    }
+    std::vector<Frame> work;
+    work.push_back({static_cast<int>(v0), 0});
+    index[v0] = low[v0] = next_index++;
+    stack.push_back(static_cast<int>(v0));
+    on_stack[v0] = true;
+    while (!work.empty()) {
+      Frame& f = work.back();
+      const std::vector<int>& es = edges[static_cast<size_t>(f.v)];
+      if (f.ei < es.size()) {
+        const int w = es[f.ei++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          work.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+        continue;
+      }
+      if (low[f.v] == index[f.v]) {
+        std::vector<int> comp;
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          g.scc_of_[w] = static_cast<int>(g.sccs_.size());
+          comp.push_back(w);
+          if (w == f.v) {
+            break;
+          }
+        }
+        std::sort(comp.begin(), comp.end());
+        g.sccs_.push_back(std::move(comp));
+      }
+      const int v = f.v;
+      work.pop_back();
+      if (!work.empty()) {
+        low[work.back().v] = std::min(low[work.back().v], low[v]);
+      }
+    }
+  }
+
+  return g;
+}
+
+bool CallGraph::OnCycle(int fn) const {
+  if (sccs_[static_cast<size_t>(scc_of_[fn])].size() > 1) {
+    return true;
+  }
+  for (const CallSite& site : calls_[static_cast<size_t>(fn)]) {
+    for (const int callee : site.callees) {
+      if (callee == fn) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace opx::analyze

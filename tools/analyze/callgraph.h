@@ -1,0 +1,79 @@
+// Project-wide call graph for opx_analyze v3 (DESIGN.md §16): merges the
+// function definitions of many translation units (headers and .cc files
+// tokenized by the same FileSet), resolves call sites across files by
+// qualified name, and orders the strongly connected components bottom-up so
+// interprocedural checks can compute callee summaries before their callers.
+//
+// Resolution is lexical and deliberately over-approximate — no type
+// inference, so `obj.Step()` resolves to *every* method named Step — which
+// is the sound direction for the taint/lifetime checks built on top: extra
+// edges can only add findings-candidates, never hide a real flow. The three
+// precise rules that matter for this tree are implemented exactly:
+//
+//   Class::Method(...)   the explicit qualifier wins — only that class's
+//                        methods are candidates (free functions of the same
+//                        name are shadowed);
+//   name(...) inside a   the enclosing class's own method shadows free
+//   method body          functions of the same name (and `this->name(...)`
+//                        never resolves to a free function);
+//   name(...) elsewhere  free functions first, any method as fallback.
+//
+// In-class definitions carry no qualifier in FunctionDef, so the builder
+// recovers the enclosing class itself from the struct/class brace nesting.
+#ifndef TOOLS_ANALYZE_CALLGRAPH_H_
+#define TOOLS_ANALYZE_CALLGRAPH_H_
+
+#include "tools/analyze/cfg.h"
+
+namespace opx::analyze {
+
+// One function definition somewhere in the analyzed file set.
+struct CgFunction {
+  const SourceFile* sf = nullptr;
+  FunctionDef def;
+  std::string cls;  // enclosing class ("" for free functions)
+
+  std::string Qualified() const { return cls.empty() ? def.name : cls + "::" + def.name; }
+};
+
+// One call site inside a function body: the token index of the callee name
+// and every function definition it may resolve to (empty for calls into the
+// standard library or code outside the file set).
+struct CallSite {
+  size_t tok = 0;
+  std::string name;
+  std::vector<int> callees;  // indices into CallGraph::functions()
+};
+
+class CallGraph {
+ public:
+  // Tokenizes nothing itself: `paths` must name files loadable through
+  // `files` (missing files are skipped). Function order is deterministic —
+  // files in the given order, definitions in source order.
+  static CallGraph Build(FileSet& files, const std::vector<std::string>& paths);
+
+  const std::vector<CgFunction>& functions() const { return functions_; }
+
+  // Call sites of functions_[i], in source order.
+  const std::vector<std::vector<CallSite>>& calls() const { return calls_; }
+
+  // SCC id of each function. Ids are emission-ordered bottom-up: every call
+  // edge u -> v has scc_of[v] <= scc_of[u], with equality exactly inside a
+  // cycle. Iterating sccs()[0..n) therefore visits callees before callers.
+  const std::vector<int>& scc_of() const { return scc_of_; }
+  const std::vector<std::vector<int>>& sccs() const { return sccs_; }
+
+  // True when functions_[fn] sits on a cycle (a multi-function SCC or a
+  // direct self-call) — interprocedural passes iterate those to a fixpoint.
+  bool OnCycle(int fn) const;
+
+ private:
+  std::vector<CgFunction> functions_;
+  std::vector<std::vector<CallSite>> calls_;
+  std::vector<int> scc_of_;
+  std::vector<std::vector<int>> sccs_;
+};
+
+}  // namespace opx::analyze
+
+#endif  // TOOLS_ANALYZE_CALLGRAPH_H_

@@ -1,14 +1,18 @@
-// The ten protocol-aware checks of opx_analyze. The original six operate on
-// the token stream of SourceFile — a deliberately lightweight parse (no
-// libclang in this toolchain): declarations, call sites, and brace/angle
-// matching are recognized lexically, which is exact enough for the
-// conventions this tree follows and is what keeps the analyzer
-// dependency-free and fast. The v2 checks (ballot-guard, quorum-arith,
-// blocking-in-loop, span-escape) additionally use the per-function CFG and
-// dominance/guard engine of cfg.h (DESIGN.md §13).
+// Ten of the thirteen protocol-aware checks of opx_analyze, plus the
+// driver. The original six operate on the token stream of SourceFile — a
+// deliberately lightweight parse (no libclang in this toolchain):
+// declarations, call sites, and brace/angle matching are recognized
+// lexically, which is exact enough for the conventions this tree follows
+// and is what keeps the analyzer dependency-free and fast. The v2 checks
+// (ballot-guard, quorum-arith, blocking-in-loop, span-escape) additionally
+// use the per-function CFG and dominance/guard engine of cfg.h (DESIGN.md
+// §13); the v3 interprocedural checks (wire-taint, index-arith,
+// ref-lifetime) live in taint_checks.cc on top of the call graph
+// (callgraph.h, DESIGN.md §16).
 #include <chrono>
 #include <algorithm>
 #include <map>
+#include <thread>
 
 #include "tools/analyze/analyzer.h"
 #include "tools/analyze/cfg.h"
@@ -1544,6 +1548,48 @@ void CheckSpanEscape(const AnalyzerConfig& cfg, FileSet& files,
 AnalysisResult RunAnalysis(const AnalyzerConfig& config) {
   AnalysisResult result;
   FileSet files(config.root);
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  // Parallel preload: tokenize every file any check will touch up front,
+  // with worker threads; the checks themselves then run single-threaded
+  // against a warm cache, so finding order is identical to a serial run.
+  {
+    std::set<std::string> dirs;
+    for (const std::string& d : config.determinism.dirs) dirs.insert(d);
+    for (const std::string& d : config.determinism.function_dirs) dirs.insert(d);
+    for (const std::string& d : config.quorum.dirs) dirs.insert(d);
+    for (const std::string& d : config.blocking.det_dirs) dirs.insert(d);
+    for (const std::string& d : config.blocking.event_dirs) dirs.insert(d);
+    for (const std::string& d : config.span_escape.dirs) dirs.insert(d);
+    for (const std::string& d : config.wire_taint.dirs) dirs.insert(d);
+    for (const std::string& d : config.index_arith.dirs) dirs.insert(d);
+    for (const std::string& d : config.ref_lifetime.dirs) dirs.insert(d);
+    std::set<std::string> paths;
+    for (const std::string& d : dirs) {
+      for (std::string& p : files.ListDir(d)) {
+        paths.insert(std::move(p));
+      }
+    }
+    for (const VariantRule& v : config.variants) {
+      paths.insert(v.header);
+      paths.insert(v.dispatch_files.begin(), v.dispatch_files.end());
+    }
+    for (const HandlerRule& h : config.handlers) paths.insert(h.file);
+    paths.insert(config.wire_headers.begin(), config.wire_headers.end());
+    for (const AuditRule& a : config.audit) paths.insert(a.file);
+    for (const ObsRule& o : config.obs) paths.insert(o.file);
+    for (const BallotGuardRule& b : config.ballot_guards) paths.insert(b.file);
+    const std::vector<std::string> todo(paths.begin(), paths.end());
+    const unsigned hw = std::thread::hardware_concurrency();
+    result.jobs = config.jobs > 0
+                      ? config.jobs
+                      : static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
+    const auto p0 = std::chrono::steady_clock::now();
+    result.preloaded_files = files.Preload(todo, result.jobs);
+    result.preload_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - p0)
+                            .count();
+  }
 
   struct Entry {
     const char* id;
@@ -1566,6 +1612,9 @@ AnalysisResult RunAnalysis(const AnalyzerConfig& config) {
       {"opx-quorum-arith", CheckQuorumArith},
       {"opx-blocking-in-loop", CheckBlockingInLoop},
       {"opx-span-escape", CheckSpanEscape},
+      {"opx-wire-taint", CheckWireTaint},
+      {"opx-index-arith", CheckIndexArith},
+      {"opx-ref-lifetime", CheckRefLifetime},
   };
 
   for (const Entry& e : entries) {
@@ -1586,6 +1635,9 @@ AnalysisResult RunAnalysis(const AnalyzerConfig& config) {
               return std::tie(a.file, a.line, a.check, a.key) <
                      std::tie(b.file, b.line, b.check, b.key);
             });
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall0)
+                       .count();
   return result;
 }
 

@@ -176,6 +176,25 @@ AnalyzerConfig DefaultConfig(const std::string& root) {
   // log segment may be truncated, compacted, or reallocated).
   cfg.span_escape.dirs = {"src", "tests", "bench"};
 
+  // --- opx-wire-taint -----------------------------------------------------
+  // Everything that decodes untrusted bytes: GetU32/GetU64 (client + WAL
+  // recovery), the codec Decoder methods (U8/U32/U64/GetEntry/GetBallot).
+  // The sink list is the allocation/copy surface a hostile length header
+  // reaches first.
+  cfg.wire_taint.dirs = {"src", "tests", "bench"};
+
+  // --- opx-index-arith ----------------------------------------------------
+  // Raw +/- against the compaction floors anywhere outside the checked
+  // helper header (the PR 8 seed-bug shape).
+  cfg.index_arith.dirs = {"src", "tests", "bench"};
+  cfg.index_arith.helper_file = "src/util/log_index.h";
+
+  // --- opx-ref-lifetime ---------------------------------------------------
+  // Raw pointers derived from the refcounted frame layer (PR 7) must not
+  // outlive the frame: FramePool::Release/Clear and FrameQueue::Consume
+  // recycle the backing buffers.
+  cfg.ref_lifetime.dirs = {"src", "tests", "bench"};
+
   return cfg;
 }
 

@@ -1,0 +1,20 @@
+// Raw log-index arithmetic against the compaction floors — each site is the
+// seed-bug shape the checked helpers exist to replace.
+#include <cstddef>
+#include <vector>
+
+using LogIndex = unsigned long long;
+
+class BadLog {
+ public:
+  size_t PhysicalAt(LogIndex idx) const {
+    return static_cast<size_t>(idx - compacted_idx_);
+  }
+  LogIndex LogLen() const { return compacted_idx_ + log_.size(); }
+  LogIndex LastDecided() const { return decided_idx_ - 1; }
+
+ private:
+  std::vector<int> log_;
+  LogIndex compacted_idx_ = 0;
+  LogIndex decided_idx_ = 0;
+};

@@ -1,0 +1,46 @@
+// Frame-derived raw pointers escaping the frame's refcount: a member store,
+// a member-container insert, a use after the pool recycled the frame, and
+// the interprocedural escape through a pointer-storing callee.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+struct WireFrame {
+  std::vector<uint8_t> bytes;
+};
+using FrameRef = std::shared_ptr<WireFrame>;
+
+class Pool {
+ public:
+  void Clear();
+};
+
+class BadConn {
+ public:
+  // Raw pointer into the frame stored into a member that outlives it.
+  void Stash(FrameRef f) { data_ = f->bytes.data(); }
+
+  // Frame-derived pointer pushed into a member container.
+  void Hold(FrameRef f) {
+    const uint8_t* p = f->bytes.data();
+    views_.push_back(p);
+  }
+
+  // Derived pointer used after the pool recycled the backing frames.
+  size_t UseAfterClear(FrameRef f) {
+    const uint8_t* p = f->bytes.data();
+    pool_.Clear();
+    return p[0];
+  }
+
+  // KeepPtr stores its pointer parameter into a member; passing it a
+  // frame-derived pointer escapes the refcount one call deep.
+  void KeepPtr(const uint8_t* p) { data_ = p; }
+  void Escape(FrameRef f) { KeepPtr(f->bytes.data()); }
+
+ private:
+  Pool pool_;
+  const uint8_t* data_ = nullptr;
+  std::vector<const uint8_t*> views_;
+};

@@ -1,0 +1,76 @@
+// Wire-decode paths with the bounds discipline violated once per sink
+// class: allocation, copy length, pointer subscript, loop bound, an
+// unguarded callee (the interprocedural shape), and the wrap-prone
+// guard-on-the-arithmetic idiom.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+bool GetU32(uint32_t* out);
+
+// Decoded length straight into an allocation.
+bool GrowDirect(std::vector<uint8_t>* buf) {
+  uint32_t n = 0;
+  if (!GetU32(&n)) {
+    return false;
+  }
+  buf->resize(n);
+  return true;
+}
+
+// Decoded length as a memcpy size.
+void CopyLen(uint8_t* dst, const uint8_t* src) {
+  uint32_t len = 0;
+  GetU32(&len);
+  memcpy(dst, src, len);
+}
+
+// Decoded index straight into a pointer-parameter subscript.
+uint8_t ReadAt(const uint8_t* p) {
+  uint32_t idx = 0;
+  GetU32(&idx);
+  return p[idx];
+}
+
+// Decoded count as the sole loop bound.
+bool LoopBound(std::vector<uint32_t>* out) {
+  uint32_t count = 0;
+  if (!GetU32(&count)) {
+    return false;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(i);
+  }
+  return true;
+}
+
+// The interprocedural shape: the callee sinks its parameter unguarded, so
+// handing it a decoded length is the same bug split across two functions.
+// The finding lands at the call site in CallsSink, not inside FillRaw.
+void FillRaw(std::vector<uint8_t>* buf, uint32_t n) {
+  buf->resize(n);
+}
+
+bool CallsSink(std::vector<uint8_t>* buf) {
+  uint32_t n = 0;
+  if (!GetU32(&n)) {
+    return false;
+  }
+  FillRaw(buf, n);
+  return true;
+}
+
+// `4 + len <= buf.size()` wraps in uint32 for len near 2^32 — guarding the
+// arithmetic result sanitizes nothing (the omni_client seed-bug shape); only
+// the bare value on one comparison side counts.
+bool GuardedArith(std::vector<uint8_t>* frame, const std::vector<uint8_t>& buf) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) {
+    return false;
+  }
+  if (4 + len <= buf.size()) {
+    frame->assign(buf.begin() + 4, buf.begin() + 4 + len);
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,5 @@
+#include "ring.h"
+
+int Weigh(int n) { return n * 2; }
+
+int Drive(Ring* r, int n) { return r->Step(n) + Weigh(n); }

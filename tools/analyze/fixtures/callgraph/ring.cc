@@ -1,0 +1,15 @@
+#include "ring.h"
+
+int Ring::Step(int n) {
+  state_ += Ping(n);
+  return Helper(n);
+}
+
+int Ping(int n) {
+  if (n <= 0) {
+    return 0;
+  }
+  return Pong(n - 1);
+}
+
+int Pong(int n) { return Ping(n) + 1; }

@@ -1,0 +1,21 @@
+// Call-graph fixture: Ring's methods span this header and ring.cc, free
+// functions live in other.cc, and Ping/Pong form a mutual-recursion SCC.
+// Ring::Weigh deliberately shares its name with the free Weigh in other.cc
+// to pin the shadowing rules.
+#ifndef FIXTURE_CALLGRAPH_RING_H_
+#define FIXTURE_CALLGRAPH_RING_H_
+
+class Ring {
+ public:
+  int Step(int n);  // defined out-of-line in ring.cc
+  int Weigh(int n) { return n + 1; }
+  int Helper(int n) { return Weigh(n); }
+
+ private:
+  int state_ = 0;
+};
+
+int Ping(int n);
+int Pong(int n);
+
+#endif  // FIXTURE_CALLGRAPH_RING_H_

@@ -1,0 +1,20 @@
+// Log access phrased through the checked helpers: no raw +/- ever touches a
+// compaction floor outside index_util.h. Increment/compound-assign forms are
+// mutation, not offset arithmetic, and must stay unflagged.
+#include <cstddef>
+#include <vector>
+
+#include "index_util.h"
+
+class GoodLog {
+ public:
+  size_t PhysicalAt(LogIndex idx) const { return FloorOffset(idx, compacted_idx_); }
+  LogIndex LogLen() const { return IndexEnd(compacted_idx_, log_.size()); }
+  LogIndex Floor() const { return compacted_idx_; }
+  void Bump() { ++compacted_idx_; }
+  void Advance(LogIndex d) { compacted_idx_ += d; }
+
+ private:
+  std::vector<int> log_;
+  LogIndex compacted_idx_ = 0;
+};

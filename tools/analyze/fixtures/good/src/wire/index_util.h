@@ -1,0 +1,19 @@
+// Checked log-index helpers — the fixture's sanctioned home of raw floor
+// arithmetic. opx-index-arith exempts this file (helper_file) and demands
+// everything else route through it.
+#ifndef FIXTURE_SRC_WIRE_INDEX_UTIL_H_
+#define FIXTURE_SRC_WIRE_INDEX_UTIL_H_
+
+#include <cstddef>
+
+using LogIndex = unsigned long long;
+
+inline size_t FloorOffset(LogIndex idx, LogIndex compacted_idx_) {
+  return static_cast<size_t>(idx - compacted_idx_);
+}
+
+inline LogIndex IndexEnd(LogIndex compacted_idx_, size_t count) {
+  return compacted_idx_ + count;
+}
+
+#endif  // FIXTURE_SRC_WIRE_INDEX_UTIL_H_

@@ -1,0 +1,41 @@
+// Frame-derived pointers used correctly: scoped to the frame's lifetime and
+// never touched after the pool takes the frame back. Members hold the
+// FrameRef itself — the refcount, not a raw pointer, is the sanctioned way
+// to extend a frame's life.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+struct WireFrame {
+  std::vector<uint8_t> bytes;
+};
+using FrameRef = std::shared_ptr<WireFrame>;
+
+class Pool {
+ public:
+  void Clear();
+  void Release(FrameRef&& f);
+};
+
+class GoodConn {
+ public:
+  // Storing the FrameRef keeps the bytes alive; no raw pointer escapes.
+  void Retain(FrameRef f) { held_ = std::move(f); }
+
+  // The derived pointer dies before the frame is released.
+  size_t Drain(FrameRef f) {
+    const uint8_t* p = f->bytes.data();
+    size_t sum = 0;
+    for (size_t i = 0; i < f->bytes.size(); ++i) {
+      sum += p[i];
+    }
+    pool_.Release(std::move(f));
+    return sum;
+  }
+
+ private:
+  Pool pool_;
+  FrameRef held_;
+};

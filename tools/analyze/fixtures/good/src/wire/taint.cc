@@ -1,0 +1,77 @@
+// Wire-decode paths with correct bounds discipline: every decoded value is
+// guarded (bare value on one side of a dominating comparison), clamped, or
+// asserted before it reaches an allocation, index, or loop bound — so
+// opx-wire-taint must stay silent on this whole file.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+bool GetU32(uint32_t* out);
+
+constexpr uint32_t kMaxLen = 1u << 20;
+
+// Early-return guard with the bare value on one side.
+bool GrowGuarded(std::vector<uint8_t>* buf) {
+  uint32_t n = 0;
+  if (!GetU32(&n)) {
+    return false;
+  }
+  if (n > kMaxLen) {
+    return false;
+  }
+  buf->resize(n);
+  return true;
+}
+
+// std::min clamp kills the taint outright.
+void GrowClamped(std::vector<uint8_t>* buf) {
+  uint32_t n = 0;
+  GetU32(&n);
+  n = std::min(n, kMaxLen);
+  buf->reserve(n);
+}
+
+// Guarded pointer-parameter subscript.
+uint8_t ReadAtGuarded(const uint8_t* p) {
+  uint32_t idx = 0;
+  GetU32(&idx);
+  if (idx >= 64) {
+    return 0;
+  }
+  return p[idx];
+}
+
+// The codec shape: decode failure and bound violation rejected in one
+// disjunction, then the decoded count drives the loop.
+bool DecodeEntries(std::vector<uint32_t>* out) {
+  uint32_t count = 0;
+  if (!GetU32(&count) || count > 1024) {
+    return false;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    if (!GetU32(&v)) {
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+// Interprocedural: the callee guards its own parameter, so handing it a
+// decoded length is fine — its summary must say "no sinked parameters".
+void FillChecked(std::vector<uint8_t>* buf, uint32_t n) {
+  if (n > kMaxLen) {
+    return;
+  }
+  buf->resize(n);
+}
+
+bool DecodeBody(std::vector<uint8_t>* buf) {
+  uint32_t n = 0;
+  if (!GetU32(&n)) {
+    return false;
+  }
+  FillChecked(buf, n);
+  return true;
+}

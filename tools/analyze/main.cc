@@ -2,10 +2,13 @@
 //
 //   opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]
 //               [--check=opx-...] [--format=text|json] [--no-summary]
-//               [--list-checks]
+//               [--list-checks] [--jobs=N]
 //
-// Runs the ten protocol-aware checks (see analyzer.h / DESIGN.md §11, §13)
-// over the tree at --root (default: the current directory). Exit status:
+// Runs the thirteen protocol-aware checks (see analyzer.h / DESIGN.md §11,
+// §13, §16) over the tree at --root (default: the current directory). Files
+// are tokenized by N parallel workers (--jobs, default: one per core capped
+// at 8); the checks themselves stay single-threaded, so output is
+// byte-identical across -j values. Exit status:
 //   0  no non-baselined findings and no stale baseline entries
 //   1  findings, or stale baseline entries (a suppression whose finding is
 //      gone must be deleted, or the baseline rots into a dead allowlist)
@@ -15,6 +18,7 @@
 // ruleId/message/location) for editor and CI ingestion; the human summary
 // and finding lines are suppressed in that mode.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,6 +26,40 @@
 #include "tools/analyze/analyzer.h"
 
 namespace {
+
+// The directories a check is configured to scan, for --list-checks. File-
+// scoped checks (dispatch, persist-order, ...) report their rule files'
+// count instead of a dir list.
+std::string CheckDirs(const opx::analyze::AnalyzerConfig& cfg, const std::string& id) {
+  auto join = [](const std::vector<std::string>& dirs) {
+    std::string out;
+    for (const std::string& d : dirs) {
+      out += out.empty() ? d : ", " + d;
+    }
+    return out.empty() ? std::string("(none)") : out;
+  };
+  auto files = [](size_t n) {
+    return std::to_string(n) + " configured file" + (n == 1 ? "" : "s");
+  };
+  if (id == "opx-determinism") return join(cfg.determinism.dirs);
+  if (id == "opx-persist-order") return files(cfg.handlers.size());
+  if (id == "opx-dispatch") return files(cfg.variants.size());
+  if (id == "opx-msg-init") return files(cfg.wire_headers.size());
+  if (id == "opx-audit-hook") return files(cfg.audit.size());
+  if (id == "opx-obs-hook") return files(cfg.obs.size());
+  if (id == "opx-ballot-guard") return files(cfg.ballot_guards.size());
+  if (id == "opx-quorum-arith") return join(cfg.quorum.dirs);
+  if (id == "opx-blocking-in-loop") {
+    std::vector<std::string> dirs = cfg.blocking.det_dirs;
+    dirs.insert(dirs.end(), cfg.blocking.event_dirs.begin(), cfg.blocking.event_dirs.end());
+    return join(dirs);
+  }
+  if (id == "opx-span-escape") return join(cfg.span_escape.dirs);
+  if (id == "opx-wire-taint") return join(cfg.wire_taint.dirs);
+  if (id == "opx-index-arith") return join(cfg.index_arith.dirs);
+  if (id == "opx-ref-lifetime") return join(cfg.ref_lifetime.dirs);
+  return "(unknown)";
+}
 
 // --flag=value / --flag parsing without any dependency.
 const char* FlagValue(int argc, char** argv, const char* name) {
@@ -106,19 +144,37 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: opx_analyze [--root=DIR] [--baseline=FILE] [--write-baseline]\n"
         "                   [--check=ID] [--format=text|json] [--no-summary]\n"
-        "                   [--list-checks]\n");
-    return 0;
-  }
-  if (FlagSet(argc, argv, "list-checks")) {
-    for (const char* id : kCheckIds) {
-      std::printf("%s\n", id);
-    }
+        "                   [--list-checks] [--jobs=N]\n");
     return 0;
   }
 
   const char* root_flag = FlagValue(argc, argv, "root");
   const std::string root = root_flag != nullptr ? root_flag : ".";
+
+  if (FlagSet(argc, argv, "list-checks")) {
+    const AnalyzerConfig config = DefaultConfig(root);
+    const size_t n = sizeof(kCheckIds) / sizeof(kCheckIds[0]);
+    for (size_t i = 0; i < n; ++i) {
+      std::printf("%-22s %s\n", kCheckIds[i], kCheckDocs[i]);
+      std::printf("%-22s   dirs: %s\n", "", CheckDirs(config, kCheckIds[i]).c_str());
+    }
+    return 0;
+  }
+
   const char* check_filter = FlagValue(argc, argv, "check");
+  if (check_filter != nullptr) {
+    bool known = false;
+    for (const char* id : kCheckIds) {
+      known = known || std::strcmp(id, check_filter) == 0;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "opx_analyze: unknown --check=%s (see --list-checks for the "
+                   "thirteen check ids)\n",
+                   check_filter);
+      return 2;
+    }
+  }
   const char* format_flag = FlagValue(argc, argv, "format");
   const bool json = format_flag != nullptr && std::strcmp(format_flag, "json") == 0;
   if (format_flag != nullptr && !json && std::strcmp(format_flag, "text") != 0) {
@@ -126,7 +182,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const AnalyzerConfig config = DefaultConfig(root);
+  AnalyzerConfig config = DefaultConfig(root);
+  const char* jobs_flag = FlagValue(argc, argv, "jobs");
+  if (jobs_flag != nullptr) {
+    char* end = nullptr;
+    const long jobs = std::strtol(jobs_flag, &end, 10);
+    if (end == jobs_flag || *end != '\0' || jobs < 1 || jobs > 256) {
+      std::fprintf(stderr, "opx_analyze: bad --jobs=%s (1..256)\n", jobs_flag);
+      return 2;
+    }
+    config.jobs = static_cast<int>(jobs);
+  }
   AnalysisResult result = RunAnalysis(config);
 
   for (const std::string& err : result.errors) {
@@ -216,6 +282,9 @@ int main(int argc, char** argv) {
     std::printf("  %zu new finding%s, %d baselined, %d stale, %.1f ms total\n",
                 fresh.size(), fresh.size() == 1 ? "" : "s", baselined,
                 static_cast<int>(stale.size()), total_ms);
+    std::printf("  wall %.1f ms (preload %d files in %.1f ms, %d job%s)\n",
+                result.wall_ms, result.preloaded_files, result.preload_ms, result.jobs,
+                result.jobs == 1 ? "" : "s");
   }
 
   return (fresh.empty() && stale.empty()) ? 0 : 1;

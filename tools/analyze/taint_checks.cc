@@ -1,0 +1,1009 @@
+// The v3 interprocedural checks of opx_analyze (DESIGN.md §16): wire-taint,
+// index-arithmetic, and ref-lifetime. All three run over the project-wide
+// call graph (callgraph.h) in bottom-up SCC order, so a callee's summary
+// (which parameters it sinks, whether it stores a pointer parameter) exists
+// before any caller is analyzed; functions on a cycle get a second round
+// against their own first-round summaries.
+//
+// The taint model is label-based: bit 0 is "decoded from wire bytes", bit
+// k+1 is "derived from parameter k". One forward scan per function computes
+// gen (source calls, tainted assignments), kill (std::min clamps,
+// OPX_CHECK_LE/LT/EQ assertions), and sink events in token order; findings
+// are emitted for wire labels, summaries recorded for parameter labels.
+// Sanitization is the cfg.h guard engine: a dominating comparison with the
+// tainted identifier *alone* on the bounded side. `4 + len <= size` does
+// not sanitize `len` — the addition wraps for len near 2^32, which is the
+// exact client-decode bug this check was built to catch — and a comparison
+// hidden behind a boolean flag (`ok = len <= kMax && ...; if (ok)`) is
+// followed one level deep.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "tools/analyze/analyzer.h"
+#include "tools/analyze/callgraph.h"
+
+namespace opx::analyze {
+
+namespace {
+
+bool UnderAnyDir(const std::string& path, const std::vector<std::string>& dirs) {
+  for (const std::string& d : dirs) {
+    if (path.size() > d.size() && path.compare(0, d.size(), d) == 0 &&
+        path[d.size()] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Add(const SourceFile& sf, int line, const char* check, std::string key,
+         std::string message, std::vector<Finding>* out) {
+  if (sf.Suppressed(line, check)) {
+    return;
+  }
+  Finding f;
+  f.check = check;
+  f.file = sf.path;
+  f.line = line;
+  f.key = std::move(key);
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+std::string OrdinalKey(const std::string& base, int ordinal) {
+  return ordinal == 0 ? base : base + "#" + std::to_string(ordinal);
+}
+
+size_t MatchForward(const std::vector<Tok>& toks, size_t open, const char* opener,
+                    const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].Is(opener)) {
+      ++depth;
+    } else if (toks[i].Is(closer)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+// First `;` at bracket depth 0 in [b, limit), or the `)`/`]`/`}` that closes
+// an enclosing bracket — the end of the statement an expression belongs to.
+size_t StmtEnd(const std::vector<Tok>& t, size_t b, size_t limit) {
+  int depth = 0;
+  for (size_t i = b; i < limit; ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      if (depth == 0) {
+        return i;
+      }
+      --depth;
+    } else if (depth == 0 && (t[i].Is(";") || t[i].Is(","))) {
+      return i;
+    }
+  }
+  return limit;
+}
+
+// Top-level comma-separated argument ranges of the call whose `(` is at
+// `open` and whose matching `)` is at `close`.
+std::vector<TokRange> TopLevelArgs(const std::vector<Tok>& t, size_t open, size_t close) {
+  std::vector<TokRange> args;
+  size_t b = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i <= close && i < t.size(); ++i) {
+    if (i == close || (depth == 0 && t[i].Is(","))) {
+      if (i > b) {
+        args.push_back({b, i});
+      }
+      b = i + 1;
+      if (i == close) {
+        break;
+      }
+    } else if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      --depth;
+    }
+  }
+  return args;
+}
+
+// Splits [b, e) on a top-level separator token (e.g. "&&"), never inside
+// brackets.
+std::vector<TokRange> SplitTopLevel(const std::vector<Tok>& t, size_t b, size_t e,
+                                    const std::vector<std::string>& seps) {
+  std::vector<TokRange> parts;
+  size_t part = b;
+  int depth = 0;
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      --depth;
+    } else if (depth == 0 && Contains(seps, t[i].text)) {
+      parts.push_back({part, i});
+      part = i + 1;
+    }
+  }
+  parts.push_back({part, e});
+  return parts;
+}
+
+void StripParens(const std::vector<Tok>& t, size_t* b, size_t* e) {
+  while (*e - *b >= 2 && t[*b].Is("(") && MatchForward(t, *b, "(", ")") == *e - 1) {
+    ++*b;
+    --*e;
+  }
+}
+
+bool SideIsExactly(const std::vector<Tok>& t, size_t b, size_t e, const std::string& var) {
+  StripParens(t, &b, &e);
+  return e - b == 1 && t[b].IsIdent(var);
+}
+
+std::string MirrorOp(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return op;  // == / != are symmetric
+}
+
+std::string NegateOp(const std::string& op) {
+  if (op == "<") return ">=";
+  if (op == "<=") return ">";
+  if (op == ">") return "<=";
+  if (op == ">=") return "<";
+  if (op == "==") return "!=";
+  return "==";  // !=
+}
+
+bool IsCastOrTemplateName(const std::string& s) {
+  return s == "static_cast" || s == "reinterpret_cast" || s == "const_cast" ||
+         s == "dynamic_cast" || s == "min" || s == "max" || s == "get" ||
+         s == "numeric_limits";
+}
+
+// First top-level comparison operator in [b, e), skipping `<ident<...>(`
+// template-argument angles. SIZE_MAX when none.
+size_t FindTopLevelCmp(const std::vector<Tok>& t, size_t b, size_t e) {
+  int depth = 0;
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].Is("(") || t[i].Is("[")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]")) {
+      --depth;
+    } else if (depth == 0 && t[i].Is("<") && i > b && t[i - 1].kind == TokKind::kIdent &&
+               IsCastOrTemplateName(t[i - 1].text)) {
+      // `static_cast<...>(x)` / `std::min<T>(...)`: skip the angle pair.
+      int angle = 1;
+      size_t j = i + 1;
+      for (; j < e && angle > 0; ++j) {
+        if (t[j].Is("<")) ++angle;
+        if (t[j].Is(">")) --angle;
+      }
+      if (angle == 0) {
+        i = j - 1;
+      }
+    } else if (depth == 0 && (t[i].Is("<") || t[i].Is("<=") || t[i].Is(">") ||
+                              t[i].Is(">=") || t[i].Is("==") || t[i].Is("!="))) {
+      return i;
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+bool RangeHasTopLevel(const std::vector<Tok>& t, size_t b, size_t e, const char* tok) {
+  int depth = 0;
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].Is("(") || t[i].Is("[") || t[i].Is("{")) {
+      ++depth;
+    } else if (t[i].Is(")") || t[i].Is("]") || t[i].Is("}")) {
+      --depth;
+    } else if (depth == 0 && t[i].Is(tok)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Everything a sanitization query needs about the enclosing function.
+struct FnCtx {
+  const SourceFile* sf = nullptr;
+  const FunctionDef* def = nullptr;
+  const GuardIndex* guards = nullptr;
+};
+
+// Does the (sub)condition [b, e) with the given polarity establish an upper
+// bound (or equality pin) on `var` standing alone on one comparison side?
+// Recurses one level through a boolean flag: `ok = var <= kMax && ...` makes
+// a dominating `if (ok)` sanitize var.
+bool CmpSanitizes(const FnCtx& ctx, size_t b, size_t e, bool polarity,
+                  const std::string& var, size_t before_tok, int depth) {
+  const std::vector<Tok>& t = ctx.sf->toks;
+  StripParens(t, &b, &e);
+  if (b >= e) {
+    return false;
+  }
+  const size_t cmp = FindTopLevelCmp(t, b, e);
+  if (cmp != static_cast<size_t>(-1)) {
+    std::string op;
+    if (SideIsExactly(t, b, cmp, var)) {
+      op = t[cmp].text;
+    } else if (SideIsExactly(t, cmp + 1, e, var)) {
+      op = MirrorOp(t[cmp].text);
+    } else {
+      return false;
+    }
+    if (!polarity) {
+      op = NegateOp(op);
+    }
+    return op == "<" || op == "<=" || op == "==";
+  }
+  // Boolean-flag indirection: a single-identifier fact under true polarity —
+  // find its last assignment before the sink and test each `&&` conjunct.
+  if (depth >= 1 || !polarity || e - b != 1 || t[b].kind != TokKind::kIdent) {
+    return false;
+  }
+  const std::string& flag = t[b].text;
+  for (size_t j = std::min(before_tok, ctx.def->body_close); j-- > ctx.def->body_open;) {
+    if (!t[j].IsIdent(flag) || j + 1 >= t.size() || !t[j + 1].Is("=") ||
+        (j > 0 && (t[j - 1].Is(".") || t[j - 1].Is("->")))) {
+      continue;
+    }
+    size_t rb = j + 2;
+    const size_t re = StmtEnd(t, rb, ctx.def->body_close);
+    if (RangeHasTopLevel(t, rb, re, "||")) {
+      return false;  // a disjunction guarantees nothing about any conjunct
+    }
+    for (const TokRange& conj : SplitTopLevel(t, rb, re, {"&&"})) {
+      if (CmpSanitizes(ctx, conj.begin, conj.end, true, var, before_tok, depth + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+// True when a guard fact dominating `tok` upper-bounds `var`.
+bool BoundGuarded(const FnCtx& ctx, size_t tok, const std::string& var) {
+  for (const GuardFact& raw : ctx.guards->FactsAtToken(tok)) {
+    for (const GuardFact& atom : NormalizeFact(ctx.sf->toks, raw)) {
+      if (CmpSanitizes(ctx, atom.cond.begin, atom.cond.end, atom.polarity, var, tok, 0)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// opx-wire-taint
+// --------------------------------------------------------------------------
+
+constexpr unsigned kWireBit = 1u;
+
+unsigned ParamBit(size_t k) { return k + 1 < 32 ? 1u << (k + 1) : 0u; }
+
+// Taint mask of an expression: the union over its non-member identifiers,
+// plus the wire bit for any source call appearing inside it. Identifiers
+// that are call names (followed by `(`) contribute nothing unless they are
+// sources.
+unsigned MaskOfRange(const std::vector<Tok>& t, size_t b, size_t e,
+                     const std::map<std::string, unsigned>& taint,
+                     const std::vector<std::string>& sources) {
+  unsigned mask = 0;
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    if (i > b && (t[i - 1].Is(".") || t[i - 1].Is("->"))) {
+      continue;  // member name; the base identifier carries the taint
+    }
+    const bool is_call = i + 1 < e && t[i + 1].Is("(");
+    if (is_call) {
+      if (Contains(sources, t[i].text)) {
+        mask |= kWireBit;
+      }
+      continue;
+    }
+    const auto it = taint.find(t[i].text);
+    if (it != taint.end()) {
+      mask |= it->second;
+    }
+  }
+  return mask;
+}
+
+// One tainted-and-unguarded identifier from [b, e) with any of `want` bits,
+// or "" — used to name the finding and to check sanitization per variable.
+std::string OffendingIdent(const FnCtx& ctx, size_t b, size_t e, size_t sink_tok,
+                           const std::map<std::string, unsigned>& taint, unsigned want,
+                           const std::vector<std::string>& sources) {
+  const std::vector<Tok>& t = ctx.sf->toks;
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].kind != TokKind::kIdent || (i > b && (t[i - 1].Is(".") || t[i - 1].Is("->")))) {
+      continue;
+    }
+    if (i + 1 < e && t[i + 1].Is("(")) {
+      if ((want & kWireBit) != 0 && Contains(sources, t[i].text)) {
+        return t[i].text;  // raw source call used directly in a sink argument
+      }
+      continue;
+    }
+    const auto it = taint.find(t[i].text);
+    if (it == taint.end() || (it->second & want) == 0) {
+      continue;
+    }
+    if (!BoundGuarded(ctx, sink_tok, t[i].text)) {
+      return t[i].text;
+    }
+  }
+  return "";
+}
+
+// Param-label bits of [b, e) whose identifiers are unguarded at sink_tok.
+unsigned UnguardedParamBits(const FnCtx& ctx, size_t b, size_t e, size_t sink_tok,
+                            const std::map<std::string, unsigned>& taint) {
+  const std::vector<Tok>& t = ctx.sf->toks;
+  unsigned bits = 0;
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].kind != TokKind::kIdent || (i > b && (t[i - 1].Is(".") || t[i - 1].Is("->"))) ||
+        (i + 1 < e && t[i + 1].Is("("))) {
+      continue;
+    }
+    const auto it = taint.find(t[i].text);
+    if (it == taint.end() || (it->second & ~kWireBit) == 0) {
+      continue;
+    }
+    if (!BoundGuarded(ctx, sink_tok, t[i].text)) {
+      bits |= it->second & ~kWireBit;
+    }
+  }
+  return bits;
+}
+
+bool IsClampCall(const std::vector<Tok>& t, size_t b, size_t e) {
+  StripParens(t, &b, &e);
+  if (b < e && t[b].IsIdent("std") && b + 1 < e && t[b + 1].Is("::")) {
+    b += 2;
+  }
+  return b < e && (t[b].IsIdent("min") || t[b].IsIdent("clamp"));
+}
+
+bool IsCheckKillMacro(const std::string& s) {
+  return s == "OPX_CHECK_LE" || s == "OPX_CHECK_LT" || s == "OPX_CHECK_EQ" ||
+         s == "OPX_DCHECK_LE" || s == "OPX_DCHECK_LT" || s == "OPX_DCHECK_EQ";
+}
+
+struct WireRun {
+  unsigned sink_params = 0;
+  std::vector<Finding> findings;
+};
+
+WireRun RunWireFn(const AnalyzerConfig& cfg, const CallGraph& cg, int fn_id,
+                  const std::map<int, unsigned>& summaries) {
+  WireRun run;
+  const CgFunction& fn = cg.functions()[static_cast<size_t>(fn_id)];
+  const std::vector<Tok>& t = fn.sf->toks;
+  const Cfg body = Cfg::Build(*fn.sf, fn.def);
+  const GuardIndex guards(body);
+  const FnCtx ctx{fn.sf, &fn.def, &guards};
+  static const char* kCheck = "opx-wire-taint";
+
+  std::map<std::string, unsigned> taint;
+  std::set<std::string> ptr_params;
+  for (size_t k = 0; k < fn.def.params.size(); ++k) {
+    const Param& p = fn.def.params[k];
+    if (p.name.empty()) {
+      continue;
+    }
+    taint[p.name] = ParamBit(k);
+    if (p.type.find('*') != std::string::npos) {
+      ptr_params.insert(p.name);
+    }
+  }
+
+  std::map<size_t, const CallSite*> site_at;
+  for (const CallSite& site : cg.calls()[static_cast<size_t>(fn_id)]) {
+    site_at[site.tok] = &site;
+  }
+
+  std::map<std::string, int> ordinals;
+  auto flag = [&](size_t tok, const std::string& var, const std::string& what) {
+    const std::string base = fn.def.name + "/" + var;
+    Add(*fn.sf, t[tok].line, kCheck, OrdinalKey(base, ordinals[base]++),
+        fn.def.Display() + " uses wire-tainted `" + var + "` " + what +
+            " without a dominating bounds check — a hostile or corrupt frame "
+            "controls this value (clamp it, or guard with the bare value on "
+            "one side of the comparison)",
+        &run.findings);
+  };
+
+  for (size_t i = fn.def.body_open + 1; i < fn.def.body_close; ++i) {
+    if (t[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::string& id = t[i].text;
+    const bool member_access = i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+
+    // Assignment / declaration-with-init: strong update of the LHS mask.
+    if (!member_access && i + 1 < fn.def.body_close && t[i + 1].Is("=") &&
+        t[i + 1].kind == TokKind::kPunct) {
+      const size_t eb = i + 2;
+      const size_t ee = StmtEnd(t, eb, fn.def.body_close);
+      if (IsClampCall(t, eb, ee)) {
+        taint.erase(id);  // `x = std::min(x, bound)` — clamped, no longer hostile
+      } else {
+        const unsigned mask = MaskOfRange(t, eb, ee, taint, cfg.wire_taint.sources);
+        if (mask == 0) {
+          taint.erase(id);
+        } else {
+          taint[id] = mask;
+        }
+      }
+      continue;
+    }
+
+    // Source call: every `&x` out-argument becomes wire-tainted.
+    if (!member_access || Contains(cfg.wire_taint.sources, id)) {
+      if (Contains(cfg.wire_taint.sources, id) && i + 1 < fn.def.body_close &&
+          t[i + 1].Is("(")) {
+        const size_t close = MatchForward(t, i + 1, "(", ")");
+        for (const TokRange& arg : TopLevelArgs(t, i + 1, close)) {
+          if (arg.end - arg.begin == 2 && t[arg.begin].Is("&") &&
+              t[arg.begin + 1].kind == TokKind::kIdent) {
+            taint[t[arg.begin + 1].text] |= kWireBit;
+          }
+        }
+      }
+    }
+
+    // OPX_CHECK_LE(x, bound) and friends abort on violation: kill.
+    if (IsCheckKillMacro(id) && i + 1 < fn.def.body_close && t[i + 1].Is("(")) {
+      const size_t close = MatchForward(t, i + 1, "(", ")");
+      const std::vector<TokRange> args = TopLevelArgs(t, i + 1, close);
+      if (!args.empty() && args[0].end - args[0].begin == 1 &&
+          t[args[0].begin].kind == TokKind::kIdent) {
+        taint.erase(t[args[0].begin].text);
+      }
+      i = close;
+      continue;
+    }
+
+    // Sink: resize/reserve/assign member calls, memcpy/memmove.
+    const bool free_mem_fn = (id == "memcpy" || id == "memmove") && !member_access;
+    if ((member_access || free_mem_fn) && Contains(cfg.wire_taint.sink_calls, id) &&
+        i + 1 < fn.def.body_close && t[i + 1].Is("(")) {
+      const size_t close = MatchForward(t, i + 1, "(", ")");
+      for (const TokRange& arg : TopLevelArgs(t, i + 1, close)) {
+        const std::string var = OffendingIdent(ctx, arg.begin, arg.end, i, taint,
+                                               kWireBit, cfg.wire_taint.sources);
+        if (!var.empty()) {
+          flag(i, var, "as an argument of `" + id + "`");
+          break;
+        }
+        run.sink_params |= UnguardedParamBits(ctx, arg.begin, arg.end, i, taint);
+      }
+      continue;
+    }
+
+    // Sink: subscript of a pointer parameter.
+    if (!member_access && ptr_params.count(id) != 0 && i + 1 < fn.def.body_close &&
+        t[i + 1].Is("[")) {
+      const size_t close = MatchForward(t, i + 1, "[", "]");
+      const std::string var = OffendingIdent(ctx, i + 2, close, i, taint, kWireBit,
+                                             cfg.wire_taint.sources);
+      if (!var.empty()) {
+        flag(i, var, "as an index into pointer parameter `" + id + "`");
+      } else {
+        run.sink_params |= UnguardedParamBits(ctx, i + 2, close, i, taint);
+      }
+      continue;
+    }
+
+    // Sink: sole loop bound. Only an *unadorned* `i < tainted` counts — a
+    // second conjunct means the author bounded the loop some other way.
+    if (!member_access && (id == "for" || id == "while") && i + 1 < fn.def.body_close &&
+        t[i + 1].Is("(")) {
+      const size_t close = MatchForward(t, i + 1, "(", ")");
+      size_t cb = i + 2;
+      size_t ce = close;
+      if (id == "for") {
+        const std::vector<TokRange> clauses = SplitTopLevel(t, i + 2, close, {";"});
+        if (clauses.size() < 2) {
+          continue;
+        }
+        cb = clauses[1].begin;
+        ce = clauses[1].end;
+      }
+      const std::vector<TokRange> conjs = SplitTopLevel(t, cb, ce, {"&&", "||"});
+      if (conjs.size() != 1) {
+        continue;
+      }
+      const size_t cmp = FindTopLevelCmp(t, cb, ce);
+      if (cmp == static_cast<size_t>(-1)) {
+        continue;
+      }
+      size_t sb = 0;
+      size_t se = 0;
+      if (t[cmp].Is("<") || t[cmp].Is("<=")) {
+        sb = cmp + 1;
+        se = ce;
+      } else if (t[cmp].Is(">") || t[cmp].Is(">=")) {
+        sb = cb;
+        se = cmp;
+      } else {
+        continue;
+      }
+      StripParens(t, &sb, &se);
+      if (se - sb != 1 || t[sb].kind != TokKind::kIdent) {
+        continue;
+      }
+      const auto it = taint.find(t[sb].text);
+      if (it == taint.end()) {
+        continue;
+      }
+      // Facts are queried at the bound identifier, not the for/while keyword
+      // — the keyword token belongs to no lowered block, so it would always
+      // look unguarded.
+      if ((it->second & kWireBit) != 0 && !BoundGuarded(ctx, sb, t[sb].text)) {
+        flag(i, t[sb].text, "as the sole bound of this loop");
+      } else if ((it->second & ~kWireBit) != 0 && !BoundGuarded(ctx, sb, t[sb].text)) {
+        run.sink_params |= it->second & ~kWireBit;
+      }
+      continue;
+    }
+
+    // Interprocedural sink: a tainted argument in a position the callee's
+    // summary says reaches a sink.
+    const auto site_it = site_at.find(i);
+    if (site_it != site_at.end()) {
+      const CallSite& site = *site_it->second;
+      const size_t close = MatchForward(t, i + 1, "(", ")");
+      const std::vector<TokRange> args = TopLevelArgs(t, i + 1, close);
+      for (size_t k = 0; k < args.size(); ++k) {
+        unsigned callee_sinks = 0;
+        for (const int callee : site.callees) {
+          const auto s = summaries.find(callee);
+          if (s != summaries.end()) {
+            callee_sinks |= s->second;
+          }
+        }
+        if ((callee_sinks & ParamBit(k)) == 0) {
+          continue;
+        }
+        const std::string var = OffendingIdent(ctx, args[k].begin, args[k].end, i, taint,
+                                               kWireBit, cfg.wire_taint.sources);
+        if (!var.empty()) {
+          flag(i, var,
+               "as argument " + std::to_string(k + 1) + " of `" + site.name +
+                   "`, which uses that parameter as an allocation size, index, "
+                   "or loop bound");
+        } else {
+          const unsigned bits =
+              UnguardedParamBits(ctx, args[k].begin, args[k].end, i, taint);
+          run.sink_params |= bits;
+        }
+      }
+    }
+  }
+  return run;
+}
+
+// Shared driver shape for the two summary-driven checks: bottom-up SCC
+// order, a second round for functions on a cycle, findings kept from the
+// final round only.
+template <typename Run, typename RunFn>
+void RunInterprocedural(const CallGraph& cg, RunFn run_fn, std::vector<Finding>* out) {
+  std::map<int, unsigned> summaries;
+  std::map<int, std::vector<Finding>> findings;
+  for (const std::vector<int>& scc : cg.sccs()) {
+    bool cyclic = scc.size() > 1;
+    for (const int fn : scc) {
+      cyclic = cyclic || cg.OnCycle(fn);
+    }
+    const int rounds = cyclic ? 2 : 1;
+    for (int r = 0; r < rounds; ++r) {
+      for (const int fn : scc) {
+        Run run = run_fn(fn, summaries);
+        summaries[fn] = run.sink_params;
+        findings[fn] = std::move(run.findings);
+      }
+    }
+  }
+  for (auto& [fn, fs] : findings) {
+    out->insert(out->end(), std::make_move_iterator(fs.begin()),
+                std::make_move_iterator(fs.end()));
+  }
+}
+
+std::vector<std::string> GatherPaths(FileSet& files, const std::vector<std::string>& dirs) {
+  std::vector<std::string> paths;
+  std::set<std::string> seen;
+  for (const std::string& d : dirs) {
+    for (std::string& p : files.ListDir(d)) {
+      if (seen.insert(p).second) {
+        paths.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
+
+void CheckWireTaint(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                    int* nfiles, std::vector<std::string>* /*errors*/) {
+  const std::vector<std::string> paths = GatherPaths(files, cfg.wire_taint.dirs);
+  for (const std::string& p : paths) {
+    *nfiles += files.Get(p) != nullptr ? 1 : 0;
+  }
+  const CallGraph cg = CallGraph::Build(files, paths);
+  RunInterprocedural<WireRun>(
+      cg,
+      [&](int fn, const std::map<int, unsigned>& summaries) {
+        return RunWireFn(cfg, cg, fn, summaries);
+      },
+      out);
+}
+
+// --------------------------------------------------------------------------
+// opx-index-arith
+// --------------------------------------------------------------------------
+
+void CheckIndexArith(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                     int* nfiles, std::vector<std::string>* /*errors*/) {
+  static const char* kCheck = "opx-index-arith";
+  const std::vector<std::string> paths = GatherPaths(files, cfg.index_arith.dirs);
+  for (const std::string& path : paths) {
+    const SourceFile* sf = files.Get(path);
+    if (sf == nullptr) {
+      continue;
+    }
+    ++*nfiles;
+    if (path == cfg.index_arith.helper_file) {
+      continue;  // the sanctioned implementation
+    }
+    const std::vector<Tok>& t = sf->toks;
+
+    // OPX_CHECK*/OPX_DCHECK* argument ranges are the bounds enforcement
+    // itself — arithmetic there is the checked helper's own idiom.
+    std::vector<TokRange> exempt;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind == TokKind::kIdent && t[i + 1].Is("(") &&
+          (t[i].text.rfind("OPX_CHECK", 0) == 0 || t[i].text.rfind("OPX_DCHECK", 0) == 0)) {
+        exempt.push_back({i, MatchForward(t, i + 1, "(", ")")});
+      }
+    }
+    auto exempted = [&](size_t i) {
+      for (const TokRange& r : exempt) {
+        if (i >= r.begin && i <= r.end) {
+          return true;
+        }
+      }
+      return false;
+    };
+    auto is_plus_minus = [&](size_t i) { return t[i].Is("+") || t[i].Is("-"); };
+
+    std::map<std::string, int> ordinals;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || !Contains(cfg.index_arith.floor_idents, t[i].text)) {
+        continue;
+      }
+      // Full floor expression: back over the object chain (`storage_->`),
+      // forward over a no-arg accessor call (`compacted_idx()`).
+      size_t begin = i;
+      while (begin >= 2 && (t[begin - 1].Is("::") || t[begin - 1].Is(".") ||
+                            t[begin - 1].Is("->")) &&
+             t[begin - 2].kind == TokKind::kIdent) {
+        begin -= 2;
+      }
+      size_t end = i;
+      if (i + 2 < t.size() && t[i + 1].Is("(") && t[i + 2].Is(")")) {
+        end = i + 2;
+      }
+      // `floor + x` / `floor - x` — but not ++/--/+=/-=.
+      const bool arith_after =
+          end + 1 < t.size() && is_plus_minus(end + 1) &&
+          !(end + 2 < t.size() && (is_plus_minus(end + 2) || t[end + 2].Is("=")));
+      // `x + floor` / `x - floor` — but not ++/--.
+      const bool arith_before =
+          begin >= 1 && is_plus_minus(begin - 1) && !(begin >= 2 && is_plus_minus(begin - 2));
+      if ((!arith_after && !arith_before) || exempted(i)) {
+        continue;
+      }
+      Add(*sf, t[i].line, kCheck, OrdinalKey(t[i].text, ordinals[t[i].text]++),
+          "raw log-index arithmetic against compaction floor `" + t[i].text +
+              "` — the PR 8 seed-bug shape; use util::FloorOffset / "
+              "util::IndexEnd / util::IndexBack (src/util/log_index.h), which "
+              "abort on wrap instead of corrupting memory",
+          out);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// opx-ref-lifetime
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct RefRun {
+  unsigned sink_params = 0;  // bit k+1: pointer parameter k stored into a member
+  std::vector<Finding> findings;
+};
+
+bool IsMemberIdent(const std::vector<Tok>& t, size_t i) {
+  if (t[i].kind != TokKind::kIdent || t[i].text.empty()) {
+    return false;
+  }
+  if (i >= 2 && t[i - 1].Is("->") && t[i - 2].IsIdent("this")) {
+    return true;
+  }
+  if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) {
+    return false;  // member of some other object
+  }
+  return t[i].text.back() == '_';
+}
+
+bool IsMemberMutator(const std::string& s) {
+  return s == "push_back" || s == "emplace_back" || s == "insert" || s == "emplace" ||
+         s == "assign";
+}
+
+RefRun RunRefFn(const AnalyzerConfig& cfg, const CallGraph& cg, int fn_id,
+                const std::map<int, unsigned>& summaries) {
+  RefRun run;
+  const CgFunction& fn = cg.functions()[static_cast<size_t>(fn_id)];
+  const std::vector<Tok>& t = fn.sf->toks;
+  static const char* kCheck = "opx-ref-lifetime";
+
+  // Refcounted-view variables: parameters typed as one of ref_types, plus
+  // locals declared `FrameRef f = ...` / `const FrameRef& f = ...`.
+  std::set<std::string> refvars;
+  std::map<std::string, size_t> ptr_params;  // name -> param index
+  for (size_t k = 0; k < fn.def.params.size(); ++k) {
+    const Param& p = fn.def.params[k];
+    if (p.name.empty()) {
+      continue;
+    }
+    for (const std::string& rt : cfg.ref_lifetime.ref_types) {
+      if (p.type.find(rt) != std::string::npos) {
+        refvars.insert(p.name);
+      }
+    }
+    if (p.type.find('*') != std::string::npos) {
+      ptr_params[p.name] = k;
+    }
+  }
+  for (size_t i = fn.def.body_open + 1; i < fn.def.body_close; ++i) {
+    if (t[i].kind != TokKind::kIdent || !Contains(cfg.ref_lifetime.ref_types, t[i].text) ||
+        (i > 0 && (t[i - 1].Is("<") || t[i - 1].Is("::")))) {
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < fn.def.body_close &&
+           (t[j].Is("&") || t[j].Is("*") || t[j].IsIdent("const"))) {
+      ++j;
+    }
+    if (j < fn.def.body_close && t[j].kind == TokKind::kIdent && j + 1 < fn.def.body_close &&
+        (t[j + 1].Is("=") || t[j + 1].Is(";") || t[j + 1].Is("(") || t[j + 1].Is("{"))) {
+      refvars.insert(t[j].text);
+    }
+  }
+
+  // derived raw pointer -> the refvars it came from (empty set: unknown/any).
+  std::map<std::string, std::set<std::string>> derived;
+  std::set<std::string> invalidated;
+
+  auto expr_refs = [&](size_t b, size_t e, std::set<std::string>* srcs) {
+    // Does [b, e) reach into a refcounted frame's storage? Either a known
+    // derived pointer, or a refvar together with a `.data()` call —
+    // `f->bytes.size()` produces a plain integer, not a view, so `data` is
+    // the discriminator.
+    bool has_ref = false;
+    bool has_data = false;
+    bool has_derived = false;
+    for (size_t i = b; i < e; ++i) {
+      if (t[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      if (t[i].text == "data") {
+        has_data = true;
+      }
+      if (i > b && (t[i - 1].Is(".") || t[i - 1].Is("->"))) {
+        continue;
+      }
+      if (refvars.count(t[i].text) != 0) {
+        has_ref = true;
+        if (srcs != nullptr) {
+          srcs->insert(t[i].text);
+        }
+      }
+      const auto d = derived.find(t[i].text);
+      if (d != derived.end()) {
+        has_derived = true;
+        if (srcs != nullptr) {
+          srcs->insert(d->second.begin(), d->second.end());
+        }
+      }
+    }
+    return has_derived || (has_ref && has_data);
+  };
+  auto expr_ptr_param_bits = [&](size_t b, size_t e) {
+    unsigned bits = 0;
+    for (size_t i = b; i < e; ++i) {
+      if (t[i].kind == TokKind::kIdent && !(i > b && (t[i - 1].Is(".") || t[i - 1].Is("->"))) &&
+          !(i + 1 < e && t[i + 1].Is("("))) {
+        const auto it = ptr_params.find(t[i].text);
+        if (it != ptr_params.end()) {
+          bits |= ParamBit(it->second);
+        }
+      }
+    }
+    return bits;
+  };
+
+  std::map<size_t, const CallSite*> site_at;
+  for (const CallSite& site : cg.calls()[static_cast<size_t>(fn_id)]) {
+    site_at[site.tok] = &site;
+  }
+
+  std::map<std::string, int> ordinals;
+  auto flag = [&](size_t tok, const std::string& var, const std::string& message) {
+    const std::string base = fn.def.name + "/" + var;
+    Add(*fn.sf, t[tok].line, kCheck, OrdinalKey(base, ordinals[base]++),
+        fn.def.Display() + " " + message, &run.findings);
+  };
+
+  for (size_t i = fn.def.body_open + 1; i < fn.def.body_close; ++i) {
+    if (t[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::string& id = t[i].text;
+    const bool member_access = i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+
+    // Assignments: member stores are findings, local stores track derivation.
+    if (i + 1 < fn.def.body_close && t[i + 1].Is("=") && t[i + 1].kind == TokKind::kPunct &&
+        (!member_access || IsMemberIdent(t, i))) {
+      const size_t eb = i + 2;
+      const size_t ee = StmtEnd(t, eb, fn.def.body_close);
+      std::set<std::string> srcs;
+      const bool derives = expr_refs(eb, ee, &srcs);
+      if (IsMemberIdent(t, i)) {
+        if (derives) {
+          const std::string src = srcs.empty() ? "frame" : *srcs.begin();
+          flag(i, src,
+               "stores a raw pointer derived from refcounted frame `" + src +
+                   "` into member `" + id +
+                   "` — the member outlives the frame's refcount; store the "
+                   "FrameRef itself (or copy the bytes) instead");
+        }
+        const unsigned bits = expr_ptr_param_bits(eb, ee);
+        run.sink_params |= bits;
+      } else {
+        if (derives) {
+          derived[id] = std::move(srcs);
+          invalidated.erase(id);
+        } else if (derived.count(id) != 0) {
+          derived.erase(id);
+          invalidated.erase(id);
+        }
+      }
+      continue;
+    }
+
+    // Member-container mutation with a frame-derived argument.
+    if (IsMemberIdent(t, i) && i + 3 < fn.def.body_close &&
+        (t[i + 1].Is(".") || t[i + 1].Is("->")) && IsMemberMutator(t[i + 2].text) &&
+        t[i + 3].Is("(")) {
+      const size_t close = MatchForward(t, i + 3, "(", ")");
+      std::set<std::string> srcs;
+      if (expr_refs(i + 4, close, &srcs)) {
+        const std::string src = srcs.empty() ? "frame" : *srcs.begin();
+        flag(i, src,
+             "inserts a raw pointer derived from refcounted frame `" + src +
+                 "` into member container `" + id +
+                 "` — the container outlives the frame's refcount");
+      }
+      run.sink_params |= expr_ptr_param_bits(i + 4, close);
+      continue;
+    }
+
+    // Invalidator call: FramePool::Clear / Release / queue Consume. Derived
+    // pointers into the released frames are dangling from here on.
+    if ((member_access || (i > 0 && t[i - 1].Is("::"))) &&
+        Contains(cfg.ref_lifetime.invalidators, id) && i + 1 < fn.def.body_close &&
+        t[i + 1].Is("(")) {
+      const size_t close = MatchForward(t, i + 1, "(", ")");
+      std::set<std::string> released;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind == TokKind::kIdent && refvars.count(t[j].text) != 0) {
+          released.insert(t[j].text);
+        }
+      }
+      for (const auto& [name, srcs] : derived) {
+        const bool hit =
+            released.empty() || srcs.empty() ||
+            std::any_of(released.begin(), released.end(),
+                        [&](const std::string& r) { return srcs.count(r) != 0; });
+        if (hit) {
+          invalidated.insert(name);
+        }
+      }
+      i = close;
+      continue;
+    }
+
+    // Use of a dangling derived pointer.
+    if (!member_access && invalidated.count(id) != 0) {
+      flag(i, id,
+           "uses frame-derived pointer `" + id +
+               "` after the pool/queue invalidated it (Clear/Release/Consume "
+               "releases the backing frame)");
+      invalidated.erase(id);  // one finding per variable
+      continue;
+    }
+
+    // Interprocedural: frame-derived pointer handed to a callee that stores
+    // its pointer parameter into a member.
+    const auto site_it = site_at.find(i);
+    if (site_it != site_at.end() && !site_it->second->callees.empty()) {
+      const CallSite& site = *site_it->second;
+      const size_t close = MatchForward(t, i + 1, "(", ")");
+      const std::vector<TokRange> args = TopLevelArgs(t, i + 1, close);
+      for (size_t k = 0; k < args.size(); ++k) {
+        unsigned callee_stores = 0;
+        for (const int callee : site.callees) {
+          const auto s = summaries.find(callee);
+          if (s != summaries.end()) {
+            callee_stores |= s->second;
+          }
+        }
+        if ((callee_stores & ParamBit(k)) == 0) {
+          continue;
+        }
+        std::set<std::string> srcs;
+        if (expr_refs(args[k].begin, args[k].end, &srcs)) {
+          const std::string src = srcs.empty() ? "frame" : *srcs.begin();
+          flag(i, src,
+               "passes a pointer derived from refcounted frame `" + src + "` to `" +
+                   site.name + "`, which stores its parameter into a member");
+        }
+        run.sink_params |= expr_ptr_param_bits(args[k].begin, args[k].end);
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+void CheckRefLifetime(const AnalyzerConfig& cfg, FileSet& files, std::vector<Finding>* out,
+                      int* nfiles, std::vector<std::string>* /*errors*/) {
+  const std::vector<std::string> paths = GatherPaths(files, cfg.ref_lifetime.dirs);
+  for (const std::string& p : paths) {
+    *nfiles += files.Get(p) != nullptr ? 1 : 0;
+  }
+  const CallGraph cg = CallGraph::Build(files, paths);
+  RunInterprocedural<RefRun>(
+      cg,
+      [&](int fn, const std::map<int, unsigned>& summaries) {
+        return RunRefFn(cfg, cg, fn, summaries);
+      },
+      out);
+}
+
+}  // namespace opx::analyze

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "tools/analyze/analyzer.h"
 
@@ -220,14 +221,12 @@ bool SourceFile::Suppressed(int line, std::string_view check) const {
   return false;
 }
 
-const SourceFile* FileSet::Get(const std::string& rel_path) {
-  const auto it = cache_.find(rel_path);
-  if (it != cache_.end()) {
-    return it->second.get();
-  }
-  std::ifstream in(root_ + "/" + rel_path, std::ios::binary);
+namespace {
+
+// Read + tokenize, no shared state — safe to run concurrently.
+std::unique_ptr<SourceFile> LoadFile(const std::string& root, const std::string& rel_path) {
+  std::ifstream in(root + "/" + rel_path, std::ios::binary);
   if (!in.good()) {
-    cache_[rel_path] = nullptr;
     return nullptr;
   }
   std::ostringstream buf;
@@ -235,9 +234,67 @@ const SourceFile* FileSet::Get(const std::string& rel_path) {
   auto sf = std::make_unique<SourceFile>();
   sf->path = rel_path;
   Tokenize(buf.str(), sf.get());
+  return sf;
+}
+
+}  // namespace
+
+const SourceFile* FileSet::Get(const std::string& rel_path) {
+  const auto it = cache_.find(rel_path);
+  if (it != cache_.end()) {
+    return it->second.get();
+  }
+  auto sf = LoadFile(root_, rel_path);
   const SourceFile* out = sf.get();
   cache_[rel_path] = std::move(sf);
   return out;
+}
+
+int FileSet::Preload(const std::vector<std::string>& paths, int jobs) {
+  std::vector<std::string> todo;
+  std::set<std::string> seen;
+  for (const std::string& p : paths) {
+    if (cache_.find(p) == cache_.end() && seen.insert(p).second) {
+      todo.push_back(p);
+    }
+  }
+  if (todo.empty()) {
+    return 0;
+  }
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
+  }
+  jobs = std::min<int>(jobs, static_cast<int>(todo.size()));
+
+  // Each worker owns a disjoint slice of the (path, result) table; the map
+  // merge below is the only shared-state step and runs after the join, so
+  // Tokenize needs no locking and check output order cannot change.
+  std::vector<std::unique_ptr<SourceFile>> loaded(todo.size());
+  auto worker = [&](int w) {
+    for (size_t i = static_cast<size_t>(w); i < todo.size();
+         i += static_cast<size_t>(jobs)) {
+      loaded[i] = LoadFile(root_, todo[i]);
+    }
+  };
+  if (jobs == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      threads.emplace_back(worker, w);
+    }
+    for (std::thread& th : threads) {
+      th.join();
+    }
+  }
+  int count = 0;
+  for (size_t i = 0; i < todo.size(); ++i) {
+    count += loaded[i] != nullptr ? 1 : 0;
+    cache_[todo[i]] = std::move(loaded[i]);
+  }
+  return count;
 }
 
 std::vector<std::string> FileSet::ListDir(const std::string& rel_dir) const {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full static+dynamic check pipeline, as run before merging:
 #   1. sanitized build (ASan+UBSan, assertions live) of everything;
-#   2. opx_analyze (DESIGN.md §11, §13): the ten protocol-aware checks —
+#   2. opx_analyze (DESIGN.md §11, §13): the thirteen protocol-aware checks —
 #      the six token-level ones plus the CFG/dataflow tier (ballot-guard,
-#      quorum-arith, blocking-in-loop, span-escape) — over src/, tests/,
+#      quorum-arith, blocking-in-loop, span-escape) and the interprocedural tier
+#      (wire-taint, index-arith, ref-lifetime, DESIGN.md §16) — over src/, tests/,
 #      and bench/; fails on any finding not in tools/analyze/baseline.txt,
 #      and on any stale baseline entry;
 #   3. the complete CTest suite under sanitizers — every scenario/chaos test
@@ -81,7 +82,8 @@ if [ "${1:-}" = "--static" ]; then
   if [ "$STALE" -eq 1 ]; then
     step "compile opx_analyze (direct, no cmake) -> $BIN"
     PIDS=""
-    for f in tokenizer cfg dataflow checks default_config baseline main; do
+    for f in tokenizer cfg dataflow callgraph checks taint_checks default_config \
+             baseline main; do
       "${CXX:-c++}" -O0 -std=c++20 -I"$ROOT" -c "$ROOT/tools/analyze/$f.cc" \
         -o "$OUT/$f.o" &
       PIDS="$PIDS $!"
@@ -90,12 +92,13 @@ if [ "${1:-}" = "--static" ]; then
     for p in $PIDS; do wait "$p" || CFAIL=1; done
     [ "$CFAIL" -eq 0 ] || { echo "compile FAILED"; exit 1; }
     "${CXX:-c++}" "$OUT/tokenizer.o" "$OUT/cfg.o" "$OUT/dataflow.o" \
-      "$OUT/checks.o" "$OUT/default_config.o" "$OUT/baseline.o" "$OUT/main.o" \
-      -o "$BIN" ||
+      "$OUT/callgraph.o" "$OUT/checks.o" "$OUT/taint_checks.o" \
+      "$OUT/default_config.o" "$OUT/baseline.o" "$OUT/main.o" \
+      -pthread -o "$BIN" ||
       { echo "link FAILED"; exit 1; }
     echo "ok"
   fi
-  step "opx_analyze over src/, tests/, bench/ (ten checks, baseline-filtered)"
+  step "opx_analyze over src/, tests/, bench/ (thirteen checks, baseline-filtered)"
   exec "$BIN" --root="$ROOT"
 fi
 
